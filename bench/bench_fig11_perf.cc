@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Figure 11 (a) and (b): performance impact of MOAT for ATH 64 and 128
+ * (ETH = ATH/2) across the 21 SPEC-2017 + GAP workloads, and the rate
+ * of ALERTs per tREFI per sub-channel.
+ *
+ * Paper: average slowdown 0.28% at ATH 64 (roms worst at ~2%), ~0% at
+ * ATH 128; average 0.023 ALERTs per tREFI at ATH 64, ~0 at ATH 128.
+ */
+
+#include <iostream>
+
+#include "bench_util.hh"
+#include "sim/perf.hh"
+
+using namespace moatsim;
+
+int
+main()
+{
+    bench::header(
+        "Figure 11 (MOAT slowdown and ALERT rate, ATH 64 vs 128)",
+        "Synthetic Table-4-calibrated workloads; normalized to a "
+        "no-ALERT system. Paper: avg 0.28% @ ATH64 (roms ~2%), ~0% @ "
+        "ATH128; ALERTs/tREFI avg 0.023 @ ATH64.");
+
+    workload::TraceGenConfig tg;
+    tg.windowFraction = 0.125 * bench::benchScale();
+    sim::PerfRunner runner(tg);
+
+    mitigation::MoatConfig a64;
+    mitigation::MoatConfig a128;
+    a128.ath = 128;
+    a128.eth = 64;
+
+    const auto r64 = runner.runSuite(a64);
+    const auto r128 = runner.runSuite(a128);
+
+    TablePrinter t({"workload", "slowdown ATH64", "slowdown ATH128",
+                    "ALERTs/tREFI ATH64", "ALERTs/tREFI ATH128"});
+    for (size_t i = 0; i < r64.size(); ++i) {
+        t.addRow({r64[i].workload,
+                  formatPercent(1.0 - r64[i].normPerf),
+                  formatPercent(1.0 - r128[i].normPerf),
+                  formatFixed(r64[i].alertsPerRefi, 4),
+                  formatFixed(r128[i].alertsPerRefi, 4)});
+    }
+    t.addSeparator();
+    t.addRow({"AVERAGE (paper: 0.28% / ~0% / 0.023 / ~0)",
+              formatPercent(1.0 - sim::meanNormPerf(r64)),
+              formatPercent(1.0 - sim::meanNormPerf(r128)),
+              formatFixed(sim::meanAlertsPerRefi(r64), 4),
+              formatFixed(sim::meanAlertsPerRefi(r128), 4)});
+    t.print(std::cout);
+    return 0;
+}

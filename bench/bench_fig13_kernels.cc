@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Figure 13 + Section 7.1: basic single-bank performance-attack
+ * kernels and the continuous-ALERT throughput floor.
+ *
+ * Paper: hammering one row, or five rows circularly, loses ~10%
+ * throughput (69 ACTs per 76 units / 325 per 360); a channel kept in
+ * back-to-back ALERTs bottoms out at 0.36x (2.8x slowdown, App. D).
+ */
+
+#include <iostream>
+
+#include "analysis/throughput_model.hh"
+#include "attacks/tsa.hh"
+#include "bench_util.hh"
+
+using namespace moatsim;
+
+int
+main()
+{
+    bench::header("Figure 13 (single-bank ALERT kernels)",
+                  "ALERT-triggering kernels cost ~10%; the ALERT floor "
+                  "bounds any pattern at 0.36x (level 1).");
+
+    dram::TimingParams timing;
+
+    TablePrinter t({"kernel", "paper loss", "model loss", "sim loss",
+                    "sim ALERTs"});
+    const uint32_t cycles =
+        static_cast<uint32_t>(40 * bench::benchScale()) + 1;
+    {
+        attacks::PerfAttackConfig cfg;
+        cfg.poolRows = 1;
+        cfg.cycles = cycles;
+        const auto sim = attacks::runSingleBankKernel(cfg);
+        const auto model = analysis::singleBankKernel(timing, 64, 1, 1);
+        t.addRow({"(A)^N single row", "~10%",
+                  formatPercent(model.lossFraction, 1),
+                  formatPercent(sim.lossFraction, 1),
+                  std::to_string(sim.alerts)});
+    }
+    {
+        attacks::PerfAttackConfig cfg;
+        cfg.poolRows = 5;
+        cfg.cycles = cycles;
+        const auto sim = attacks::runSingleBankKernel(cfg);
+        const auto model = analysis::singleBankKernel(timing, 64, 5, 1);
+        t.addRow({"(ABCDE)^N five rows", "~10%",
+                  formatPercent(model.lossFraction, 1),
+                  formatPercent(sim.lossFraction, 1),
+                  std::to_string(sim.alerts)});
+    }
+    t.print(std::cout);
+
+    std::cout << "\nContinuous-ALERT floor (Appendix D):\n";
+    TablePrinter t2({"ABO level", "paper slowdown", "model floor",
+                     "model slowdown"});
+    const char *paper[] = {"2.8x", "3.8x", "4.9x"};
+    int i = 0;
+    for (int level : {1, 2, 4}) {
+        const auto f = analysis::continuousAlertFloor(timing, level);
+        t2.addRow({"L" + std::to_string(level), paper[i++],
+                   formatFixed(f.relative, 3) + "x",
+                   formatFixed(1.0 / f.relative, 1) + "x"});
+    }
+    t2.print(std::cout);
+    return 0;
+}

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Figure 17 (Appendix D): MOAT-L1/L2/L4 at ATH 64 -- per-workload
+ * slowdown and ALERT rate when the ABO level (and tracker size) grows.
+ *
+ * Paper: average slowdown 0.28% / 0.34% / 0.44%; MOAT-L2 and MOAT-L4
+ * have 0.52x and 0.27x as many ALERT episodes as MOAT-L1.
+ */
+
+#include <iostream>
+
+#include "bench_util.hh"
+#include "sim/perf.hh"
+
+using namespace moatsim;
+
+int
+main()
+{
+    bench::header("Figure 17 (MOAT-L1/L2/L4 at ATH 64)",
+                  "Higher ABO levels mitigate more rows per ALERT but "
+                  "stall longer per episode.");
+
+    workload::TraceGenConfig tg;
+    tg.windowFraction = 0.0625 * bench::benchScale();
+    sim::PerfRunner runner(tg);
+
+    std::vector<std::vector<sim::PerfResult>> all;
+    for (int level : {1, 2, 4}) {
+        mitigation::MoatConfig m;
+        m.trackerEntries = static_cast<uint32_t>(level);
+        all.push_back(runner.runSuite(m, static_cast<abo::Level>(level)));
+    }
+
+    TablePrinter t({"workload", "slowdown L1", "slowdown L2",
+                    "slowdown L4", "ALERTs/tREFI L1", "L2", "L4"});
+    for (size_t i = 0; i < all[0].size(); ++i) {
+        t.addRow({all[0][i].workload,
+                  formatPercent(1.0 - all[0][i].normPerf),
+                  formatPercent(1.0 - all[1][i].normPerf),
+                  formatPercent(1.0 - all[2][i].normPerf),
+                  formatFixed(all[0][i].alertsPerRefi, 4),
+                  formatFixed(all[1][i].alertsPerRefi, 4),
+                  formatFixed(all[2][i].alertsPerRefi, 4)});
+    }
+    t.addSeparator();
+    const double a1 = sim::meanAlertsPerRefi(all[0]);
+    const double a2 = sim::meanAlertsPerRefi(all[1]);
+    const double a4 = sim::meanAlertsPerRefi(all[2]);
+    t.addRow({"AVERAGE (paper: 0.28%/0.34%/0.44%)",
+              formatPercent(1.0 - sim::meanNormPerf(all[0])),
+              formatPercent(1.0 - sim::meanNormPerf(all[1])),
+              formatPercent(1.0 - sim::meanNormPerf(all[2])),
+              formatFixed(a1, 4), formatFixed(a2, 4), formatFixed(a4, 4)});
+    t.print(std::cout);
+    if (a1 > 0) {
+        std::cout << "ALERT-episode ratio vs L1 (paper: 0.52x L2, 0.27x "
+                     "L4): "
+                  << formatFixed(a2 / a1, 2) << "x L2, "
+                  << formatFixed(a4 / a1, 2) << "x L4\n";
+    }
+    return 0;
+}

@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Google-benchmark micro-benchmarks of moatsim's hot paths: per-ACT
+ * costs of the bank, security oracle, MOAT logic, and the full
+ * command-level sub-channel. Useful when tuning the simulator itself.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "common/rng.hh"
+#include "dram/bank.hh"
+#include "dram/security.hh"
+#include "mitigation/moat.hh"
+#include "mitigation/null.hh"
+#include "subchannel/subchannel.hh"
+
+using namespace moatsim;
+
+namespace
+{
+
+void
+BM_RngNext(benchmark::State &state)
+{
+    Rng rng(1);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(rng.next());
+}
+BENCHMARK(BM_RngNext);
+
+void
+BM_BankActivate(benchmark::State &state)
+{
+    dram::TimingParams t;
+    dram::Bank bank(t, dram::CounterInit::Zero);
+    Rng rng(2);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(
+            bank.activate(static_cast<RowId>(rng.below(65536))));
+}
+BENCHMARK(BM_BankActivate);
+
+void
+BM_SecurityOnActivate(benchmark::State &state)
+{
+    dram::SecurityMonitor mon(65536, 2);
+    Rng rng(3);
+    for (auto _ : state)
+        mon.onActivate(static_cast<RowId>(rng.below(65536)));
+}
+BENCHMARK(BM_SecurityOnActivate);
+
+void
+BM_SubChannelActivateNull(benchmark::State &state)
+{
+    subchannel::SubChannelConfig sc;
+    sc.numBanks = static_cast<uint32_t>(state.range(0));
+    subchannel::SubChannel ch(sc, [](BankId) {
+        return std::make_unique<mitigation::NullMitigator>();
+    });
+    Rng rng(4);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            ch.activate(static_cast<BankId>(rng.below(ch.numBanks())),
+                        static_cast<RowId>(rng.below(65536))));
+    }
+}
+BENCHMARK(BM_SubChannelActivateNull)->Arg(1)->Arg(8)->Arg(32);
+
+void
+BM_SubChannelActivateMoat(benchmark::State &state)
+{
+    subchannel::SubChannelConfig sc;
+    sc.numBanks = static_cast<uint32_t>(state.range(0));
+    mitigation::MoatConfig moat;
+    subchannel::SubChannel ch(sc, [&](BankId) {
+        return std::make_unique<mitigation::MoatMitigator>(moat);
+    });
+    Rng rng(5);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            ch.activate(static_cast<BankId>(rng.below(ch.numBanks())),
+                        static_cast<RowId>(rng.below(65536))));
+    }
+}
+BENCHMARK(BM_SubChannelActivateMoat)->Arg(1)->Arg(32);
+
+} // namespace

@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Table 7 (Appendix D): average slowdown and safely-tolerated TRH as
+ * ATH and the ABO level vary.
+ *
+ * Paper:
+ *   ATH 32:  L1 3.90% / 69,  L2 5.60% / 56,  L4 9.50% / 50
+ *   ATH 64:  L1 0.28% / 99,  L2 0.34% / 87,  L4 0.45% / 82
+ *   ATH 128: L1 0% / 161,    L2 0% / 150,    L4 0% / 145
+ */
+
+#include <iostream>
+
+#include "analysis/ratchet_model.hh"
+#include "bench_util.hh"
+#include "sim/perf.hh"
+
+using namespace moatsim;
+
+int
+main()
+{
+    bench::header("Table 7 (ATH x ABO level: slowdown and Safe-TRH)",
+                  "MOAT-L tracks L entries and mitigates L rows per "
+                  "ALERT; Safe-TRH comes from the Appendix-A Ratchet "
+                  "bound.");
+
+    workload::TraceGenConfig tg;
+    tg.windowFraction = 0.0625 * bench::benchScale();
+    sim::PerfRunner runner(tg);
+
+    struct PaperRow
+    {
+        uint32_t ath;
+        int level;
+        const char *slow;
+        int trh;
+    };
+    const PaperRow paper[] = {
+        {32, 1, "3.90%", 69},  {32, 2, "5.60%", 56},  {32, 4, "9.50%", 50},
+        {64, 1, "0.28%", 99},  {64, 2, "0.34%", 87},  {64, 4, "0.45%", 82},
+        {128, 1, "0%", 161},   {128, 2, "0%", 150},   {128, 4, "0%", 145},
+    };
+
+    TablePrinter t({"ATH", "design", "paper slowdown", "moatsim slowdown",
+                    "paper Safe-TRH", "model Safe-TRH"});
+    for (const auto &row : paper) {
+        mitigation::MoatConfig m;
+        m.ath = row.ath;
+        m.eth = row.ath / 2;
+        m.trackerEntries = static_cast<uint32_t>(row.level);
+        const auto level = static_cast<abo::Level>(row.level);
+        const auto rs = runner.runSuite(m, level);
+        const auto bound =
+            analysis::ratchetBound(tg.timing, row.ath, row.level);
+        t.addRow({std::to_string(row.ath),
+                  "MOAT-L" + std::to_string(row.level), row.slow,
+                  formatPercent(1.0 - sim::meanNormPerf(rs)),
+                  std::to_string(row.trh), formatFixed(bound.safeTrh, 0)});
+    }
+    t.print(std::cout);
+    std::cout << "Conclusion (paper): PRAC with current ALERT specs is "
+                 "viable only down to TRH ~50.\n";
+    return 0;
+}

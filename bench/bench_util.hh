@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Shared helpers for the reproduction benches. Every bench prints a
+ * banner naming the paper artifact it regenerates, then a table with
+ * the paper's value and moatsim's measured value side by side.
+ */
+
+#ifndef MOATSIM_BENCH_BENCH_UTIL_HH
+#define MOATSIM_BENCH_BENCH_UTIL_HH
+
+#include <cstdint>
+#include <cstdlib>
+#include <iostream>
+#include <string>
+
+#include "common/stats.hh"
+#include "common/table.hh"
+
+namespace moatsim::bench
+{
+
+/** Print the standard bench header. */
+inline void
+header(const std::string &artifact, const std::string &claim)
+{
+    printBanner(std::cout, "moatsim reproduction: " + artifact);
+    std::cout << claim << "\n\n";
+}
+
+/**
+ * Scale factor for long-running benches: MOATSIM_BENCH_SCALE in (0,1]
+ * shrinks iteration counts for quick smoke runs (default 1 = full).
+ */
+inline double
+benchScale()
+{
+    if (const char *s = std::getenv("MOATSIM_BENCH_SCALE")) {
+        const double v = std::atof(s);
+        if (v > 0.0 && v <= 1.0)
+            return v;
+    }
+    return 1.0;
+}
+
+} // namespace moatsim::bench
+
+#endif // MOATSIM_BENCH_BENCH_UTIL_HH

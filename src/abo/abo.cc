@@ -1,0 +1,87 @@
+#include "abo/abo.hh"
+
+#include <cassert>
+
+namespace moatsim::abo
+{
+
+AboEngine::AboEngine(const dram::TimingParams &timing, Level level)
+    : timing_(timing),
+      level_(level),
+      // Power-up: no RFM outstanding, so the first ALERT is ungated.
+      acts_since_rfm_(static_cast<uint32_t>(levelValue(level)))
+{
+}
+
+bool
+AboEngine::canAssert(Time t) const
+{
+    if (in_flight_ && t < rfmBlockEnd())
+        return false;
+    return acts_since_rfm_ >= static_cast<uint32_t>(levelValue(level_));
+}
+
+void
+AboEngine::assertAlert(Time t)
+{
+    assert(canAssert(t));
+    in_flight_ = true;
+    assert_time_ = t;
+    ++alert_count_;
+    total_stall_ += static_cast<Time>(rfmsPerAlert()) * timing_.tRFM;
+}
+
+bool
+AboEngine::alertInFlight(Time t) const
+{
+    return in_flight_ && t < rfmBlockEnd();
+}
+
+bool
+AboEngine::inNormalWindow(Time t) const
+{
+    return in_flight_ && t >= assert_time_ && t < rfmBlockStart();
+}
+
+bool
+AboEngine::inRfmBlock(Time t) const
+{
+    return in_flight_ && t >= rfmBlockStart() && t < rfmBlockEnd();
+}
+
+Time
+AboEngine::rfmBlockStart() const
+{
+    assert(in_flight_);
+    return assert_time_ + timing_.tAlertNormal;
+}
+
+Time
+AboEngine::rfmBlockEnd() const
+{
+    assert(in_flight_);
+    return rfmBlockStart() + static_cast<Time>(rfmsPerAlert()) * timing_.tRFM;
+}
+
+void
+AboEngine::onActCompleted(Time t)
+{
+    (void)t;
+    ++acts_since_rfm_;
+}
+
+void
+AboEngine::completeAlert()
+{
+    assert(in_flight_);
+    in_flight_ = false;
+    acts_since_rfm_ = 0;
+}
+
+Time
+AboEngine::alertToAlert() const
+{
+    return timing_.alertToAlert(levelValue(level_));
+}
+
+} // namespace moatsim::abo

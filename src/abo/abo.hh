@@ -1,0 +1,110 @@
+/**
+ * @file
+ * ALERT-Back-Off (ABO) protocol engine.
+ *
+ * Models the JEDEC DDR5 ABO extension as described in Sections 2.6 and
+ * 5.1 of the paper. When the DRAM asserts ALERT at time Ta the memory
+ * controller may keep operating normally for 180 ns, then must stall
+ * the whole sub-channel and issue L RFM commands of 350 ns each
+ * (L = MR71 op[1:0] mitigation level, 1/2/4). After the RFMs, at least
+ * L activations must be issued before ALERT may be asserted again.
+ *
+ * The engine is a passive timing calculator: the SubChannel drives it
+ * with assertion requests and completed activations and queries it for
+ * legality windows.
+ */
+
+#ifndef MOATSIM_ABO_ABO_HH
+#define MOATSIM_ABO_ABO_HH
+
+#include <cstdint>
+
+#include "common/time.hh"
+#include "dram/timing.hh"
+
+namespace moatsim::abo
+{
+
+/** ABO mitigation level (MR71 op[1:0]); legal values 1, 2, 4. */
+enum class Level : int
+{
+    L1 = 1,
+    L2 = 2,
+    L4 = 4,
+};
+
+/** Convert a Level to its integer multiplier. */
+constexpr int levelValue(Level l) { return static_cast<int>(l); }
+
+/** ABO state machine for one sub-channel. */
+class AboEngine
+{
+  public:
+    AboEngine(const dram::TimingParams &timing, Level level);
+
+    /** Configured mitigation level. */
+    Level level() const { return level_; }
+
+    /** Number of RFMs per ALERT (== level). */
+    int rfmsPerAlert() const { return levelValue(level_); }
+
+    /**
+     * Whether an ALERT may be asserted at time @p t: no ALERT in
+     * flight and at least `level` activations completed since the last
+     * RFM block (the inter-ALERT activation minimum).
+     */
+    bool canAssert(Time t) const;
+
+    /**
+     * Assert ALERT at time @p t.
+     * @pre canAssert(t).
+     */
+    void assertAlert(Time t);
+
+    /** Whether an ALERT is currently in flight at time @p t. */
+    bool alertInFlight(Time t) const;
+
+    /** Whether @p t falls inside the post-assert 180 ns normal window. */
+    bool inNormalWindow(Time t) const;
+
+    /** Whether @p t falls inside the RFM stall block. */
+    bool inRfmBlock(Time t) const;
+
+    /** Start of the RFM stall block of the in-flight ALERT. */
+    Time rfmBlockStart() const;
+
+    /** End of the RFM stall block of the in-flight ALERT. */
+    Time rfmBlockEnd() const;
+
+    /** Record a completed activation (for the inter-ALERT minimum). */
+    void onActCompleted(Time t);
+
+    /**
+     * Notify that the RFM block finished (SubChannel calls this after
+     * servicing the RFMs). Resets the inter-ALERT activation count.
+     */
+    void completeAlert();
+
+    /** Total ALERTs asserted. */
+    uint64_t alertCount() const { return alert_count_; }
+
+    /** Total time the sub-channel was stalled by RFM blocks. */
+    Time totalStallTime() const { return total_stall_; }
+
+    /** Minimum ALERT-to-ALERT spacing for this level (Appendix A tA2A). */
+    Time alertToAlert() const;
+
+  private:
+    const dram::TimingParams &timing_;
+    Level level_;
+    bool in_flight_ = false;
+    Time assert_time_ = 0;
+    /** Activations completed since the last RFM block ended. */
+    uint32_t acts_since_rfm_;
+    uint64_t alert_count_ = 0;
+    Time total_stall_ = 0;
+};
+
+} // namespace moatsim::abo
+
+#endif // MOATSIM_ABO_ABO_HH

@@ -1,0 +1,29 @@
+#include "analysis/feinting_model.hh"
+
+#include "common/logging.hh"
+#include "common/stats.hh"
+
+namespace moatsim::analysis
+{
+
+FeintingBound
+feintingBound(const dram::TimingParams &timing, uint32_t period_refis)
+{
+    if (period_refis == 0)
+        fatal("feintingBound: period must be >= 1 tREFI");
+
+    FeintingBound b;
+    b.periodRefis = period_refis;
+    b.actsPerPeriod =
+        static_cast<uint64_t>(timing.actsPerRefi()) * period_refis;
+
+    // One round per mitigation period within the usable window.
+    const Time window = timing.availableWindow();
+    b.rounds = static_cast<uint64_t>(
+        window / (static_cast<Time>(period_refis) * timing.tREFI));
+
+    b.trhBound = static_cast<double>(b.actsPerPeriod) * harmonic(b.rounds);
+    return b;
+}
+
+} // namespace moatsim::analysis

@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Analytical feinting bound for transparent per-row-counter schemes
+ * (Section 2.5, Table 2 of the paper; attack from ProTRR).
+ *
+ * A purely transparent scheme mitigates one aggressor row every k
+ * tREFI, always picking the highest-count row. The optimal feinting
+ * adversary keeps a pool of N rows (N = periods available in the
+ * refresh window), spreads the B = ACTs-per-period budget evenly over
+ * the surviving pool each period, and sacrifices one row per period to
+ * the mitigation. The surviving row accumulates
+ *
+ *   TRH_bound = B * (1/N + 1/(N-1) + ... + 1/1) = B * H_N
+ *
+ * activations, which is the threshold bound of Table 2.
+ */
+
+#ifndef MOATSIM_ANALYSIS_FEINTING_MODEL_HH
+#define MOATSIM_ANALYSIS_FEINTING_MODEL_HH
+
+#include <cstdint>
+
+#include "dram/timing.hh"
+
+namespace moatsim::analysis
+{
+
+/** Result of the feinting bound evaluation. */
+struct FeintingBound
+{
+    /** Mitigation period in tREFI (k). */
+    uint32_t periodRefis = 0;
+    /** ACT budget per mitigation period (B = 67 * k). */
+    uint64_t actsPerPeriod = 0;
+    /** Pool size / rounds available in the window (N). */
+    uint64_t rounds = 0;
+    /** The feinting-based TRH bound (B * H_N). */
+    double trhBound = 0.0;
+};
+
+/**
+ * Evaluate the feinting bound for a mitigation rate of one aggressor
+ * row per @p period_refis tREFI.
+ */
+FeintingBound feintingBound(const dram::TimingParams &timing,
+                            uint32_t period_refis);
+
+} // namespace moatsim::analysis
+
+#endif // MOATSIM_ANALYSIS_FEINTING_MODEL_HH

@@ -1,0 +1,51 @@
+#include "analysis/ratchet_model.hh"
+
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace moatsim::analysis
+{
+
+RatchetBound
+ratchetBound(const dram::TimingParams &timing, uint32_t ath, int level)
+{
+    if (level != 1 && level != 2 && level != 4)
+        fatal("ratchetBound: ABO level must be 1, 2, or 4");
+
+    RatchetBound b;
+    b.ath = ath;
+    b.level = level;
+    b.actsPerWindow = timing.actsPerAlertWindow(level);
+    b.alertToAlert = timing.alertToAlert(level);
+
+    // H(N) = N*ATH*tRC + (N/L)*tA2A grows linearly in N; solve for the
+    // largest N with H(N) <= availableWindow.
+    const double window = static_cast<double>(timing.availableWindow());
+    const double per_row =
+        static_cast<double>(ath) * static_cast<double>(timing.tRC) +
+        static_cast<double>(b.alertToAlert) / static_cast<double>(level);
+    b.maxPoolRows = per_row > 0
+                        ? static_cast<uint64_t>(window / per_row)
+                        : 0;
+
+    // TRH_safe = ATH + log_{M/3}(Nc) + M. The log term is the number of
+    // halving-like rounds the ratchet can sustain (each ALERT window
+    // multiplies the effective pool shrinkage by M/3); the final M ACTs
+    // can all land on the last surviving row during its own ALERT.
+    const double m = static_cast<double>(b.actsPerWindow);
+    double log_term = 0.0;
+    if (b.maxPoolRows > 1)
+        log_term = std::log(static_cast<double>(b.maxPoolRows)) /
+                   std::log(m / 3.0);
+    b.safeTrh = static_cast<double>(ath) + log_term + m;
+    return b;
+}
+
+uint32_t
+stopTheWorldTrh(uint32_t ath)
+{
+    return ath + 2;
+}
+
+} // namespace moatsim::analysis

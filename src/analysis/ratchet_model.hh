@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Closed-form model of the Ratchet attack (Appendix A of the paper).
+ *
+ * The Ratchet attack primes N rows to ATH and then uses the activations
+ * permitted between consecutive ALERTs (M = 3 + L per window) to keep
+ * raising the surviving rows while ALERTs mitigate them one batch at a
+ * time. Appendix A bounds the maximum count any row can reach:
+ *
+ *   H(N)       = N * ATH * tRC + (N / L) * tA2A      (total attack time)
+ *   Nc         = max N with H(N) <= tREFW - refresh time
+ *   TRH_safe   = ATH + log_{M/3}(Nc) + M
+ *
+ * This TRH_safe is the Rowhammer threshold safely tolerated by MOAT for
+ * a given ATH and ABO level (Figures 10 and 15, Table 7).
+ */
+
+#ifndef MOATSIM_ANALYSIS_RATCHET_MODEL_HH
+#define MOATSIM_ANALYSIS_RATCHET_MODEL_HH
+
+#include <cstdint>
+
+#include "common/time.hh"
+#include "dram/timing.hh"
+
+namespace moatsim::analysis
+{
+
+/** Inputs/outputs of the Appendix-A Ratchet bound. */
+struct RatchetBound
+{
+    /** ALERT threshold being analyzed. */
+    uint32_t ath = 0;
+    /** ABO mitigation level (1, 2, or 4). */
+    int level = 1;
+    /** ACTs per ALERT-to-ALERT window (M = 3 + L). */
+    uint32_t actsPerWindow = 0;
+    /** Minimum ALERT-to-ALERT time (tA2A). */
+    Time alertToAlert = 0;
+    /** Largest pool size that fits in the refresh window (Nc). */
+    uint64_t maxPoolRows = 0;
+    /** The safely tolerated Rowhammer threshold (TRH_safe). */
+    double safeTrh = 0.0;
+};
+
+/**
+ * Evaluate the Appendix-A bound.
+ *
+ * @param timing DRAM timing parameters.
+ * @param ath ALERT threshold.
+ * @param level ABO mitigation level (1, 2, or 4); the generalized MOAT
+ *              design mitigates `level` aggressor rows per ALERT.
+ */
+RatchetBound ratchetBound(const dram::TimingParams &timing, uint32_t ath,
+                          int level);
+
+/**
+ * TRH tolerated with an idealized stop-the-world, instantaneous ALERT
+ * (Section 4.4): approximately ATH + 2.
+ */
+uint32_t stopTheWorldTrh(uint32_t ath);
+
+} // namespace moatsim::analysis
+
+#endif // MOATSIM_ANALYSIS_RATCHET_MODEL_HH

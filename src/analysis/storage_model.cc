@@ -1,0 +1,30 @@
+#include "analysis/storage_model.hh"
+
+namespace moatsim::analysis
+{
+
+StorageOverhead
+moatStorage(uint32_t tracker_entries, uint32_t banks_per_chip)
+{
+    StorageOverhead s;
+    s.trackerEntries = tracker_entries;
+    s.bytesPerBank = 3 * tracker_entries + 2 + 2;
+    s.bytesPerChip = s.bytesPerBank * banks_per_chip;
+    return s;
+}
+
+EnergyOverhead
+mitigationEnergy(uint64_t mitigation_row_ops, uint64_t baseline_acts,
+                 double act_energy_share)
+{
+    EnergyOverhead e;
+    e.activationEnergyShare = act_energy_share;
+    if (baseline_acts > 0) {
+        e.activationIncrease = static_cast<double>(mitigation_row_ops) /
+                               static_cast<double>(baseline_acts);
+    }
+    e.dramEnergyIncrease = e.activationIncrease * act_energy_share;
+    return e;
+}
+
+} // namespace moatsim::analysis

@@ -1,0 +1,55 @@
+/**
+ * @file
+ * SRAM-storage and DRAM-energy overhead models (Section 6.5 and
+ * Appendix D of the paper).
+ */
+
+#ifndef MOATSIM_ANALYSIS_STORAGE_MODEL_HH
+#define MOATSIM_ANALYSIS_STORAGE_MODEL_HH
+
+#include <cstdint>
+
+namespace moatsim::analysis
+{
+
+/** SRAM cost of a MOAT configuration. */
+struct StorageOverhead
+{
+    /** Tracker entries (== ABO level for MOAT-L). */
+    uint32_t trackerEntries = 1;
+    /** Bytes per bank. */
+    uint32_t bytesPerBank = 0;
+    /** Bytes per chip (banksPerChip banks). */
+    uint32_t bytesPerChip = 0;
+};
+
+/**
+ * Evaluate MOAT's SRAM need: 3 bytes per tracker entry, 2 bytes for
+ * the CMA register, and 2 bytes of safe-reset replica counters.
+ */
+StorageOverhead moatStorage(uint32_t tracker_entries,
+                            uint32_t banks_per_chip = 32);
+
+/** DRAM energy impact of extra mitigation activations. */
+struct EnergyOverhead
+{
+    /** Extra row operations divided by baseline activations. */
+    double activationIncrease = 0.0;
+    /** Share of total DRAM energy spent on activation (paper: <20%). */
+    double activationEnergyShare = 0.2;
+    /** Resulting increase in total DRAM energy. */
+    double dramEnergyIncrease = 0.0;
+};
+
+/**
+ * Evaluate the energy model of Section 6.5: mitigation row operations
+ * (victim refreshes + counter resets) add activations; total DRAM
+ * energy scales by the activation energy share.
+ */
+EnergyOverhead mitigationEnergy(uint64_t mitigation_row_ops,
+                                uint64_t baseline_acts,
+                                double act_energy_share = 0.2);
+
+} // namespace moatsim::analysis
+
+#endif // MOATSIM_ANALYSIS_STORAGE_MODEL_HH

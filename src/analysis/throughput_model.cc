@@ -1,0 +1,83 @@
+#include "analysis/throughput_model.hh"
+
+#include "common/logging.hh"
+
+namespace moatsim::analysis
+{
+
+namespace
+{
+
+double
+td(Time t)
+{
+    return static_cast<double>(t);
+}
+
+} // namespace
+
+ThroughputResult
+continuousAlertFloor(const dram::TimingParams &timing, int level)
+{
+    // M ACTs fit in every minimum ALERT-to-ALERT window (Section 7.1:
+    // 4 ACTs per 582 ns for level 1 -> 0.36x).
+    ThroughputResult r;
+    r.actsPerCycle = timing.actsPerAlertWindow(level);
+    r.unitsPerCycle = td(timing.alertToAlert(level)) / td(timing.tRC);
+    r.relative = r.actsPerCycle / r.unitsPerCycle;
+    r.lossFraction = 1.0 - r.relative;
+    return r;
+}
+
+ThroughputResult
+singleBankKernel(const dram::TimingParams &timing, uint32_t ath,
+                 uint32_t pool_rows, int level)
+{
+    if (pool_rows == 0)
+        fatal("singleBankKernel: pool must be non-empty");
+
+    // Each pool row needs ATH+1 ACTs to trigger its ALERT; M of those
+    // ACTs per ALERT ride for free inside the ALERT window itself.
+    const double m = timing.actsPerAlertWindow(level);
+    const double p = pool_rows;
+    const double acts = p * (ath + 1.0);
+
+    ThroughputResult r;
+    r.actsPerCycle = acts;
+    const double cycle_time =
+        (acts - m * p) * td(timing.tRC) + p * td(timing.alertToAlert(level));
+    r.unitsPerCycle = cycle_time / td(timing.tRC);
+    r.relative = acts / r.unitsPerCycle;
+    r.lossFraction = 1.0 - r.relative;
+    return r;
+}
+
+ThroughputResult
+tsaAttack(const dram::TimingParams &timing, uint32_t ath,
+          uint32_t pool_rows, uint32_t num_banks, int level)
+{
+    if (pool_rows == 0 || num_banks == 0)
+        fatal("tsaAttack: pool and banks must be non-empty");
+
+    // Priming runs on all banks in parallel (one ACT per tRC per bank),
+    // so it costs pool * ATH ACT slots of time; the staggered ALERT
+    // torrent then serializes pool * banks ALERT windows during which
+    // the channel runs at the continuous-ALERT floor.
+    const double prime_time =
+        static_cast<double>(pool_rows) * ath * td(timing.tRC);
+    const double alert_time = static_cast<double>(pool_rows) * num_banks *
+                              td(timing.alertToAlert(level));
+    const double cycle = prime_time + alert_time;
+    const double alert_fraction = alert_time / cycle;
+    const double floor = continuousAlertFloor(timing, level).relative;
+
+    ThroughputResult r;
+    r.relative = (1.0 - alert_fraction) + alert_fraction * floor;
+    r.lossFraction = 1.0 - r.relative;
+    r.unitsPerCycle = cycle / td(timing.tRC);
+    r.actsPerCycle = r.relative * r.unitsPerCycle *
+                     static_cast<double>(num_banks);
+    return r;
+}
+
+} // namespace moatsim::analysis

@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Analytical throughput models for ALERT-based performance attacks
+ * (Section 7 and Appendix D of the paper).
+ *
+ * All models measure memory throughput as activations per unit time,
+ * with one tRC as the unit (one ACT per tRC is the single-bank
+ * baseline, Section 7.1).
+ */
+
+#ifndef MOATSIM_ANALYSIS_THROUGHPUT_MODEL_HH
+#define MOATSIM_ANALYSIS_THROUGHPUT_MODEL_HH
+
+#include <cstdint>
+
+#include "dram/timing.hh"
+
+namespace moatsim::analysis
+{
+
+/** Throughput of a pattern relative to the no-ALERT baseline. */
+struct ThroughputResult
+{
+    /** ACTs performed per attack cycle. */
+    double actsPerCycle = 0.0;
+    /** Time units (tRC) per attack cycle. */
+    double unitsPerCycle = 0.0;
+    /** Relative throughput (1.0 = no loss). */
+    double relative = 0.0;
+    /** Throughput loss fraction (1 - relative). */
+    double lossFraction = 0.0;
+};
+
+/**
+ * Relative throughput while the channel is saturated with back-to-back
+ * ALERTs (the 0.36x floor of Section 7.1 for level 1): M ACTs per
+ * (tA2A + tRC) window versus M * tRC without ALERTs.
+ */
+ThroughputResult continuousAlertFloor(const dram::TimingParams &timing,
+                                      int level);
+
+/**
+ * Single-bank kernel hammering @p pool_rows rows in a circular pattern
+ * with ALERT threshold @p ath (Figure 13): each row needs ATH+1 ACTs to
+ * alert, each ALERT costs tALERT + tRC.
+ */
+ThroughputResult singleBankKernel(const dram::TimingParams &timing,
+                                  uint32_t ath, uint32_t pool_rows,
+                                  int level);
+
+/**
+ * Torrent-of-Staggered-ALERT model (Figure 12): @p num_banks banks each
+ * prime pool_rows rows to ATH in parallel, then fire their ALERTs
+ * staggered so no other bank has a mitigable row during any ALERT.
+ * Model: priming runs at full parallel bank throughput; every ALERT
+ * stalls the whole sub-channel with only the inter-ALERT ACTs running.
+ */
+ThroughputResult tsaAttack(const dram::TimingParams &timing, uint32_t ath,
+                           uint32_t pool_rows, uint32_t num_banks,
+                           int level);
+
+} // namespace moatsim::analysis
+
+#endif // MOATSIM_ANALYSIS_THROUGHPUT_MODEL_HH

@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Shared result types for the attack suite.
+ *
+ * Every attack in moatsim drives a SubChannel through its public
+ * command API exactly as a memory controller under attacker control
+ * would (the threat model of Section 2.1: arbitrary addresses, known
+ * defence state, attacker-chosen memory policy), and reports the
+ * ground-truth security outcome measured by the SecurityMonitor.
+ */
+
+#ifndef MOATSIM_ATTACKS_ATTACK_HH
+#define MOATSIM_ATTACKS_ATTACK_HH
+
+#include <cstdint>
+
+#include "common/time.hh"
+
+namespace moatsim::attacks
+{
+
+/** Outcome of a security attack run. */
+struct AttackResult
+{
+    /** Maximum activations any row received without intervening
+     *  mitigation or refresh (the paper's success metric). */
+    uint32_t maxHammer = 0;
+    /** Total activations the attacker issued. */
+    uint64_t totalActs = 0;
+    /** ALERTs the defence asserted during the attack. */
+    uint64_t alerts = 0;
+    /** Wall-clock (simulated) duration of the attack. */
+    Time duration = 0;
+};
+
+/** Outcome of a performance (throughput) attack run. */
+struct ThroughputAttackResult
+{
+    /** ACT throughput with the defence active (ACTs per second). */
+    double attackRate = 0.0;
+    /** ACT throughput of the identical pattern with no ALERTs. */
+    double baselineRate = 0.0;
+    /** attackRate / baselineRate. */
+    double relativeThroughput = 0.0;
+    /** 1 - relativeThroughput. */
+    double lossFraction = 0.0;
+    /** ALERTs asserted during the measured window. */
+    uint64_t alerts = 0;
+};
+
+} // namespace moatsim::attacks
+
+#endif // MOATSIM_ATTACKS_ATTACK_HH

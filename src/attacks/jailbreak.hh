@@ -1,0 +1,76 @@
+/**
+ * @file
+ * The Jailbreak attack on Panopticon (Section 3 of the paper).
+ *
+ * Panopticon keeps no counter in its per-bank queue, so a row's
+ * activations between queue insertion and mitigation are unbounded by
+ * the queueing threshold. Jailbreak fills the 8-entry queue with eight
+ * rows and then hammers the youngest entry at a rate that re-inserts it
+ * exactly once per mitigation period, so the queue never overflows (no
+ * ALERT) while the attacked row accrues queueEntries * threshold extra
+ * activations: 1152 total for the threshold-128 configuration.
+ *
+ * The randomized variant (Section 3.3) attacks Panopticon with
+ * randomized counter initialization: each iteration picks eight decoy
+ * rows and succeeds when all eight are "heavy-weight" (within 32 ACTs
+ * of their next threshold crossing, probability 1/4 each, so 2^-16 per
+ * iteration), then hammers a fresh attack row through the full queue.
+ */
+
+#ifndef MOATSIM_ATTACKS_JAILBREAK_HH
+#define MOATSIM_ATTACKS_JAILBREAK_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "attacks/attack.hh"
+#include "dram/timing.hh"
+#include "mitigation/panopticon.hh"
+
+namespace moatsim::attacks
+{
+
+/** Configuration of a Jailbreak run. */
+struct JailbreakConfig
+{
+    dram::TimingParams timing{};
+    mitigation::PanopticonConfig panopticon{};
+    /** Phase-2 hammering budget on the youngest entry. */
+    uint32_t hammerActs = 1024;
+    /** Phase-2 pacing: ACTs per tREFI (paper: 32). */
+    uint32_t actsPerRefi = 32;
+    uint64_t seed = 1;
+};
+
+/** Run deterministic Jailbreak; expect maxHammer ~ 9x the threshold. */
+AttackResult runDeterministicJailbreak(const JailbreakConfig &config);
+
+/** One point of the randomized-Jailbreak iteration sweep (Figure 5). */
+struct RandomizedJailbreakPoint
+{
+    /** Iterations attempted. */
+    uint64_t iterations = 0;
+    /** Best hammer count on any attack row so far. */
+    uint32_t maxHammer = 0;
+    /** Iterations that fully primed the queue (all 8 decoys heavy). */
+    uint64_t successes = 0;
+};
+
+/** Result of the randomized Jailbreak sweep. */
+struct RandomizedJailbreakResult
+{
+    std::vector<RandomizedJailbreakPoint> curve;
+    Time duration = 0;
+};
+
+/**
+ * Run randomized Jailbreak for @p max_iterations iterations, recording
+ * the best hammer count at power-of-two checkpoints (Figure 5).
+ */
+RandomizedJailbreakResult
+runRandomizedJailbreak(const JailbreakConfig &config,
+                       uint64_t max_iterations);
+
+} // namespace moatsim::attacks
+
+#endif // MOATSIM_ATTACKS_JAILBREAK_HH

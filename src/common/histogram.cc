@@ -1,0 +1,63 @@
+#include "common/histogram.hh"
+
+#include <algorithm>
+#include <cassert>
+
+namespace moatsim
+{
+
+Histogram::Histogram(uint32_t cap)
+    : buckets_(cap, 0)
+{
+    assert(cap > 0);
+}
+
+void
+Histogram::add(uint64_t v)
+{
+    ++total_;
+    max_value_ = std::max(max_value_, v);
+    if (v < buckets_.size()) {
+        ++buckets_[v];
+    } else {
+        ++overflow_;
+        overflow_values_.push_back(v);
+    }
+}
+
+uint64_t
+Histogram::bucket(uint32_t v) const
+{
+    assert(v < buckets_.size());
+    return buckets_[v];
+}
+
+uint64_t
+Histogram::countAtLeast(uint64_t threshold) const
+{
+    uint64_t n = 0;
+    for (uint64_t v = threshold; v < buckets_.size(); ++v)
+        n += buckets_[v];
+    if (threshold >= buckets_.size()) {
+        n = 0;
+        for (uint64_t v : overflow_values_) {
+            if (v >= threshold)
+                ++n;
+        }
+    } else {
+        n += overflow_;
+    }
+    return n;
+}
+
+void
+Histogram::clear()
+{
+    std::fill(buckets_.begin(), buckets_.end(), 0);
+    overflow_values_.clear();
+    overflow_ = 0;
+    total_ = 0;
+    max_value_ = 0;
+}
+
+} // namespace moatsim

@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Fixed-bucket histogram for activation-count distributions.
+ */
+
+#ifndef MOATSIM_COMMON_HISTOGRAM_HH
+#define MOATSIM_COMMON_HISTOGRAM_HH
+
+#include <cstdint>
+#include <vector>
+
+namespace moatsim
+{
+
+/**
+ * Histogram over non-negative integer values with unit-width buckets up
+ * to a cap; values at or above the cap land in the overflow bucket.
+ */
+class Histogram
+{
+  public:
+    /** Construct with the number of unit buckets before overflow. */
+    explicit Histogram(uint32_t cap);
+
+    /** Record one observation of value v. */
+    void add(uint64_t v);
+
+    /** Count of observations equal to v (v < cap). */
+    uint64_t bucket(uint32_t v) const;
+
+    /** Count of observations >= cap. */
+    uint64_t overflow() const { return overflow_; }
+
+    /** Total observations. */
+    uint64_t total() const { return total_; }
+
+    /** Number of observations with value >= threshold. */
+    uint64_t countAtLeast(uint64_t threshold) const;
+
+    /** Largest observed value. */
+    uint64_t maxValue() const { return max_value_; }
+
+    /** Reset all buckets. */
+    void clear();
+
+  private:
+    std::vector<uint64_t> buckets_;
+    uint64_t overflow_ = 0;
+    uint64_t total_ = 0;
+    uint64_t max_value_ = 0;
+    /** Sum of raw values of overflow observations (for countAtLeast). */
+    std::vector<uint64_t> overflow_values_;
+};
+
+} // namespace moatsim
+
+#endif // MOATSIM_COMMON_HISTOGRAM_HH

@@ -1,0 +1,35 @@
+/**
+ * @file
+ * Minimal logging/error helpers in the spirit of gem5's logging.hh.
+ *
+ * fatal() is for user errors (bad configuration) and exits cleanly;
+ * panic() is for internal invariant violations and aborts. warn() and
+ * inform() are status messages and never stop the run.
+ */
+
+#ifndef MOATSIM_COMMON_LOGGING_HH
+#define MOATSIM_COMMON_LOGGING_HH
+
+#include <string>
+
+namespace moatsim
+{
+
+/** Terminate due to a user/configuration error (exit(1)). */
+[[noreturn]] void fatal(const std::string &msg);
+
+/** Terminate due to an internal bug (abort()). */
+[[noreturn]] void panic(const std::string &msg);
+
+/** Print a warning to stderr. */
+void warn(const std::string &msg);
+
+/** Print an informational message to stderr. */
+void inform(const std::string &msg);
+
+/** Globally silence warn()/inform() (used by tests). */
+void setQuiet(bool quiet);
+
+} // namespace moatsim
+
+#endif // MOATSIM_COMMON_LOGGING_HH

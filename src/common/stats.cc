@@ -1,0 +1,94 @@
+#include "common/stats.hh"
+
+#include <cmath>
+#include <cstdio>
+
+namespace moatsim
+{
+
+void
+RunningStat::add(double x)
+{
+    if (count_ == 0) {
+        min_ = max_ = x;
+    } else {
+        if (x < min_)
+            min_ = x;
+        if (x > max_)
+            max_ = x;
+    }
+    ++count_;
+    sum_ += x;
+    const double delta = x - mean_;
+    mean_ += delta / static_cast<double>(count_);
+    m2_ += delta * (x - mean_);
+}
+
+double
+RunningStat::variance() const
+{
+    if (count_ < 2)
+        return 0.0;
+    return m2_ / static_cast<double>(count_);
+}
+
+double
+RunningStat::stddev() const
+{
+    return std::sqrt(variance());
+}
+
+double
+mean(std::span<const double> xs)
+{
+    if (xs.empty())
+        return 0.0;
+    double s = 0.0;
+    for (double x : xs)
+        s += x;
+    return s / static_cast<double>(xs.size());
+}
+
+double
+geomean(std::span<const double> xs)
+{
+    if (xs.empty())
+        return 0.0;
+    double log_sum = 0.0;
+    for (double x : xs)
+        log_sum += std::log(x);
+    return std::exp(log_sum / static_cast<double>(xs.size()));
+}
+
+double
+harmonic(uint64_t n)
+{
+    // Exact summation below a threshold; asymptotic expansion above it.
+    if (n == 0)
+        return 0.0;
+    if (n <= 1'000'000) {
+        double h = 0.0;
+        for (uint64_t i = 1; i <= n; ++i)
+            h += 1.0 / static_cast<double>(i);
+        return h;
+    }
+    const double dn = static_cast<double>(n);
+    constexpr double euler_gamma = 0.57721566490153286;
+    return std::log(dn) + euler_gamma + 1.0 / (2 * dn) - 1.0 / (12 * dn * dn);
+}
+
+std::string
+formatFixed(double x, int decimals)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f", decimals, x);
+    return buf;
+}
+
+std::string
+formatPercent(double fraction, int decimals)
+{
+    return formatFixed(fraction * 100.0, decimals) + "%";
+}
+
+} // namespace moatsim

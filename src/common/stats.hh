@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Small statistics helpers used by experiments and benches.
+ */
+
+#ifndef MOATSIM_COMMON_STATS_HH
+#define MOATSIM_COMMON_STATS_HH
+
+#include <cstddef>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace moatsim
+{
+
+/**
+ * Running summary of a stream of samples (count, mean, min, max,
+ * variance via Welford's algorithm).
+ */
+class RunningStat
+{
+  public:
+    /** Add one sample. */
+    void add(double x);
+
+    /** Number of samples added so far. */
+    size_t count() const { return count_; }
+    /** Mean of the samples (0 if empty). */
+    double mean() const { return count_ ? mean_ : 0.0; }
+    /** Population variance of the samples (0 if fewer than 2). */
+    double variance() const;
+    /** Standard deviation. */
+    double stddev() const;
+    /** Smallest sample (0 if empty). */
+    double min() const { return count_ ? min_ : 0.0; }
+    /** Largest sample (0 if empty). */
+    double max() const { return count_ ? max_ : 0.0; }
+    /** Sum of all samples. */
+    double sum() const { return sum_; }
+
+  private:
+    size_t count_ = 0;
+    double mean_ = 0.0;
+    double m2_ = 0.0;
+    double min_ = 0.0;
+    double max_ = 0.0;
+    double sum_ = 0.0;
+};
+
+/** Arithmetic mean of a span (0 if empty). */
+double mean(std::span<const double> xs);
+
+/** Geometric mean of a span of positive values (0 if empty). */
+double geomean(std::span<const double> xs);
+
+/** Exact harmonic number H_n = sum_{i=1..n} 1/i. */
+double harmonic(uint64_t n);
+
+/** Format a double with the given number of decimals. */
+std::string formatFixed(double x, int decimals);
+
+/** Format a value as a percentage string, e.g. 0.0028 -> "0.28%". */
+std::string formatPercent(double fraction, int decimals = 2);
+
+} // namespace moatsim
+
+#endif // MOATSIM_COMMON_STATS_HH

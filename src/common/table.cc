@@ -1,0 +1,74 @@
+#include "common/table.hh"
+
+#include <algorithm>
+#include <cassert>
+
+namespace moatsim
+{
+
+TablePrinter::TablePrinter(std::vector<std::string> headers)
+    : headers_(std::move(headers))
+{
+    assert(!headers_.empty());
+}
+
+void
+TablePrinter::addRow(std::vector<std::string> cells)
+{
+    assert(cells.size() == headers_.size());
+    rows_.push_back(std::move(cells));
+}
+
+void
+TablePrinter::addSeparator()
+{
+    rows_.emplace_back();
+}
+
+void
+TablePrinter::print(std::ostream &os) const
+{
+    std::vector<size_t> widths(headers_.size());
+    for (size_t c = 0; c < headers_.size(); ++c)
+        widths[c] = headers_[c].size();
+    for (const auto &row : rows_) {
+        for (size_t c = 0; c < row.size(); ++c)
+            widths[c] = std::max(widths[c], row[c].size());
+    }
+
+    auto print_sep = [&] {
+        os << '+';
+        for (size_t w : widths)
+            os << std::string(w + 2, '-') << '+';
+        os << '\n';
+    };
+    auto print_cells = [&](const std::vector<std::string> &cells) {
+        os << '|';
+        for (size_t c = 0; c < widths.size(); ++c) {
+            const std::string &cell = c < cells.size() ? cells[c] : "";
+            os << ' ' << cell << std::string(widths[c] - cell.size(), ' ')
+               << " |";
+        }
+        os << '\n';
+    };
+
+    print_sep();
+    print_cells(headers_);
+    print_sep();
+    for (const auto &row : rows_) {
+        if (row.empty())
+            print_sep();
+        else
+            print_cells(row);
+    }
+    print_sep();
+}
+
+void
+printBanner(std::ostream &os, const std::string &title)
+{
+    const std::string bar(title.size() + 4, '=');
+    os << bar << "\n= " << title << " =\n" << bar << "\n";
+}
+
+} // namespace moatsim

@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Plain-text table printer used by all bench binaries.
+ *
+ * Every bench prints the paper's table/figure rows side by side with
+ * the values measured by moatsim; TablePrinter keeps that output
+ * aligned and uniform.
+ */
+
+#ifndef MOATSIM_COMMON_TABLE_HH
+#define MOATSIM_COMMON_TABLE_HH
+
+#include <initializer_list>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace moatsim
+{
+
+/** Column-aligned text table with a header row and separators. */
+class TablePrinter
+{
+  public:
+    /** Construct with column headers. */
+    explicit TablePrinter(std::vector<std::string> headers);
+
+    /** Append a row; must have as many cells as there are headers. */
+    void addRow(std::vector<std::string> cells);
+
+    /** Append a horizontal separator row. */
+    void addSeparator();
+
+    /** Render the table to the stream. */
+    void print(std::ostream &os) const;
+
+  private:
+    std::vector<std::string> headers_;
+    /** Empty row means "separator". */
+    std::vector<std::vector<std::string>> rows_;
+};
+
+/** Print a boxed section title (used to label each experiment). */
+void printBanner(std::ostream &os, const std::string &title);
+
+} // namespace moatsim
+
+#endif // MOATSIM_COMMON_TABLE_HH

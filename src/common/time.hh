@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Simulation time base.
+ *
+ * moatsim keeps time as a signed 64-bit count of picoseconds. All DDR5
+ * parameters of interest (52 ns tRC, 3900 ns tREFI, 32 ms tREFW) are
+ * exact in picoseconds, and a 64-bit count overflows only after ~106
+ * days of simulated time, far beyond any experiment in the paper.
+ */
+
+#ifndef MOATSIM_COMMON_TIME_HH
+#define MOATSIM_COMMON_TIME_HH
+
+#include <cstdint>
+
+namespace moatsim
+{
+
+/** Simulation time in picoseconds. */
+using Time = int64_t;
+
+/** One picosecond. */
+inline constexpr Time kPicosecond = 1;
+/** One nanosecond in picoseconds. */
+inline constexpr Time kNanosecond = 1000;
+/** One microsecond in picoseconds. */
+inline constexpr Time kMicrosecond = 1000 * kNanosecond;
+/** One millisecond in picoseconds. */
+inline constexpr Time kMillisecond = 1000 * kMicrosecond;
+
+/** Construct a Time from a nanosecond count. */
+constexpr Time fromNs(double ns) { return static_cast<Time>(ns * kNanosecond); }
+
+/** Convert a Time to (double) nanoseconds. */
+constexpr double toNs(Time t) { return static_cast<double>(t) / kNanosecond; }
+
+/** Convert a Time to (double) microseconds. */
+constexpr double toUs(Time t) { return static_cast<double>(t) / kMicrosecond; }
+
+/** Convert a Time to (double) milliseconds. */
+constexpr double toMs(Time t) { return static_cast<double>(t) / kMillisecond; }
+
+} // namespace moatsim
+
+#endif // MOATSIM_COMMON_TIME_HH

@@ -1,0 +1,32 @@
+/**
+ * @file
+ * Fundamental integer types and identifiers shared across moatsim.
+ */
+
+#ifndef MOATSIM_COMMON_TYPES_HH
+#define MOATSIM_COMMON_TYPES_HH
+
+#include <cstdint>
+#include <limits>
+
+namespace moatsim
+{
+
+/** Index of a DRAM row within a bank. */
+using RowId = uint32_t;
+
+/** Index of a bank within a sub-channel. */
+using BankId = uint16_t;
+
+/** Per-row activation counter value (PRAC counter). */
+using ActCount = uint32_t;
+
+/** Sentinel for "no row". */
+inline constexpr RowId kInvalidRow = std::numeric_limits<RowId>::max();
+
+/** Sentinel for "no bank". */
+inline constexpr BankId kInvalidBank = std::numeric_limits<BankId>::max();
+
+} // namespace moatsim
+
+#endif // MOATSIM_COMMON_TYPES_HH

@@ -1,0 +1,73 @@
+#include "dram/address_map.hh"
+
+#include <cassert>
+
+namespace moatsim::dram
+{
+
+namespace
+{
+
+uint64_t
+mask(uint32_t bits)
+{
+    return (bits >= 64) ? ~0ULL : ((1ULL << bits) - 1);
+}
+
+} // namespace
+
+AddressMap::AddressMap(const Config &config)
+    : config_(config)
+{
+    assert(config_.rowBits > 0 && config_.rowIndexBits > 0);
+}
+
+DramCoord
+AddressMap::decode(uint64_t phys_addr) const
+{
+    // Layout (low to high): column | subchannel | bank | row.
+    uint64_t a = phys_addr;
+    DramCoord c;
+    c.column = static_cast<uint32_t>(a & mask(config_.rowBits));
+    a >>= config_.rowBits;
+    c.subchannel = static_cast<uint32_t>(a & mask(config_.subchannelBits));
+    a >>= config_.subchannelBits;
+    c.bank = static_cast<BankId>(a & mask(config_.bankBits));
+    a >>= config_.bankBits;
+    c.row = static_cast<RowId>(a & mask(config_.rowIndexBits));
+    if (config_.xorBankHash) {
+        // Bank hashing: XOR the bank with the low row bits, mirroring
+        // the CoffeeLake rank/bank XOR functions.
+        c.bank = static_cast<BankId>(
+            (c.bank ^ (c.row & mask(config_.bankBits))) &
+            mask(config_.bankBits));
+    }
+    return c;
+}
+
+uint64_t
+AddressMap::encode(const DramCoord &coord) const
+{
+    BankId raw_bank = coord.bank;
+    if (config_.xorBankHash) {
+        raw_bank = static_cast<BankId>(
+            (coord.bank ^ (coord.row & mask(config_.bankBits))) &
+            mask(config_.bankBits));
+    }
+    uint64_t a = coord.row & mask(config_.rowIndexBits);
+    a = (a << config_.bankBits) | (raw_bank & mask(config_.bankBits));
+    a = (a << config_.subchannelBits) |
+        (coord.subchannel & mask(config_.subchannelBits));
+    a = (a << config_.rowBits) | (coord.column & mask(config_.rowBits));
+    return a;
+}
+
+uint64_t
+AddressMap::capacityBytes() const
+{
+    const uint32_t total_bits = config_.rowBits + config_.subchannelBits +
+                                config_.bankBits + config_.rowIndexBits;
+    return 1ULL << total_bits;
+}
+
+} // namespace moatsim::dram

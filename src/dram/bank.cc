@@ -1,0 +1,44 @@
+#include "dram/bank.hh"
+
+#include <cassert>
+
+#include "common/logging.hh"
+
+namespace moatsim::dram
+{
+
+Bank::Bank(const TimingParams &params, CounterInit init, Rng *rng)
+    : counters_(params.rowsPerBank, 0)
+{
+    if (init == CounterInit::RandomByte) {
+        if (rng == nullptr)
+            fatal("Bank: RandomByte counter init requires an Rng");
+        for (auto &c : counters_)
+            c = static_cast<ActCount>(rng->below(256));
+    }
+}
+
+ActCount
+Bank::activate(RowId row)
+{
+    assert(row < counters_.size());
+    open_row_ = row;
+    ++total_acts_;
+    return ++counters_[row];
+}
+
+ActCount
+Bank::counter(RowId row) const
+{
+    assert(row < counters_.size());
+    return counters_[row];
+}
+
+void
+Bank::resetCounter(RowId row)
+{
+    assert(row < counters_.size());
+    counters_[row] = 0;
+}
+
+} // namespace moatsim::dram

@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Behavioural model of one DRAM bank with PRAC per-row activation
+ * counters.
+ *
+ * The bank tracks only what Rowhammer mitigation needs: one activation
+ * counter per row (the PRAC counter stored inline with the row) and the
+ * currently open row. Data contents are not modelled. Per the JEDEC
+ * PRAC extension, the counter read-modify-write physically happens
+ * during precharge; behaviourally we increment it at activate() and the
+ * sub-channel delays any resulting ALERT to the precharge point.
+ */
+
+#ifndef MOATSIM_DRAM_BANK_HH
+#define MOATSIM_DRAM_BANK_HH
+
+#include <vector>
+
+#include "common/rng.hh"
+#include "common/types.hh"
+#include "dram/timing.hh"
+
+namespace moatsim::dram
+{
+
+/** How PRAC counters are initialized at power-up. */
+enum class CounterInit
+{
+    /** All counters start at zero (deterministic Panopticon / MOAT). */
+    Zero,
+    /** Counters start uniformly random in [0, 255] (randomized
+     *  Panopticon, Section 3.3). */
+    RandomByte,
+};
+
+/** One DRAM bank: PRAC counters plus open-row state. */
+class Bank
+{
+  public:
+    /**
+     * Construct a bank.
+     *
+     * @param params Geometry (rowsPerBank is taken from here).
+     * @param init Counter initialization policy.
+     * @param rng Generator for randomized initialization; may be null
+     *            when init is CounterInit::Zero.
+     */
+    Bank(const TimingParams &params, CounterInit init, Rng *rng = nullptr);
+
+    /** Number of rows in this bank. */
+    uint32_t numRows() const { return static_cast<uint32_t>(counters_.size()); }
+
+    /**
+     * Activate a row: opens it and increments its PRAC counter.
+     * @return the counter value after the increment.
+     */
+    ActCount activate(RowId row);
+
+    /** Precharge the open row (no-op when already closed). */
+    void precharge() { open_row_ = kInvalidRow; }
+
+    /** Row currently open, or kInvalidRow. */
+    RowId openRow() const { return open_row_; }
+
+    /** Current PRAC counter of a row. */
+    ActCount counter(RowId row) const;
+
+    /** Reset a row's PRAC counter to zero (mitigation / refresh). */
+    void resetCounter(RowId row);
+
+    /** Total activations ever issued to this bank. */
+    uint64_t totalActivations() const { return total_acts_; }
+
+  private:
+    std::vector<ActCount> counters_;
+    RowId open_row_ = kInvalidRow;
+    uint64_t total_acts_ = 0;
+};
+
+} // namespace moatsim::dram
+
+#endif // MOATSIM_DRAM_BANK_HH

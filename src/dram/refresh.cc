@@ -1,0 +1,45 @@
+#include "dram/refresh.hh"
+
+#include <cassert>
+
+namespace moatsim::dram
+{
+
+RefreshScheduler::RefreshScheduler(const TimingParams &params,
+                                   uint32_t max_postponed)
+    : num_groups_(params.refreshGroups),
+      rows_per_group_(params.rowsPerGroup()),
+      max_postponed_(max_postponed)
+{
+    assert(num_groups_ > 0 && rows_per_group_ > 0);
+}
+
+std::pair<RowId, RowId>
+RefreshScheduler::groupRows(uint32_t group) const
+{
+    assert(group < num_groups_);
+    const RowId first = group * rows_per_group_;
+    return {first, first + rows_per_group_ - 1};
+}
+
+uint32_t
+RefreshScheduler::issueRef()
+{
+    const uint32_t group = next_group_;
+    next_group_ = (next_group_ + 1) % num_groups_;
+    if (owed_ > 0)
+        --owed_;
+    ++refs_issued_;
+    return group;
+}
+
+bool
+RefreshScheduler::postpone()
+{
+    if (owed_ >= max_postponed_)
+        return false;
+    ++owed_;
+    return true;
+}
+
+} // namespace moatsim::dram

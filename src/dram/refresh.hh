@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Auto-refresh scheduler for one bank.
+ *
+ * DDR5 divides each bank's rows into 8192 spatially contiguous groups;
+ * one REF command refreshes one group, and the group pointer wraps once
+ * per tREFW (Section 2.2). The scheduler also models refresh
+ * postponement (Appendix B): the memory controller may postpone up to
+ * `maxPostponed` REFs and later issue them as a batch.
+ */
+
+#ifndef MOATSIM_DRAM_REFRESH_HH
+#define MOATSIM_DRAM_REFRESH_HH
+
+#include <cstdint>
+#include <utility>
+
+#include "common/types.hh"
+#include "dram/timing.hh"
+
+namespace moatsim::dram
+{
+
+/** Per-bank auto-refresh group pointer with postponement accounting. */
+class RefreshScheduler
+{
+  public:
+    /** @param max_postponed REFs that may be owed at once (DDR5: 2). */
+    explicit RefreshScheduler(const TimingParams &params,
+                              uint32_t max_postponed = 2);
+
+    /** Group that the next REF command will refresh. */
+    uint32_t nextGroup() const { return next_group_; }
+
+    /** Inclusive [first, last] row range of a group. */
+    std::pair<RowId, RowId> groupRows(uint32_t group) const;
+
+    /**
+     * Issue one REF: refreshes the next group and advances the pointer.
+     * Clears one owed REF if any were postponed.
+     * @return the group index that was refreshed.
+     */
+    uint32_t issueRef();
+
+    /**
+     * Postpone the REF due at this tREFI.
+     * @return true if allowed (owed count below the limit).
+     */
+    bool postpone();
+
+    /** REFs currently owed due to postponement. */
+    uint32_t owed() const { return owed_; }
+
+    /** Total REFs issued. */
+    uint64_t refsIssued() const { return refs_issued_; }
+
+    /** Number of groups (wraps modulo this). */
+    uint32_t numGroups() const { return num_groups_; }
+
+  private:
+    uint32_t num_groups_;
+    uint32_t rows_per_group_;
+    uint32_t max_postponed_;
+    uint32_t next_group_ = 0;
+    uint32_t owed_ = 0;
+    uint64_t refs_issued_ = 0;
+};
+
+} // namespace moatsim::dram
+
+#endif // MOATSIM_DRAM_REFRESH_HH

@@ -1,0 +1,86 @@
+#include "dram/security.hh"
+
+#include <algorithm>
+#include <cassert>
+
+namespace moatsim::dram
+{
+
+SecurityMonitor::SecurityMonitor(uint32_t num_rows, uint32_t blast_radius)
+    : blast_radius_(blast_radius),
+      damage_(num_rows, 0),
+      hammer_(num_rows, 0)
+{
+    assert(num_rows > 0 && blast_radius > 0);
+}
+
+void
+SecurityMonitor::onActivate(RowId row)
+{
+    assert(row < hammer_.size());
+    const uint32_t h = ++hammer_[row];
+    if (h > max_hammer_) {
+        max_hammer_ = h;
+        max_hammer_row_ = row;
+    }
+
+    const uint32_t n = static_cast<uint32_t>(damage_.size());
+    const uint32_t lo =
+        row >= blast_radius_ ? row - blast_radius_ : 0;
+    const uint32_t hi =
+        std::min<uint32_t>(n - 1, row + blast_radius_);
+    for (uint32_t v = lo; v <= hi; ++v) {
+        if (v == row)
+            continue;
+        const uint32_t d = ++damage_[v];
+        if (d > max_damage_) {
+            max_damage_ = d;
+            max_damage_row_ = v;
+        }
+    }
+}
+
+void
+SecurityMonitor::onRowRefreshed(RowId row)
+{
+    assert(row < damage_.size());
+    damage_[row] = 0;
+    // A refreshed row also stops being a live aggressor for its
+    // neighbours only via their own refresh; its hammer count is the
+    // count "without intervening mitigation or refresh" of itself.
+    hammer_[row] = 0;
+}
+
+void
+SecurityMonitor::onMitigated(RowId row)
+{
+    assert(row < hammer_.size());
+    hammer_[row] = 0;
+}
+
+uint32_t
+SecurityMonitor::damage(RowId row) const
+{
+    assert(row < damage_.size());
+    return damage_[row];
+}
+
+uint32_t
+SecurityMonitor::hammerCount(RowId row) const
+{
+    assert(row < hammer_.size());
+    return hammer_[row];
+}
+
+void
+SecurityMonitor::clear()
+{
+    std::fill(damage_.begin(), damage_.end(), 0);
+    std::fill(hammer_.begin(), hammer_.end(), 0);
+    max_damage_ = 0;
+    max_damage_row_ = kInvalidRow;
+    max_hammer_ = 0;
+    max_hammer_row_ = kInvalidRow;
+}
+
+} // namespace moatsim::dram

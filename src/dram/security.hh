@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Ground-truth Rowhammer security oracle.
+ *
+ * The paper's success criterion (Section 2.1): an attack succeeds when
+ * any row receives more than the threshold number of activations
+ * without an intervening mitigation or refresh. The monitor therefore
+ * tracks, independently of any mitigation logic, two quantities:
+ *
+ *  - per-victim *damage*: activations of neighbouring aggressor rows
+ *    since the victim was last refreshed (by auto-refresh or victim
+ *    refresh). This is the physical bit-flip condition.
+ *  - per-aggressor *hammer count*: activations of a row since the last
+ *    mitigation of that row or refresh of its victims. This is the
+ *    number the paper reports for each attack (e.g. 1152 for Jailbreak).
+ *
+ * For the single-sided patterns the paper studies the two coincide;
+ * both are kept because the damage view is what makes reset-on-refresh
+ * analyses (Figure 7) honest.
+ */
+
+#ifndef MOATSIM_DRAM_SECURITY_HH
+#define MOATSIM_DRAM_SECURITY_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace moatsim::dram
+{
+
+/** Ground-truth per-bank Rowhammer damage tracker. */
+class SecurityMonitor
+{
+  public:
+    /**
+     * @param num_rows Rows in the bank.
+     * @param blast_radius Victim distance on each side of an aggressor.
+     */
+    SecurityMonitor(uint32_t num_rows, uint32_t blast_radius);
+
+    /** Record one activation of @p row (updates victims and hammer count). */
+    void onActivate(RowId row);
+
+    /** Record a refresh of @p row (auto-refresh or victim refresh). */
+    void onRowRefreshed(RowId row);
+
+    /**
+     * Record a mitigation of aggressor @p row. Resets the row's hammer
+     * count; the caller is responsible for also reporting the victim
+     * refreshes via onRowRefreshed().
+     */
+    void onMitigated(RowId row);
+
+    /** Damage (neighbour ACTs since refresh) currently on a victim row. */
+    uint32_t damage(RowId row) const;
+
+    /** Hammer count currently on an aggressor row. */
+    uint32_t hammerCount(RowId row) const;
+
+    /** Highest damage any victim row ever reached. */
+    uint32_t maxDamage() const { return max_damage_; }
+
+    /** Row that reached maxDamage(). */
+    RowId maxDamageRow() const { return max_damage_row_; }
+
+    /** Highest hammer count any aggressor row ever reached. */
+    uint32_t maxHammer() const { return max_hammer_; }
+
+    /** Row that reached maxHammer(). */
+    RowId maxHammerRow() const { return max_hammer_row_; }
+
+    /** Reset all state (new experiment on the same bank). */
+    void clear();
+
+  private:
+    uint32_t blast_radius_;
+    std::vector<uint32_t> damage_;
+    std::vector<uint32_t> hammer_;
+    uint32_t max_damage_ = 0;
+    RowId max_damage_row_ = kInvalidRow;
+    uint32_t max_hammer_ = 0;
+    RowId max_hammer_row_ = kInvalidRow;
+};
+
+} // namespace moatsim::dram
+
+#endif // MOATSIM_DRAM_SECURITY_HH

@@ -1,0 +1,64 @@
+#include "dram/timing.hh"
+
+#include "common/logging.hh"
+
+namespace moatsim::dram
+{
+
+uint32_t
+TimingParams::actsPerRefi() const
+{
+    return static_cast<uint32_t>((tREFI - tRFC) / tRC);
+}
+
+uint32_t
+TimingParams::refisPerRefw() const
+{
+    return static_cast<uint32_t>(tREFW / tREFI);
+}
+
+uint32_t
+TimingParams::rowsPerGroup() const
+{
+    return rowsPerBank / refreshGroups;
+}
+
+Time
+TimingParams::availableWindow() const
+{
+    return tREFW - static_cast<Time>(refreshGroups) * tRFC;
+}
+
+Time
+TimingParams::alertToAlert(int level) const
+{
+    // 180 ns of normal activity, then L back-to-back RFMs, then one
+    // tRC for the mandatory post-RFM activation slot (Section 5.1 /
+    // Appendix A: tA2A = 180ns + (350ns + 52ns) * L).
+    return tAlertNormal + static_cast<Time>(level) * (tRFM + tRC);
+}
+
+uint32_t
+TimingParams::actsPerAlertWindow(int level) const
+{
+    // 3 ACTs fit in the 180 ns normal window; L ACTs are permitted
+    // after the RFMs before the next ALERT may be asserted (Fig. 8).
+    return 3 + static_cast<uint32_t>(level);
+}
+
+void
+TimingParams::validate() const
+{
+    if (tRC <= 0 || tREFI <= 0 || tREFW <= 0 || tRFC <= 0)
+        fatal("TimingParams: all timings must be positive");
+    if (tRFC >= tREFI)
+        fatal("TimingParams: tRFC must be smaller than tREFI");
+    if (rowsPerBank == 0 || refreshGroups == 0)
+        fatal("TimingParams: geometry must be non-zero");
+    if (rowsPerBank % refreshGroups != 0)
+        fatal("TimingParams: rowsPerBank must be a multiple of refreshGroups");
+    if (blastRadius == 0)
+        fatal("TimingParams: blastRadius must be at least 1");
+}
+
+} // namespace moatsim::dram

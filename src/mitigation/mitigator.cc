@@ -1,0 +1,115 @@
+#include "mitigation/mitigator.hh"
+
+#include <cassert>
+
+#include "dram/bank.hh"
+#include "dram/security.hh"
+
+namespace moatsim::mitigation
+{
+
+MitigationContext::MitigationContext(dram::Bank &bank,
+                                     dram::SecurityMonitor &security,
+                                     MitigationStats &stats)
+    : bank_(bank), security_(security), stats_(stats)
+{
+}
+
+ActCount
+MitigationContext::counter(RowId row) const
+{
+    return bank_.counter(row);
+}
+
+uint32_t
+MitigationContext::numRows() const
+{
+    return bank_.numRows();
+}
+
+void
+MitigationContext::refreshVictim(RowId row)
+{
+    security_.onRowRefreshed(row);
+    ++stats_.victimRefreshes;
+}
+
+void
+MitigationContext::resetCounter(RowId row)
+{
+    bank_.resetCounter(row);
+    ++stats_.counterResets;
+}
+
+void
+MitigationContext::markMitigated(RowId row, bool reactive)
+{
+    security_.onMitigated(row);
+    if (reactive)
+        ++stats_.alertMitigations;
+    else
+        ++stats_.proactiveMitigations;
+}
+
+MitigationJob::MitigationJob(RowId aggressor, uint32_t blast_radius,
+                             bool reset_counter)
+    : aggressor_(aggressor),
+      blast_radius_(blast_radius),
+      reset_counter_(reset_counter),
+      active_(true)
+{
+    assert(blast_radius_ > 0);
+}
+
+bool
+MitigationJob::step(MitigationContext &ctx, bool reactive)
+{
+    assert(active_);
+
+    // Enumerate victims -radius..-1, +1..+radius (clipped to the bank)
+    // to find the step's target. Steps beyond the victim list are the
+    // optional counter reset.
+    const uint32_t num_rows = ctx.numRows();
+    uint32_t total_victims = 0;
+    RowId victim_for_step = kInvalidRow;
+    for (int32_t off = -static_cast<int32_t>(blast_radius_);
+         off <= static_cast<int32_t>(blast_radius_); ++off) {
+        if (off == 0)
+            continue;
+        const int64_t v = static_cast<int64_t>(aggressor_) + off;
+        if (v < 0 || v >= static_cast<int64_t>(num_rows))
+            continue;
+        if (total_victims == next_step_)
+            victim_for_step = static_cast<RowId>(v);
+        ++total_victims;
+    }
+
+    if (next_step_ < total_victims) {
+        ctx.refreshVictim(victim_for_step);
+        ++next_step_;
+        if (next_step_ == total_victims && !reset_counter_) {
+            ctx.markMitigated(aggressor_, reactive);
+            active_ = false;
+            return true;
+        }
+        return false;
+    }
+
+    // All victims refreshed; the final step is the counter reset.
+    if (reset_counter_)
+        ctx.resetCounter(aggressor_);
+    ctx.markMitigated(aggressor_, reactive);
+    active_ = false;
+    return true;
+}
+
+void
+MitigationJob::runToCompletion(MitigationContext &ctx, bool reactive)
+{
+    while (active_) {
+        if (step(ctx, reactive))
+            break;
+    }
+}
+
+} // namespace moatsim::mitigation

@@ -1,0 +1,186 @@
+/**
+ * @file
+ * In-DRAM Rowhammer mitigator interface.
+ *
+ * A mitigator is the per-bank logic a DRAM vendor implements on top of
+ * the PRAC+ABO framework: it observes activations (with PRAC counter
+ * values), gets one proactive work slot per REF command, may request an
+ * ALERT, and performs reactive mitigation during RFM commands. The
+ * SubChannel owns one mitigator per bank and provides it a
+ * MitigationContext for touching DRAM state.
+ */
+
+#ifndef MOATSIM_MITIGATION_MITIGATOR_HH
+#define MOATSIM_MITIGATION_MITIGATOR_HH
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "common/types.hh"
+
+namespace moatsim::dram
+{
+class Bank;
+class SecurityMonitor;
+} // namespace moatsim::dram
+
+namespace moatsim::mitigation
+{
+
+/** Counters of mitigation work, aggregated per bank. */
+struct MitigationStats
+{
+    /** Aggressor rows fully mitigated during REF (proactive). */
+    uint64_t proactiveMitigations = 0;
+    /** Aggressor rows fully mitigated during RFM (reactive/ALERT). */
+    uint64_t alertMitigations = 0;
+    /** Individual victim-row refreshes performed. */
+    uint64_t victimRefreshes = 0;
+    /** PRAC counter resets performed as mitigation steps. */
+    uint64_t counterResets = 0;
+
+    /** Total aggressor mitigations (both kinds). */
+    uint64_t totalMitigations() const
+    {
+        return proactiveMitigations + alertMitigations;
+    }
+};
+
+/**
+ * Capability handle a mitigator uses to read counters and perform
+ * refresh work on its bank. Wraps the bank, the ground-truth security
+ * monitor, and the work counters so that every implementation reports
+ * work uniformly.
+ */
+class MitigationContext
+{
+  public:
+    MitigationContext(dram::Bank &bank, dram::SecurityMonitor &security,
+                      MitigationStats &stats);
+
+    /** PRAC counter of a row. */
+    ActCount counter(RowId row) const;
+
+    /** Rows in the bank. */
+    uint32_t numRows() const;
+
+    /** Refresh one victim row (charges restored, damage cleared). */
+    void refreshVictim(RowId row);
+
+    /** Reset one row's PRAC counter (the aggressor, after mitigation). */
+    void resetCounter(RowId row);
+
+    /** Mark an aggressor's mitigation as complete (security accounting). */
+    void markMitigated(RowId row, bool reactive);
+
+  private:
+    dram::Bank &bank_;
+    dram::SecurityMonitor &security_;
+    MitigationStats &stats_;
+};
+
+/**
+ * A mitigation of one aggressor row, broken into single-row-refresh
+ * steps so that gradual (one victim per REF) and atomic (whole
+ * aggressor per RFM) mitigation share one implementation.
+ *
+ * Steps: refresh each victim within the blast radius (skipping rows
+ * outside the bank), then optionally reset the aggressor's PRAC
+ * counter. The final step marks the aggressor mitigated.
+ */
+class MitigationJob
+{
+  public:
+    MitigationJob() = default;
+
+    /**
+     * @param aggressor Row being mitigated.
+     * @param blast_radius Victims on each side to refresh.
+     * @param reset_counter Whether a counter-reset step is appended.
+     */
+    MitigationJob(RowId aggressor, uint32_t blast_radius, bool reset_counter);
+
+    /** Whether a job is loaded and unfinished. */
+    bool active() const { return active_; }
+
+    /** Aggressor row of the active job. */
+    RowId aggressor() const { return aggressor_; }
+
+    /**
+     * Perform one single-row operation.
+     * @param reactive Whether this runs under an RFM (for stats).
+     * @return true when the job completed with this step.
+     */
+    bool step(MitigationContext &ctx, bool reactive);
+
+    /** Run all remaining steps at once (RFM-style atomic mitigation). */
+    void runToCompletion(MitigationContext &ctx, bool reactive);
+
+    /** Abandon the job without completing it (MOAT invalidates the CMA
+     *  when an ALERT is serviced). */
+    void cancel() { active_ = false; }
+
+  private:
+    RowId aggressor_ = kInvalidRow;
+    uint32_t blast_radius_ = 0;
+    bool reset_counter_ = false;
+    bool active_ = false;
+    /** Next step index: victims first, then optional counter reset. */
+    uint32_t next_step_ = 0;
+};
+
+/** Abstract in-DRAM Rowhammer mitigator (one instance per bank). */
+class IMitigator
+{
+  public:
+    virtual ~IMitigator() = default;
+
+    /**
+     * Observe an activation. Called after the PRAC counter increment;
+     * the new value is readable via ctx.counter(row).
+     */
+    virtual void onActivate(RowId row, MitigationContext &ctx) = 0;
+
+    /**
+     * One REF command. Called after the auto-refresh bookkeeping, once
+     * per tREFI; the mitigator may perform up to its per-REF quota of
+     * single-row operations here.
+     */
+    virtual void onRefCommand(MitigationContext &ctx) = 0;
+
+    /**
+     * Auto-refresh of the row range [first, last] is being performed.
+     * Counter-reset-on-refresh policies act here.
+     */
+    virtual void onAutoRefresh(RowId first, RowId last,
+                               MitigationContext &ctx) = 0;
+
+    /**
+     * An ALERT was asserted on the channel (by this bank or another).
+     * Designs that latch their candidate at assertion time (MOAT's
+     * CTA -> CMA transfer, Section 4.2) do so here; activations in the
+     * 180 ns window between assertion and the RFMs then no longer
+     * change which row gets mitigated. Default: no-op.
+     */
+    virtual void onAlertAsserted(MitigationContext &ctx) { (void)ctx; }
+
+    /**
+     * One RFM command during an ALERT. The mitigator should complete
+     * reactive mitigation of (up to) one aggressor row.
+     */
+    virtual void onRfm(MitigationContext &ctx) = 0;
+
+    /** Whether the mitigator currently needs an ALERT. */
+    virtual bool wantsAlert() const = 0;
+
+    /** Human-readable design name. */
+    virtual std::string name() const = 0;
+
+    /** SRAM cost of this design in bytes per bank (Section 6.5). */
+    virtual uint32_t sramBytesPerBank() const = 0;
+};
+
+} // namespace moatsim::mitigation
+
+#endif // MOATSIM_MITIGATION_MITIGATOR_HH

@@ -1,0 +1,33 @@
+#include "mitigation/null.hh"
+
+namespace moatsim::mitigation
+{
+
+void
+NullMitigator::onActivate(RowId row, MitigationContext &ctx)
+{
+    (void)row;
+    (void)ctx;
+}
+
+void
+NullMitigator::onRefCommand(MitigationContext &ctx)
+{
+    (void)ctx;
+}
+
+void
+NullMitigator::onAutoRefresh(RowId first, RowId last, MitigationContext &ctx)
+{
+    (void)first;
+    (void)last;
+    (void)ctx;
+}
+
+void
+NullMitigator::onRfm(MitigationContext &ctx)
+{
+    (void)ctx;
+}
+
+} // namespace moatsim::mitigation

@@ -1,0 +1,33 @@
+/**
+ * @file
+ * No-op mitigator: a DRAM chip with PRAC counters but no Rowhammer
+ * mitigation logic. Baseline for performance normalization (the paper
+ * normalizes to a system that never incurs ALERTs) and ground truth
+ * for "how bad can it get" security experiments.
+ */
+
+#ifndef MOATSIM_MITIGATION_NULL_HH
+#define MOATSIM_MITIGATION_NULL_HH
+
+#include "mitigation/mitigator.hh"
+
+namespace moatsim::mitigation
+{
+
+/** Mitigator that never mitigates and never alerts. */
+class NullMitigator : public IMitigator
+{
+  public:
+    void onActivate(RowId row, MitigationContext &ctx) override;
+    void onRefCommand(MitigationContext &ctx) override;
+    void onAutoRefresh(RowId first, RowId last,
+                       MitigationContext &ctx) override;
+    void onRfm(MitigationContext &ctx) override;
+    bool wantsAlert() const override { return false; }
+    std::string name() const override { return "none"; }
+    uint32_t sramBytesPerBank() const override { return 0; }
+};
+
+} // namespace moatsim::mitigation
+
+#endif // MOATSIM_MITIGATION_NULL_HH

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Multi-core memory-system performance model.
+ *
+ * Replays per-core activation traces (workload::CoreTrace) through a
+ * SubChannel. Cores are elastic: the intended gap between two
+ * activations is preserved (it represents the instructions executed
+ * between them), but a core may only run ahead of its outstanding
+ * memory requests by a bounded memory-level parallelism, so channel
+ * stalls (REF, ALERT/RFM) back-pressure the instruction stream. The
+ * per-core finish time is the measure of performance; the paper's
+ * normalized weighted speedup is the ratio of finish times against a
+ * no-ALERT baseline run of the identical traces.
+ */
+
+#ifndef MOATSIM_SIM_MEMSYS_HH
+#define MOATSIM_SIM_MEMSYS_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/time.hh"
+#include "subchannel/subchannel.hh"
+#include "workload/tracegen.hh"
+
+namespace moatsim::sim
+{
+
+/** Core model parameters. */
+struct CoreModel
+{
+    /** Maximum outstanding activations per core. */
+    uint32_t mlp = 4;
+};
+
+/** Result of replaying one set of traces. */
+struct MemSysResult
+{
+    /** Per-core completion time (last ACT completion + trailing gap). */
+    std::vector<Time> coreFinish;
+    /** Total activations replayed. */
+    uint64_t totalActs = 0;
+    /** REF commands executed during the run. */
+    uint64_t refs = 0;
+    /** ALERTs asserted during the run. */
+    uint64_t alerts = 0;
+};
+
+/**
+ * Replay @p traces on @p channel until every core consumed its trace.
+ *
+ * @param channel The sub-channel (caller chooses the mitigator).
+ * @param traces One trace per core.
+ * @param core Core model parameters.
+ */
+MemSysResult runMemSystem(subchannel::SubChannel &channel,
+                          const std::vector<workload::CoreTrace> &traces,
+                          const CoreModel &core = CoreModel{});
+
+} // namespace moatsim::sim
+
+#endif // MOATSIM_SIM_MEMSYS_HH

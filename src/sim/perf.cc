@@ -1,0 +1,141 @@
+#include "sim/perf.hh"
+
+#include <algorithm>
+
+#include "mitigation/null.hh"
+
+namespace moatsim::sim
+{
+
+namespace
+{
+
+subchannel::SubChannelConfig
+channelConfigFor(const workload::TraceGenConfig &tg, abo::Level level)
+{
+    subchannel::SubChannelConfig sc;
+    sc.timing = tg.timing;
+    sc.numBanks = tg.banksSimulated;
+    sc.aboLevel = level;
+    sc.securityEnabled = false; // perf runs skip the damage oracle
+    sc.seed = tg.seed;
+    return sc;
+}
+
+} // namespace
+
+PerfRunner::PerfRunner(const workload::TraceGenConfig &config,
+                       CoreModel core)
+    : config_(config), core_(core)
+{
+}
+
+const std::vector<Time> &
+PerfRunner::baselineFinish(const workload::WorkloadSpec &spec)
+{
+    auto it = baseline_cache_.find(spec.name);
+    if (it != baseline_cache_.end())
+        return it->second;
+
+    const auto traces = workload::generateTraces(spec, config_);
+    subchannel::SubChannel ch(
+        channelConfigFor(config_, abo::Level::L1), [](BankId) {
+            return std::make_unique<mitigation::NullMitigator>();
+        });
+    const MemSysResult res = runMemSystem(ch, traces, core_);
+    return baseline_cache_.emplace(spec.name, res.coreFinish)
+        .first->second;
+}
+
+PerfResult
+PerfRunner::run(const workload::WorkloadSpec &spec,
+                const mitigation::MoatConfig &moat, abo::Level level)
+{
+    const std::vector<Time> &base = baselineFinish(spec);
+
+    const auto traces = workload::generateTraces(spec, config_);
+    subchannel::SubChannel ch(channelConfigFor(config_, level),
+                              [&](BankId) {
+                                  return std::make_unique<
+                                      mitigation::MoatMitigator>(moat);
+                              });
+    const MemSysResult res = runMemSystem(ch, traces, core_);
+
+    PerfResult out;
+    out.workload = spec.name;
+    out.alerts = res.alerts;
+    out.acts = res.totalActs;
+
+    // Weighted speedup: mean per-core performance relative to baseline.
+    double sum = 0.0;
+    size_t n = 0;
+    for (size_t c = 0; c < res.coreFinish.size() && c < base.size(); ++c) {
+        if (res.coreFinish[c] > 0) {
+            sum += static_cast<double>(base[c]) /
+                   static_cast<double>(res.coreFinish[c]);
+            ++n;
+        }
+    }
+    out.normPerf = n > 0 ? sum / static_cast<double>(n) : 1.0;
+
+    if (res.refs > 0)
+        out.alertsPerRefi = static_cast<double>(res.alerts) /
+                            static_cast<double>(res.refs);
+
+    const auto mit = ch.mitigationStats();
+    const double banks = static_cast<double>(ch.numBanks());
+    // Scale the generated fraction of a window back to a full tREFW.
+    out.mitigationsPerBankPerRefw =
+        static_cast<double>(mit.totalMitigations()) / banks /
+        config_.windowFraction;
+    if (res.totalActs > 0) {
+        out.actOverheadFraction =
+            static_cast<double>(mit.victimRefreshes + mit.counterResets) /
+            static_cast<double>(res.totalActs);
+    }
+    return out;
+}
+
+std::vector<PerfResult>
+PerfRunner::runSuite(const mitigation::MoatConfig &moat, abo::Level level)
+{
+    std::vector<PerfResult> results;
+    for (const auto &spec : workload::table4Workloads())
+        results.push_back(run(spec, moat, level));
+    return results;
+}
+
+double
+meanNormPerf(const std::vector<PerfResult> &results)
+{
+    if (results.empty())
+        return 1.0;
+    double s = 0.0;
+    for (const auto &r : results)
+        s += r.normPerf;
+    return s / static_cast<double>(results.size());
+}
+
+double
+meanAlertsPerRefi(const std::vector<PerfResult> &results)
+{
+    if (results.empty())
+        return 0.0;
+    double s = 0.0;
+    for (const auto &r : results)
+        s += r.alertsPerRefi;
+    return s / static_cast<double>(results.size());
+}
+
+double
+meanMitigations(const std::vector<PerfResult> &results)
+{
+    if (results.empty())
+        return 0.0;
+    double s = 0.0;
+    for (const auto &r : results)
+        s += r.mitigationsPerBankPerRefw;
+    return s / static_cast<double>(results.size());
+}
+
+} // namespace moatsim::sim

@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Workload performance-experiment driver.
+ *
+ * Runs a workload's synthetic traces twice -- once against the
+ * mitigator under test and once against a no-ALERT baseline -- and
+ * reports the paper's metrics: normalized weighted speedup (Figures 11
+ * and 17), ALERTs per tREFI per sub-channel, mitigations+ALERTs per
+ * bank per tREFW (Table 5), and the activation-energy overhead
+ * (Section 6.5). Baseline runs are cached per workload, since every
+ * parameter sweep shares them.
+ */
+
+#ifndef MOATSIM_SIM_PERF_HH
+#define MOATSIM_SIM_PERF_HH
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "abo/abo.hh"
+#include "mitigation/moat.hh"
+#include "sim/memsys.hh"
+#include "workload/spec.hh"
+#include "workload/tracegen.hh"
+
+namespace moatsim::sim
+{
+
+/** Metrics of one (workload, configuration) run. */
+struct PerfResult
+{
+    std::string workload;
+    /** Weighted speedup relative to the no-ALERT baseline (<= 1). */
+    double normPerf = 1.0;
+    /** ALERTs per tREFI (per sub-channel). */
+    double alertsPerRefi = 0.0;
+    /** Mitigations + ALERT mitigations per bank per full tREFW. */
+    double mitigationsPerBankPerRefw = 0.0;
+    /** Extra mitigation row operations / demand activations. */
+    double actOverheadFraction = 0.0;
+    /** Raw ALERT count during the run. */
+    uint64_t alerts = 0;
+    /** Demand activations replayed. */
+    uint64_t acts = 0;
+};
+
+/** Runs workloads against mitigator configurations with caching. */
+class PerfRunner
+{
+  public:
+    explicit PerfRunner(const workload::TraceGenConfig &config,
+                        CoreModel core = CoreModel{});
+
+    /** Run one workload against a MOAT configuration. */
+    PerfResult run(const workload::WorkloadSpec &spec,
+                   const mitigation::MoatConfig &moat,
+                   abo::Level level = abo::Level::L1);
+
+    /** Run every Table-4 workload; returns per-workload results. */
+    std::vector<PerfResult> runSuite(const mitigation::MoatConfig &moat,
+                                     abo::Level level = abo::Level::L1);
+
+    const workload::TraceGenConfig &config() const { return config_; }
+
+  private:
+    /** Baseline (no-ALERT) core finish times for a workload. */
+    const std::vector<Time> &baselineFinish(
+        const workload::WorkloadSpec &spec);
+
+    workload::TraceGenConfig config_;
+    CoreModel core_;
+    std::unordered_map<std::string, std::vector<Time>> baseline_cache_;
+};
+
+/** Average normPerf across results (the paper's Gmean bar). */
+double meanNormPerf(const std::vector<PerfResult> &results);
+
+/** Average ALERTs-per-tREFI across results. */
+double meanAlertsPerRefi(const std::vector<PerfResult> &results);
+
+/** Average mitigations per bank per tREFW across results. */
+double meanMitigations(const std::vector<PerfResult> &results);
+
+} // namespace moatsim::sim
+
+#endif // MOATSIM_SIM_PERF_HH

@@ -1,0 +1,244 @@
+#include "subchannel/subchannel.hh"
+
+#include <algorithm>
+#include <cassert>
+
+#include "common/logging.hh"
+
+namespace moatsim::subchannel
+{
+
+SubChannel::SubChannel(const SubChannelConfig &config,
+                       const MitigatorFactory &factory)
+    : config_(config),
+      rng_(config.seed),
+      abo_(config_.timing, config.aboLevel)
+{
+    config_.timing.validate();
+    if (!factory)
+        fatal("SubChannel: a mitigator factory is required");
+
+    const uint32_t nb = config_.numBanks != 0
+                            ? config_.numBanks
+                            : config_.timing.banksPerSubchannel;
+    banks_.reserve(nb);
+    for (BankId b = 0; b < nb; ++b) {
+        banks_.push_back(std::make_unique<dram::Bank>(
+            config_.timing, config_.counterInit, &rng_));
+        security_.push_back(std::make_unique<dram::SecurityMonitor>(
+            config_.timing.rowsPerBank, config_.timing.blastRadius));
+        mitigators_.push_back(factory(b));
+        refresh_.emplace_back(config_.timing, config_.maxPostponedRefs);
+        mitigation_stats_.emplace_back();
+    }
+    bank_ready_.assign(nb, 0);
+    next_ref_time_ = config_.timing.tREFI;
+}
+
+Time
+SubChannel::earliestActTime(BankId bank) const
+{
+    assert(bank < banks_.size());
+    Time t = std::max({now_, channel_busy_until_, bank_ready_[bank]});
+    if (last_act_time_ >= 0)
+        t = std::max(t, last_act_time_ + config_.timing.tRRD);
+    const Time oldest = faw_ring_[faw_pos_];
+    if (oldest >= 0)
+        t = std::max(t, oldest + config_.timing.tFAW);
+    return t;
+}
+
+Time
+SubChannel::activate(BankId bank, RowId row)
+{
+    return activateAt(bank, row, now_);
+}
+
+Time
+SubChannel::activateAt(BankId bank, RowId row, Time not_before)
+{
+    assert(bank < banks_.size());
+    assert(row < banks_[bank]->numRows());
+    const Time tRC = config_.timing.tRC;
+
+    for (;;) {
+        const Time t = std::max(earliestActTime(bank), not_before);
+
+        // The ACT must fully complete before any stall event that
+        // starts earlier than its completion; process the earliest
+        // such event and retry.
+        const bool rfm_due =
+            rfm_block_pending_ && abo_.rfmBlockStart() < t + tRC;
+        const bool ref_due = next_ref_time_ < t + tRC;
+        if (rfm_due &&
+            (!ref_due || abo_.rfmBlockStart() <= next_ref_time_)) {
+            serviceRfmBlock();
+            continue;
+        }
+        if (ref_due) {
+            processRefBoundary();
+            continue;
+        }
+
+        // Issue the ACT at t; closed-page policy precharges right away
+        // and the PRAC counter update lands at t + tRC.
+        dram::Bank &bk = *banks_[bank];
+        bk.activate(row);
+        bk.precharge();
+        if (config_.securityEnabled)
+            security_[bank]->onActivate(row);
+        mitigation::MitigationContext ctx(bk, *security_[bank],
+                                          mitigation_stats_[bank]);
+        mitigators_[bank]->onActivate(row, ctx);
+        ++stats_.acts;
+
+        bank_ready_[bank] = t + tRC;
+        last_act_time_ = t;
+        faw_ring_[faw_pos_] = t;
+        faw_pos_ = (faw_pos_ + 1) % 4;
+        now_ = t;
+
+        abo_.onActCompleted(t + tRC);
+        maybeAssertAlert(t + tRC);
+        return t;
+    }
+}
+
+void
+SubChannel::advanceTo(Time t)
+{
+    processEventsBefore(t);
+    now_ = std::max(now_, t);
+}
+
+void
+SubChannel::processEventsBefore(Time t)
+{
+    for (;;) {
+        const bool rfm_due =
+            rfm_block_pending_ && abo_.rfmBlockStart() <= t;
+        const bool ref_due = next_ref_time_ <= t;
+        if (rfm_due &&
+            (!ref_due || abo_.rfmBlockStart() <= next_ref_time_)) {
+            serviceRfmBlock();
+        } else if (ref_due) {
+            processRefBoundary();
+        } else {
+            break;
+        }
+    }
+}
+
+void
+SubChannel::processRefBoundary()
+{
+    const Time boundary = next_ref_time_;
+    next_ref_time_ += config_.timing.tREFI;
+
+    if (postpone_refresh_ && owed_refs_ < config_.maxPostponedRefs) {
+        ++owed_refs_;
+        ++stats_.postponedRefs;
+        return;
+    }
+
+    // Issue the due REF plus any owed ones back to back (batching).
+    const uint32_t n = owed_refs_ + 1;
+    owed_refs_ = 0;
+    const Time busy_start = std::max(boundary, channel_busy_until_);
+    channel_busy_until_ = busy_start +
+                          static_cast<Time>(n) * config_.timing.tRFC;
+    for (uint32_t i = 0; i < n; ++i)
+        performOneRef();
+    maybeAssertAlert(channel_busy_until_);
+}
+
+void
+SubChannel::performOneRef()
+{
+    for (BankId b = 0; b < banks_.size(); ++b) {
+        const uint32_t group = refresh_[b].issueRef();
+        const auto [first, last] = refresh_[b].groupRows(group);
+        mitigation::MitigationContext ctx(*banks_[b], *security_[b],
+                                          mitigation_stats_[b]);
+        if (config_.refreshResetsRows) {
+            if (config_.securityEnabled) {
+                for (RowId r = first; r <= last; ++r)
+                    security_[b]->onRowRefreshed(r);
+            }
+            mitigators_[b]->onAutoRefresh(first, last, ctx);
+        }
+        mitigators_[b]->onRefCommand(ctx);
+    }
+    ++stats_.refs;
+}
+
+void
+SubChannel::serviceRfmBlock()
+{
+    assert(rfm_block_pending_);
+    const int n = abo_.rfmsPerAlert();
+    for (int i = 0; i < n; ++i) {
+        for (BankId b = 0; b < banks_.size(); ++b) {
+            mitigation::MitigationContext ctx(*banks_[b], *security_[b],
+                                              mitigation_stats_[b]);
+            mitigators_[b]->onRfm(ctx);
+        }
+        ++stats_.rfms;
+    }
+    channel_busy_until_ =
+        std::max(channel_busy_until_, abo_.rfmBlockEnd());
+    abo_.completeAlert();
+    rfm_block_pending_ = false;
+}
+
+void
+SubChannel::maybeAssertAlert(Time t)
+{
+    if (rfm_block_pending_)
+        return;
+    if (!anyAlertWanted())
+        return;
+    if (!abo_.canAssert(t))
+        return;
+    abo_.assertAlert(t);
+    rfm_block_pending_ = true;
+    for (BankId b = 0; b < banks_.size(); ++b) {
+        mitigation::MitigationContext ctx(*banks_[b], *security_[b],
+                                          mitigation_stats_[b]);
+        mitigators_[b]->onAlertAsserted(ctx);
+    }
+}
+
+bool
+SubChannel::anyAlertWanted() const
+{
+    for (const auto &m : mitigators_) {
+        if (m->wantsAlert())
+            return true;
+    }
+    return false;
+}
+
+mitigation::MitigationStats
+SubChannel::mitigationStats() const
+{
+    mitigation::MitigationStats total;
+    for (const auto &s : mitigation_stats_) {
+        total.proactiveMitigations += s.proactiveMitigations;
+        total.alertMitigations += s.alertMitigations;
+        total.victimRefreshes += s.victimRefreshes;
+        total.counterResets += s.counterResets;
+    }
+    return total;
+}
+
+uint32_t
+SubChannel::maxHammerAnyBank() const
+{
+    uint32_t best = 0;
+    for (const auto &s : security_)
+        best = std::max(best, s->maxHammer());
+    return best;
+}
+
+} // namespace moatsim::subchannel

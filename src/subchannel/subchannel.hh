@@ -1,0 +1,220 @@
+/**
+ * @file
+ * Command-level DDR5 sub-channel simulator.
+ *
+ * The SubChannel is the substrate on which both the attack patterns and
+ * the workload performance model run. It owns the banks of one DDR5
+ * sub-channel together with one mitigator instance per bank, enforces
+ * command timing (per-bank tRC, channel-wide tRRD/tFAW, REF busy
+ * windows), issues auto-refresh on the tREFI cadence (optionally with
+ * attacker-controlled postponement, Appendix B), and runs the
+ * ALERT-Back-Off protocol: when any bank's mitigator requests an ALERT
+ * and the ABO engine permits it, the channel schedules the 180 ns
+ * normal window followed by L RFM commands during which every bank's
+ * mitigator performs reactive mitigation.
+ *
+ * Callers drive it with activate() ("issue this ACT as early as legal")
+ * or activateAt() ("...but not before this time"), and advanceTo() for
+ * idle waiting. A closed-page policy is assumed: every ACT is followed
+ * by an automatic precharge, and the PRAC counter update (and thus any
+ * ALERT trigger) lands at the end of the activate-precharge cycle.
+ */
+
+#ifndef MOATSIM_SUBCHANNEL_SUBCHANNEL_HH
+#define MOATSIM_SUBCHANNEL_SUBCHANNEL_HH
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "abo/abo.hh"
+#include "common/rng.hh"
+#include "common/time.hh"
+#include "common/types.hh"
+#include "dram/bank.hh"
+#include "dram/refresh.hh"
+#include "dram/security.hh"
+#include "dram/timing.hh"
+#include "mitigation/mitigator.hh"
+
+namespace moatsim::subchannel
+{
+
+/** Configuration of one sub-channel instance. */
+struct SubChannelConfig
+{
+    dram::TimingParams timing{};
+    /** ABO mitigation level (MR71 op[1:0]). */
+    abo::Level aboLevel = abo::Level::L1;
+    /** PRAC counter initialization. */
+    dram::CounterInit counterInit = dram::CounterInit::Zero;
+    /**
+     * Whether auto-refresh resets row damage/hammer state and invokes
+     * the mitigator's counter-reset-on-refresh hook. Long-running
+     * security experiments disable this to model an attacker that
+     * aligns the pattern with the refresh schedule (the threat model
+     * lets the attacker pick the memory policy best suited to the
+     * attack); REF commands still occur and still provide mitigation
+     * slots.
+     */
+    bool refreshResetsRows = true;
+    /**
+     * Whether the ground-truth SecurityMonitor tracks every activation.
+     * Security experiments need it; pure performance runs disable it
+     * for speed (it never affects behaviour, only observation).
+     */
+    bool securityEnabled = true;
+    /** Number of banks; 0 means timing.banksPerSubchannel. */
+    uint32_t numBanks = 0;
+    /** Maximum REFs that postponement may owe at once (DDR5: 2). */
+    uint32_t maxPostponedRefs = 2;
+    /** Seed for randomized counter initialization. */
+    uint64_t seed = 1;
+};
+
+/** Aggregate activity counters of a sub-channel. */
+struct SubChannelStats
+{
+    /** Activations issued. */
+    uint64_t acts = 0;
+    /** Individual REF commands executed. */
+    uint64_t refs = 0;
+    /** tREFI boundaries where the REF was postponed. */
+    uint64_t postponedRefs = 0;
+    /** RFM commands executed (rfmsPerAlert per ALERT). */
+    uint64_t rfms = 0;
+};
+
+/** Command-level model of one DDR5 sub-channel. */
+class SubChannel
+{
+  public:
+    /** Builds the per-bank mitigator instances. */
+    using MitigatorFactory =
+        std::function<std::unique_ptr<mitigation::IMitigator>(BankId)>;
+
+    SubChannel(const SubChannelConfig &config,
+               const MitigatorFactory &factory);
+
+    /** Current simulation time (completion of the last processed op). */
+    Time now() const { return now_; }
+
+    /** Number of banks. */
+    uint32_t numBanks() const { return static_cast<uint32_t>(banks_.size()); }
+
+    /**
+     * Issue an activation to (bank, row) at the earliest legal time.
+     * @return the issue time of the ACT.
+     */
+    Time activate(BankId bank, RowId row);
+
+    /**
+     * Issue an activation no earlier than @p not_before (used by the
+     * performance model, where requests arrive at specific times, and
+     * by attacks that pace themselves).
+     * @return the issue time of the ACT.
+     */
+    Time activateAt(BankId bank, RowId row, Time not_before);
+
+    /** Earliest time an ACT to @p bank could issue right now. */
+    Time earliestActTime(BankId bank) const;
+
+    /** Advance the clock to @p t, processing REFs and pending ALERTs. */
+    void advanceTo(Time t);
+
+    /** Enable/disable attacker-controlled refresh postponement. */
+    void setPostponeRefresh(bool on) { postpone_refresh_ = on; }
+
+    /** Access to a bank (counters). */
+    dram::Bank &bank(BankId b) { return *banks_.at(b); }
+    const dram::Bank &bank(BankId b) const { return *banks_.at(b); }
+
+    /** Ground-truth security monitor of a bank. */
+    dram::SecurityMonitor &security(BankId b) { return *security_.at(b); }
+    const dram::SecurityMonitor &security(BankId b) const
+    {
+        return *security_.at(b);
+    }
+
+    /** Mitigator of a bank. */
+    mitigation::IMitigator &mitigator(BankId b) { return *mitigators_.at(b); }
+    const mitigation::IMitigator &mitigator(BankId b) const
+    {
+        return *mitigators_.at(b);
+    }
+
+    /** Refresh scheduler of a bank. */
+    const dram::RefreshScheduler &refreshScheduler(BankId b) const
+    {
+        return refresh_.at(b);
+    }
+
+    /** ABO protocol engine. */
+    const abo::AboEngine &abo() const { return abo_; }
+
+    /** Activity counters. */
+    const SubChannelStats &stats() const { return stats_; }
+
+    /** Aggregated mitigation-work counters across all banks. */
+    mitigation::MitigationStats mitigationStats() const;
+
+    /** Max hammer count (paper's attack metric) across all banks. */
+    uint32_t maxHammerAnyBank() const;
+
+    /** The timing parameters in use. */
+    const dram::TimingParams &timing() const { return config_.timing; }
+
+    /** The configuration in use. */
+    const SubChannelConfig &config() const { return config_; }
+
+  private:
+    /** Process REF boundaries and RFM blocks scheduled before @p t. */
+    void processEventsBefore(Time t);
+
+    /** Execute the REF(s) due at the current boundary. */
+    void processRefBoundary();
+
+    /** Execute one REF command across all banks. */
+    void performOneRef();
+
+    /** Execute the RFM block of the in-flight ALERT. */
+    void serviceRfmBlock();
+
+    /** Assert an ALERT at @p t if one is wanted and permitted. */
+    void maybeAssertAlert(Time t);
+
+    /** Whether any bank's mitigator currently wants an ALERT. */
+    bool anyAlertWanted() const;
+
+    SubChannelConfig config_;
+    Rng rng_;
+    std::vector<std::unique_ptr<dram::Bank>> banks_;
+    std::vector<std::unique_ptr<dram::SecurityMonitor>> security_;
+    std::vector<std::unique_ptr<mitigation::IMitigator>> mitigators_;
+    std::vector<dram::RefreshScheduler> refresh_;
+    std::vector<mitigation::MitigationStats> mitigation_stats_;
+    abo::AboEngine abo_;
+    SubChannelStats stats_;
+
+    Time now_ = 0;
+    /** Next scheduled tREFI boundary. */
+    Time next_ref_time_;
+    /** Channel unavailable before this time (REF/RFM busy). */
+    Time channel_busy_until_ = 0;
+    /** Per-bank earliest next ACT (tRC). */
+    std::vector<Time> bank_ready_;
+    /** Channel-wide last ACT issue time (tRRD). */
+    Time last_act_time_ = -1;
+    /** Issue times of the last four ACTs (tFAW window). */
+    Time faw_ring_[4] = {-1, -1, -1, -1};
+    uint32_t faw_pos_ = 0;
+    /** RFM block of the in-flight ALERT not yet executed. */
+    bool rfm_block_pending_ = false;
+    bool postpone_refresh_ = false;
+    /** Channel-level count of postponed (owed) REFs. */
+    uint32_t owed_refs_ = 0;
+};
+
+} // namespace moatsim::subchannel
+
+#endif // MOATSIM_SUBCHANNEL_SUBCHANNEL_HH

@@ -1,0 +1,304 @@
+/**
+ * @file
+ * moatsim command-line driver.
+ *
+ * One binary to run any of the library's experiments without writing
+ * code:
+ *
+ *   moatsim bound   [--ath N] [--level 1|2|4]        Appendix-A bound
+ *   moatsim ratchet [--ath N] [--level 1|2|4] [--pool N]
+ *   moatsim jailbreak [--queue N] [--threshold N]
+ *   moatsim feinting [--rate K]
+ *   moatsim postponement [--max N]
+ *   moatsim tsa     [--banks N] [--cycles N]
+ *   moatsim perf    [--workload NAME|all] [--ath N] [--eth N]
+ *                   [--level 1|2|4] [--fraction F]
+ *   moatsim replay  --trace FILE [--ath N] [--eth N]
+ *   moatsim list-workloads
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+#include <string>
+
+#include "analysis/ratchet_model.hh"
+#include "attacks/feinting.hh"
+#include "attacks/jailbreak.hh"
+#include "attacks/postponement.hh"
+#include "attacks/ratchet.hh"
+#include "attacks/tsa.hh"
+#include "common/logging.hh"
+#include "common/stats.hh"
+#include "common/table.hh"
+#include "sim/perf.hh"
+#include "workload/trace_io.hh"
+
+using namespace moatsim;
+
+namespace
+{
+
+/** Tiny flag parser: --name value pairs after the subcommand. */
+class Args
+{
+  public:
+    Args(int argc, char **argv, int first)
+    {
+        for (int i = first; i + 1 < argc; i += 2) {
+            if (std::strncmp(argv[i], "--", 2) != 0)
+                fatal(std::string("expected --flag, got ") + argv[i]);
+            values_.emplace_back(argv[i] + 2, argv[i + 1]);
+        }
+        if ((argc - first) % 2 != 0)
+            fatal("flags must come in --name value pairs");
+    }
+
+    std::string
+    get(const std::string &name, const std::string &def) const
+    {
+        for (const auto &[k, v] : values_) {
+            if (k == name)
+                return v;
+        }
+        return def;
+    }
+
+    uint64_t
+    getInt(const std::string &name, uint64_t def) const
+    {
+        const std::string v = get(name, std::to_string(def));
+        return std::strtoull(v.c_str(), nullptr, 10);
+    }
+
+    double
+    getDouble(const std::string &name, double def) const
+    {
+        const std::string v = get(name, formatFixed(def, 6));
+        return std::strtod(v.c_str(), nullptr);
+    }
+
+  private:
+    std::vector<std::pair<std::string, std::string>> values_;
+};
+
+abo::Level
+levelOf(uint64_t l)
+{
+    if (l != 1 && l != 2 && l != 4)
+        fatal("--level must be 1, 2, or 4");
+    return static_cast<abo::Level>(l);
+}
+
+int
+cmdBound(const Args &args)
+{
+    dram::TimingParams t;
+    const auto b = analysis::ratchetBound(
+        t, static_cast<uint32_t>(args.getInt("ath", 64)),
+        static_cast<int>(args.getInt("level", 1)));
+    std::printf("ATH=%u level=%d: TRH_safe=%.1f (pool Nc=%lu, "
+                "tA2A=%.0f ns, %u ACTs per ALERT window)\n",
+                b.ath, b.level, b.safeTrh,
+                static_cast<unsigned long>(b.maxPoolRows),
+                toNs(b.alertToAlert), b.actsPerWindow);
+    return 0;
+}
+
+int
+cmdRatchet(const Args &args)
+{
+    attacks::RatchetConfig cfg;
+    cfg.moat.ath = static_cast<ActCount>(args.getInt("ath", 64));
+    cfg.moat.eth = cfg.moat.ath / 2;
+    cfg.aboLevel = levelOf(args.getInt("level", 1));
+    cfg.moat.trackerEntries =
+        static_cast<uint32_t>(abo::levelValue(cfg.aboLevel));
+    cfg.poolRows = static_cast<uint32_t>(args.getInt("pool", 0));
+    const auto r = attacks::runRatchet(cfg);
+    const auto bound = analysis::ratchetBound(
+        cfg.timing, cfg.moat.ath, abo::levelValue(cfg.aboLevel));
+    std::printf("Ratchet vs MOAT-L%d ATH=%u: max ACTs=%u (model bound "
+                "%.1f), %lu ALERTs, %.2f ms\n",
+                abo::levelValue(cfg.aboLevel), cfg.moat.ath, r.maxHammer,
+                bound.safeTrh, static_cast<unsigned long>(r.alerts),
+                toMs(r.duration));
+    return 0;
+}
+
+int
+cmdJailbreak(const Args &args)
+{
+    attacks::JailbreakConfig cfg;
+    cfg.panopticon.queueEntries =
+        static_cast<uint32_t>(args.getInt("queue", 8));
+    cfg.panopticon.queueThreshold =
+        static_cast<ActCount>(args.getInt("threshold", 128));
+    cfg.hammerActs = static_cast<uint32_t>(args.getInt(
+        "hammer", 128ull * (cfg.panopticon.queueEntries + 2)));
+    const auto r = attacks::runDeterministicJailbreak(cfg);
+    std::printf("Jailbreak vs Panopticon(T=%u,Q=%u): max ACTs=%u "
+                "(%.1fx threshold), %lu ALERTs\n",
+                cfg.panopticon.queueThreshold,
+                cfg.panopticon.queueEntries, r.maxHammer,
+                static_cast<double>(r.maxHammer) /
+                    cfg.panopticon.queueThreshold,
+                static_cast<unsigned long>(r.alerts));
+    return 0;
+}
+
+int
+cmdFeinting(const Args &args)
+{
+    attacks::FeintingConfig cfg;
+    cfg.mitigationPeriodRefis =
+        static_cast<uint32_t>(args.getInt("rate", 4));
+    const auto r = attacks::runFeinting(cfg);
+    std::printf("Feinting vs IdealPRC (1 aggressor per %u tREFI): "
+                "max ACTs=%u\n",
+                cfg.mitigationPeriodRefis, r.maxHammer);
+    return 0;
+}
+
+int
+cmdPostponement(const Args &args)
+{
+    attacks::PostponementConfig cfg;
+    cfg.maxPostponed = static_cast<uint32_t>(args.getInt("max", 2));
+    const auto r = attacks::runRefreshPostponement(cfg);
+    std::printf("REF postponement (max %u) vs drain-all Panopticon: "
+                "max ACTs=%u (%.1fx threshold)\n",
+                cfg.maxPostponed, r.maxHammer, r.maxHammer / 128.0);
+    return 0;
+}
+
+int
+cmdTsa(const Args &args)
+{
+    attacks::PerfAttackConfig cfg;
+    cfg.numBanks = static_cast<uint32_t>(args.getInt("banks", 17));
+    cfg.cycles = static_cast<uint32_t>(args.getInt("cycles", 20));
+    const auto r = attacks::runTsa(cfg);
+    std::printf("TSA on %u banks: throughput loss %s (%lu ALERTs)\n",
+                cfg.numBanks, formatPercent(r.lossFraction, 1).c_str(),
+                static_cast<unsigned long>(r.alerts));
+    return 0;
+}
+
+int
+cmdPerf(const Args &args)
+{
+    workload::TraceGenConfig tg;
+    tg.windowFraction = args.getDouble("fraction", 0.0625);
+    sim::PerfRunner runner(tg);
+    mitigation::MoatConfig moat;
+    moat.ath = static_cast<ActCount>(args.getInt("ath", 64));
+    moat.eth = static_cast<ActCount>(args.getInt("eth", moat.ath / 2));
+    const auto level = levelOf(args.getInt("level", 1));
+    moat.trackerEntries =
+        static_cast<uint32_t>(abo::levelValue(level));
+
+    const std::string which = args.get("workload", "all");
+    TablePrinter t({"workload", "slowdown", "ALERTs/tREFI",
+                    "mitigations/bank/tREFW"});
+    auto add = [&](const workload::WorkloadSpec &spec) {
+        const auto r = runner.run(spec, moat, level);
+        t.addRow({r.workload, formatPercent(1.0 - r.normPerf),
+                  formatFixed(r.alertsPerRefi, 4),
+                  formatFixed(r.mitigationsPerBankPerRefw, 0)});
+    };
+    if (which == "all") {
+        for (const auto &spec : workload::table4Workloads())
+            add(spec);
+    } else {
+        add(workload::findWorkload(which));
+    }
+    t.print(std::cout);
+    return 0;
+}
+
+int
+cmdReplay(const Args &args)
+{
+    const std::string path = args.get("trace", "");
+    if (path.empty())
+        fatal("replay requires --trace FILE");
+    const auto traces = workload::loadTraces(path);
+
+    subchannel::SubChannelConfig sc;
+    sc.securityEnabled = true;
+    mitigation::MoatConfig moat;
+    moat.ath = static_cast<ActCount>(args.getInt("ath", 64));
+    moat.eth = static_cast<ActCount>(args.getInt("eth", moat.ath / 2));
+    subchannel::SubChannel ch(sc, [&](BankId) {
+        return std::make_unique<mitigation::MoatMitigator>(moat);
+    });
+    const auto res = sim::runMemSystem(ch, traces);
+    std::printf("Replayed %lu activations from %zu cores: %lu ALERTs, "
+                "%lu mitigations, max unmitigated ACTs on any row %u\n",
+                static_cast<unsigned long>(res.totalActs), traces.size(),
+                static_cast<unsigned long>(res.alerts),
+                static_cast<unsigned long>(
+                    ch.mitigationStats().totalMitigations()),
+                ch.maxHammerAnyBank());
+    return 0;
+}
+
+int
+cmdListWorkloads()
+{
+    TablePrinter t({"name", "suite", "ACT-PKI", "ACT-32+", "ACT-64+",
+                    "ACT-128+"});
+    for (const auto &w : workload::table4Workloads()) {
+        t.addRow({w.name, w.isGap ? "GAP" : "SPEC-2017",
+                  formatFixed(w.actPki, 1), std::to_string(w.act32),
+                  std::to_string(w.act64), std::to_string(w.act128)});
+    }
+    t.print(std::cout);
+    return 0;
+}
+
+void
+usage()
+{
+    std::fprintf(
+        stderr,
+        "usage: moatsim <command> [--flag value ...]\n"
+        "commands: bound ratchet jailbreak feinting postponement tsa\n"
+        "          perf replay list-workloads\n"
+        "see the file header of src/tools/moatsim_cli.cc for flags\n");
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    if (argc < 2) {
+        usage();
+        return 1;
+    }
+    const std::string cmd = argv[1];
+    const Args args(argc, argv, 2);
+    if (cmd == "bound")
+        return cmdBound(args);
+    if (cmd == "ratchet")
+        return cmdRatchet(args);
+    if (cmd == "jailbreak")
+        return cmdJailbreak(args);
+    if (cmd == "feinting")
+        return cmdFeinting(args);
+    if (cmd == "postponement")
+        return cmdPostponement(args);
+    if (cmd == "tsa")
+        return cmdTsa(args);
+    if (cmd == "perf")
+        return cmdPerf(args);
+    if (cmd == "replay")
+        return cmdReplay(args);
+    if (cmd == "list-workloads")
+        return cmdListWorkloads();
+    usage();
+    return 1;
+}

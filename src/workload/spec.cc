@@ -1,0 +1,55 @@
+#include "workload/spec.hh"
+
+#include <array>
+
+#include "common/logging.hh"
+
+namespace moatsim::workload
+{
+
+namespace
+{
+
+const std::array<WorkloadSpec, 21> kTable4 = {{
+    {"bwaves", 29.3, 1871, 199, 4, false},
+    {"fotonik3d", 25.0, 2175, 113, 11, false},
+    {"lbm", 20.9, 3145, 1325, 13, false},
+    {"mcf", 19.8, 1772, 380, 113, false},
+    {"omnetpp", 11.1, 1224, 142, 41, false},
+    {"roms", 9.6, 2302, 995, 431, false},
+    {"parest", 8.9, 2259, 1014, 406, false},
+    {"xz", 8.8, 3409, 1255, 384, false},
+    {"cactuBSSN", 3.6, 4187, 1180, 466, false},
+    {"cam4", 3.0, 821, 89, 3, false},
+    {"blender", 1.1, 1016, 358, 91, false},
+    {"xalancbmk", 0.9, 585, 163, 36, false},
+    {"wrf", 0.8, 567, 90, 0, false},
+    {"x264", 0.6, 310, 59, 0, false},
+    {"gcc", 0.6, 424, 107, 19, false},
+    {"cc", 71.5, 1357, 215, 18, true},
+    {"pr", 29.1, 1489, 349, 52, true},
+    {"bfs", 22.8, 529, 64, 16, true},
+    {"tc", 18.2, 81, 0, 0, true},
+    {"bc", 9.0, 289, 43, 9, true},
+    {"sssp", 7.0, 1817, 620, 127, true},
+}};
+
+} // namespace
+
+std::span<const WorkloadSpec>
+table4Workloads()
+{
+    return kTable4;
+}
+
+const WorkloadSpec &
+findWorkload(const std::string &name)
+{
+    for (const auto &w : kTable4) {
+        if (w.name == name)
+            return w;
+    }
+    fatal("findWorkload: unknown workload '" + name + "'");
+}
+
+} // namespace moatsim::workload

@@ -1,0 +1,100 @@
+#include "workload/trace_io.hh"
+
+#include <fstream>
+#include <sstream>
+
+#include "common/logging.hh"
+
+namespace moatsim::workload
+{
+
+void
+writeTraces(std::ostream &os, const std::vector<CoreTrace> &traces)
+{
+    os << "# moatsim trace v1: time_ps bank row\n";
+    for (size_t c = 0; c < traces.size(); ++c) {
+        os << "core " << c << "\n";
+        os << "window " << traces[c].window << "\n";
+        for (const auto &e : traces[c].events)
+            os << e.at << ' ' << e.bank << ' ' << e.row << "\n";
+    }
+}
+
+std::vector<CoreTrace>
+readTraces(std::istream &is)
+{
+    std::vector<CoreTrace> traces;
+    CoreTrace *current = nullptr;
+    std::string line;
+    size_t lineno = 0;
+    while (std::getline(is, line)) {
+        ++lineno;
+        if (line.empty() || line[0] == '#')
+            continue;
+        std::istringstream ls(line);
+        std::string first;
+        ls >> first;
+        if (first == "core") {
+            size_t index = 0;
+            if (!(ls >> index))
+                fatal("trace line " + std::to_string(lineno) +
+                      ": bad core header");
+            if (index != traces.size())
+                fatal("trace line " + std::to_string(lineno) +
+                      ": core sections must be in order");
+            traces.emplace_back();
+            current = &traces.back();
+        } else if (first == "window") {
+            if (current == nullptr)
+                fatal("trace line " + std::to_string(lineno) +
+                      ": window before any core");
+            if (!(ls >> current->window) || current->window <= 0)
+                fatal("trace line " + std::to_string(lineno) +
+                      ": bad window");
+        } else {
+            if (current == nullptr)
+                fatal("trace line " + std::to_string(lineno) +
+                      ": event before any core");
+            TraceEvent e;
+            std::istringstream es(line);
+            int64_t bank = 0;
+            int64_t row = 0;
+            if (!(es >> e.at >> bank >> row) || e.at < 0 || bank < 0 ||
+                row < 0)
+                fatal("trace line " + std::to_string(lineno) +
+                      ": bad event");
+            e.bank = static_cast<BankId>(bank);
+            e.row = static_cast<RowId>(row);
+            if (!current->events.empty() &&
+                e.at < current->events.back().at)
+                fatal("trace line " + std::to_string(lineno) +
+                      ": events out of order");
+            current->events.push_back(e);
+        }
+    }
+    for (auto &t : traces) {
+        if (t.window == 0 && !t.events.empty())
+            t.window = t.events.back().at + 1;
+    }
+    return traces;
+}
+
+void
+saveTraces(const std::string &path, const std::vector<CoreTrace> &traces)
+{
+    std::ofstream os(path);
+    if (!os)
+        fatal("saveTraces: cannot open " + path);
+    writeTraces(os, traces);
+}
+
+std::vector<CoreTrace>
+loadTraces(const std::string &path)
+{
+    std::ifstream is(path);
+    if (!is)
+        fatal("loadTraces: cannot open " + path);
+    return readTraces(is);
+}
+
+} // namespace moatsim::workload

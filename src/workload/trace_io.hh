@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Plain-text trace serialization.
+ *
+ * moatsim's performance experiments run on synthetic traces, but the
+ * memory-system model accepts any workload::CoreTrace, so users with
+ * real activation traces (e.g. extracted from DRAMsim3/Ramulator runs)
+ * can replay them. The format is one event per line:
+ *
+ *   # comment
+ *   window <picoseconds>          (once per core section)
+ *   core <index>
+ *   <time_ps> <bank> <row>
+ *
+ * Events must be sorted by time within a core.
+ */
+
+#ifndef MOATSIM_WORKLOAD_TRACE_IO_HH
+#define MOATSIM_WORKLOAD_TRACE_IO_HH
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "workload/tracegen.hh"
+
+namespace moatsim::workload
+{
+
+/** Write traces to a stream in the text format above. */
+void writeTraces(std::ostream &os, const std::vector<CoreTrace> &traces);
+
+/**
+ * Parse traces from a stream.
+ * Calls fatal() on malformed input (bad numbers, unsorted times).
+ */
+std::vector<CoreTrace> readTraces(std::istream &is);
+
+/** Convenience wrappers over files. */
+void saveTraces(const std::string &path,
+                const std::vector<CoreTrace> &traces);
+std::vector<CoreTrace> loadTraces(const std::string &path);
+
+} // namespace moatsim::workload
+
+#endif // MOATSIM_WORKLOAD_TRACE_IO_HH

@@ -1,0 +1,199 @@
+#include "workload/tracegen.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "common/logging.hh"
+
+namespace moatsim::workload
+{
+
+namespace
+{
+
+/** Stochastic rounding: 2.3 -> 2 (70%) or 3 (30%). */
+uint32_t
+roundStochastic(double x, Rng &rng)
+{
+    const double fl = std::floor(x);
+    const double frac = x - fl;
+    return static_cast<uint32_t>(fl) + (rng.chance(frac) ? 1u : 0u);
+}
+
+} // namespace
+
+double
+effectiveIpc(const WorkloadSpec &spec, const TraceGenConfig &config)
+{
+    double ipc = config.baseIpc;
+    const double trc_s = toNs(config.timing.tRC) * 1e-9;
+    // Activations per second per core, per unit of IPC.
+    const double act_rate = spec.actPki * 1e-3 * config.cpuGhz * 1e9;
+    if (act_rate <= 0 || trc_s <= 0)
+        return ipc;
+    const double bank_sat =
+        config.bankUtilizationCap * config.systemBanks /
+        (act_rate * config.numCores * trc_s);
+    const double core_sat = config.coreUtilizationCap * config.coreMlp /
+                            (act_rate * trc_s);
+    return std::min({ipc, bank_sat, core_sat});
+}
+
+std::vector<CoreTrace>
+generateTraces(const WorkloadSpec &spec, const TraceGenConfig &config)
+{
+    const dram::TimingParams &t = config.timing;
+    if (config.numCores == 0 || config.banksSimulated == 0)
+        fatal("generateTraces: cores and banks must be non-zero");
+    if (config.banksSimulated > config.systemBanks)
+        fatal("generateTraces: simulated banks exceed system banks");
+
+    Rng rng(config.seed ^ (std::hash<std::string>{}(spec.name) | 1));
+
+    const Time window =
+        static_cast<Time>(static_cast<double>(t.tREFW) *
+                          config.windowFraction);
+
+    // Exclusive tier populations (Table 4 counts are cumulative),
+    // scaled to the generated window and divided across the cores.
+    const double scale = config.windowFraction /
+                         static_cast<double>(config.numCores);
+    const double e32 = (spec.act32 - spec.act64) * scale;
+    const double e64 = (spec.act64 - spec.act128) * scale;
+    const double e128 = spec.act128 * scale;
+
+    // ACT budget per core per simulated bank: the ACT-PKI rate over the
+    // window's instruction stream, but never less than the tier mass
+    // itself (some Table-4 workloads have nearly all traffic in hot
+    // rows).
+    const double instr_per_core = effectiveIpc(spec, config) *
+                                  config.cpuGhz * 1e9 * toMs(window) * 1e-3;
+    const double pki_budget = spec.actPki * 1e-3 * instr_per_core /
+                              static_cast<double>(config.systemBanks);
+
+    const uint32_t rows_per_core = t.rowsPerBank / config.numCores;
+    std::vector<CoreTrace> traces(config.numCores);
+
+    for (uint32_t core = 0; core < config.numCores; ++core) {
+        CoreTrace &trace = traces[core];
+        trace.window = window;
+        const RowId row_base = core * rows_per_core;
+
+        for (uint32_t bank = 0; bank < config.banksSimulated; ++bank) {
+            // Hot rows for this (core, bank): distinct rows from the
+            // core's range with per-tier target counts.
+            struct HotRow
+            {
+                RowId row;
+                uint32_t count;
+            };
+            std::vector<HotRow> hot;
+            std::unordered_set<RowId> used;
+            auto add_tier = [&](double rows, uint32_t lo, uint32_t hi) {
+                const uint32_t n = roundStochastic(rows, rng);
+                for (uint32_t i = 0; i < n; ++i) {
+                    RowId r;
+                    do {
+                        r = row_base + static_cast<RowId>(
+                                           rng.below(rows_per_core));
+                    } while (!used.insert(r).second);
+                    hot.push_back(
+                        {r, static_cast<uint32_t>(rng.inRange(lo, hi))});
+                }
+            };
+            add_tier(e32, 32, 63);
+            add_tier(e64, 64, 127);
+            add_tier(e128, 128, 255);
+
+            uint64_t hot_acts = 0;
+            for (const auto &h : hot)
+                hot_acts += h.count;
+
+            // Hot-row episodes: contiguous pacing from a uniform start.
+            for (const auto &h : hot) {
+                Time gap = config.intraEpisodeGap;
+                Time span = static_cast<Time>(h.count) * gap;
+                if (span >= window) {
+                    gap = window / (h.count + 1);
+                    span = static_cast<Time>(h.count) * gap;
+                }
+                const Time start = static_cast<Time>(
+                    rng.below(static_cast<uint64_t>(window - span)));
+                for (uint32_t i = 0; i < h.count; ++i) {
+                    trace.events.push_back(
+                        {start + static_cast<Time>(i) * gap,
+                         static_cast<BankId>(bank), h.row});
+                }
+            }
+
+            // Background fill up to the ACT budget.
+            const double budget =
+                std::max(pki_budget, static_cast<double>(hot_acts));
+            const uint64_t n_bg = static_cast<uint64_t>(
+                std::max(0.0, budget - static_cast<double>(hot_acts)));
+            for (uint64_t i = 0; i < n_bg; ++i) {
+                const RowId r = row_base + static_cast<RowId>(
+                                               rng.below(rows_per_core));
+                const Time at = static_cast<Time>(
+                    rng.below(static_cast<uint64_t>(window)));
+                trace.events.push_back({at, static_cast<BankId>(bank), r});
+            }
+        }
+
+        std::sort(trace.events.begin(), trace.events.end(),
+                  [](const TraceEvent &a, const TraceEvent &b) {
+                      return a.at < b.at;
+                  });
+    }
+    return traces;
+}
+
+TierCensus
+censusOf(const std::vector<CoreTrace> &traces, const TraceGenConfig &config,
+         const WorkloadSpec &spec)
+{
+    // Count ACTs per (bank, row) across all cores.
+    std::unordered_map<uint64_t, uint32_t> counts;
+    uint64_t total_acts = 0;
+    for (const auto &trace : traces) {
+        for (const auto &e : trace.events) {
+            ++counts[(static_cast<uint64_t>(e.bank) << 32) | e.row];
+            ++total_acts;
+        }
+    }
+
+    TierCensus census;
+    for (const auto &[key, c] : counts) {
+        (void)key;
+        if (c >= 32)
+            census.act32 += 1;
+        if (c >= 64)
+            census.act64 += 1;
+        if (c >= 128)
+            census.act128 += 1;
+    }
+    // Rescale: counts were per simulated bank per generated window.
+    const double denom =
+        static_cast<double>(config.banksSimulated) * config.windowFraction;
+    census.act32 /= denom;
+    census.act64 /= denom;
+    census.act128 /= denom;
+
+    const double instr_total = effectiveIpc(spec, config) * config.cpuGhz *
+                               1e9 *
+                               (traces.empty()
+                                    ? 0.0
+                                    : toMs(traces.front().window) * 1e-3) *
+                               static_cast<double>(config.numCores);
+    const double system_acts =
+        static_cast<double>(total_acts) *
+        static_cast<double>(config.systemBanks) /
+        static_cast<double>(config.banksSimulated);
+    if (instr_total > 0)
+        census.actPki = system_acts / instr_total * 1000.0;
+    return census;
+}
+
+} // namespace moatsim::workload

@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Unit tests for the ALERT-Back-Off protocol engine.
+ */
+
+#include <gtest/gtest.h>
+
+#include "abo/abo.hh"
+
+namespace moatsim::abo
+{
+namespace
+{
+
+dram::TimingParams kT;
+
+TEST(Abo, LevelValues)
+{
+    EXPECT_EQ(levelValue(Level::L1), 1);
+    EXPECT_EQ(levelValue(Level::L2), 2);
+    EXPECT_EQ(levelValue(Level::L4), 4);
+}
+
+TEST(Abo, FirstAlertIsUngated)
+{
+    AboEngine abo(kT, Level::L1);
+    EXPECT_TRUE(abo.canAssert(0));
+}
+
+TEST(Abo, WindowGeometryLevel1)
+{
+    AboEngine abo(kT, Level::L1);
+    abo.assertAlert(fromNs(1000));
+    EXPECT_EQ(abo.rfmBlockStart(), fromNs(1180));
+    EXPECT_EQ(abo.rfmBlockEnd(), fromNs(1530));
+    EXPECT_TRUE(abo.inNormalWindow(fromNs(1100)));
+    EXPECT_FALSE(abo.inNormalWindow(fromNs(1200)));
+    EXPECT_TRUE(abo.inRfmBlock(fromNs(1300)));
+    EXPECT_FALSE(abo.inRfmBlock(fromNs(1600)));
+}
+
+TEST(Abo, WindowGeometryLevel4)
+{
+    AboEngine abo(kT, Level::L4);
+    abo.assertAlert(0);
+    // 4 RFMs of 350 ns each after the 180 ns normal window.
+    EXPECT_EQ(abo.rfmBlockEnd(), fromNs(180 + 4 * 350));
+    EXPECT_EQ(abo.rfmsPerAlert(), 4);
+}
+
+TEST(Abo, CannotAssertWhileInFlight)
+{
+    AboEngine abo(kT, Level::L1);
+    abo.assertAlert(0);
+    EXPECT_FALSE(abo.canAssert(fromNs(100)));
+}
+
+TEST(Abo, InterAlertActivationMinimum)
+{
+    // Figure 8 / Section 5.1: at least L activations between ALERTs.
+    for (Level l : {Level::L1, Level::L2, Level::L4}) {
+        AboEngine abo(kT, l);
+        abo.assertAlert(0);
+        abo.completeAlert();
+        const Time after = abo.alertToAlert() + fromNs(100);
+        for (int acts = 0; acts < levelValue(l); ++acts) {
+            EXPECT_FALSE(abo.canAssert(after))
+                << "level " << levelValue(l) << " after " << acts;
+            abo.onActCompleted(after);
+        }
+        EXPECT_TRUE(abo.canAssert(after));
+    }
+}
+
+TEST(Abo, StallAccounting)
+{
+    AboEngine abo(kT, Level::L2);
+    abo.assertAlert(0);
+    abo.completeAlert();
+    EXPECT_EQ(abo.totalStallTime(), 2 * fromNs(350));
+    EXPECT_EQ(abo.alertCount(), 1u);
+}
+
+TEST(Abo, AlertToAlertMatchesAppendixA)
+{
+    EXPECT_EQ(AboEngine(kT, Level::L1).alertToAlert(), fromNs(582));
+    EXPECT_EQ(AboEngine(kT, Level::L2).alertToAlert(), fromNs(984));
+    EXPECT_EQ(AboEngine(kT, Level::L4).alertToAlert(), fromNs(1788));
+}
+
+TEST(Abo, AlertNoLongerInFlightAfterBlockEnd)
+{
+    AboEngine abo(kT, Level::L1);
+    abo.assertAlert(0);
+    EXPECT_TRUE(abo.alertInFlight(fromNs(500)));
+    EXPECT_FALSE(abo.alertInFlight(fromNs(531)));
+}
+
+} // namespace
+} // namespace moatsim::abo

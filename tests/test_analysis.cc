@@ -1,0 +1,185 @@
+/**
+ * @file
+ * Tests of the analytical models against the paper's published numbers
+ * (Tables 2 and 7, Figures 10, 13, 15; Sections 6.5 and 7).
+ */
+
+#include <gtest/gtest.h>
+
+#include "analysis/feinting_model.hh"
+#include "analysis/ratchet_model.hh"
+#include "analysis/storage_model.hh"
+#include "analysis/throughput_model.hh"
+
+namespace moatsim::analysis
+{
+namespace
+{
+
+dram::TimingParams kT;
+
+TEST(RatchetModel, Table7SafeTrh)
+{
+    // Paper Table 7 (Safe-TRH column), reproduced to the integer.
+    struct Case
+    {
+        uint32_t ath;
+        int level;
+        int expected;
+    };
+    const Case cases[] = {
+        {32, 1, 69},  {32, 2, 56},  {32, 4, 50},
+        {64, 1, 99},  {64, 2, 87},  {64, 4, 82},
+        {128, 1, 161}, {128, 2, 150}, {128, 4, 145},
+    };
+    for (const auto &c : cases) {
+        const auto b = ratchetBound(kT, c.ath, c.level);
+        EXPECT_NEAR(b.safeTrh, c.expected, 1.0)
+            << "ATH=" << c.ath << " L=" << c.level;
+    }
+}
+
+TEST(RatchetModel, HeadlineNumbers)
+{
+    // Figure 10: MOAT with ATH 64 tolerates TRH 99; 128 -> 161.
+    EXPECT_EQ(static_cast<int>(ratchetBound(kT, 64, 1).safeTrh + 0.5), 99);
+    EXPECT_EQ(static_cast<int>(ratchetBound(kT, 128, 1).safeTrh + 0.5),
+              161);
+}
+
+TEST(RatchetModel, PoolSizeForAth64)
+{
+    // H(N) <= 28.64 ms with ATH 64, L1 gives Nc ~ 7325.
+    EXPECT_NEAR(ratchetBound(kT, 64, 1).maxPoolRows, 7325, 5);
+}
+
+TEST(RatchetModel, MonotonicInAth)
+{
+    double prev = 0;
+    for (uint32_t ath = 8; ath <= 128; ath += 8) {
+        const double v = ratchetBound(kT, ath, 1).safeTrh;
+        EXPECT_GT(v, prev);
+        prev = v;
+    }
+}
+
+TEST(RatchetModel, HigherLevelToleratesLowerTrh)
+{
+    // Fig 15: for fixed ATH, larger ABO level -> smaller TRH_safe
+    // (fewer ALERTs needed, more mitigations each).
+    for (uint32_t ath : {32u, 64u, 128u}) {
+        EXPECT_GT(ratchetBound(kT, ath, 1).safeTrh,
+                  ratchetBound(kT, ath, 2).safeTrh);
+        EXPECT_GT(ratchetBound(kT, ath, 2).safeTrh,
+                  ratchetBound(kT, ath, 4).safeTrh);
+    }
+}
+
+TEST(RatchetModel, SubFiftyTrhImpractical)
+{
+    // Section 5.3: delayed ALERTs make TRH below ~40-50 unreachable
+    // even at ATH = 0-ish.
+    EXPECT_GT(ratchetBound(kT, 8, 1).safeTrh, 40.0);
+}
+
+TEST(RatchetModel, StopTheWorldBound)
+{
+    EXPECT_EQ(stopTheWorldTrh(64), 66u); // Section 4.4
+}
+
+TEST(RatchetModelDeathTest, BadLevelIsFatal)
+{
+    EXPECT_EXIT(ratchetBound(kT, 64, 3), testing::ExitedWithCode(1),
+                "level");
+}
+
+TEST(FeintingModel, Table2Bounds)
+{
+    // Paper Table 2 within 2%: 638 / 1188 / 1702 / 2195 / 2669.
+    const double expected[] = {638, 1188, 1702, 2195, 2669};
+    for (uint32_t k = 1; k <= 5; ++k) {
+        const auto b = feintingBound(kT, k);
+        EXPECT_NEAR(b.trhBound, expected[k - 1],
+                    expected[k - 1] * 0.02)
+            << "k=" << k;
+    }
+}
+
+TEST(FeintingModel, BudgetIs67PerRefi)
+{
+    EXPECT_EQ(feintingBound(kT, 1).actsPerPeriod, 67u);
+    EXPECT_EQ(feintingBound(kT, 4).actsPerPeriod, 268u);
+}
+
+TEST(FeintingModel, SlowerMitigationMeansHigherBound)
+{
+    double prev = 0;
+    for (uint32_t k = 1; k <= 8; ++k) {
+        const double v = feintingBound(kT, k).trhBound;
+        EXPECT_GT(v, prev);
+        prev = v;
+    }
+}
+
+TEST(ThroughputModel, ContinuousAlertFloor)
+{
+    // Section 7.1: 4 ACTs per 11 units -> 0.36x; App. D: 2.8x/3.8x/4.9x
+    // max slowdown for L1/L2/L4.
+    EXPECT_NEAR(continuousAlertFloor(kT, 1).relative, 0.357, 0.01);
+    EXPECT_NEAR(1.0 / continuousAlertFloor(kT, 1).relative, 2.8, 0.1);
+    EXPECT_NEAR(1.0 / continuousAlertFloor(kT, 2).relative, 3.8, 0.1);
+    EXPECT_NEAR(1.0 / continuousAlertFloor(kT, 4).relative, 4.9, 0.1);
+}
+
+TEST(ThroughputModel, SingleBankKernelsLoseTenPercent)
+{
+    // Figure 13: both kernels lose ~10%.
+    EXPECT_NEAR(singleBankKernel(kT, 64, 1, 1).lossFraction, 0.10, 0.02);
+    EXPECT_NEAR(singleBankKernel(kT, 64, 5, 1).lossFraction, 0.10, 0.02);
+}
+
+TEST(ThroughputModel, TsaLossesMatchFigure12)
+{
+    // Figure 12: ~24% at 4 banks, ~52% at 17 banks.
+    EXPECT_NEAR(tsaAttack(kT, 64, 5, 4, 1).lossFraction, 0.24, 0.05);
+    EXPECT_NEAR(tsaAttack(kT, 64, 5, 17, 1).lossFraction, 0.52, 0.06);
+}
+
+TEST(ThroughputModel, TsaGrowsWithBanks)
+{
+    double prev = 0;
+    for (uint32_t k = 1; k <= 17; k += 4) {
+        const double v = tsaAttack(kT, 64, 5, k, 1).lossFraction;
+        EXPECT_GT(v, prev);
+        prev = v;
+    }
+}
+
+TEST(StorageModel, PaperBudgets)
+{
+    // Appendix D: 7/10/16 bytes per bank; 224/320/512 per 32-bank chip.
+    EXPECT_EQ(moatStorage(1).bytesPerBank, 7u);
+    EXPECT_EQ(moatStorage(2).bytesPerBank, 10u);
+    EXPECT_EQ(moatStorage(4).bytesPerBank, 16u);
+    EXPECT_EQ(moatStorage(1).bytesPerChip, 224u);
+    EXPECT_EQ(moatStorage(2).bytesPerChip, 320u);
+    EXPECT_EQ(moatStorage(4).bytesPerChip, 512u);
+}
+
+TEST(StorageModel, EnergyModel)
+{
+    // Section 6.5: +2.3% activations at <=20% activation-energy share
+    // is <0.5% total DRAM energy.
+    const auto e = mitigationEnergy(23, 1000, 0.2);
+    EXPECT_NEAR(e.activationIncrease, 0.023, 1e-9);
+    EXPECT_LT(e.dramEnergyIncrease, 0.005);
+}
+
+TEST(StorageModel, ZeroBaselineIsSafe)
+{
+    const auto e = mitigationEnergy(100, 0);
+    EXPECT_DOUBLE_EQ(e.activationIncrease, 0.0);
+}
+
+} // namespace
+} // namespace moatsim::analysis

@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Unit tests for the DRAM bank model with PRAC counters.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hh"
+#include "dram/bank.hh"
+
+namespace moatsim::dram
+{
+namespace
+{
+
+TimingParams
+smallTiming()
+{
+    TimingParams t;
+    t.rowsPerBank = 1024;
+    t.refreshGroups = 128;
+    return t;
+}
+
+TEST(Bank, StartsClosedAndZeroed)
+{
+    Bank b(smallTiming(), CounterInit::Zero);
+    EXPECT_EQ(b.openRow(), kInvalidRow);
+    EXPECT_EQ(b.numRows(), 1024u);
+    for (RowId r = 0; r < b.numRows(); r += 97)
+        EXPECT_EQ(b.counter(r), 0u);
+    EXPECT_EQ(b.totalActivations(), 0u);
+}
+
+TEST(Bank, ActivateIncrementsCounter)
+{
+    Bank b(smallTiming(), CounterInit::Zero);
+    EXPECT_EQ(b.activate(5), 1u);
+    EXPECT_EQ(b.activate(5), 2u);
+    EXPECT_EQ(b.activate(7), 1u);
+    EXPECT_EQ(b.counter(5), 2u);
+    EXPECT_EQ(b.counter(7), 1u);
+    EXPECT_EQ(b.totalActivations(), 3u);
+}
+
+TEST(Bank, ActivateOpensRowPrechargeCloses)
+{
+    Bank b(smallTiming(), CounterInit::Zero);
+    b.activate(11);
+    EXPECT_EQ(b.openRow(), 11u);
+    b.precharge();
+    EXPECT_EQ(b.openRow(), kInvalidRow);
+}
+
+TEST(Bank, ResetCounterZeroesOnlyThatRow)
+{
+    Bank b(smallTiming(), CounterInit::Zero);
+    b.activate(3);
+    b.activate(3);
+    b.activate(4);
+    b.resetCounter(3);
+    EXPECT_EQ(b.counter(3), 0u);
+    EXPECT_EQ(b.counter(4), 1u);
+}
+
+TEST(Bank, RandomInitStaysInByteRange)
+{
+    Rng rng(1);
+    Bank b(smallTiming(), CounterInit::RandomByte, &rng);
+    uint32_t nonzero = 0;
+    for (RowId r = 0; r < b.numRows(); ++r) {
+        EXPECT_LE(b.counter(r), 255u);
+        nonzero += (b.counter(r) != 0);
+    }
+    EXPECT_GT(nonzero, b.numRows() / 2);
+}
+
+TEST(Bank, RandomInitIsSeedDeterministic)
+{
+    Rng r1(77), r2(77);
+    Bank a(smallTiming(), CounterInit::RandomByte, &r1);
+    Bank b(smallTiming(), CounterInit::RandomByte, &r2);
+    for (RowId r = 0; r < a.numRows(); ++r)
+        EXPECT_EQ(a.counter(r), b.counter(r));
+}
+
+TEST(BankDeathTest, RandomInitWithoutRngIsFatal)
+{
+    EXPECT_EXIT(Bank(smallTiming(), CounterInit::RandomByte, nullptr),
+                testing::ExitedWithCode(1), "Rng");
+}
+
+TEST(Bank, CounterIsFreeRunningPastThresholdBits)
+{
+    Bank b(smallTiming(), CounterInit::Zero);
+    for (int i = 0; i < 300; ++i)
+        b.activate(0);
+    EXPECT_EQ(b.counter(0), 300u);
+}
+
+} // namespace
+} // namespace moatsim::dram

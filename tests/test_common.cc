@@ -1,0 +1,216 @@
+/**
+ * @file
+ * Unit tests for the common utilities (rng, stats, histogram, table).
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/histogram.hh"
+#include "common/rng.hh"
+#include "common/stats.hh"
+#include "common/table.hh"
+#include "common/time.hh"
+
+namespace moatsim
+{
+namespace
+{
+
+TEST(Time, UnitConversions)
+{
+    EXPECT_EQ(fromNs(52), 52'000);
+    EXPECT_DOUBLE_EQ(toNs(fromNs(3900)), 3900.0);
+    EXPECT_DOUBLE_EQ(toUs(fromNs(1000)), 1.0);
+    EXPECT_DOUBLE_EQ(toMs(32 * kMillisecond), 32.0);
+}
+
+TEST(Time, SubNanosecondResolutionIsExact)
+{
+    EXPECT_EQ(fromNs(0.5), 500);
+    EXPECT_EQ(kMillisecond, 1'000'000'000);
+}
+
+TEST(Rng, Deterministic)
+{
+    Rng a(42);
+    Rng b(42);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiffer)
+{
+    Rng a(1);
+    Rng b(2);
+    int differ = 0;
+    for (int i = 0; i < 16; ++i)
+        differ += (a.next() != b.next());
+    EXPECT_GT(differ, 0);
+}
+
+TEST(Rng, BelowStaysInRange)
+{
+    Rng rng(7);
+    for (int i = 0; i < 10000; ++i)
+        EXPECT_LT(rng.below(13), 13u);
+}
+
+TEST(Rng, InRangeInclusive)
+{
+    Rng rng(9);
+    bool saw_lo = false;
+    bool saw_hi = false;
+    for (int i = 0; i < 10000; ++i) {
+        const uint64_t v = rng.inRange(3, 5);
+        EXPECT_GE(v, 3u);
+        EXPECT_LE(v, 5u);
+        saw_lo |= (v == 3);
+        saw_hi |= (v == 5);
+    }
+    EXPECT_TRUE(saw_lo);
+    EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, UniformMeanNearHalf)
+{
+    Rng rng(11);
+    double sum = 0;
+    const int n = 100000;
+    for (int i = 0; i < n; ++i)
+        sum += rng.uniform();
+    EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+TEST(Rng, ChanceExtremes)
+{
+    Rng rng(13);
+    for (int i = 0; i < 100; ++i) {
+        EXPECT_FALSE(rng.chance(0.0));
+        EXPECT_TRUE(rng.chance(1.0));
+    }
+}
+
+TEST(RunningStat, BasicMoments)
+{
+    RunningStat s;
+    for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0})
+        s.add(x);
+    EXPECT_EQ(s.count(), 8u);
+    EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+    EXPECT_DOUBLE_EQ(s.stddev(), 2.0);
+    EXPECT_DOUBLE_EQ(s.min(), 2.0);
+    EXPECT_DOUBLE_EQ(s.max(), 9.0);
+    EXPECT_DOUBLE_EQ(s.sum(), 40.0);
+}
+
+TEST(RunningStat, EmptyIsZero)
+{
+    RunningStat s;
+    EXPECT_EQ(s.count(), 0u);
+    EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+    EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+}
+
+TEST(Stats, GeomeanOfEqualValues)
+{
+    std::vector<double> xs(10, 3.0);
+    EXPECT_NEAR(geomean(xs), 3.0, 1e-12);
+}
+
+TEST(Stats, GeomeanSimple)
+{
+    std::vector<double> xs = {1.0, 4.0};
+    EXPECT_NEAR(geomean(xs), 2.0, 1e-12);
+}
+
+TEST(Stats, HarmonicSmallValues)
+{
+    EXPECT_DOUBLE_EQ(harmonic(1), 1.0);
+    EXPECT_DOUBLE_EQ(harmonic(2), 1.5);
+    EXPECT_NEAR(harmonic(100), 5.1873775, 1e-6);
+}
+
+TEST(Stats, HarmonicLargeUsesAsymptotic)
+{
+    // H_n ~ ln n + gamma; check continuity across the exact/asymptotic
+    // switchover at 1e6.
+    const double below = harmonic(999'999);
+    const double above = harmonic(1'000'001);
+    EXPECT_NEAR(above - below, 2e-6, 1e-7);
+}
+
+TEST(Stats, FormatHelpers)
+{
+    EXPECT_EQ(formatFixed(3.14159, 2), "3.14");
+    EXPECT_EQ(formatPercent(0.0028), "0.28%");
+    EXPECT_EQ(formatPercent(0.5, 0), "50%");
+}
+
+TEST(Histogram, CountsAndOverflow)
+{
+    Histogram h(10);
+    h.add(0);
+    h.add(5);
+    h.add(5);
+    h.add(12);
+    EXPECT_EQ(h.bucket(0), 1u);
+    EXPECT_EQ(h.bucket(5), 2u);
+    EXPECT_EQ(h.overflow(), 1u);
+    EXPECT_EQ(h.total(), 4u);
+    EXPECT_EQ(h.maxValue(), 12u);
+}
+
+TEST(Histogram, CountAtLeast)
+{
+    Histogram h(100);
+    for (uint64_t v : {10, 20, 30, 150, 200})
+        h.add(v);
+    EXPECT_EQ(h.countAtLeast(0), 5u);
+    EXPECT_EQ(h.countAtLeast(20), 4u);
+    EXPECT_EQ(h.countAtLeast(100), 2u);
+    EXPECT_EQ(h.countAtLeast(151), 1u);
+}
+
+TEST(Histogram, ClearResets)
+{
+    Histogram h(10);
+    h.add(3);
+    h.add(30);
+    h.clear();
+    EXPECT_EQ(h.total(), 0u);
+    EXPECT_EQ(h.overflow(), 0u);
+    EXPECT_EQ(h.countAtLeast(0), 0u);
+}
+
+TEST(TablePrinter, AlignsColumns)
+{
+    TablePrinter tp({"a", "long-header"});
+    tp.addRow({"xxxx", "1"});
+    std::ostringstream os;
+    tp.print(os);
+    const std::string out = os.str();
+    EXPECT_NE(out.find("| a    | long-header |"), std::string::npos);
+    EXPECT_NE(out.find("| xxxx | 1           |"), std::string::npos);
+}
+
+TEST(TablePrinter, SeparatorRows)
+{
+    TablePrinter tp({"x"});
+    tp.addRow({"1"});
+    tp.addSeparator();
+    tp.addRow({"2"});
+    std::ostringstream os;
+    tp.print(os);
+    // Header sep + mid sep + bottom sep + top = 4 separator lines.
+    int seps = 0;
+    std::istringstream is(os.str());
+    std::string line;
+    while (std::getline(is, line))
+        seps += (line[0] == '+');
+    EXPECT_EQ(seps, 4);
+}
+
+} // namespace
+} // namespace moatsim

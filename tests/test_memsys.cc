@@ -1,0 +1,167 @@
+/**
+ * @file
+ * Tests of the memory-system performance model and the PerfRunner.
+ */
+
+#include <gtest/gtest.h>
+
+#include "mitigation/null.hh"
+#include "sim/memsys.hh"
+#include "sim/perf.hh"
+
+namespace moatsim::sim
+{
+namespace
+{
+
+using subchannel::SubChannel;
+using subchannel::SubChannelConfig;
+
+SubChannel
+nullChannel(uint32_t banks)
+{
+    SubChannelConfig sc;
+    sc.numBanks = banks;
+    return SubChannel(sc, [](BankId) {
+        return std::make_unique<mitigation::NullMitigator>();
+    });
+}
+
+workload::CoreTrace
+simpleTrace(Time window, Time gap, BankId bank, RowId row, int n)
+{
+    workload::CoreTrace t;
+    t.window = window;
+    for (int i = 0; i < n; ++i)
+        t.events.push_back({static_cast<Time>(i) * gap, bank, row});
+    return t;
+}
+
+TEST(MemSys, EmptyTracesFinishAtWindow)
+{
+    auto ch = nullChannel(2);
+    std::vector<workload::CoreTrace> traces(2);
+    traces[0].window = fromNs(1000);
+    traces[1].window = fromNs(1000);
+    const MemSysResult r = runMemSystem(ch, traces);
+    EXPECT_EQ(r.totalActs, 0u);
+    EXPECT_EQ(r.coreFinish[0], fromNs(1000));
+}
+
+TEST(MemSys, SparseTraceFinishesNearWindow)
+{
+    // Large gaps: memory is never the bottleneck, the finish time is
+    // the trace window plus at most one access latency.
+    auto ch = nullChannel(2);
+    std::vector<workload::CoreTrace> traces;
+    traces.push_back(simpleTrace(fromNs(100000), fromNs(1000), 0, 100, 50));
+    const MemSysResult r = runMemSystem(ch, traces);
+    EXPECT_NEAR(toNs(r.coreFinish[0]), 100000, 3000);
+    EXPECT_EQ(r.totalActs, 50u);
+}
+
+TEST(MemSys, DenseTraceIsBankLimited)
+{
+    // Zero-gap trace to one bank: finish ~ n * tRC (plus REF time).
+    auto ch = nullChannel(1);
+    std::vector<workload::CoreTrace> traces;
+    traces.push_back(simpleTrace(fromNs(100), 0, 0, 100, 100));
+    const MemSysResult r = runMemSystem(ch, traces);
+    EXPECT_GE(r.coreFinish[0], 100 * ch.timing().tRC);
+}
+
+TEST(MemSys, TwoCoresShareTheChannelFairly)
+{
+    auto ch = nullChannel(2);
+    std::vector<workload::CoreTrace> traces;
+    traces.push_back(simpleTrace(fromNs(50000), fromNs(100), 0, 100, 200));
+    traces.push_back(simpleTrace(fromNs(50000), fromNs(100), 1, 200, 200));
+    const MemSysResult r = runMemSystem(ch, traces);
+    const double ratio = static_cast<double>(r.coreFinish[0]) /
+                         static_cast<double>(r.coreFinish[1]);
+    EXPECT_NEAR(ratio, 1.0, 0.1);
+}
+
+TEST(MemSys, MlpBoundsOutstandingRequests)
+{
+    // With mlp=1 a zero-gap stream serializes fully; with mlp=4 the
+    // same stream to different banks overlaps and finishes faster.
+    std::vector<workload::CoreTrace> traces;
+    workload::CoreTrace t;
+    t.window = fromNs(100000);
+    for (int i = 0; i < 400; ++i)
+        t.events.push_back({0, static_cast<BankId>(i % 4), 100});
+    traces.push_back(t);
+
+    auto ch1 = nullChannel(4);
+    CoreModel m1;
+    m1.mlp = 1;
+    const auto r1 = runMemSystem(ch1, traces, m1);
+    auto ch4 = nullChannel(4);
+    CoreModel m4;
+    m4.mlp = 4;
+    const auto r4 = runMemSystem(ch4, traces, m4);
+    EXPECT_LT(r4.coreFinish[0], r1.coreFinish[0]);
+}
+
+TEST(MemSys, CountsRefsAndAlerts)
+{
+    auto ch = nullChannel(1);
+    std::vector<workload::CoreTrace> traces;
+    traces.push_back(
+        simpleTrace(10 * ch.timing().tREFI, fromNs(100), 0, 100, 300));
+    const MemSysResult r = runMemSystem(ch, traces);
+    EXPECT_GE(r.refs, 8u);
+    EXPECT_EQ(r.alerts, 0u);
+}
+
+TEST(PerfRunner, BaselineNormPerfIsOne)
+{
+    // Running the suite against an effectively-disabled MOAT
+    // (ATH huge) must give ~1.0 normalized performance.
+    workload::TraceGenConfig tg;
+    tg.banksSimulated = 8;
+    tg.windowFraction = 0.03125;
+    PerfRunner runner(tg);
+    mitigation::MoatConfig moat;
+    moat.ath = 1u << 20;
+    moat.eth = 1u << 19;
+    const auto r = runner.run(workload::findWorkload("x264"), moat);
+    EXPECT_NEAR(r.normPerf, 1.0, 0.002);
+    EXPECT_EQ(r.alerts, 0u);
+}
+
+TEST(PerfRunner, HotWorkloadSlowsMoreThanColdOne)
+{
+    workload::TraceGenConfig tg;
+    tg.banksSimulated = 8;
+    tg.windowFraction = 0.0625;
+    PerfRunner runner(tg);
+    mitigation::MoatConfig moat; // ATH 64
+    const auto hot = runner.run(workload::findWorkload("roms"), moat);
+    const auto cold = runner.run(workload::findWorkload("tc"), moat);
+    EXPECT_GT(hot.alertsPerRefi, cold.alertsPerRefi);
+    EXPECT_LE(cold.alertsPerRefi, 0.001);
+    EXPECT_LT(hot.normPerf, 1.0);
+}
+
+TEST(PerfRunner, Ath128QuenchesAlerts)
+{
+    // Needs the full 32-bank sub-channel: every ALERT gives all banks
+    // a free mitigation, so fewer banks means more residual alerts.
+    workload::TraceGenConfig tg;
+    tg.banksSimulated = 32;
+    tg.windowFraction = 0.0625;
+    PerfRunner runner(tg);
+    mitigation::MoatConfig a64;
+    mitigation::MoatConfig a128;
+    a128.ath = 128;
+    a128.eth = 64;
+    const auto &spec = workload::findWorkload("roms");
+    const auto r64 = runner.run(spec, a64);
+    const auto r128 = runner.run(spec, a128);
+    EXPECT_LT(r128.alertsPerRefi, 0.1 * r64.alertsPerRefi + 1e-3);
+}
+
+} // namespace
+} // namespace moatsim::sim

@@ -1,0 +1,128 @@
+/**
+ * @file
+ * Unit tests for the ground-truth SecurityMonitor.
+ */
+
+#include <gtest/gtest.h>
+
+#include "dram/security.hh"
+
+namespace moatsim::dram
+{
+namespace
+{
+
+TEST(Security, ActivationDamagesNeighboursOnly)
+{
+    SecurityMonitor m(100, 2);
+    m.onActivate(50);
+    EXPECT_EQ(m.damage(48), 1u);
+    EXPECT_EQ(m.damage(49), 1u);
+    EXPECT_EQ(m.damage(50), 0u); // the aggressor itself is not damaged
+    EXPECT_EQ(m.damage(51), 1u);
+    EXPECT_EQ(m.damage(52), 1u);
+    EXPECT_EQ(m.damage(53), 0u);
+    EXPECT_EQ(m.hammerCount(50), 1u);
+}
+
+TEST(Security, EdgeRowsClipVictimWindow)
+{
+    SecurityMonitor m(100, 2);
+    m.onActivate(0);
+    EXPECT_EQ(m.damage(1), 1u);
+    EXPECT_EQ(m.damage(2), 1u);
+    m.onActivate(99);
+    EXPECT_EQ(m.damage(97), 1u);
+    EXPECT_EQ(m.damage(98), 1u);
+}
+
+TEST(Security, RefreshResetsDamageAndHammer)
+{
+    SecurityMonitor m(100, 2);
+    for (int i = 0; i < 10; ++i)
+        m.onActivate(50);
+    m.onRowRefreshed(51);
+    EXPECT_EQ(m.damage(51), 0u);
+    EXPECT_EQ(m.damage(49), 10u); // other victims keep their damage
+    m.onRowRefreshed(50);
+    EXPECT_EQ(m.hammerCount(50), 0u);
+}
+
+TEST(Security, MitigationResetsHammerNotDamage)
+{
+    SecurityMonitor m(100, 2);
+    for (int i = 0; i < 5; ++i)
+        m.onActivate(50);
+    m.onMitigated(50);
+    EXPECT_EQ(m.hammerCount(50), 0u);
+    // Victim damage is cleared by the victim refreshes, which the
+    // caller reports separately.
+    EXPECT_EQ(m.damage(51), 5u);
+}
+
+TEST(Security, MaxTrackingSurvivesResets)
+{
+    SecurityMonitor m(100, 2);
+    for (int i = 0; i < 7; ++i)
+        m.onActivate(10);
+    m.onMitigated(10);
+    m.onRowRefreshed(11);
+    for (int i = 0; i < 3; ++i)
+        m.onActivate(20);
+    EXPECT_EQ(m.maxHammer(), 7u);
+    EXPECT_EQ(m.maxHammerRow(), 10u);
+    EXPECT_EQ(m.maxDamage(), 7u);
+}
+
+TEST(Security, DoubleSidedDamageAccumulates)
+{
+    // Figure 7(a) scenario: the victim between two aggressors takes
+    // damage from both even though each aggressor's count stays low.
+    SecurityMonitor m(100, 2);
+    for (int i = 0; i < 4; ++i) {
+        m.onActivate(49);
+        m.onActivate(51);
+    }
+    EXPECT_EQ(m.damage(50), 8u);
+    EXPECT_EQ(m.hammerCount(49), 4u);
+    EXPECT_EQ(m.hammerCount(51), 4u);
+}
+
+TEST(Security, UnsafeResetScenarioKeepsVictimDamage)
+{
+    // T activations before and after the aggressor's own refresh: the
+    // aggressor's hammer count resets but the victim's damage is 2T
+    // until the victim itself is refreshed (Section 4.3).
+    SecurityMonitor m(100, 2);
+    for (int i = 0; i < 30; ++i)
+        m.onActivate(60);
+    m.onRowRefreshed(60); // aggressor refreshed, not the victims
+    for (int i = 0; i < 30; ++i)
+        m.onActivate(60);
+    EXPECT_EQ(m.hammerCount(60), 30u);
+    EXPECT_EQ(m.damage(61), 60u);
+}
+
+TEST(Security, ClearResetsEverything)
+{
+    SecurityMonitor m(100, 2);
+    m.onActivate(10);
+    m.clear();
+    EXPECT_EQ(m.maxHammer(), 0u);
+    EXPECT_EQ(m.maxDamage(), 0u);
+    EXPECT_EQ(m.damage(11), 0u);
+    EXPECT_EQ(m.hammerCount(10), 0u);
+}
+
+TEST(Security, BlastRadiusOne)
+{
+    SecurityMonitor m(100, 1);
+    m.onActivate(50);
+    EXPECT_EQ(m.damage(49), 1u);
+    EXPECT_EQ(m.damage(51), 1u);
+    EXPECT_EQ(m.damage(48), 0u);
+    EXPECT_EQ(m.damage(52), 0u);
+}
+
+} // namespace
+} // namespace moatsim::dram

@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Tests for the trace serialization round trip and error handling.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "workload/trace_io.hh"
+
+namespace moatsim::workload
+{
+namespace
+{
+
+std::vector<CoreTrace>
+sampleTraces()
+{
+    std::vector<CoreTrace> traces(2);
+    traces[0].window = fromNs(1000);
+    traces[0].events = {{fromNs(10), 0, 100},
+                        {fromNs(20), 1, 200},
+                        {fromNs(20), 0, 100}};
+    traces[1].window = fromNs(2000);
+    traces[1].events = {{fromNs(5), 3, 7}};
+    return traces;
+}
+
+TEST(TraceIo, RoundTrip)
+{
+    const auto in = sampleTraces();
+    std::stringstream ss;
+    writeTraces(ss, in);
+    const auto out = readTraces(ss);
+    ASSERT_EQ(out.size(), in.size());
+    for (size_t c = 0; c < in.size(); ++c) {
+        EXPECT_EQ(out[c].window, in[c].window);
+        ASSERT_EQ(out[c].events.size(), in[c].events.size());
+        for (size_t i = 0; i < in[c].events.size(); ++i) {
+            EXPECT_EQ(out[c].events[i].at, in[c].events[i].at);
+            EXPECT_EQ(out[c].events[i].bank, in[c].events[i].bank);
+            EXPECT_EQ(out[c].events[i].row, in[c].events[i].row);
+        }
+    }
+}
+
+TEST(TraceIo, GeneratedTracesRoundTrip)
+{
+    TraceGenConfig cfg;
+    cfg.banksSimulated = 4;
+    cfg.numCores = 2;
+    cfg.windowFraction = 0.01;
+    const auto in = generateTraces(findWorkload("x264"), cfg);
+    std::stringstream ss;
+    writeTraces(ss, in);
+    const auto out = readTraces(ss);
+    ASSERT_EQ(out.size(), in.size());
+    for (size_t c = 0; c < in.size(); ++c)
+        EXPECT_EQ(out[c].events.size(), in[c].events.size());
+}
+
+TEST(TraceIo, CommentsAndBlankLinesIgnored)
+{
+    std::stringstream ss;
+    ss << "# header\n\ncore 0\nwindow 1000\n# mid comment\n10 1 2\n";
+    const auto out = readTraces(ss);
+    ASSERT_EQ(out.size(), 1u);
+    EXPECT_EQ(out[0].events.size(), 1u);
+    EXPECT_EQ(out[0].events[0].row, 2u);
+}
+
+TEST(TraceIo, MissingWindowDerivedFromLastEvent)
+{
+    std::stringstream ss;
+    ss << "core 0\n10 0 1\n50 0 2\n";
+    const auto out = readTraces(ss);
+    EXPECT_EQ(out[0].window, 51);
+}
+
+TEST(TraceIoDeathTest, OutOfOrderEventsFatal)
+{
+    std::stringstream ss;
+    ss << "core 0\nwindow 100\n50 0 1\n10 0 2\n";
+    EXPECT_EXIT(readTraces(ss), testing::ExitedWithCode(1),
+                "out of order");
+}
+
+TEST(TraceIoDeathTest, EventBeforeCoreFatal)
+{
+    std::stringstream ss;
+    ss << "10 0 1\n";
+    EXPECT_EXIT(readTraces(ss), testing::ExitedWithCode(1),
+                "before any core");
+}
+
+TEST(TraceIoDeathTest, NonContiguousCoresFatal)
+{
+    std::stringstream ss;
+    ss << "core 1\n";
+    EXPECT_EXIT(readTraces(ss), testing::ExitedWithCode(1), "in order");
+}
+
+} // namespace
+} // namespace moatsim::workload

@@ -1,0 +1,161 @@
+/**
+ * @file
+ * Tests of the Table-4 workload specs and the synthetic trace
+ * generator's calibration.
+ */
+
+#include <gtest/gtest.h>
+
+#include "workload/spec.hh"
+#include "workload/tracegen.hh"
+
+namespace moatsim::workload
+{
+namespace
+{
+
+TEST(Spec, TwentyOneWorkloads)
+{
+    EXPECT_EQ(table4Workloads().size(), 21u);
+}
+
+TEST(Spec, TierCountsAreCumulative)
+{
+    for (const auto &w : table4Workloads()) {
+        EXPECT_GE(w.act32, w.act64) << w.name;
+        EXPECT_GE(w.act64, w.act128) << w.name;
+    }
+}
+
+TEST(Spec, PaperSpotChecks)
+{
+    const auto &roms = findWorkload("roms");
+    EXPECT_DOUBLE_EQ(roms.actPki, 9.6);
+    EXPECT_EQ(roms.act64, 995u);
+    EXPECT_EQ(roms.act128, 431u);
+    const auto &cc = findWorkload("cc");
+    EXPECT_TRUE(cc.isGap);
+    EXPECT_DOUBLE_EQ(cc.actPki, 71.5);
+    const auto &tc = findWorkload("tc");
+    EXPECT_EQ(tc.act64, 0u);
+}
+
+TEST(SpecDeathTest, UnknownWorkloadIsFatal)
+{
+    EXPECT_EXIT(findWorkload("nosuch"), testing::ExitedWithCode(1),
+                "unknown");
+}
+
+TEST(Spec, AverageAct64BelowMitigationCapacity)
+{
+    // Table 4's observation: average ACT-64+ rows < 1400, which the
+    // REF-time mitigation (1638 per tREFW) can absorb.
+    double sum = 0;
+    for (const auto &w : table4Workloads())
+        sum += w.act64;
+    EXPECT_LT(sum / 21.0, 1400.0);
+}
+
+struct TraceGenTest : public ::testing::Test
+{
+    TraceGenConfig cfg = [] {
+        TraceGenConfig c;
+        c.banksSimulated = 8; // small and fast
+        c.windowFraction = 0.0625;
+        return c;
+    }();
+};
+
+TEST_F(TraceGenTest, TracesAreSortedAndInWindow)
+{
+    const auto &spec = findWorkload("omnetpp");
+    const auto traces = generateTraces(spec, cfg);
+    ASSERT_EQ(traces.size(), cfg.numCores);
+    for (const auto &t : traces) {
+        EXPECT_GT(t.events.size(), 0u);
+        for (size_t i = 1; i < t.events.size(); ++i)
+            EXPECT_LE(t.events[i - 1].at, t.events[i].at);
+        for (const auto &e : t.events) {
+            EXPECT_GE(e.at, 0);
+            EXPECT_LT(e.at, t.window);
+            EXPECT_LT(e.bank, cfg.banksSimulated);
+        }
+    }
+}
+
+TEST_F(TraceGenTest, CoresUseDisjointRowRanges)
+{
+    const auto &spec = findWorkload("mcf");
+    const auto traces = generateTraces(spec, cfg);
+    const uint32_t rows_per_core =
+        cfg.timing.rowsPerBank / cfg.numCores;
+    for (uint32_t c = 0; c < cfg.numCores; ++c) {
+        for (const auto &e : traces[c].events) {
+            EXPECT_GE(e.row, c * rows_per_core);
+            EXPECT_LT(e.row, (c + 1) * rows_per_core);
+        }
+    }
+}
+
+TEST_F(TraceGenTest, CensusMatchesTable4Tiers)
+{
+    // The generator's whole purpose: the per-bank-per-tREFW tier
+    // census must reproduce Table 4 within sampling error.
+    for (const char *name : {"roms", "lbm", "xalancbmk"}) {
+        const auto &spec = findWorkload(name);
+        const auto traces = generateTraces(spec, cfg);
+        const TierCensus census = censusOf(traces, cfg, spec);
+        EXPECT_NEAR(census.act32, spec.act32, spec.act32 * 0.15 + 40)
+            << name;
+        EXPECT_NEAR(census.act64, spec.act64, spec.act64 * 0.15 + 40)
+            << name;
+        EXPECT_NEAR(census.act128, spec.act128, spec.act128 * 0.15 + 40)
+            << name;
+    }
+}
+
+TEST_F(TraceGenTest, DeterministicForSameSeed)
+{
+    const auto &spec = findWorkload("bfs");
+    const auto a = generateTraces(spec, cfg);
+    const auto b = generateTraces(spec, cfg);
+    ASSERT_EQ(a.size(), b.size());
+    for (size_t c = 0; c < a.size(); ++c) {
+        ASSERT_EQ(a[c].events.size(), b[c].events.size());
+        for (size_t i = 0; i < a[c].events.size(); i += 101) {
+            EXPECT_EQ(a[c].events[i].row, b[c].events[i].row);
+            EXPECT_EQ(a[c].events[i].at, b[c].events[i].at);
+        }
+    }
+}
+
+TEST_F(TraceGenTest, EffectiveIpcCapsMemoryBoundWorkloads)
+{
+    // cc at 71.5 ACT-PKI cannot run at the nominal IPC of 2.
+    EXPECT_LT(effectiveIpc(findWorkload("cc"), cfg), 0.5);
+    // xalancbmk at 0.9 ACT-PKI is compute bound: full IPC.
+    EXPECT_DOUBLE_EQ(effectiveIpc(findWorkload("xalancbmk"), cfg), 2.0);
+}
+
+TEST_F(TraceGenTest, HotMassNeverExceedsBankTime)
+{
+    // Whatever the spec, the generated per-bank activation count must
+    // fit the bank's command bandwidth in the window.
+    for (const auto &spec : table4Workloads()) {
+        const auto traces = generateTraces(spec, cfg);
+        std::vector<uint64_t> per_bank(cfg.banksSimulated, 0);
+        for (const auto &t : traces) {
+            for (const auto &e : t.events)
+                ++per_bank[e.bank];
+        }
+        const uint64_t capacity = static_cast<uint64_t>(
+            traces.front().window / cfg.timing.tRC);
+        for (uint32_t b = 0; b < cfg.banksSimulated; ++b) {
+            EXPECT_LE(per_bank[b], capacity * 11 / 10)
+                << spec.name << " bank " << b;
+        }
+    }
+}
+
+} // namespace
+} // namespace moatsim::workload
