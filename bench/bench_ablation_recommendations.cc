@@ -15,7 +15,7 @@
 
 #include "attacks/jailbreak.hh"
 #include "bench_util.hh"
-#include "mitigation/panopticon_counter.hh"
+#include "mitigation/registry.hh"
 #include "subchannel/subchannel.hh"
 
 using namespace moatsim;
@@ -25,14 +25,13 @@ namespace
 
 /** Jailbreak pattern against the repaired counter-carrying queue. */
 attacks::AttackResult
-jailbreakVsCounterQueue(const mitigation::PanopticonCounterConfig &cfg)
+jailbreakVsCounterQueue(const mitigation::MitigatorSpec &spec)
 {
+    const mitigation::PanopticonCounterConfig cfg =
+        mitigation::panopticonCounterConfigOf(spec);
     subchannel::SubChannelConfig sc;
     sc.numBanks = 1;
-    subchannel::SubChannel ch(sc, [&](BankId) {
-        return std::make_unique<mitigation::PanopticonCounterMitigator>(
-            cfg);
-    });
+    subchannel::SubChannel ch(sc, spec.factory());
 
     const RowId base = sc.timing.rowsPerBank / 2;
     std::vector<RowId> rows(cfg.queueEntries);
@@ -96,9 +95,9 @@ main()
                    std::to_string(r.alerts)});
     }
     for (ActCount slack : {64u, 128u}) {
-        mitigation::PanopticonCounterConfig cfg;
-        cfg.alertSlack = slack;
-        const auto r = jailbreakVsCounterQueue(cfg);
+        const auto spec = mitigation::Registry::parse(
+            "panopticon-counter:slack=" + std::to_string(slack));
+        const auto r = jailbreakVsCounterQueue(spec);
         t2.addRow({"counter queue, slack " + std::to_string(slack),
                    std::to_string(r.maxHammer),
                    formatFixed(r.maxHammer / 128.0, 1) + "x",

@@ -14,7 +14,7 @@
 #include <iostream>
 
 #include "bench_util.hh"
-#include "mitigation/moat.hh"
+#include "mitigation/registry.hh"
 #include "subchannel/subchannel.hh"
 
 using namespace moatsim;
@@ -32,11 +32,9 @@ resetDodgeAttack(bool safe_reset, uint32_t t_each)
 {
     subchannel::SubChannelConfig sc;
     sc.numBanks = 1;
-    mitigation::MoatConfig moat; // ATH 64
-    moat.safeReset = safe_reset;
-    subchannel::SubChannel ch(sc, [&](BankId) {
-        return std::make_unique<mitigation::MoatMitigator>(moat);
-    });
+    const auto spec = mitigation::Registry::parse( // ATH 64
+        safe_reset ? "moat" : "moat:safe-reset=false");
+    subchannel::SubChannel ch(sc, spec.factory());
 
     // Group 199 (rows 1592..1599) is refreshed by REF #200 at
     // t = 200 * tREFI. Attack its last row; the victims in group 200

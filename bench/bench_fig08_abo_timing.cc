@@ -11,7 +11,7 @@
 
 #include "abo/abo.hh"
 #include "bench_util.hh"
-#include "mitigation/moat.hh"
+#include "mitigation/registry.hh"
 #include "subchannel/subchannel.hh"
 
 using namespace moatsim;
@@ -31,11 +31,10 @@ measureActsBetweenAlerts(abo::Level level)
     sc.numBanks = 1;
     sc.aboLevel = level;
     sc.refreshResetsRows = false;
-    mitigation::MoatConfig moat;
-    moat.trackerEntries = static_cast<uint32_t>(abo::levelValue(level));
-    subchannel::SubChannel ch(sc, [&](BankId) {
-        return std::make_unique<mitigation::MoatMitigator>(moat);
-    });
+    const auto spec = mitigation::Registry::parse(
+        "moat:entries=" + std::to_string(abo::levelValue(level)));
+    const mitigation::MoatConfig moat = mitigation::moatConfigOf(spec);
+    subchannel::SubChannel ch(sc, spec.factory());
     const auto &m =
         static_cast<const mitigation::MoatMitigator &>(ch.mitigator(0));
 

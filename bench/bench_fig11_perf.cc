@@ -11,7 +11,7 @@
 #include <iostream>
 
 #include "bench_util.hh"
-#include "sim/perf.hh"
+#include "sim/experiment.hh"
 
 using namespace moatsim;
 
@@ -24,17 +24,15 @@ main()
         "no-ALERT system. Paper: avg 0.28% @ ATH64 (roms ~2%), ~0% @ "
         "ATH128; ALERTs/tREFI avg 0.023 @ ATH64.");
 
-    workload::TraceGenConfig tg;
-    tg.windowFraction = 0.125 * bench::benchScale();
-    sim::PerfRunner runner(tg);
+    sim::ExperimentConfig ec;
+    ec.tracegen.windowFraction = 0.125 * bench::benchScale();
+    sim::Experiment exp(ec);
 
-    mitigation::MoatConfig a64;
-    mitigation::MoatConfig a128;
-    a128.ath = 128;
-    a128.eth = 64;
-
-    const auto r64 = runner.runSuite(a64);
-    const auto r128 = runner.runSuite(a128);
+    const auto r64 = exp.run(mitigation::Registry::parse("moat"),
+                             abo::Level::L1);
+    const auto r128 =
+        exp.run(mitigation::Registry::parse("moat:ath=128,eth=64"),
+                abo::Level::L1);
 
     TablePrinter t({"workload", "slowdown ATH64", "slowdown ATH128",
                     "ALERTs/tREFI ATH64", "ALERTs/tREFI ATH128"});

@@ -10,7 +10,7 @@
 #include <iostream>
 
 #include "bench_util.hh"
-#include "sim/perf.hh"
+#include "sim/experiment.hh"
 
 using namespace moatsim;
 
@@ -21,15 +21,15 @@ main()
                   "Higher ABO levels mitigate more rows per ALERT but "
                   "stall longer per episode.");
 
-    workload::TraceGenConfig tg;
-    tg.windowFraction = 0.0625 * bench::benchScale();
-    sim::PerfRunner runner(tg);
+    sim::ExperimentConfig ec;
+    ec.tracegen.windowFraction = 0.0625 * bench::benchScale();
+    sim::Experiment exp(ec);
 
     std::vector<std::vector<sim::PerfResult>> all;
     for (int level : {1, 2, 4}) {
-        mitigation::MoatConfig m;
-        m.trackerEntries = static_cast<uint32_t>(level);
-        all.push_back(runner.runSuite(m, static_cast<abo::Level>(level)));
+        const auto spec = mitigation::Registry::parse(
+            "moat:entries=" + std::to_string(level));
+        all.push_back(exp.run(spec, static_cast<abo::Level>(level)));
     }
 
     TablePrinter t({"workload", "slowdown L1", "slowdown L2",

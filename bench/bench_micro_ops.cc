@@ -10,8 +10,7 @@
 #include "common/rng.hh"
 #include "dram/bank.hh"
 #include "dram/security.hh"
-#include "mitigation/moat.hh"
-#include "mitigation/null.hh"
+#include "mitigation/registry.hh"
 #include "subchannel/subchannel.hh"
 
 using namespace moatsim;
@@ -55,9 +54,8 @@ BM_SubChannelActivateNull(benchmark::State &state)
 {
     subchannel::SubChannelConfig sc;
     sc.numBanks = static_cast<uint32_t>(state.range(0));
-    subchannel::SubChannel ch(sc, [](BankId) {
-        return std::make_unique<mitigation::NullMitigator>();
-    });
+    subchannel::SubChannel ch(
+        sc, mitigation::Registry::parse("null").factory());
     Rng rng(4);
     for (auto _ : state) {
         benchmark::DoNotOptimize(
@@ -72,10 +70,8 @@ BM_SubChannelActivateMoat(benchmark::State &state)
 {
     subchannel::SubChannelConfig sc;
     sc.numBanks = static_cast<uint32_t>(state.range(0));
-    mitigation::MoatConfig moat;
-    subchannel::SubChannel ch(sc, [&](BankId) {
-        return std::make_unique<mitigation::MoatMitigator>(moat);
-    });
+    subchannel::SubChannel ch(
+        sc, mitigation::Registry::parse("moat").factory());
     Rng rng(5);
     for (auto _ : state) {
         benchmark::DoNotOptimize(

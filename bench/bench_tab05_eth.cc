@@ -10,7 +10,7 @@
 #include <iostream>
 
 #include "bench_util.hh"
-#include "sim/perf.hh"
+#include "sim/experiment.hh"
 
 using namespace moatsim;
 
@@ -22,9 +22,9 @@ main()
                   "higher ETH means fewer proactive mitigations but "
                   "more rows racing to ATH.");
 
-    workload::TraceGenConfig tg;
-    tg.windowFraction = 0.0625 * bench::benchScale();
-    sim::PerfRunner runner(tg);
+    sim::ExperimentConfig ec;
+    ec.tracegen.windowFraction = 0.0625 * bench::benchScale();
+    sim::Experiment exp(ec);
 
     const uint32_t eths[] = {0, 16, 32, 48};
     const char *paper_mit[] = {"1729 (2.1x)", "1329 (1.6x)", "835 (1x)",
@@ -35,10 +35,9 @@ main()
     // paper does.
     std::vector<std::vector<sim::PerfResult>> all;
     for (uint32_t eth : eths) {
-        mitigation::MoatConfig m;
-        m.ath = 64;
-        m.eth = eth;
-        all.push_back(runner.runSuite(m));
+        const auto spec = mitigation::Registry::parse(
+            "moat:ath=64,eth=" + std::to_string(eth));
+        all.push_back(exp.run(spec, abo::Level::L1));
     }
     const double base_mit = sim::meanMitigations(all[2]);
 

@@ -10,7 +10,7 @@
 #include <iostream>
 
 #include "bench_util.hh"
-#include "sim/perf.hh"
+#include "sim/experiment.hh"
 
 using namespace moatsim;
 
@@ -21,9 +21,9 @@ main()
                   "Slower proactive mitigation shifts work onto "
                   "reactive ALERTs, which stall the sub-channel.");
 
-    workload::TraceGenConfig tg;
-    tg.windowFraction = 0.0625 * bench::benchScale();
-    sim::PerfRunner runner(tg);
+    sim::ExperimentConfig ec;
+    ec.tracegen.windowFraction = 0.0625 * bench::benchScale();
+    sim::Experiment exp(ec);
 
     const uint32_t rates[] = {1, 3, 5, 10, 0};
     const char *labels[] = {"1 aggressor per 1 tREFI",
@@ -36,11 +36,9 @@ main()
     TablePrinter t({"mitigation rate", "paper slowdown",
                     "moatsim slowdown", "ALERTs/tREFI"});
     for (size_t i = 0; i < 5; ++i) {
-        mitigation::MoatConfig m;
-        m.ath = 64;
-        m.eth = 32;
-        m.mitigationPeriodRefis = rates[i];
-        const auto rs = runner.runSuite(m);
+        const auto spec = mitigation::Registry::parse(
+            "moat:ath=64,eth=32,period=" + std::to_string(rates[i]));
+        const auto rs = exp.run(spec, abo::Level::L1);
         t.addRow({labels[i], paper[i],
                   formatPercent(1.0 - sim::meanNormPerf(rs)),
                   formatFixed(sim::meanAlertsPerRefi(rs), 4)});

@@ -13,7 +13,7 @@
 
 #include "analysis/ratchet_model.hh"
 #include "bench_util.hh"
-#include "sim/perf.hh"
+#include "sim/experiment.hh"
 
 using namespace moatsim;
 
@@ -25,9 +25,9 @@ main()
                   "ALERT; Safe-TRH comes from the Appendix-A Ratchet "
                   "bound.");
 
-    workload::TraceGenConfig tg;
-    tg.windowFraction = 0.0625 * bench::benchScale();
-    sim::PerfRunner runner(tg);
+    sim::ExperimentConfig ec;
+    ec.tracegen.windowFraction = 0.0625 * bench::benchScale();
+    sim::Experiment exp(ec);
 
     struct PaperRow
     {
@@ -45,14 +45,14 @@ main()
     TablePrinter t({"ATH", "design", "paper slowdown", "moatsim slowdown",
                     "paper Safe-TRH", "model Safe-TRH"});
     for (const auto &row : paper) {
-        mitigation::MoatConfig m;
-        m.ath = row.ath;
-        m.eth = row.ath / 2;
-        m.trackerEntries = static_cast<uint32_t>(row.level);
+        const auto spec = mitigation::Registry::parse(
+            "moat:ath=" + std::to_string(row.ath) +
+            ",eth=" + std::to_string(row.ath / 2) +
+            ",entries=" + std::to_string(row.level));
         const auto level = static_cast<abo::Level>(row.level);
-        const auto rs = runner.runSuite(m, level);
-        const auto bound =
-            analysis::ratchetBound(tg.timing, row.ath, row.level);
+        const auto rs = exp.run(spec, level);
+        const auto bound = analysis::ratchetBound(ec.tracegen.timing,
+                                                  row.ath, row.level);
         t.addRow({std::to_string(row.ath),
                   "MOAT-L" + std::to_string(row.level), row.slow,
                   formatPercent(1.0 - sim::meanNormPerf(rs)),

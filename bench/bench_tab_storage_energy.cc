@@ -11,9 +11,8 @@
 
 #include "analysis/storage_model.hh"
 #include "bench_util.hh"
-#include "mitigation/moat.hh"
-#include "mitigation/panopticon.hh"
-#include "sim/perf.hh"
+#include "mitigation/registry.hh"
+#include "sim/experiment.hh"
 
 using namespace moatsim;
 
@@ -21,8 +20,9 @@ int
 main()
 {
     bench::header("Section 6.5 / Appendix D (storage and energy)",
-                  "SRAM per bank/chip for each design; energy from the "
-                  "measured mitigation row operations.");
+                  "SRAM per bank/chip for each design, reported by the "
+                  "mitigator registry (one source of truth); energy "
+                  "from the measured mitigation row operations.");
 
     TablePrinter t({"design", "paper B/bank", "moatsim B/bank",
                     "paper B/chip", "moatsim B/chip"});
@@ -31,30 +31,26 @@ main()
     int i = 0;
     for (uint32_t entries : {1u, 2u, 4u}) {
         const auto s = analysis::moatStorage(entries);
-        mitigation::MoatConfig m;
-        m.trackerEntries = entries;
-        mitigation::MoatMitigator mit(m);
+        const auto spec = mitigation::Registry::parse(
+            "moat:entries=" + std::to_string(entries));
         t.addRow({"MOAT-L" + std::to_string(entries), paper_bank[i],
-                  std::to_string(mit.sramBytesPerBank()), paper_chip[i],
+                  std::to_string(spec.sramBytesPerBank()), paper_chip[i],
                   std::to_string(s.bytesPerChip)});
         ++i;
     }
-    {
-        mitigation::PanopticonConfig p;
-        mitigation::PanopticonMitigator mit(p);
-        t.addRow({"Panopticon (8-entry queue)", "-",
-                  std::to_string(mit.sramBytesPerBank()), "-",
-                  std::to_string(mit.sramBytesPerBank() * 32)});
+    for (const char *name : {"panopticon", "panopticon-counter"}) {
+        const auto spec = mitigation::Registry::parse(name);
+        t.addRow({name, "-", std::to_string(spec.sramBytesPerBank()), "-",
+                  std::to_string(spec.sramBytesPerBank() * 32)});
     }
     t.print(std::cout);
 
     std::cout << "\nEnergy (measured over the workload suite, MOAT "
                  "ATH 64 / ETH 32):\n";
-    workload::TraceGenConfig tg;
-    tg.windowFraction = 0.0625 * bench::benchScale();
-    sim::PerfRunner runner(tg);
-    mitigation::MoatConfig m;
-    const auto results = runner.runSuite(m);
+    sim::ExperimentConfig ec;
+    ec.tracegen.windowFraction = 0.0625 * bench::benchScale();
+    sim::Experiment exp(ec);
+    const auto results = exp.run();
     double overhead = 0;
     for (const auto &r : results)
         overhead += r.actOverheadFraction;

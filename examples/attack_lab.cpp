@@ -10,9 +10,8 @@
 #include <cstdio>
 
 #include "analysis/ratchet_model.hh"
-#include "attacks/jailbreak.hh"
-#include "attacks/postponement.hh"
-#include "attacks/ratchet.hh"
+#include "attacks/attack.hh"
+#include "mitigation/registry.hh"
 
 using namespace moatsim;
 
@@ -40,31 +39,37 @@ main()
 
     dram::TimingParams timing;
 
-    // 1. Panopticon (threshold 128, 8-entry queue) vs Jailbreak.
+    // Each run is the same call shape: a pattern name plus a registered
+    // mitigator spec -- the registry makes every defence addressable.
+    const struct
     {
-        attacks::JailbreakConfig cfg;
-        const auto r = attacks::runDeterministicJailbreak(cfg);
-        verdict("Panopticon (gradual)", "Jailbreak", r.maxHammer,
-                claimed_trh);
-    }
-
-    // 2. Drain-all Panopticon vs refresh postponement.
-    {
-        attacks::PostponementConfig cfg;
-        cfg.trials = 128;
-        const auto r = attacks::runRefreshPostponement(cfg);
-        verdict("Panopticon (drain-all)", "REF postponement",
-                r.maxHammer, claimed_trh);
-    }
-
-    // 3. MOAT (ATH 64) vs the Ratchet attack -- the strongest pattern
-    //    the PRAC+ABO framework admits.
-    {
-        attacks::RatchetConfig cfg;
+        const char *design;
+        const char *spec;
+        const char *pattern;
+    } plan[] = {
+        // 1. Panopticon (threshold 128, 8-entry queue) vs Jailbreak.
+        {"Panopticon (gradual)", "panopticon", "jailbreak"},
+        // 2. Drain-all Panopticon vs refresh postponement.
+        {"Panopticon (drain-all)", "panopticon:drain-all=true",
+         "postponement"},
+        // 3. The Section-9 repaired queue. The tuned jailbreak driver
+        //    targets the original address-only design, so the repaired
+        //    queue is probed with the generic round-robin pattern.
+        {"Panopticon+counters", "panopticon-counter", "round-robin"},
+        // 4. The transparent per-row-counter ideal vs feinting.
+        {"IdealPRC (no ALERT)", "ideal-prc", "feinting"},
+        // 5. MOAT (ATH 64) vs the Ratchet attack -- the strongest
+        //    pattern the PRAC+ABO framework admits.
+        {"MOAT-L1 (ETH 32, ATH 64)", "moat", "ratchet"},
+    };
+    for (const auto &p : plan) {
+        attacks::AttackConfig cfg;
         cfg.timing = timing;
-        const auto r = attacks::runRatchet(cfg);
-        verdict("MOAT-L1 (ETH 32, ATH 64)", "Ratchet", r.maxHammer,
-                claimed_trh);
+        cfg.pattern = p.pattern;
+        cfg.trials = 128; // postponement alignment sweep, kept small
+        const auto r =
+            attacks::runAttack(cfg, mitigation::Registry::parse(p.spec));
+        verdict(p.design, p.pattern, r.maxHammer, claimed_trh);
     }
 
     std::printf("\nMOAT's guarantee is analytic, not just empirical: "

@@ -12,7 +12,7 @@
 #include "attacks/tsa.hh"
 #include "common/stats.hh"
 #include "common/table.hh"
-#include "sim/perf.hh"
+#include "sim/experiment.hh"
 
 using namespace moatsim;
 
@@ -22,17 +22,17 @@ main()
     std::printf("Datacenter view: MOAT (ATH 64) on mixed tenant "
                 "workloads\n\n");
 
-    workload::TraceGenConfig tg;
-    tg.windowFraction = 0.0625;
-    sim::PerfRunner runner(tg);
-    mitigation::MoatConfig moat;
+    sim::ExperimentConfig ec;
+    ec.tracegen.windowFraction = 0.0625;
+    sim::Experiment exp(ec); // default mitigator: "moat"
 
     // A representative mix: streaming HPC, pointer chasing, graph
     // analytics, and a nearly idle service.
     TablePrinter t({"tenant workload", "slowdown", "ALERTs/tREFI",
                     "mitigations/bank/tREFW"});
     for (const char *name : {"bwaves", "mcf", "roms", "pr", "x264"}) {
-        const auto r = runner.run(workload::findWorkload(name), moat);
+        const auto r = exp.runWorkload(workload::findWorkload(name),
+                                       ec.mitigator, ec.aboLevel);
         t.addRow({name, formatPercent(1.0 - r.normPerf),
                   formatFixed(r.alertsPerRefi, 4),
                   formatFixed(r.mitigationsPerBankPerRefw, 0)});
@@ -45,7 +45,8 @@ main()
     atk.numBanks = 17; // tFAW limit
     atk.cycles = 20;
     const auto tsa = attacks::runTsa(atk);
-    const auto model = analysis::tsaAttack(tg.timing, 64, 5, 17, 1);
+    const auto model =
+        analysis::tsaAttack(ec.tracegen.timing, 64, 5, 17, 1);
     std::printf("  measured channel throughput loss: %s "
                 "(paper unit-model: %s)\n",
                 formatPercent(tsa.lossFraction, 1).c_str(),

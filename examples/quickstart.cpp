@@ -13,7 +13,7 @@
 #include <memory>
 
 #include "analysis/ratchet_model.hh"
-#include "mitigation/moat.hh"
+#include "mitigation/registry.hh"
 #include "subchannel/subchannel.hh"
 
 using namespace moatsim;
@@ -22,14 +22,15 @@ int
 main()
 {
     // 1. Configure a DDR5 sub-channel with the paper's Table-1 timings
-    //    (the defaults) and one MOAT instance per bank.
+    //    (the defaults) and one MOAT instance per bank. Any registered
+    //    design works here: try "panopticon" or "ideal-prc".
     subchannel::SubChannelConfig config;
     config.numBanks = 4; // keep the demo small
 
-    mitigation::MoatConfig moat; // ETH=32, ATH=64, MOAT-L1
-    subchannel::SubChannel channel(config, [&](BankId) {
-        return std::make_unique<mitigation::MoatMitigator>(moat);
-    });
+    const auto spec =
+        mitigation::Registry::parse("moat"); // ETH=32, ATH=64, MOAT-L1
+    const mitigation::MoatConfig moat = mitigation::moatConfigOf(spec);
+    subchannel::SubChannel channel(config, spec.factory());
 
     std::printf("Sub-channel: %u banks, %u rows each, tRC %.0f ns\n",
                 channel.numBanks(), channel.bank(0).numRows(),

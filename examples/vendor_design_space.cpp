@@ -14,10 +14,9 @@
 #include <vector>
 
 #include "analysis/ratchet_model.hh"
-#include "analysis/storage_model.hh"
 #include "common/stats.hh"
 #include "common/table.hh"
-#include "sim/perf.hh"
+#include "sim/experiment.hh"
 
 using namespace moatsim;
 
@@ -28,9 +27,9 @@ main()
     std::printf("Design-space walk for chips with TRH = %u\n\n",
                 chip_trh);
 
-    workload::TraceGenConfig tg;
-    tg.windowFraction = 0.0625; // quick evaluation runs
-    sim::PerfRunner runner(tg);
+    sim::ExperimentConfig ec;
+    ec.tracegen.windowFraction = 0.0625; // quick evaluation runs
+    sim::Experiment exp(ec);
     const auto &hot = workload::findWorkload("roms");
 
     struct Candidate
@@ -45,23 +44,21 @@ main()
     TablePrinter t({"design", "tolerated TRH", "safe for chip?",
                     "SRAM B/bank", "roms slowdown", "ALERTs/tREFI"});
     for (const auto &c : candidates) {
-        const auto bound = analysis::ratchetBound(tg.timing, c.ath,
-                                                  c.level);
-        const auto storage = analysis::moatStorage(
-            static_cast<uint32_t>(c.level));
+        const auto bound =
+            analysis::ratchetBound(ec.tracegen.timing, c.ath, c.level);
 
-        mitigation::MoatConfig moat;
-        moat.ath = c.ath;
-        moat.eth = c.ath / 2;
-        moat.trackerEntries = static_cast<uint32_t>(c.level);
+        const auto spec = mitigation::Registry::parse(
+            "moat:ath=" + std::to_string(c.ath) +
+            ",eth=" + std::to_string(c.ath / 2) +
+            ",entries=" + std::to_string(c.level));
         const auto perf =
-            runner.run(hot, moat, static_cast<abo::Level>(c.level));
+            exp.runWorkload(hot, spec, static_cast<abo::Level>(c.level));
 
         t.addRow({"MOAT-L" + std::to_string(c.level) +
                       " ATH=" + std::to_string(c.ath),
                   formatFixed(bound.safeTrh, 0),
                   bound.safeTrh <= chip_trh ? "yes" : "NO",
-                  std::to_string(storage.bytesPerBank),
+                  std::to_string(spec.sramBytesPerBank()),
                   formatPercent(1.0 - perf.normPerf),
                   formatFixed(perf.alertsPerRefi, 4)});
     }

@@ -1,0 +1,13 @@
+#!/usr/bin/env bash
+# Tier-1 verification: configure, build everything with warnings as
+# errors, and run the test suite. This is the command CI runs and the
+# bar every change must clear.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+BUILD_DIR="${BUILD_DIR:-build}"
+
+cmake -B "$BUILD_DIR" -S . -DMOATSIM_WERROR=ON
+cmake --build "$BUILD_DIR" -j
+ctest --test-dir "$BUILD_DIR" --output-on-failure -j"$(nproc)"

@@ -1,20 +1,36 @@
 /**
  * @file
- * Shared result types for the attack suite.
+ * Shared result types and the common attack entry point.
  *
  * Every attack in moatsim drives a SubChannel through its public
  * command API exactly as a memory controller under attacker control
  * would (the threat model of Section 2.1: arbitrary addresses, known
  * defence state, attacker-chosen memory policy), and reports the
  * ground-truth security outcome measured by the SecurityMonitor.
+ *
+ * runAttack() is the design-agnostic shape: a named pattern plus a
+ * mitigation::MitigatorSpec naming any registered defence. Generic
+ * patterns ("hammer", "round-robin") run against every design; the
+ * paper's specialized patterns ("ratchet", "jailbreak", "feinting",
+ * "postponement") validate that the spec names the design they are
+ * tailored to and reject others with a clear error.
  */
 
 #ifndef MOATSIM_ATTACKS_ATTACK_HH
 #define MOATSIM_ATTACKS_ATTACK_HH
 
 #include <cstdint>
+#include <string>
+#include <vector>
 
+#include "abo/abo.hh"
 #include "common/time.hh"
+#include "dram/timing.hh"
+
+namespace moatsim::mitigation
+{
+class MitigatorSpec;
+} // namespace moatsim::mitigation
 
 namespace moatsim::attacks
 {
@@ -47,6 +63,34 @@ struct ThroughputAttackResult
     /** ALERTs asserted during the measured window. */
     uint64_t alerts = 0;
 };
+
+/** Configuration of the common runAttack() entry point. */
+struct AttackConfig
+{
+    dram::TimingParams timing{};
+    /** ABO mitigation level of the channel. */
+    abo::Level aboLevel = abo::Level::L1;
+    /** Pattern name; see attackPatterns(). */
+    std::string pattern = "hammer";
+    /** Rows in the attack pool (0 = pattern-specific default). */
+    uint32_t poolRows = 0;
+    /** Activation budget (0 = pattern-specific default). */
+    uint64_t budget = 0;
+    /** Alignment trials for phase-sweeping patterns (0 = default). */
+    uint32_t trials = 0;
+    uint64_t seed = 1;
+};
+
+/** Names of the patterns runAttack() understands. */
+std::vector<std::string> attackPatterns();
+
+/**
+ * Run a named attack pattern against any registered mitigator design.
+ * fatal()s on an unknown pattern, or when a design-specific pattern
+ * is pointed at a design it cannot target.
+ */
+AttackResult runAttack(const AttackConfig &config,
+                       const mitigation::MitigatorSpec &mitigator);
 
 } // namespace moatsim::attacks
 

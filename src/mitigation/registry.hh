@@ -1,0 +1,174 @@
+/**
+ * @file
+ * String-keyed mitigator registry and the MitigatorSpec experiment API.
+ *
+ * The paper's claims are comparative -- MOAT vs. Panopticon vs. an
+ * idealized per-row-counter design on the same PRAC+ABO substrate --
+ * so the experiment layer must be able to name any design, not just
+ * MOAT. Every design registers a Descriptor (name, summary, typed
+ * key=value parameters); callers select one with a compact text form
+ *
+ *     name[:key=value,...]        e.g.  "moat:ath=128,eth=64"
+ *
+ * which parses into a MitigatorSpec: a validated, canonical,
+ * round-trippable (parse -> describe -> parse) selection that converts
+ * into the per-bank factory a SubChannel consumes. The registry is the
+ * single source of truth for parameter names, defaults, and the
+ * Section-6.5 SRAM cost reported by `moatsim list-mitigators` and the
+ * storage bench.
+ *
+ * Registered designs: "moat", "panopticon", "panopticon-counter",
+ * "ideal-prc", "null".
+ */
+
+#ifndef MOATSIM_MITIGATION_REGISTRY_HH
+#define MOATSIM_MITIGATION_REGISTRY_HH
+
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "mitigation/ideal_prc.hh"
+#include "mitigation/mitigator.hh"
+#include "mitigation/moat.hh"
+#include "mitigation/panopticon.hh"
+#include "mitigation/panopticon_counter.hh"
+
+namespace moatsim::mitigation
+{
+
+/** Value type of one descriptor parameter. */
+enum class ParamType
+{
+    UInt,
+    Bool,
+};
+
+/** One typed key=value parameter of a registered design. */
+struct ParamInfo
+{
+    /** Key as written on the command line (e.g. "ath"). */
+    std::string key;
+    ParamType type = ParamType::UInt;
+    /** Canonical text of the default value (from the config struct). */
+    std::string defaultValue;
+    /** One-line description for list-mitigators. */
+    std::string doc;
+};
+
+/**
+ * A validated mitigator selection: a registered design name plus the
+ * explicitly-overridden parameters. Obtain one from Registry::parse()
+ * (or default-construct for the paper's default MOAT) and hand it to
+ * PerfRunner, Experiment, or runAttack; factory() adapts it to the
+ * SubChannel constructor.
+ */
+class MitigatorSpec
+{
+  public:
+    /** The paper's default design: "moat" with default parameters. */
+    MitigatorSpec() = default;
+
+    /** Registered design name. */
+    const std::string &name() const { return name_; }
+
+    /** Canonical re-parseable text form: name[:k=v,...]. */
+    std::string describe() const;
+
+    /** Whether @p key was explicitly set. */
+    bool hasParam(const std::string &key) const;
+
+    /** Integer parameter value, or @p def when not explicitly set. */
+    uint64_t paramUInt(const std::string &key, uint64_t def) const;
+
+    /** Boolean parameter value, or @p def when not explicitly set. */
+    bool paramBool(const std::string &key, bool def) const;
+
+    /** Build one mitigator instance of this design. */
+    std::unique_ptr<IMitigator> create() const;
+
+    /**
+     * Per-bank factory in the shape SubChannel consumes
+     * (SubChannel::MitigatorFactory is this exact function type).
+     */
+    std::function<std::unique_ptr<IMitigator>(BankId)> factory() const;
+
+    /**
+     * SRAM cost in bytes per bank (Section 6.5) of this design at
+     * these parameters, taken from the design's own implementation so
+     * benches and list-mitigators never duplicate the constants.
+     */
+    uint32_t sramBytesPerBank() const;
+
+    bool operator==(const MitigatorSpec &other) const
+    {
+        return name_ == other.name_ && params_ == other.params_;
+    }
+
+  private:
+    friend class Registry;
+
+    std::string name_ = "moat";
+    /** Explicit overrides, in the descriptor's parameter order. */
+    std::vector<std::pair<std::string, std::string>> params_;
+};
+
+/** Registration record of one mitigator design. */
+struct MitigatorDescriptor
+{
+    std::string name;
+    /** One-line summary for list-mitigators. */
+    std::string summary;
+    /** Accepted parameters with defaults. */
+    std::vector<ParamInfo> params;
+    /** Build an instance from a validated spec. */
+    std::function<std::unique_ptr<IMitigator>(const MitigatorSpec &)> create;
+};
+
+/** The static registry of mitigator designs. */
+class Registry
+{
+  public:
+    /**
+     * Parse "name[:key=value,...]" into a validated spec; calls
+     * fatal() with a message naming the offending token on error.
+     */
+    static MitigatorSpec parse(const std::string &text);
+
+    /**
+     * Parse without terminating: returns std::nullopt on error and,
+     * when @p error is non-null, stores the diagnostic there.
+     */
+    static std::optional<MitigatorSpec>
+    tryParse(const std::string &text, std::string *error = nullptr);
+
+    /** Whether @p name is a registered design. */
+    static bool known(const std::string &name);
+
+    /** All registered design names, in registration order. */
+    static std::vector<std::string> names();
+
+    /** Descriptor of a registered design; fatal() when unknown. */
+    static const MitigatorDescriptor &descriptor(const std::string &name);
+};
+
+/**
+ * Config extraction: rebuild the typed config struct a spec denotes.
+ * Single parsing point shared by the factories, the attack drivers,
+ * and the deprecated MoatConfig code paths. Each fatal()s when the
+ * spec names a different design.
+ */
+MoatConfig moatConfigOf(const MitigatorSpec &spec);
+PanopticonConfig panopticonConfigOf(const MitigatorSpec &spec);
+PanopticonCounterConfig panopticonCounterConfigOf(const MitigatorSpec &spec);
+IdealPrcConfig idealPrcConfigOf(const MitigatorSpec &spec);
+
+/** Inverse of moatConfigOf: a spec with every MOAT field explicit. */
+MitigatorSpec moatSpec(const MoatConfig &config);
+
+} // namespace moatsim::mitigation
+
+#endif // MOATSIM_MITIGATION_REGISTRY_HH

@@ -1,0 +1,37 @@
+#include "sim/experiment.hh"
+
+namespace moatsim::sim
+{
+
+Experiment::Experiment(const ExperimentConfig &config)
+    : config_(config), runner_(config.tracegen, config.core)
+{
+}
+
+std::vector<PerfResult>
+Experiment::run()
+{
+    return run(config_.mitigator, config_.aboLevel);
+}
+
+std::vector<PerfResult>
+Experiment::run(const mitigation::MitigatorSpec &mitigator, abo::Level level)
+{
+    if (config_.workload == "all")
+        return runner_.runSuite(mitigator, level);
+    std::vector<PerfResult> results;
+    results.push_back(
+        runner_.run(workload::findWorkload(config_.workload), mitigator,
+                    level));
+    return results;
+}
+
+PerfResult
+Experiment::runWorkload(const workload::WorkloadSpec &spec,
+                        const mitigation::MitigatorSpec &mitigator,
+                        abo::Level level)
+{
+    return runner_.run(spec, mitigator, level);
+}
+
+} // namespace moatsim::sim

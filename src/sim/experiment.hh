@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Single entry point for performance experiments.
+ *
+ * An Experiment bundles everything one run needs -- DRAM timing (via
+ * the trace-generator config), ABO level, workload selection, the
+ * mitigator spec, and the seed -- so the CLI, the benches, and the
+ * examples all drive the same code path instead of hand-assembling
+ * PerfRunner calls. The Experiment owns a PerfRunner, so the cached
+ * no-ALERT baselines are shared across every design/level evaluated
+ * through it; design-space sweeps call run(spec, level) repeatedly
+ * with alternative registered designs.
+ */
+
+#ifndef MOATSIM_SIM_EXPERIMENT_HH
+#define MOATSIM_SIM_EXPERIMENT_HH
+
+#include <string>
+#include <vector>
+
+#include "abo/abo.hh"
+#include "mitigation/registry.hh"
+#include "sim/perf.hh"
+
+namespace moatsim::sim
+{
+
+/** Everything one performance experiment needs. */
+struct ExperimentConfig
+{
+    /** Trace generation: DRAM timing, window fraction, cores, seed. */
+    workload::TraceGenConfig tracegen{};
+    /** ABO mitigation level of the sub-channel (MR71 op[1:0]). */
+    abo::Level aboLevel = abo::Level::L1;
+    /** Design under test; default is the paper's MOAT defaults. */
+    mitigation::MitigatorSpec mitigator{};
+    /** Table-4 workload name, or "all" for the whole suite. */
+    std::string workload = "all";
+    /** Core model (memory-level parallelism). */
+    CoreModel core{};
+};
+
+/** Runs the configured workloads against registered mitigator designs. */
+class Experiment
+{
+  public:
+    explicit Experiment(const ExperimentConfig &config);
+
+    /** Run the configured workload selection with the configured design. */
+    std::vector<PerfResult> run();
+
+    /**
+     * Run the same workload selection with a different design and/or
+     * ABO level; the no-ALERT baselines are shared, so sweeps only pay
+     * for the mitigated runs.
+     */
+    std::vector<PerfResult> run(const mitigation::MitigatorSpec &mitigator,
+                                abo::Level level);
+
+    /** One workload with an explicit design/level (sweep inner loop). */
+    PerfResult runWorkload(const workload::WorkloadSpec &spec,
+                           const mitigation::MitigatorSpec &mitigator,
+                           abo::Level level);
+
+    const ExperimentConfig &config() const { return config_; }
+
+    /** The underlying runner (baseline cache included). */
+    PerfRunner &runner() { return runner_; }
+
+  private:
+    ExperimentConfig config_;
+    PerfRunner runner_;
+};
+
+} // namespace moatsim::sim
+
+#endif // MOATSIM_SIM_EXPERIMENT_HH

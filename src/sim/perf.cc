@@ -49,20 +49,18 @@ PerfRunner::baselineFinish(const workload::WorkloadSpec &spec)
 
 PerfResult
 PerfRunner::run(const workload::WorkloadSpec &spec,
-                const mitigation::MoatConfig &moat, abo::Level level)
+                const mitigation::MitigatorSpec &mitigator, abo::Level level)
 {
     const std::vector<Time> &base = baselineFinish(spec);
 
     const auto traces = workload::generateTraces(spec, config_);
     subchannel::SubChannel ch(channelConfigFor(config_, level),
-                              [&](BankId) {
-                                  return std::make_unique<
-                                      mitigation::MoatMitigator>(moat);
-                              });
+                              mitigator.factory());
     const MemSysResult res = runMemSystem(ch, traces, core_);
 
     PerfResult out;
     out.workload = spec.name;
+    out.mitigator = mitigator.describe();
     out.alerts = res.alerts;
     out.acts = res.totalActs;
 
@@ -97,12 +95,26 @@ PerfRunner::run(const workload::WorkloadSpec &spec,
 }
 
 std::vector<PerfResult>
-PerfRunner::runSuite(const mitigation::MoatConfig &moat, abo::Level level)
+PerfRunner::runSuite(const mitigation::MitigatorSpec &mitigator,
+                     abo::Level level)
 {
     std::vector<PerfResult> results;
     for (const auto &spec : workload::table4Workloads())
-        results.push_back(run(spec, moat, level));
+        results.push_back(run(spec, mitigator, level));
     return results;
+}
+
+PerfResult
+PerfRunner::run(const workload::WorkloadSpec &spec,
+                const mitigation::MoatConfig &moat, abo::Level level)
+{
+    return run(spec, mitigation::moatSpec(moat), level);
+}
+
+std::vector<PerfResult>
+PerfRunner::runSuite(const mitigation::MoatConfig &moat, abo::Level level)
+{
+    return runSuite(mitigation::moatSpec(moat), level);
 }
 
 double

@@ -9,6 +9,10 @@
  * bank per tREFW (Table 5), and the activation-energy overhead
  * (Section 6.5). Baseline runs are cached per workload, since every
  * parameter sweep shares them.
+ *
+ * The mitigator under test is selected by a mitigation::MitigatorSpec,
+ * so any registered design ("moat", "panopticon", "ideal-prc", ...)
+ * runs through the same pipeline; see mitigation/registry.hh.
  */
 
 #ifndef MOATSIM_SIM_PERF_HH
@@ -20,6 +24,7 @@
 
 #include "abo/abo.hh"
 #include "mitigation/moat.hh"
+#include "mitigation/registry.hh"
 #include "sim/memsys.hh"
 #include "workload/spec.hh"
 #include "workload/tracegen.hh"
@@ -31,6 +36,8 @@ namespace moatsim::sim
 struct PerfResult
 {
     std::string workload;
+    /** Canonical spec of the design under test (MitigatorSpec text). */
+    std::string mitigator;
     /** Weighted speedup relative to the no-ALERT baseline (<= 1). */
     double normPerf = 1.0;
     /** ALERTs per tREFI (per sub-channel). */
@@ -52,12 +59,23 @@ class PerfRunner
     explicit PerfRunner(const workload::TraceGenConfig &config,
                         CoreModel core = CoreModel{});
 
-    /** Run one workload against a MOAT configuration. */
+    /** Run one workload against any registered mitigator design. */
+    PerfResult run(const workload::WorkloadSpec &spec,
+                   const mitigation::MitigatorSpec &mitigator,
+                   abo::Level level = abo::Level::L1);
+
+    /** Run every Table-4 workload; returns per-workload results. */
+    std::vector<PerfResult> runSuite(const mitigation::MitigatorSpec &mitigator,
+                                     abo::Level level = abo::Level::L1);
+
+    /** @deprecated Thin MOAT-only shim; use the MitigatorSpec overload. */
+    [[deprecated("pass a mitigation::MitigatorSpec instead of a MoatConfig")]]
     PerfResult run(const workload::WorkloadSpec &spec,
                    const mitigation::MoatConfig &moat,
                    abo::Level level = abo::Level::L1);
 
-    /** Run every Table-4 workload; returns per-workload results. */
+    /** @deprecated Thin MOAT-only shim; use the MitigatorSpec overload. */
+    [[deprecated("pass a mitigation::MitigatorSpec instead of a MoatConfig")]]
     std::vector<PerfResult> runSuite(const mitigation::MoatConfig &moat,
                                      abo::Level level = abo::Level::L1);
 

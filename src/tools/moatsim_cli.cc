@@ -3,20 +3,35 @@
  * moatsim command-line driver.
  *
  * One binary to run any of the library's experiments without writing
- * code:
+ * code. Every experiment subcommand accepts
+ *
+ *   --mitigator name[:key=value,...]
+ *
+ * naming any registered design (see `moatsim list-mitigators`), e.g.
+ * `--mitigator moat:ath=128,eth=64` or `--mitigator panopticon`.
  *
  *   moatsim bound   [--ath N] [--level 1|2|4]        Appendix-A bound
- *   moatsim ratchet [--ath N] [--level 1|2|4] [--pool N]
- *   moatsim jailbreak [--queue N] [--threshold N]
- *   moatsim feinting [--rate K]
- *   moatsim postponement [--max N]
- *   moatsim tsa     [--banks N] [--cycles N]
- *   moatsim perf    [--workload NAME|all] [--ath N] [--eth N]
- *                   [--level 1|2|4] [--fraction F]
- *   moatsim replay  --trace FILE [--ath N] [--eth N]
+ *   moatsim ratchet [--mitigator S] [--ath N] [--level 1|2|4] [--pool N]
+ *   moatsim jailbreak [--mitigator S] [--queue N] [--threshold N]
+ *   moatsim feinting [--mitigator S] [--rate K]
+ *   moatsim postponement [--mitigator S] [--max N]
+ *   moatsim tsa     [--mitigator S] [--banks N] [--cycles N]
+ *   moatsim attack  --pattern P [--mitigator S] [--pool N] [--acts N]
+ *                   [--trials N] [--level 1|2|4]     generic driver
+ *   moatsim perf    [--workload NAME|all] [--mitigator S] [--ath N]
+ *                   [--eth N] [--level 1|2|4] [--fraction F]
+ *   moatsim replay  --trace FILE [--mitigator S] [--ath N] [--eth N]
+ *                   [--postpone]
+ *   moatsim list-mitigators
  *   moatsim list-workloads
+ *
+ * Flags may be boolean (`--postpone` with no value) or valued
+ * (`--ath 128`); a valued flag with a missing value is reported by
+ * name.
  */
 
+#include <cctype>
+#include <cerrno>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -32,7 +47,8 @@
 #include "common/logging.hh"
 #include "common/stats.hh"
 #include "common/table.hh"
-#include "sim/perf.hh"
+#include "mitigation/registry.hh"
+#include "sim/experiment.hh"
 #include "workload/trace_io.hh"
 
 using namespace moatsim;
@@ -40,27 +56,54 @@ using namespace moatsim;
 namespace
 {
 
-/** Tiny flag parser: --name value pairs after the subcommand. */
+/**
+ * Tiny flag parser. Flags come after the subcommand as either
+ * `--name value` pairs or valueless booleans (`--name` followed by
+ * another flag or the end of the line). Typed getters report the
+ * offending flag by name when its value is missing or malformed.
+ */
 class Args
 {
   public:
     Args(int argc, char **argv, int first)
     {
-        for (int i = first; i + 1 < argc; i += 2) {
-            if (std::strncmp(argv[i], "--", 2) != 0)
-                fatal(std::string("expected --flag, got ") + argv[i]);
-            values_.emplace_back(argv[i] + 2, argv[i + 1]);
+        for (int i = first; i < argc;) {
+            if (std::strncmp(argv[i], "--", 2) != 0) {
+                fatal(std::string("expected a --flag, got '") + argv[i] +
+                      "'");
+            }
+            const std::string name = argv[i] + 2;
+            if (name.empty())
+                fatal("empty flag name '--'");
+            if (i + 1 < argc && std::strncmp(argv[i + 1], "--", 2) != 0) {
+                values_.emplace_back(name, argv[i + 1]);
+                i += 2;
+            } else {
+                // Valueless boolean flag.
+                values_.emplace_back(name, "");
+                i += 1;
+            }
         }
-        if ((argc - first) % 2 != 0)
-            fatal("flags must come in --name value pairs");
+    }
+
+    bool has(const std::string &name) const
+    {
+        for (const auto &[k, v] : values_) {
+            if (k == name)
+                return true;
+        }
+        return false;
     }
 
     std::string
     get(const std::string &name, const std::string &def) const
     {
         for (const auto &[k, v] : values_) {
-            if (k == name)
+            if (k == name) {
+                if (v.empty())
+                    fatal("flag --" + name + " requires a value");
                 return v;
+            }
         }
         return def;
     }
@@ -69,14 +112,43 @@ class Args
     getInt(const std::string &name, uint64_t def) const
     {
         const std::string v = get(name, std::to_string(def));
-        return std::strtoull(v.c_str(), nullptr, 10);
+        // strtoull would wrap a leading minus and saturate silently on
+        // overflow; insist on digits and check the range.
+        errno = 0;
+        char *end = nullptr;
+        const uint64_t out = std::strtoull(v.c_str(), &end, 10);
+        if (v.empty() || !std::isdigit(static_cast<unsigned char>(v[0])) ||
+            end == v.c_str() || *end != '\0' || errno == ERANGE)
+            fatal("flag --" + name + " expects an unsigned integer, got '" +
+                  v + "'");
+        return out;
     }
 
     double
     getDouble(const std::string &name, double def) const
     {
         const std::string v = get(name, formatFixed(def, 6));
-        return std::strtod(v.c_str(), nullptr);
+        char *end = nullptr;
+        const double out = std::strtod(v.c_str(), &end);
+        if (end == v.c_str() || *end != '\0')
+            fatal("flag --" + name + " expects a number, got '" + v + "'");
+        return out;
+    }
+
+    bool
+    getBool(const std::string &name, bool def) const
+    {
+        for (const auto &[k, v] : values_) {
+            if (k == name) {
+                if (v.empty() || v == "true" || v == "1")
+                    return true;
+                if (v == "false" || v == "0")
+                    return false;
+                fatal("flag --" + name + " expects true/false, got '" + v +
+                      "'");
+            }
+        }
+        return def;
     }
 
   private:
@@ -89,6 +161,45 @@ levelOf(uint64_t l)
     if (l != 1 && l != 2 && l != 4)
         fatal("--level must be 1, 2, or 4");
     return static_cast<abo::Level>(l);
+}
+
+/** The --mitigator spec, or the parsed @p def when absent. */
+mitigation::MitigatorSpec
+mitigatorArg(const Args &args, const std::string &def)
+{
+    return mitigation::Registry::parse(args.get("mitigator", def));
+}
+
+/**
+ * MOAT-L couples the tracker size to the ABO level (Appendix D). When
+ * a moat spec leaves "entries" unset, bind it to @p level so that
+ * `--mitigator moat --level 4` means MOAT-L4, exactly like the legacy
+ * flag path. Specs that pin entries, and other designs, pass through.
+ */
+mitigation::MitigatorSpec
+withMoatLevelEntries(const mitigation::MitigatorSpec &spec, abo::Level level)
+{
+    if (spec.name() != "moat" || spec.hasParam("entries"))
+        return spec;
+    const std::string desc = spec.describe();
+    const char sep = desc.find(':') == std::string::npos ? ':' : ',';
+    return mitigation::Registry::parse(
+        desc + sep + "entries=" +
+        std::to_string(abo::levelValue(level)));
+}
+
+/** Reject legacy design flags that would silently fight --mitigator. */
+void
+rejectLegacyWithSpec(const Args &args,
+                     std::initializer_list<const char *> legacy)
+{
+    if (!args.has("mitigator"))
+        return;
+    for (const char *flag : legacy) {
+        if (args.has(flag))
+            fatal(std::string("--") + flag + " conflicts with --mitigator; "
+                  "put the parameter in the spec (see list-mitigators)");
+    }
 }
 
 int
@@ -109,12 +220,17 @@ cmdBound(const Args &args)
 int
 cmdRatchet(const Args &args)
 {
+    rejectLegacyWithSpec(args, {"ath", "eth"});
     attacks::RatchetConfig cfg;
-    cfg.moat.ath = static_cast<ActCount>(args.getInt("ath", 64));
-    cfg.moat.eth = cfg.moat.ath / 2;
     cfg.aboLevel = levelOf(args.getInt("level", 1));
-    cfg.moat.trackerEntries =
-        static_cast<uint32_t>(abo::levelValue(cfg.aboLevel));
+    cfg.moat = mitigation::moatConfigOf(
+        withMoatLevelEntries(mitigatorArg(args, "moat"), cfg.aboLevel));
+    if (args.has("ath")) {
+        cfg.moat.ath = static_cast<ActCount>(args.getInt("ath", 64));
+        cfg.moat.eth = cfg.moat.ath / 2;
+    }
+    if (args.has("eth"))
+        cfg.moat.eth = static_cast<ActCount>(args.getInt("eth", 0));
     cfg.poolRows = static_cast<uint32_t>(args.getInt("pool", 0));
     const auto r = attacks::runRatchet(cfg);
     const auto bound = analysis::ratchetBound(
@@ -130,13 +246,17 @@ cmdRatchet(const Args &args)
 int
 cmdJailbreak(const Args &args)
 {
+    rejectLegacyWithSpec(args, {"queue", "threshold"});
     attacks::JailbreakConfig cfg;
-    cfg.panopticon.queueEntries =
-        static_cast<uint32_t>(args.getInt("queue", 8));
-    cfg.panopticon.queueThreshold =
-        static_cast<ActCount>(args.getInt("threshold", 128));
+    cfg.panopticon =
+        mitigation::panopticonConfigOf(mitigatorArg(args, "panopticon"));
+    cfg.panopticon.queueEntries = static_cast<uint32_t>(
+        args.getInt("queue", cfg.panopticon.queueEntries));
+    cfg.panopticon.queueThreshold = static_cast<ActCount>(
+        args.getInt("threshold", cfg.panopticon.queueThreshold));
     cfg.hammerActs = static_cast<uint32_t>(args.getInt(
-        "hammer", 128ull * (cfg.panopticon.queueEntries + 2)));
+        "hammer", static_cast<uint64_t>(cfg.panopticon.queueThreshold) *
+                      (cfg.panopticon.queueEntries + 2)));
     const auto r = attacks::runDeterministicJailbreak(cfg);
     std::printf("Jailbreak vs Panopticon(T=%u,Q=%u): max ACTs=%u "
                 "(%.1fx threshold), %lu ALERTs\n",
@@ -151,9 +271,12 @@ cmdJailbreak(const Args &args)
 int
 cmdFeinting(const Args &args)
 {
+    rejectLegacyWithSpec(args, {"rate"});
     attacks::FeintingConfig cfg;
-    cfg.mitigationPeriodRefis =
-        static_cast<uint32_t>(args.getInt("rate", 4));
+    const auto prc =
+        mitigation::idealPrcConfigOf(mitigatorArg(args, "ideal-prc"));
+    cfg.mitigationPeriodRefis = static_cast<uint32_t>(
+        args.getInt("rate", prc.mitigationPeriodRefis));
     const auto r = attacks::runFeinting(cfg);
     std::printf("Feinting vs IdealPRC (1 aggressor per %u tREFI): "
                 "max ACTs=%u\n",
@@ -164,12 +287,20 @@ cmdFeinting(const Args &args)
 int
 cmdPostponement(const Args &args)
 {
+    const auto spec = mitigatorArg(args, "panopticon");
+    if (spec.hasParam("drain-all") && !spec.paramBool("drain-all", true))
+        fatal("postponement requires the drain-all policy; got '" +
+              spec.describe() + "'");
     attacks::PostponementConfig cfg;
+    cfg.panopticon = mitigation::panopticonConfigOf(spec);
+    cfg.panopticon.drainAllOnRef = true;
     cfg.maxPostponed = static_cast<uint32_t>(args.getInt("max", 2));
     const auto r = attacks::runRefreshPostponement(cfg);
     std::printf("REF postponement (max %u) vs drain-all Panopticon: "
                 "max ACTs=%u (%.1fx threshold)\n",
-                cfg.maxPostponed, r.maxHammer, r.maxHammer / 128.0);
+                cfg.maxPostponed, r.maxHammer,
+                static_cast<double>(r.maxHammer) /
+                    cfg.panopticon.queueThreshold);
     return 0;
 }
 
@@ -177,6 +308,7 @@ int
 cmdTsa(const Args &args)
 {
     attacks::PerfAttackConfig cfg;
+    cfg.moat = mitigation::moatConfigOf(mitigatorArg(args, "moat"));
     cfg.numBanks = static_cast<uint32_t>(args.getInt("banks", 17));
     cfg.cycles = static_cast<uint32_t>(args.getInt("cycles", 20));
     const auto r = attacks::runTsa(cfg);
@@ -186,33 +318,72 @@ cmdTsa(const Args &args)
     return 0;
 }
 
-int
-cmdPerf(const Args &args)
+/** Natural target design of a pattern (what it runs against bare). */
+std::string
+defaultDesignOf(const std::string &pattern)
 {
-    workload::TraceGenConfig tg;
-    tg.windowFraction = args.getDouble("fraction", 0.0625);
-    sim::PerfRunner runner(tg);
+    if (pattern == "jailbreak" || pattern == "postponement")
+        return "panopticon";
+    if (pattern == "feinting")
+        return "ideal-prc";
+    return "moat";
+}
+
+int
+cmdAttack(const Args &args)
+{
+    attacks::AttackConfig cfg;
+    cfg.pattern = args.get("pattern", "hammer");
+    cfg.aboLevel = levelOf(args.getInt("level", 1));
+    cfg.poolRows = static_cast<uint32_t>(args.getInt("pool", 0));
+    cfg.budget = args.getInt("acts", 0);
+    cfg.trials = static_cast<uint32_t>(args.getInt("trials", 0));
+    cfg.seed = args.getInt("seed", 1);
+    const auto spec = withMoatLevelEntries(
+        mitigatorArg(args, defaultDesignOf(cfg.pattern)), cfg.aboLevel);
+    const auto r = attacks::runAttack(cfg, spec);
+    std::printf("%s vs %s: max ACTs=%u, %lu total ACTs, %lu ALERTs, "
+                "%.2f ms\n",
+                cfg.pattern.c_str(), spec.describe().c_str(), r.maxHammer,
+                static_cast<unsigned long>(r.totalActs),
+                static_cast<unsigned long>(r.alerts), toMs(r.duration));
+    return 0;
+}
+
+/** Build the perf/replay mitigator from --mitigator or legacy flags. */
+mitigation::MitigatorSpec
+perfMitigator(const Args &args, abo::Level level)
+{
+    if (args.has("mitigator")) {
+        rejectLegacyWithSpec(args, {"ath", "eth"});
+        return withMoatLevelEntries(mitigatorArg(args, "moat"), level);
+    }
+    // Legacy MOAT flags.
     mitigation::MoatConfig moat;
     moat.ath = static_cast<ActCount>(args.getInt("ath", 64));
     moat.eth = static_cast<ActCount>(args.getInt("eth", moat.ath / 2));
-    const auto level = levelOf(args.getInt("level", 1));
-    moat.trackerEntries =
-        static_cast<uint32_t>(abo::levelValue(level));
+    moat.trackerEntries = static_cast<uint32_t>(abo::levelValue(level));
+    return mitigation::moatSpec(moat);
+}
 
-    const std::string which = args.get("workload", "all");
+int
+cmdPerf(const Args &args)
+{
+    const auto level = levelOf(args.getInt("level", 1));
+    sim::ExperimentConfig ec;
+    ec.tracegen.windowFraction = args.getDouble("fraction", 0.0625);
+    ec.aboLevel = level;
+    ec.mitigator = perfMitigator(args, level);
+    ec.workload = args.get("workload", "all");
+    sim::Experiment exp(ec);
+
+    std::printf("mitigator: %s\n", ec.mitigator.describe().c_str());
     TablePrinter t({"workload", "slowdown", "ALERTs/tREFI",
                     "mitigations/bank/tREFW"});
-    auto add = [&](const workload::WorkloadSpec &spec) {
-        const auto r = runner.run(spec, moat, level);
+    for (const auto &r : exp.run()) {
         t.addRow({r.workload, formatPercent(1.0 - r.normPerf),
                   formatFixed(r.alertsPerRefi, 4),
                   formatFixed(r.mitigationsPerBankPerRefw, 0)});
-    };
-    if (which == "all") {
-        for (const auto &spec : workload::table4Workloads())
-            add(spec);
-    } else {
-        add(workload::findWorkload(which));
     }
     t.print(std::cout);
     return 0;
@@ -226,22 +397,53 @@ cmdReplay(const Args &args)
         fatal("replay requires --trace FILE");
     const auto traces = workload::loadTraces(path);
 
+    const auto spec = perfMitigator(args, abo::Level::L1);
     subchannel::SubChannelConfig sc;
     sc.securityEnabled = true;
-    mitigation::MoatConfig moat;
-    moat.ath = static_cast<ActCount>(args.getInt("ath", 64));
-    moat.eth = static_cast<ActCount>(args.getInt("eth", moat.ath / 2));
-    subchannel::SubChannel ch(sc, [&](BankId) {
-        return std::make_unique<mitigation::MoatMitigator>(moat);
-    });
+    subchannel::SubChannel ch(sc, spec.factory());
+    // Boolean flag: replay under attacker-controlled REF postponement.
+    ch.setPostponeRefresh(args.getBool("postpone", false));
     const auto res = sim::runMemSystem(ch, traces);
-    std::printf("Replayed %lu activations from %zu cores: %lu ALERTs, "
-                "%lu mitigations, max unmitigated ACTs on any row %u\n",
+    std::printf("Replayed %lu activations from %zu cores against %s: "
+                "%lu ALERTs, %lu mitigations, max unmitigated ACTs on "
+                "any row %u\n",
                 static_cast<unsigned long>(res.totalActs), traces.size(),
+                spec.describe().c_str(),
                 static_cast<unsigned long>(res.alerts),
                 static_cast<unsigned long>(
                     ch.mitigationStats().totalMitigations()),
                 ch.maxHammerAnyBank());
+    return 0;
+}
+
+int
+cmdListMitigators()
+{
+    TablePrinter t({"name", "SRAM B/bank", "parameters (default)"});
+    for (const auto &name : mitigation::Registry::names()) {
+        const auto &desc = mitigation::Registry::descriptor(name);
+        std::string params;
+        for (const auto &p : desc.params) {
+            if (!params.empty())
+                params += ", ";
+            params += p.key + "=" + p.defaultValue;
+        }
+        if (params.empty())
+            params = "(none)";
+        const auto spec = mitigation::Registry::parse(name);
+        t.addRow({name, std::to_string(spec.sramBytesPerBank()), params});
+    }
+    t.print(std::cout);
+
+    std::cout << "\n";
+    for (const auto &name : mitigation::Registry::names()) {
+        const auto &desc = mitigation::Registry::descriptor(name);
+        std::cout << name << ": " << desc.summary << "\n";
+        for (const auto &p : desc.params)
+            std::cout << "  " << p.key << " -- " << p.doc << "\n";
+    }
+    std::cout << "\nselect one with --mitigator name[:key=value,...], "
+                 "e.g. --mitigator moat:ath=128,eth=64\n";
     return 0;
 }
 
@@ -264,10 +466,12 @@ usage()
 {
     std::fprintf(
         stderr,
-        "usage: moatsim <command> [--flag value ...]\n"
+        "usage: moatsim <command> [--flag [value] ...]\n"
         "commands: bound ratchet jailbreak feinting postponement tsa\n"
-        "          perf replay list-workloads\n"
-        "see the file header of src/tools/moatsim_cli.cc for flags\n");
+        "          attack perf replay list-mitigators list-workloads\n"
+        "every experiment accepts --mitigator name[:k=v,...]; run\n"
+        "'moatsim list-mitigators' for the registered designs and see\n"
+        "the file header of src/tools/moatsim_cli.cc for all flags\n");
 }
 
 } // namespace
@@ -293,10 +497,14 @@ main(int argc, char **argv)
         return cmdPostponement(args);
     if (cmd == "tsa")
         return cmdTsa(args);
+    if (cmd == "attack")
+        return cmdAttack(args);
     if (cmd == "perf")
         return cmdPerf(args);
     if (cmd == "replay")
         return cmdReplay(args);
+    if (cmd == "list-mitigators")
+        return cmdListMitigators();
     if (cmd == "list-workloads")
         return cmdListWorkloads();
     usage();

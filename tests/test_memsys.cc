@@ -123,9 +123,8 @@ TEST(PerfRunner, BaselineNormPerfIsOne)
     tg.banksSimulated = 8;
     tg.windowFraction = 0.03125;
     PerfRunner runner(tg);
-    mitigation::MoatConfig moat;
-    moat.ath = 1u << 20;
-    moat.eth = 1u << 19;
+    const auto moat =
+        mitigation::Registry::parse("moat:ath=1048576,eth=524288");
     const auto r = runner.run(workload::findWorkload("x264"), moat);
     EXPECT_NEAR(r.normPerf, 1.0, 0.002);
     EXPECT_EQ(r.alerts, 0u);
@@ -137,7 +136,7 @@ TEST(PerfRunner, HotWorkloadSlowsMoreThanColdOne)
     tg.banksSimulated = 8;
     tg.windowFraction = 0.0625;
     PerfRunner runner(tg);
-    mitigation::MoatConfig moat; // ATH 64
+    const mitigation::MitigatorSpec moat; // default: ATH 64
     const auto hot = runner.run(workload::findWorkload("roms"), moat);
     const auto cold = runner.run(workload::findWorkload("tc"), moat);
     EXPECT_GT(hot.alertsPerRefi, cold.alertsPerRefi);
@@ -153,10 +152,8 @@ TEST(PerfRunner, Ath128QuenchesAlerts)
     tg.banksSimulated = 32;
     tg.windowFraction = 0.0625;
     PerfRunner runner(tg);
-    mitigation::MoatConfig a64;
-    mitigation::MoatConfig a128;
-    a128.ath = 128;
-    a128.eth = 64;
+    const auto a64 = mitigation::Registry::parse("moat");
+    const auto a128 = mitigation::Registry::parse("moat:ath=128,eth=64");
     const auto &spec = workload::findWorkload("roms");
     const auto r64 = runner.run(spec, a64);
     const auto r128 = runner.run(spec, a128);

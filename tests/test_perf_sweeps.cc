@@ -33,7 +33,7 @@ hotSpecs()
 }
 
 double
-avgAlerts(PerfRunner &runner, const mitigation::MoatConfig &m,
+avgAlerts(PerfRunner &runner, const mitigation::MitigatorSpec &m,
           abo::Level level = abo::Level::L1)
 {
     double s = 0;
@@ -43,12 +43,18 @@ avgAlerts(PerfRunner &runner, const mitigation::MoatConfig &m,
 }
 
 double
-avgMitigations(PerfRunner &runner, const mitigation::MoatConfig &m)
+avgMitigations(PerfRunner &runner, const mitigation::MitigatorSpec &m)
 {
     double s = 0;
     for (const auto *spec : hotSpecs())
         s += runner.run(*spec, m).mitigationsPerBankPerRefw;
     return s / 3.0;
+}
+
+mitigation::MitigatorSpec
+moatSpecOf(const std::string &params)
+{
+    return mitigation::Registry::parse("moat:" + params);
 }
 
 TEST(PerfSweep, HigherEthMeansFewerMitigations)
@@ -57,9 +63,8 @@ TEST(PerfSweep, HigherEthMeansFewerMitigations)
     PerfRunner runner(smallConfig());
     double prev = 1e18;
     for (uint32_t eth : {0u, 16u, 32u, 48u}) {
-        mitigation::MoatConfig m;
-        m.eth = eth;
-        const double v = avgMitigations(runner, m);
+        const double v = avgMitigations(
+            runner, moatSpecOf("eth=" + std::to_string(eth)));
         EXPECT_LT(v, prev + 1) << "ETH " << eth;
         prev = v;
     }
@@ -70,26 +75,17 @@ TEST(PerfSweep, HigherEthMeansMoreAlerts)
     // Table 5's slowdown column: less proactive head start, more rows
     // race to ATH.
     PerfRunner runner(smallConfig());
-    mitigation::MoatConfig low;
-    low.eth = 8;
-    mitigation::MoatConfig high;
-    high.eth = 56;
-    EXPECT_LE(avgAlerts(runner, low), avgAlerts(runner, high) + 1e-3);
+    EXPECT_LE(avgAlerts(runner, moatSpecOf("eth=8")),
+              avgAlerts(runner, moatSpecOf("eth=56")) + 1e-3);
 }
 
 TEST(PerfSweep, SlowerMitigationRateMeansMoreAlerts)
 {
     // Table 6: rate 1/1 tREFI -> ~no ALERTs; ALERT-only -> most.
     PerfRunner runner(smallConfig());
-    mitigation::MoatConfig fast;
-    fast.mitigationPeriodRefis = 1;
-    mitigation::MoatConfig normal;
-    normal.mitigationPeriodRefis = 5;
-    mitigation::MoatConfig none;
-    none.mitigationPeriodRefis = 0;
-    const double a_fast = avgAlerts(runner, fast);
-    const double a_norm = avgAlerts(runner, normal);
-    const double a_none = avgAlerts(runner, none);
+    const double a_fast = avgAlerts(runner, moatSpecOf("period=1"));
+    const double a_norm = avgAlerts(runner, moatSpecOf("period=5"));
+    const double a_none = avgAlerts(runner, moatSpecOf("period=0"));
     EXPECT_LE(a_fast, a_norm + 1e-3);
     EXPECT_LT(a_norm, a_none);
     EXPECT_LT(a_fast, 0.01);
@@ -101,9 +97,8 @@ TEST(PerfSweep, HigherAthMeansFewerAlerts)
     PerfRunner runner(smallConfig());
     double prev = 1e18;
     for (uint32_t ath : {32u, 64u, 128u}) {
-        mitigation::MoatConfig m;
-        m.ath = ath;
-        m.eth = ath / 2;
+        const auto m = moatSpecOf("ath=" + std::to_string(ath) +
+                                  ",eth=" + std::to_string(ath / 2));
         const double v = avgAlerts(runner, m);
         EXPECT_LT(v, prev) << "ATH " << ath;
         prev = v;
@@ -115,11 +110,10 @@ TEST(PerfSweep, HigherAboLevelMeansFewerAlertEpisodes)
     // Figure 17(b): each MOAT-L2/L4 ALERT mitigates more rows, so
     // episodes become rarer.
     PerfRunner runner(smallConfig());
-    mitigation::MoatConfig l1;
-    mitigation::MoatConfig l2;
-    l2.trackerEntries = 2;
-    const double a1 = avgAlerts(runner, l1, abo::Level::L1);
-    const double a2 = avgAlerts(runner, l2, abo::Level::L2);
+    const double a1 = avgAlerts(runner, mitigation::Registry::parse("moat"),
+                                abo::Level::L1);
+    const double a2 =
+        avgAlerts(runner, moatSpecOf("entries=2"), abo::Level::L2);
     EXPECT_LE(a2, a1 + 1e-3);
 }
 
@@ -128,13 +122,9 @@ TEST(PerfSweep, SlowdownTracksAlertRate)
     // The only slowdown mechanism is ALERT stalls: a config with more
     // alerts must not be faster.
     PerfRunner runner(smallConfig());
-    mitigation::MoatConfig a64;
-    mitigation::MoatConfig a32;
-    a32.ath = 32;
-    a32.eth = 16;
     const auto &spec = workload::findWorkload("roms");
-    const auto r64 = runner.run(spec, a64);
-    const auto r32 = runner.run(spec, a32);
+    const auto r64 = runner.run(spec, mitigation::Registry::parse("moat"));
+    const auto r32 = runner.run(spec, moatSpecOf("ath=32,eth=16"));
     EXPECT_GT(r32.alertsPerRefi, r64.alertsPerRefi);
     EXPECT_LE(r32.normPerf, r64.normPerf + 0.002);
 }

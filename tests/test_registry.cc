@@ -1,0 +1,271 @@
+/**
+ * @file
+ * Tests of the mitigator registry and the unified experiment API: spec
+ * parsing (round-trip, unknown names/keys, malformed values), config
+ * extraction, the SRAM single-source-of-truth, and a parameterized
+ * sweep running every registered design through the PerfRunner and the
+ * generic attack driver.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "attacks/attack.hh"
+#include "mitigation/registry.hh"
+#include "sim/experiment.hh"
+
+namespace moatsim::mitigation
+{
+namespace
+{
+
+// ------------------------------------------------------------- parsing
+
+TEST(Registry, KnowsTheRegisteredDesigns)
+{
+    for (const char *name :
+         {"moat", "panopticon", "panopticon-counter", "ideal-prc", "null"})
+        EXPECT_TRUE(Registry::known(name)) << name;
+    EXPECT_FALSE(Registry::known("mithril"));
+
+    const auto names = Registry::names();
+    EXPECT_GE(names.size(), 4u);
+    for (const auto &name : names) {
+        EXPECT_TRUE(Registry::known(name));
+        EXPECT_FALSE(Registry::descriptor(name).summary.empty());
+    }
+}
+
+TEST(Registry, ParseDescribeRoundTrip)
+{
+    const char *cases[] = {
+        "moat",
+        "moat:ath=128,eth=64",
+        "moat:period=0,safe-reset=false",
+        "panopticon:threshold=256,entries=4,drain-all=true",
+        "panopticon-counter:slack=128",
+        "ideal-prc:period=8,min-count=2",
+        "null",
+    };
+    for (const char *text : cases) {
+        const MitigatorSpec first = Registry::parse(text);
+        const MitigatorSpec second = Registry::parse(first.describe());
+        EXPECT_EQ(first, second) << text;
+        EXPECT_EQ(first.describe(), second.describe()) << text;
+    }
+}
+
+TEST(Registry, DescribeIsCanonicalKeyOrder)
+{
+    // Keys are emitted in descriptor order regardless of input order.
+    const auto a = Registry::parse("moat:eth=64,ath=128");
+    const auto b = Registry::parse("moat:ath=128,eth=64");
+    EXPECT_EQ(a, b);
+    EXPECT_EQ(a.describe(), "moat:ath=128,eth=64");
+}
+
+TEST(Registry, RejectsUnknownName)
+{
+    std::string error;
+    EXPECT_FALSE(Registry::tryParse("mithril", &error).has_value());
+    EXPECT_NE(error.find("unknown mitigator 'mithril'"), std::string::npos)
+        << error;
+    EXPECT_NE(error.find("moat"), std::string::npos) << error;
+
+    EXPECT_FALSE(Registry::tryParse("", &error).has_value());
+    EXPECT_FALSE(Registry::tryParse(":ath=64", &error).has_value());
+}
+
+TEST(Registry, RejectsUnknownKey)
+{
+    std::string error;
+    EXPECT_FALSE(Registry::tryParse("moat:bogus=1", &error).has_value());
+    EXPECT_NE(error.find("unknown key 'bogus'"), std::string::npos) << error;
+    EXPECT_NE(error.find("ath"), std::string::npos) << error;
+
+    // A key of another design is still unknown here.
+    EXPECT_FALSE(Registry::tryParse("moat:threshold=128", &error).has_value());
+    // "null" takes no parameters at all.
+    EXPECT_FALSE(Registry::tryParse("null:ath=64", &error).has_value());
+}
+
+TEST(Registry, RejectsMalformedValues)
+{
+    std::string error;
+    EXPECT_FALSE(Registry::tryParse("moat:ath=banana", &error).has_value());
+    EXPECT_NE(error.find("'ath'"), std::string::npos) << error;
+    EXPECT_NE(error.find("banana"), std::string::npos) << error;
+
+    EXPECT_FALSE(
+        Registry::tryParse("moat:safe-reset=maybe", &error).has_value());
+    EXPECT_NE(error.find("true/false"), std::string::npos) << error;
+
+    // 2^32 would wrap to 0 in the 32-bit config field; reject instead.
+    EXPECT_FALSE(
+        Registry::tryParse("moat:ath=4294967296", &error).has_value());
+    EXPECT_NE(error.find("out of range"), std::string::npos) << error;
+    EXPECT_TRUE(Registry::tryParse("moat:ath=4294967295").has_value());
+
+    EXPECT_FALSE(Registry::tryParse("moat:ath", &error).has_value());
+    EXPECT_FALSE(Registry::tryParse("moat:ath=", &error).has_value());
+    EXPECT_FALSE(Registry::tryParse("moat:=64", &error).has_value());
+    EXPECT_FALSE(Registry::tryParse("moat:ath=1,ath=2", &error).has_value());
+    EXPECT_NE(error.find("duplicate"), std::string::npos) << error;
+}
+
+// --------------------------------------------------- config extraction
+
+TEST(Registry, MoatConfigRoundTripsThroughSpec)
+{
+    MoatConfig cfg;
+    cfg.ath = 96;
+    cfg.eth = 24;
+    cfg.trackerEntries = 4;
+    cfg.mitigationPeriodRefis = 10;
+    cfg.resetOnRefresh = false;
+    cfg.safeReset = false;
+    cfg.blastRadius = 1;
+    const MoatConfig back = moatConfigOf(moatSpec(cfg));
+    EXPECT_EQ(back.ath, cfg.ath);
+    EXPECT_EQ(back.eth, cfg.eth);
+    EXPECT_EQ(back.trackerEntries, cfg.trackerEntries);
+    EXPECT_EQ(back.mitigationPeriodRefis, cfg.mitigationPeriodRefis);
+    EXPECT_EQ(back.resetOnRefresh, cfg.resetOnRefresh);
+    EXPECT_EQ(back.safeReset, cfg.safeReset);
+    EXPECT_EQ(back.blastRadius, cfg.blastRadius);
+}
+
+TEST(Registry, ExtractionAppliesOverridesAndDefaults)
+{
+    const auto pano =
+        panopticonConfigOf(Registry::parse("panopticon:threshold=256"));
+    EXPECT_EQ(pano.queueThreshold, 256u);
+    EXPECT_EQ(pano.queueEntries, PanopticonConfig{}.queueEntries);
+
+    const auto prc = idealPrcConfigOf(Registry::parse("ideal-prc:period=7"));
+    EXPECT_EQ(prc.mitigationPeriodRefis, 7u);
+}
+
+TEST(Registry, CreateYieldsTheNamedDesign)
+{
+    EXPECT_EQ(Registry::parse("null").create()->name(), "none");
+    EXPECT_NE(Registry::parse("moat:ath=128").create()->name().find("ATH=128"),
+              std::string::npos);
+    // factory() produces fresh instances per bank.
+    const auto factory = Registry::parse("panopticon").factory();
+    const auto a = factory(0);
+    const auto b = factory(1);
+    EXPECT_NE(a.get(), b.get());
+    EXPECT_EQ(a->name(), b->name());
+}
+
+TEST(Registry, SramCostComesFromTheImplementation)
+{
+    // The registry's number is the mitigator's own Section-6.5 number.
+    const MoatConfig def;
+    EXPECT_EQ(Registry::parse("moat").sramBytesPerBank(),
+              MoatMitigator(def).sramBytesPerBank());
+    // MOAT-L2/L4 grow with the tracker, as in the paper (7/10/16 B).
+    const auto l1 = Registry::parse("moat:entries=1").sramBytesPerBank();
+    const auto l2 = Registry::parse("moat:entries=2").sramBytesPerBank();
+    const auto l4 = Registry::parse("moat:entries=4").sramBytesPerBank();
+    EXPECT_LT(l1, l2);
+    EXPECT_LT(l2, l4);
+    EXPECT_EQ(Registry::parse("null").sramBytesPerBank(), 0u);
+}
+
+// ------------------------------------ every design through the pipeline
+
+class RegistryDesignTest : public ::testing::TestWithParam<std::string>
+{
+};
+
+TEST_P(RegistryDesignTest, RunsThroughPerfRunner)
+{
+    workload::TraceGenConfig tg;
+    tg.banksSimulated = 8;
+    tg.windowFraction = 0.03125;
+    sim::PerfRunner runner(tg);
+    const auto spec = Registry::parse(GetParam());
+    const auto r =
+        runner.run(workload::findWorkload("x264"), spec, abo::Level::L1);
+    EXPECT_EQ(r.mitigator, spec.describe());
+    EXPECT_GT(r.acts, 0u);
+    EXPECT_GT(r.normPerf, 0.0);
+    EXPECT_LE(r.normPerf, 1.001);
+}
+
+TEST_P(RegistryDesignTest, RunsThroughTheAttackDriver)
+{
+    attacks::AttackConfig cfg;
+    cfg.pattern = "hammer";
+    cfg.budget = 600;
+    const auto r = attacks::runAttack(cfg, Registry::parse(GetParam()));
+    EXPECT_EQ(r.totalActs, 600u);
+    EXPECT_GT(r.maxHammer, 0u);
+    EXPECT_GT(r.duration, 0);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllDesigns, RegistryDesignTest,
+                         ::testing::Values("moat", "panopticon",
+                                           "panopticon-counter", "ideal-prc",
+                                           "null"),
+                         [](const auto &info) {
+                             std::string name = info.param;
+                             std::replace(name.begin(), name.end(), '-', '_');
+                             return name;
+                         });
+
+TEST(RegistryDesign, UnmitigatedHammerRunsHotterThanMoat)
+{
+    attacks::AttackConfig cfg;
+    cfg.pattern = "hammer";
+    cfg.budget = 2000;
+    const auto none = attacks::runAttack(cfg, Registry::parse("null"));
+    const auto moat = attacks::runAttack(cfg, Registry::parse("moat"));
+    EXPECT_GT(none.maxHammer, moat.maxHammer);
+    EXPECT_EQ(none.alerts, 0u);
+    EXPECT_GT(moat.alerts, 0u);
+}
+
+// ------------------------------------------------------- Experiment API
+
+TEST(Experiment, RunsTheConfiguredSelection)
+{
+    sim::ExperimentConfig ec;
+    ec.tracegen.banksSimulated = 8;
+    ec.tracegen.windowFraction = 0.03125;
+    ec.workload = "x264";
+    ec.mitigator = Registry::parse("panopticon");
+    sim::Experiment exp(ec);
+
+    const auto results = exp.run();
+    ASSERT_EQ(results.size(), 1u);
+    EXPECT_EQ(results[0].workload, "x264");
+    EXPECT_EQ(results[0].mitigator, "panopticon");
+
+    // A sweep over another design reuses the same baseline cache.
+    const auto swept =
+        exp.run(Registry::parse("moat:ath=128,eth=64"), abo::Level::L1);
+    ASSERT_EQ(swept.size(), 1u);
+    EXPECT_EQ(swept[0].mitigator, "moat:ath=128,eth=64");
+}
+
+TEST(Experiment, DeprecatedMoatOverloadStillWorks)
+{
+    workload::TraceGenConfig tg;
+    tg.banksSimulated = 8;
+    tg.windowFraction = 0.03125;
+    sim::PerfRunner runner(tg);
+    MoatConfig moat;
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+    const auto r = runner.run(workload::findWorkload("x264"), moat);
+#pragma GCC diagnostic pop
+    EXPECT_GT(r.acts, 0u);
+    EXPECT_EQ(r.mitigator, moatSpec(moat).describe());
+}
+
+} // namespace
+} // namespace moatsim::mitigation
