@@ -98,6 +98,7 @@ main()
         const auto spec = mitigation::Registry::parse(
             "panopticon-counter:slack=" + std::to_string(slack));
         const auto r = jailbreakVsCounterQueue(spec);
+        bench::emitJsonl(r, "jailbreak", spec.describe());
         t2.addRow({"counter queue, slack " + std::to_string(slack),
                    std::to_string(r.maxHammer),
                    formatFixed(r.maxHammer / 128.0, 1) + "x",

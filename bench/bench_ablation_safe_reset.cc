@@ -74,6 +74,15 @@ main()
     for (uint32_t t_each : {60u, 64u}) {
         const auto unsafe = resetDodgeAttack(false, t_each);
         const auto safe = resetDodgeAttack(true, t_each);
+        for (const bool is_safe : {false, true}) {
+            const auto &r = is_safe ? safe : unsafe;
+            attacks::AttackResult ar;
+            ar.maxHammer = r.first;
+            ar.alerts = r.second;
+            bench::emitJsonl(ar,
+                             "reset-dodge:t=" + std::to_string(t_each),
+                             is_safe ? "moat" : "moat:safe-reset=false");
+        }
         t.addRow({"unsafe reset", std::to_string(t_each),
                   std::to_string(unsafe.first),
                   std::to_string(unsafe.second),

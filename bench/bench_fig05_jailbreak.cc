@@ -25,6 +25,7 @@ main()
     attacks::JailbreakConfig cfg;
 
     const auto det = attacks::runDeterministicJailbreak(cfg);
+    bench::emitJsonl(det, "jailbreak-deterministic", "panopticon");
     TablePrinter t1({"variant", "paper max ACTs", "moatsim max ACTs",
                      "ALERTs", "overshoot vs threshold"});
     t1.addRow({"deterministic", "1152", std::to_string(det.maxHammer),

@@ -97,9 +97,14 @@ main()
     int row = 0;
     for (abo::Level l : {abo::Level::L1, abo::Level::L2, abo::Level::L4}) {
         const int lv = abo::levelValue(l);
+        const uint32_t measured = measureActsBetweenAlerts(l);
+        attacks::AttackResult ar;
+        ar.maxHammer = measured;
+        bench::emitJsonl(ar, "abo-window:level=" + std::to_string(lv),
+                         "moat:entries=" + std::to_string(lv));
         t.addRow({"L" + std::to_string(lv), std::to_string(paper[row++]),
                   std::to_string(timing.actsPerAlertWindow(lv)),
-                  std::to_string(measureActsBetweenAlerts(l)),
+                  std::to_string(measured),
                   formatFixed(toNs(timing.alertToAlert(lv)), 0),
                   std::to_string(lv)});
     }

@@ -24,6 +24,8 @@ main()
                     "ALERTs"});
     for (uint32_t ath : {32u, 64u, 128u}) {
         const auto r = attacks::runRatchetMicroExample(timing, ath);
+        bench::emitJsonl(r, "ratchet-micro:ath=" + std::to_string(ath),
+                         "moat");
         t.addRow({std::to_string(ath), std::to_string(ath + 15),
                   std::to_string(r.maxHammer), std::to_string(r.alerts)});
     }

@@ -34,6 +34,8 @@ main()
         cfg.moat.ath = ath;
         cfg.moat.eth = ath / 2;
         const auto sim = attacks::runRatchet(cfg);
+        bench::emitJsonl(sim, "ratchet:ath=" + std::to_string(ath),
+                         "moat");
         t.addRow({std::to_string(ath), formatFixed(model.safeTrh, 1),
                   std::to_string(sim.maxHammer),
                   std::to_string(analysis::stopTheWorldTrh(ath)),

@@ -26,13 +26,17 @@ main()
 
     sim::ExperimentConfig ec;
     ec.tracegen.windowFraction = 0.125 * bench::benchScale();
+    ec.jobs = bench::jobs();
     sim::Experiment exp(ec);
 
-    const auto r64 = exp.run(mitigation::Registry::parse("moat"),
-                             abo::Level::L1);
-    const auto r128 =
-        exp.run(mitigation::Registry::parse("moat:ath=128,eth=64"),
-                abo::Level::L1);
+    const auto all = exp.runMatrix(
+        {{mitigation::Registry::parse("moat"), abo::Level::L1},
+         {mitigation::Registry::parse("moat:ath=128,eth=64"),
+          abo::Level::L1}});
+    const auto &r64 = all[0];
+    const auto &r128 = all[1];
+    bench::emitJsonl(r64);
+    bench::emitJsonl(r128);
 
     TablePrinter t({"workload", "slowdown ATH64", "slowdown ATH128",
                     "ALERTs/tREFI ATH64", "ALERTs/tREFI ATH128"});

@@ -37,6 +37,8 @@ main()
         cfg.numBanks = banks[i];
         cfg.cycles = static_cast<uint32_t>(30 * bench::benchScale()) + 1;
         const auto sim = attacks::runTsa(cfg);
+        bench::emitJsonl(sim, "tsa:banks=" + std::to_string(banks[i]),
+                         "moat");
         t.addRow({std::to_string(banks[i]), paper[i],
                   formatPercent(model.lossFraction, 1),
                   formatPercent(sim.lossFraction, 1),
@@ -52,6 +54,8 @@ main()
         cfg.numBanks = k;
         cfg.cycles = static_cast<uint32_t>(20 * bench::benchScale()) + 1;
         const auto sim = attacks::runSynchronizedMultiBank(cfg);
+        bench::emitJsonl(sim, "tsa-sync:banks=" + std::to_string(k),
+                         "moat");
         t2.addRow({std::to_string(k),
                    formatPercent(sim.lossFraction, 1)});
     }

@@ -34,6 +34,7 @@ main()
         cfg.poolRows = 1;
         cfg.cycles = cycles;
         const auto sim = attacks::runSingleBankKernel(cfg);
+        bench::emitJsonl(sim, "kernel:pool=1", "moat");
         const auto model = analysis::singleBankKernel(timing, 64, 1, 1);
         t.addRow({"(A)^N single row", "~10%",
                   formatPercent(model.lossFraction, 1),
@@ -45,6 +46,7 @@ main()
         cfg.poolRows = 5;
         cfg.cycles = cycles;
         const auto sim = attacks::runSingleBankKernel(cfg);
+        bench::emitJsonl(sim, "kernel:pool=5", "moat");
         const auto model = analysis::singleBankKernel(timing, 64, 5, 1);
         t.addRow({"(ABCDE)^N five rows", "~10%",
                   formatPercent(model.lossFraction, 1),

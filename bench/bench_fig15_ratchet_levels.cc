@@ -42,6 +42,8 @@ main()
         cfg.aboLevel = static_cast<abo::Level>(level);
         cfg.moat.trackerEntries = static_cast<uint32_t>(level);
         const auto sim = attacks::runRatchet(cfg);
+        bench::emitJsonl(sim, "ratchet:level=" + std::to_string(level),
+                         "moat:entries=" + std::to_string(level));
         t2.addRow({"MOAT-L" + std::to_string(level),
                    formatFixed(analysis::ratchetBound(timing, 64, level)
                                    .safeTrh, 1),

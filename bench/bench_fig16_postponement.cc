@@ -30,6 +30,7 @@ main()
         cfg.trials =
             static_cast<uint32_t>(256 * bench::benchScale()) + 8;
         const auto r = attacks::runRefreshPostponement(cfg);
+        bench::emitJsonl(r, "postponement:max=2", "panopticon");
         t.addRow({"postpone up to 2 REFs", "328",
                   std::to_string(r.maxHammer),
                   formatFixed(r.maxHammer / 128.0, 1) + "x"});

@@ -23,14 +23,18 @@ main()
 
     sim::ExperimentConfig ec;
     ec.tracegen.windowFraction = 0.0625 * bench::benchScale();
+    ec.jobs = bench::jobs();
     sim::Experiment exp(ec);
 
-    std::vector<std::vector<sim::PerfResult>> all;
+    std::vector<sim::SweepPoint> points;
     for (int level : {1, 2, 4}) {
-        const auto spec = mitigation::Registry::parse(
-            "moat:entries=" + std::to_string(level));
-        all.push_back(exp.run(spec, static_cast<abo::Level>(level)));
+        points.push_back({mitigation::Registry::parse(
+                              "moat:entries=" + std::to_string(level)),
+                          static_cast<abo::Level>(level)});
     }
+    const auto all = exp.runMatrix(points);
+    for (const auto &rs : all)
+        bench::emitJsonl(rs);
 
     TablePrinter t({"workload", "slowdown L1", "slowdown L2",
                     "slowdown L4", "ALERTs/tREFI L1", "L2", "L4"});

@@ -11,7 +11,9 @@
 #include "dram/bank.hh"
 #include "dram/security.hh"
 #include "mitigation/registry.hh"
+#include "sim/sweep.hh"
 #include "subchannel/subchannel.hh"
+#include "workload/spec.hh"
 
 using namespace moatsim;
 
@@ -80,5 +82,23 @@ BM_SubChannelActivateMoat(benchmark::State &state)
     }
 }
 BENCHMARK(BM_SubChannelActivateMoat)->Arg(1)->Arg(32);
+
+void
+BM_SweepEngineCells(benchmark::State &state)
+{
+    sim::SweepConfig sc;
+    sc.tracegen.banksSimulated = 4;
+    sc.tracegen.numCores = 2;
+    sc.tracegen.windowFraction = 0.005;
+    sc.jobs = static_cast<unsigned>(state.range(0));
+    const std::vector<sim::SweepCell> cells(
+        8, {workload::findWorkload("x264"),
+            mitigation::Registry::parse("moat"), abo::Level::L1});
+    for (auto _ : state) {
+        sim::SweepEngine engine(sc);
+        benchmark::DoNotOptimize(engine.run(cells));
+    }
+}
+BENCHMARK(BM_SweepEngineCells)->Arg(1)->Arg(4);
 
 } // namespace

@@ -34,6 +34,8 @@ main()
         attacks::FeintingConfig cfg;
         cfg.mitigationPeriodRefis = k;
         const auto sim = attacks::runFeinting(cfg);
+        bench::emitJsonl(sim, "feinting:period=" + std::to_string(k),
+                         "ideal-prc");
         t.addRow({"1 aggr per " + std::to_string(k) + " tREFI",
                   std::to_string(paper[k - 1]),
                   formatFixed(model.trhBound, 0),

@@ -6,8 +6,10 @@
  */
 
 #include <iostream>
+#include <vector>
 
 #include "bench_util.hh"
+#include "common/thread_pool.hh"
 #include "workload/spec.hh"
 #include "workload/tracegen.hh"
 
@@ -23,11 +25,28 @@ main()
     workload::TraceGenConfig tg;
     tg.windowFraction = 0.125 * bench::benchScale();
 
+    // Each workload's generation + census is independent; fan them
+    // across the pool (per-workload seeding keeps results identical
+    // at any MOATSIM_JOBS value).
+    const auto workloads = workload::table4Workloads();
+    std::vector<workload::TierCensus> census(workloads.size());
+    {
+        ThreadPool pool(bench::jobs());
+        for (size_t i = 0; i < workloads.size(); ++i) {
+            pool.submit([&, i] {
+                const auto traces =
+                    workload::generateTraces(workloads[i], tg);
+                census[i] = workload::censusOf(traces, tg, workloads[i]);
+            });
+        }
+        pool.wait();
+    }
+
     TablePrinter t({"workload", "ACT-PKI (paper/gen)", "ACT-32+ (p/g)",
                     "ACT-64+ (p/g)", "ACT-128+ (p/g)"});
-    for (const auto &spec : workload::table4Workloads()) {
-        const auto traces = workload::generateTraces(spec, tg);
-        const auto c = workload::censusOf(traces, tg, spec);
+    for (size_t i = 0; i < workloads.size(); ++i) {
+        const auto &spec = workloads[i];
+        const auto &c = census[i];
         t.addRow({spec.name,
                   formatFixed(spec.actPki, 1) + " / " +
                       formatFixed(c.actPki, 1),

@@ -24,6 +24,7 @@ main()
 
     sim::ExperimentConfig ec;
     ec.tracegen.windowFraction = 0.0625 * bench::benchScale();
+    ec.jobs = bench::jobs();
     sim::Experiment exp(ec);
 
     const uint32_t eths[] = {0, 16, 32, 48};
@@ -31,14 +32,17 @@ main()
                                "505 (0.6x)"};
     const char *paper_slow[] = {"0.21%", "0.21%", "0.28%", "0.69%"};
 
+    std::vector<sim::SweepPoint> points;
+    for (uint32_t eth : eths) {
+        points.push_back({mitigation::Registry::parse(
+                              "moat:ath=64,eth=" + std::to_string(eth)),
+                          abo::Level::L1});
+    }
+    const auto all = exp.runMatrix(points);
+    for (const auto &rs : all)
+        bench::emitJsonl(rs);
     // Normalize the mitigation column to the ETH=32 default like the
     // paper does.
-    std::vector<std::vector<sim::PerfResult>> all;
-    for (uint32_t eth : eths) {
-        const auto spec = mitigation::Registry::parse(
-            "moat:ath=64,eth=" + std::to_string(eth));
-        all.push_back(exp.run(spec, abo::Level::L1));
-    }
     const double base_mit = sim::meanMitigations(all[2]);
 
     TablePrinter t({"ETH", "paper mitig.+ALERT /tREFW", "moatsim",

@@ -23,6 +23,7 @@ main()
 
     sim::ExperimentConfig ec;
     ec.tracegen.windowFraction = 0.0625 * bench::benchScale();
+    ec.jobs = bench::jobs();
     sim::Experiment exp(ec);
 
     const uint32_t rates[] = {1, 3, 5, 10, 0};
@@ -33,15 +34,22 @@ main()
                             "none (ALERT only)"};
     const char *paper[] = {"0.0%", "0.12%", "0.28%", "0.51%", "0.91%"};
 
+    std::vector<sim::SweepPoint> points;
+    for (const uint32_t rate : rates) {
+        points.push_back({mitigation::Registry::parse(
+                              "moat:ath=64,eth=32,period=" +
+                              std::to_string(rate)),
+                          abo::Level::L1});
+    }
+    const auto all = exp.runMatrix(points);
+
     TablePrinter t({"mitigation rate", "paper slowdown",
                     "moatsim slowdown", "ALERTs/tREFI"});
     for (size_t i = 0; i < 5; ++i) {
-        const auto spec = mitigation::Registry::parse(
-            "moat:ath=64,eth=32,period=" + std::to_string(rates[i]));
-        const auto rs = exp.run(spec, abo::Level::L1);
+        bench::emitJsonl(all[i]);
         t.addRow({labels[i], paper[i],
-                  formatPercent(1.0 - sim::meanNormPerf(rs)),
-                  formatFixed(sim::meanAlertsPerRefi(rs), 4)});
+                  formatPercent(1.0 - sim::meanNormPerf(all[i])),
+                  formatFixed(sim::meanAlertsPerRefi(all[i]), 4)});
     }
     t.print(std::cout);
     return 0;

@@ -10,6 +10,7 @@
  */
 
 #include <iostream>
+#include <iterator>
 
 #include "analysis/ratchet_model.hh"
 #include "bench_util.hh"
@@ -27,6 +28,7 @@ main()
 
     sim::ExperimentConfig ec;
     ec.tracegen.windowFraction = 0.0625 * bench::benchScale();
+    ec.jobs = bench::jobs();
     sim::Experiment exp(ec);
 
     struct PaperRow
@@ -42,20 +44,27 @@ main()
         {128, 1, "0%", 161},   {128, 2, "0%", 150},   {128, 4, "0%", 145},
     };
 
+    // The whole 9-point x 21-workload matrix fans out as one batch.
+    std::vector<sim::SweepPoint> points;
+    for (const auto &row : paper) {
+        points.push_back({mitigation::Registry::parse(
+                              "moat:ath=" + std::to_string(row.ath) +
+                              ",eth=" + std::to_string(row.ath / 2) +
+                              ",entries=" + std::to_string(row.level)),
+                          static_cast<abo::Level>(row.level)});
+    }
+    const auto all = exp.runMatrix(points);
+
     TablePrinter t({"ATH", "design", "paper slowdown", "moatsim slowdown",
                     "paper Safe-TRH", "model Safe-TRH"});
-    for (const auto &row : paper) {
-        const auto spec = mitigation::Registry::parse(
-            "moat:ath=" + std::to_string(row.ath) +
-            ",eth=" + std::to_string(row.ath / 2) +
-            ",entries=" + std::to_string(row.level));
-        const auto level = static_cast<abo::Level>(row.level);
-        const auto rs = exp.run(spec, level);
+    for (size_t i = 0; i < std::size(paper); ++i) {
+        const auto &row = paper[i];
+        bench::emitJsonl(all[i]);
         const auto bound = analysis::ratchetBound(ec.tracegen.timing,
                                                   row.ath, row.level);
         t.addRow({std::to_string(row.ath),
                   "MOAT-L" + std::to_string(row.level), row.slow,
-                  formatPercent(1.0 - sim::meanNormPerf(rs)),
+                  formatPercent(1.0 - sim::meanNormPerf(all[i])),
                   std::to_string(row.trh), formatFixed(bound.safeTrh, 0)});
     }
     t.print(std::cout);

@@ -49,8 +49,10 @@ main()
                  "ATH 64 / ETH 32):\n";
     sim::ExperimentConfig ec;
     ec.tracegen.windowFraction = 0.0625 * bench::benchScale();
+    ec.jobs = bench::jobs();
     sim::Experiment exp(ec);
     const auto results = exp.run();
+    bench::emitJsonl(results);
     double overhead = 0;
     for (const auto &r : results)
         overhead += r.actOverheadFraction;

@@ -10,11 +10,14 @@
 
 #include <cstdint>
 #include <cstdlib>
+#include <fstream>
 #include <iostream>
 #include <string>
+#include <vector>
 
 #include "common/stats.hh"
 #include "common/table.hh"
+#include "sim/result_io.hh"
 
 namespace moatsim::bench
 {
@@ -40,6 +43,71 @@ benchScale()
             return v;
     }
     return 1.0;
+}
+
+/**
+ * Sweep worker threads for benches that fan out through the
+ * sim::SweepEngine: MOATSIM_JOBS, default 0 (hardware concurrency).
+ * Results are bit-identical at any value.
+ */
+inline unsigned
+jobs()
+{
+    if (const char *s = std::getenv("MOATSIM_JOBS")) {
+        const long v = std::atol(s);
+        if (v >= 0)
+            return static_cast<unsigned>(v);
+    }
+    return 0;
+}
+
+/**
+ * Structured-results sink: when MOATSIM_JSONL names a file, every
+ * bench appends its results there as JSON lines (sim/result_io.hh) in
+ * addition to printing its table, so the golden harness and ad-hoc
+ * tooling can diff runs. Returns nullptr when the env var is unset.
+ */
+inline std::ostream *
+jsonlStream()
+{
+    static std::ofstream stream;
+    static bool opened = false;
+    if (!opened) {
+        opened = true;
+        if (const char *path = std::getenv("MOATSIM_JSONL")) {
+            stream.open(path, std::ios::app);
+            if (!stream)
+                std::cerr << "warning: cannot open MOATSIM_JSONL file "
+                          << path << "\n";
+        }
+    }
+    return stream.is_open() ? &stream : nullptr;
+}
+
+/** Append perf results to the MOATSIM_JSONL sink, if configured. */
+inline void
+emitJsonl(const std::vector<sim::PerfResult> &results)
+{
+    if (std::ostream *os = jsonlStream())
+        sim::writeJsonLines(*os, results);
+}
+
+/** Append one attack outcome to the MOATSIM_JSONL sink. */
+inline void
+emitJsonl(const attacks::AttackResult &result, const std::string &pattern,
+          const std::string &mitigator)
+{
+    if (std::ostream *os = jsonlStream())
+        *os << sim::toJsonLine(result, pattern, mitigator) << "\n";
+}
+
+/** Append one throughput-attack outcome to the MOATSIM_JSONL sink. */
+inline void
+emitJsonl(const attacks::ThroughputAttackResult &result,
+          const std::string &pattern, const std::string &mitigator)
+{
+    if (std::ostream *os = jsonlStream())
+        *os << sim::toJsonLine(result, pattern, mitigator) << "\n";
 }
 
 } // namespace moatsim::bench

@@ -92,6 +92,19 @@ std::vector<std::string> attackPatterns();
 AttackResult runAttack(const AttackConfig &config,
                        const mitigation::MitigatorSpec &mitigator);
 
+/**
+ * Run @p trials independently seeded instances of the configured
+ * pattern (seeds config.seed, config.seed+1, ...) across @p jobs
+ * worker threads and return the strongest outcome: highest maxHammer,
+ * lowest seed on ties. Each trial runs with config.trials forced to 1
+ * (the driver owns the trial loop), so patterns with internal
+ * alignment sweeps parallelize instead of nesting. Deterministic in
+ * (config, trials) regardless of @p jobs.
+ */
+AttackResult runAttackTrials(const AttackConfig &config,
+                             const mitigation::MitigatorSpec &mitigator,
+                             uint32_t trials, unsigned jobs = 0);
+
 } // namespace moatsim::attacks
 
 #endif // MOATSIM_ATTACKS_ATTACK_HH

@@ -18,6 +18,7 @@
 #include "attacks/postponement.hh"
 #include "attacks/ratchet.hh"
 #include "common/logging.hh"
+#include "common/thread_pool.hh"
 #include "mitigation/registry.hh"
 #include "subchannel/subchannel.hh"
 
@@ -219,6 +220,45 @@ runAttack(const AttackConfig &config,
         known += (known.empty() ? "" : ", ") + p;
     fatal("unknown attack pattern '" + config.pattern + "' (known: " +
           known + ")");
+}
+
+AttackResult
+runAttackTrials(const AttackConfig &config,
+                const mitigation::MitigatorSpec &mitigator, uint32_t trials,
+                unsigned jobs)
+{
+    if (trials <= 1)
+        return runAttack(config, mitigator);
+
+    std::vector<AttackResult> results(trials);
+    auto trialConfig = [&](uint32_t i) {
+        AttackConfig c = config;
+        c.trials = 1;
+        c.seed = config.seed + i;
+        return c;
+    };
+
+    if (jobs == 1) {
+        for (uint32_t i = 0; i < trials; ++i)
+            results[i] = runAttack(trialConfig(i), mitigator);
+    } else {
+        ThreadPool pool(jobs);
+        for (uint32_t i = 0; i < trials; ++i) {
+            pool.submit([&, i] {
+                results[i] = runAttack(trialConfig(i), mitigator);
+            });
+        }
+        pool.wait();
+    }
+
+    // Strongest outcome; index order breaks ties, so the winner does
+    // not depend on the completion schedule.
+    size_t best = 0;
+    for (size_t i = 1; i < results.size(); ++i) {
+        if (results[i].maxHammer > results[best].maxHammer)
+            best = i;
+    }
+    return results[best];
 }
 
 } // namespace moatsim::attacks

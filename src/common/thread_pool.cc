@@ -1,0 +1,113 @@
+#include "common/thread_pool.hh"
+
+namespace moatsim
+{
+
+unsigned
+ThreadPool::hardwareThreads()
+{
+    const unsigned n = std::thread::hardware_concurrency();
+    return n > 0 ? n : 1;
+}
+
+ThreadPool::ThreadPool(unsigned threads)
+{
+    const unsigned n = threads > 0 ? threads : hardwareThreads();
+    queues_.reserve(n);
+    for (unsigned i = 0; i < n; ++i)
+        queues_.push_back(std::make_unique<Queue>());
+    workers_.reserve(n);
+    for (unsigned i = 0; i < n; ++i)
+        workers_.emplace_back([this, i] { workerLoop(i); });
+}
+
+ThreadPool::~ThreadPool()
+{
+    wait();
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        stop_ = true;
+    }
+    work_cv_.notify_all();
+    for (auto &w : workers_)
+        w.join();
+}
+
+void
+ThreadPool::submit(std::function<void()> job)
+{
+    std::size_t target;
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        target = next_queue_++ % queues_.size();
+        ++queued_;
+        ++pending_;
+    }
+    {
+        std::lock_guard<std::mutex> lock(queues_[target]->mu);
+        queues_[target]->jobs.push_back(std::move(job));
+    }
+    work_cv_.notify_one();
+}
+
+std::function<void()>
+ThreadPool::take(unsigned self)
+{
+    // A claim (queued_ decrement) is only made when a job exists, so
+    // scanning until a pop succeeds always terminates: jobs in deques
+    // always >= outstanding claims.
+    const std::size_t n = queues_.size();
+    for (;;) {
+        {
+            // Own deque: LIFO for locality.
+            Queue &own = *queues_[self];
+            std::lock_guard<std::mutex> lock(own.mu);
+            if (!own.jobs.empty()) {
+                auto job = std::move(own.jobs.back());
+                own.jobs.pop_back();
+                return job;
+            }
+        }
+        for (std::size_t k = 1; k < n; ++k) {
+            Queue &victim = *queues_[(self + k) % n];
+            std::lock_guard<std::mutex> lock(victim.mu);
+            if (!victim.jobs.empty()) {
+                // Steal the oldest job (FIFO end).
+                auto job = std::move(victim.jobs.front());
+                victim.jobs.pop_front();
+                return job;
+            }
+        }
+    }
+}
+
+void
+ThreadPool::workerLoop(unsigned self)
+{
+    for (;;) {
+        {
+            std::unique_lock<std::mutex> lock(mu_);
+            work_cv_.wait(lock, [this] { return stop_ || queued_ > 0; });
+            if (queued_ == 0)
+                return; // stop_ set and nothing left to run
+            --queued_;
+        }
+        auto job = take(self);
+        job();
+        {
+            std::lock_guard<std::mutex> lock(mu_);
+            --pending_;
+            if (pending_ == 0)
+                idle_cv_.notify_all();
+        }
+    }
+}
+
+void
+ThreadPool::wait()
+{
+    std::unique_lock<std::mutex> lock(mu_);
+    idle_cv_.wait(lock, [this] { return pending_ == 0; });
+}
+
+} // namespace moatsim

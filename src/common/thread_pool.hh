@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Work-stealing thread pool for independent simulation jobs.
+ *
+ * Sweep matrices fan out as many independent cells; the pool keeps one
+ * job deque per worker. A worker pops from the back of its own deque
+ * (LIFO, cache-warm) and steals from the front of a sibling's deque
+ * when its own runs dry, so a handful of long cells submitted early
+ * cannot serialize the tail of a sweep. Submission round-robins across
+ * the deques; submit() is safe from any thread, including from inside
+ * a running job.
+ *
+ * Jobs must not throw: simulation errors go through fatal() or are
+ * reported in the job's own result slot.
+ */
+
+#ifndef MOATSIM_COMMON_THREAD_POOL_HH
+#define MOATSIM_COMMON_THREAD_POOL_HH
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace moatsim
+{
+
+/** Fixed-size work-stealing pool; see the file header. */
+class ThreadPool
+{
+  public:
+    /** @param threads Worker count; 0 means hardwareThreads(). */
+    explicit ThreadPool(unsigned threads = 0);
+
+    /** Joins the workers; pending jobs are completed first. */
+    ~ThreadPool();
+
+    ThreadPool(const ThreadPool &) = delete;
+    ThreadPool &operator=(const ThreadPool &) = delete;
+
+    /** Enqueue one job. */
+    void submit(std::function<void()> job);
+
+    /**
+     * Block until every job submitted so far (including jobs submitted
+     * by running jobs) has finished. The pool is reusable afterwards.
+     */
+    void wait();
+
+    /** Number of worker threads. */
+    unsigned threadCount() const
+    {
+        return static_cast<unsigned>(workers_.size());
+    }
+
+    /** std::thread::hardware_concurrency() with a floor of 1. */
+    static unsigned hardwareThreads();
+
+  private:
+    /** One worker's deque; owner pops the back, thieves take the front. */
+    struct Queue
+    {
+        std::mutex mu;
+        std::deque<std::function<void()>> jobs;
+    };
+
+    /** Claim-and-take one job; @p self biases toward the own deque. */
+    std::function<void()> take(unsigned self);
+
+    void workerLoop(unsigned self);
+
+    std::vector<std::unique_ptr<Queue>> queues_;
+    std::vector<std::thread> workers_;
+
+    std::mutex mu_;
+    /** Signals workers that queued_ grew or stop_ was set. */
+    std::condition_variable work_cv_;
+    /** Signals wait() that pending_ hit zero. */
+    std::condition_variable idle_cv_;
+    /** Jobs submitted but not yet claimed by a worker. */
+    std::size_t queued_ = 0;
+    /** Jobs submitted but not yet finished. */
+    std::size_t pending_ = 0;
+    std::size_t next_queue_ = 0;
+    bool stop_ = false;
+};
+
+} // namespace moatsim
+
+#endif // MOATSIM_COMMON_THREAD_POOL_HH

@@ -3,9 +3,34 @@
 namespace moatsim::sim
 {
 
-Experiment::Experiment(const ExperimentConfig &config)
-    : config_(config), runner_(config.tracegen, config.core)
+namespace
 {
+
+SweepConfig
+sweepConfigOf(const ExperimentConfig &config)
+{
+    SweepConfig sc;
+    sc.tracegen = config.tracegen;
+    sc.core = config.core;
+    sc.jobs = config.jobs;
+    return sc;
+}
+
+} // namespace
+
+Experiment::Experiment(const ExperimentConfig &config)
+    : config_(config), engine_(sweepConfigOf(config))
+{
+}
+
+std::vector<workload::WorkloadSpec>
+Experiment::selectedWorkloads() const
+{
+    if (config_.workload == "all") {
+        const auto all = workload::table4Workloads();
+        return {all.begin(), all.end()};
+    }
+    return {workload::findWorkload(config_.workload)};
 }
 
 std::vector<PerfResult>
@@ -17,13 +42,28 @@ Experiment::run()
 std::vector<PerfResult>
 Experiment::run(const mitigation::MitigatorSpec &mitigator, abo::Level level)
 {
-    if (config_.workload == "all")
-        return runner_.runSuite(mitigator, level);
-    std::vector<PerfResult> results;
-    results.push_back(
-        runner_.run(workload::findWorkload(config_.workload), mitigator,
-                    level));
-    return results;
+    return engine_.run(crossCells(selectedWorkloads(), {{mitigator, level}}));
+}
+
+std::vector<std::vector<PerfResult>>
+Experiment::runMatrix(const std::vector<SweepPoint> &points)
+{
+    const auto workloads = selectedWorkloads();
+    std::vector<std::pair<mitigation::MitigatorSpec, abo::Level>> pts;
+    pts.reserve(points.size());
+    for (const auto &p : points)
+        pts.emplace_back(p.mitigator, p.level);
+
+    const auto flat = engine_.run(crossCells(workloads, pts));
+
+    std::vector<std::vector<PerfResult>> out(points.size());
+    for (size_t i = 0; i < points.size(); ++i) {
+        out[i].assign(flat.begin() + static_cast<ptrdiff_t>(
+                                         i * workloads.size()),
+                      flat.begin() + static_cast<ptrdiff_t>(
+                                         (i + 1) * workloads.size()));
+    }
+    return out;
 }
 
 PerfResult
@@ -31,7 +71,7 @@ Experiment::runWorkload(const workload::WorkloadSpec &spec,
                         const mitigation::MitigatorSpec &mitigator,
                         abo::Level level)
 {
-    return runner_.run(spec, mitigator, level);
+    return engine_.runCell({spec, mitigator, level});
 }
 
 } // namespace moatsim::sim

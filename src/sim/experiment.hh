@@ -4,12 +4,15 @@
  *
  * An Experiment bundles everything one run needs -- DRAM timing (via
  * the trace-generator config), ABO level, workload selection, the
- * mitigator spec, and the seed -- so the CLI, the benches, and the
- * examples all drive the same code path instead of hand-assembling
- * PerfRunner calls. The Experiment owns a PerfRunner, so the cached
- * no-ALERT baselines are shared across every design/level evaluated
- * through it; design-space sweeps call run(spec, level) repeatedly
- * with alternative registered designs.
+ * mitigator spec, the seed, and the worker count -- so the CLI, the
+ * benches, and the examples all drive the same code path instead of
+ * hand-assembling PerfRunner calls. The Experiment owns a SweepEngine
+ * (sim/sweep.hh), so every run fans its cells across the engine's
+ * work-stealing pool and the cached no-ALERT baselines are shared
+ * across every design/level evaluated through it. Design-space sweeps
+ * call runMatrix() with the full point list so the whole matrix
+ * parallelizes as one batch; results are bit-identical at any jobs
+ * count.
  */
 
 #ifndef MOATSIM_SIM_EXPERIMENT_HH
@@ -21,6 +24,7 @@
 #include "abo/abo.hh"
 #include "mitigation/registry.hh"
 #include "sim/perf.hh"
+#include "sim/sweep.hh"
 
 namespace moatsim::sim
 {
@@ -38,6 +42,15 @@ struct ExperimentConfig
     std::string workload = "all";
     /** Core model (memory-level parallelism). */
     CoreModel core{};
+    /** Sweep worker threads; 0 = hardware concurrency, 1 = serial. */
+    unsigned jobs = 0;
+};
+
+/** One (design, level) point of a sweep matrix. */
+struct SweepPoint
+{
+    mitigation::MitigatorSpec mitigator{};
+    abo::Level level = abo::Level::L1;
 };
 
 /** Runs the configured workloads against registered mitigator designs. */
@@ -57,6 +70,14 @@ class Experiment
     std::vector<PerfResult> run(const mitigation::MitigatorSpec &mitigator,
                                 abo::Level level);
 
+    /**
+     * Run the workload selection at every sweep point as one parallel
+     * batch; result [i][w] is point i on workload w. Equivalent to
+     * (but much faster than) calling run() per point.
+     */
+    std::vector<std::vector<PerfResult>>
+    runMatrix(const std::vector<SweepPoint> &points);
+
     /** One workload with an explicit design/level (sweep inner loop). */
     PerfResult runWorkload(const workload::WorkloadSpec &spec,
                            const mitigation::MitigatorSpec &mitigator,
@@ -64,12 +85,15 @@ class Experiment
 
     const ExperimentConfig &config() const { return config_; }
 
-    /** The underlying runner (baseline cache included). */
-    PerfRunner &runner() { return runner_; }
+    /** The underlying sweep engine (baseline cache included). */
+    SweepEngine &engine() { return engine_; }
 
   private:
+    /** The workloads config_.workload selects. */
+    std::vector<workload::WorkloadSpec> selectedWorkloads() const;
+
     ExperimentConfig config_;
-    PerfRunner runner_;
+    SweepEngine engine_;
 };
 
 } // namespace moatsim::sim

@@ -1,7 +1,9 @@
 #include "sim/perf.hh"
 
 #include <algorithm>
+#include <utility>
 
+#include "common/hash.hh"
 #include "mitigation/null.hh"
 
 namespace moatsim::sim
@@ -11,65 +13,118 @@ namespace
 {
 
 subchannel::SubChannelConfig
-channelConfigFor(const workload::TraceGenConfig &tg, abo::Level level)
+channelConfigFor(const workload::TraceGenConfig &tg, abo::Level level,
+                 uint64_t seed)
 {
     subchannel::SubChannelConfig sc;
     sc.timing = tg.timing;
     sc.numBanks = tg.banksSimulated;
     sc.aboLevel = level;
     sc.securityEnabled = false; // perf runs skip the damage oracle
-    sc.seed = tg.seed;
+    sc.seed = seed;
     return sc;
+}
+
+/** Seed of the no-ALERT baseline run of @p spec (mitigator-free key). */
+uint64_t
+baselineSeed(const workload::TraceGenConfig &config, const CoreModel &core,
+             const workload::WorkloadSpec &spec)
+{
+    uint64_t h = hashCombine(perfConfigKey(config, core),
+                             stableHash64(spec.name));
+    return hashCombine(h, stableHash64("baseline"));
 }
 
 } // namespace
 
-PerfRunner::PerfRunner(const workload::TraceGenConfig &config,
-                       CoreModel core)
-    : config_(config), core_(core)
+uint64_t
+perfConfigKey(const workload::TraceGenConfig &config, const CoreModel &core)
 {
+    return hashCombine(workload::configKey(config),
+                       static_cast<uint64_t>(core.mlp));
 }
 
-const std::vector<Time> &
-PerfRunner::baselineFinish(const workload::WorkloadSpec &spec)
+uint64_t
+cellSeed(const workload::TraceGenConfig &config,
+         const workload::WorkloadSpec &spec,
+         const mitigation::MitigatorSpec &mitigator, abo::Level level)
 {
-    auto it = baseline_cache_.find(spec.name);
-    if (it != baseline_cache_.end())
-        return it->second;
+    uint64_t h =
+        hashCombine(workload::configKey(config), stableHash64(spec.name));
+    h = hashCombine(h, stableHash64(mitigator.describe()));
+    return hashCombine(h, static_cast<uint64_t>(abo::levelValue(level)));
+}
 
-    const auto traces = workload::generateTraces(spec, config_);
-    subchannel::SubChannel ch(
-        channelConfigFor(config_, abo::Level::L1), [](BankId) {
-            return std::make_unique<mitigation::NullMitigator>();
-        });
-    const MemSysResult res = runMemSystem(ch, traces, core_);
-    return baseline_cache_.emplace(spec.name, res.coreFinish)
-        .first->second;
+std::shared_ptr<const BaselineCache::Finish>
+BaselineCache::get(const workload::TraceGenConfig &config,
+                   const CoreModel &core, const workload::WorkloadSpec &spec)
+{
+    const uint64_t key =
+        hashCombine(perfConfigKey(config, core), stableHash64(spec.name));
+
+    std::shared_future<std::shared_ptr<const Finish>> future;
+    std::promise<std::shared_ptr<const Finish>> promise;
+    bool compute = false;
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        auto it = entries_.find(key);
+        if (it == entries_.end()) {
+            future = promise.get_future().share();
+            entries_.emplace(key, future);
+            compute = true;
+        } else {
+            future = it->second;
+        }
+    }
+    if (compute) {
+        const auto traces = workload::generateTraces(spec, config);
+        subchannel::SubChannel ch(
+            channelConfigFor(config, abo::Level::L1,
+                             baselineSeed(config, core, spec)),
+            [](BankId) {
+                return std::make_unique<mitigation::NullMitigator>();
+            });
+        const MemSysResult res = runMemSystem(ch, traces, core);
+        promise.set_value(
+            std::make_shared<const Finish>(std::move(res.coreFinish)));
+    }
+    return future.get();
+}
+
+std::size_t
+BaselineCache::size() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return entries_.size();
 }
 
 PerfResult
-PerfRunner::run(const workload::WorkloadSpec &spec,
-                const mitigation::MitigatorSpec &mitigator, abo::Level level)
+runPerfCell(const workload::TraceGenConfig &config, const CoreModel &core,
+            const workload::WorkloadSpec &spec,
+            const mitigation::MitigatorSpec &mitigator, abo::Level level,
+            const std::vector<Time> &baseline)
 {
-    const std::vector<Time> &base = baselineFinish(spec);
-
-    const auto traces = workload::generateTraces(spec, config_);
-    subchannel::SubChannel ch(channelConfigFor(config_, level),
-                              mitigator.factory());
-    const MemSysResult res = runMemSystem(ch, traces, core_);
+    const auto traces = workload::generateTraces(spec, config);
+    subchannel::SubChannel ch(
+        channelConfigFor(config, level,
+                         cellSeed(config, spec, mitigator, level)),
+        mitigator.factory());
+    const MemSysResult res = runMemSystem(ch, traces, core);
 
     PerfResult out;
     out.workload = spec.name;
     out.mitigator = mitigator.describe();
+    out.aboLevel = abo::levelValue(level);
     out.alerts = res.alerts;
     out.acts = res.totalActs;
 
     // Weighted speedup: mean per-core performance relative to baseline.
     double sum = 0.0;
     size_t n = 0;
-    for (size_t c = 0; c < res.coreFinish.size() && c < base.size(); ++c) {
+    for (size_t c = 0; c < res.coreFinish.size() && c < baseline.size();
+         ++c) {
         if (res.coreFinish[c] > 0) {
-            sum += static_cast<double>(base[c]) /
+            sum += static_cast<double>(baseline[c]) /
                    static_cast<double>(res.coreFinish[c]);
             ++n;
         }
@@ -85,13 +140,33 @@ PerfRunner::run(const workload::WorkloadSpec &spec,
     // Scale the generated fraction of a window back to a full tREFW.
     out.mitigationsPerBankPerRefw =
         static_cast<double>(mit.totalMitigations()) / banks /
-        config_.windowFraction;
+        config.windowFraction;
     if (res.totalActs > 0) {
         out.actOverheadFraction =
             static_cast<double>(mit.victimRefreshes + mit.counterResets) /
             static_cast<double>(res.totalActs);
     }
     return out;
+}
+
+PerfRunner::PerfRunner(const workload::TraceGenConfig &config,
+                       CoreModel core)
+    : PerfRunner(config, core, std::make_shared<BaselineCache>())
+{
+}
+
+PerfRunner::PerfRunner(const workload::TraceGenConfig &config, CoreModel core,
+                       std::shared_ptr<BaselineCache> baselines)
+    : config_(config), core_(core), baselines_(std::move(baselines))
+{
+}
+
+PerfResult
+PerfRunner::run(const workload::WorkloadSpec &spec,
+                const mitigation::MitigatorSpec &mitigator, abo::Level level)
+{
+    const auto base = baselines_->get(config_, core_, spec);
+    return runPerfCell(config_, core_, spec, mitigator, level, *base);
 }
 
 std::vector<PerfResult>

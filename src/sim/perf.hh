@@ -7,8 +7,10 @@
  * reports the paper's metrics: normalized weighted speedup (Figures 11
  * and 17), ALERTs per tREFI per sub-channel, mitigations+ALERTs per
  * bank per tREFW (Table 5), and the activation-energy overhead
- * (Section 6.5). Baseline runs are cached per workload, since every
- * parameter sweep shares them.
+ * (Section 6.5). Baseline runs are cached in a thread-safe
+ * BaselineCache keyed by (configuration hash, workload), since every
+ * parameter sweep shares them; see sim/sweep.hh for the parallel sweep
+ * engine that fans independent cells across a thread pool.
  *
  * The mitigator under test is selected by a mitigation::MitigatorSpec,
  * so any registered design ("moat", "panopticon", "ideal-prc", ...)
@@ -18,6 +20,9 @@
 #ifndef MOATSIM_SIM_PERF_HH
 #define MOATSIM_SIM_PERF_HH
 
+#include <future>
+#include <memory>
+#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -38,6 +43,8 @@ struct PerfResult
     std::string workload;
     /** Canonical spec of the design under test (MitigatorSpec text). */
     std::string mitigator;
+    /** ABO mitigation level of the run (1, 2, or 4). */
+    int aboLevel = 1;
     /** Weighted speedup relative to the no-ALERT baseline (<= 1). */
     double normPerf = 1.0;
     /** ALERTs per tREFI (per sub-channel). */
@@ -52,12 +59,75 @@ struct PerfResult
     uint64_t acts = 0;
 };
 
+/**
+ * Stable 64-bit key of everything that shapes a perf simulation: the
+ * trace-generator configuration (timing included) and the core model.
+ */
+uint64_t perfConfigKey(const workload::TraceGenConfig &config,
+                       const CoreModel &core);
+
+/**
+ * Per-cell RNG seed: a stable function of the cell key (configuration,
+ * workload, mitigator spec text, ABO level). Bit-identical results
+ * regardless of thread count or schedule follow from seeding every
+ * cell from its own key instead of from shared mutable state.
+ */
+uint64_t cellSeed(const workload::TraceGenConfig &config,
+                  const workload::WorkloadSpec &spec,
+                  const mitigation::MitigatorSpec &mitigator,
+                  abo::Level level);
+
+/**
+ * Thread-safe cache of baseline (no-ALERT) per-core finish times.
+ *
+ * Keys combine perfConfigKey() with the workload name, so a single
+ * cache may serve sweeps with different trace/core configurations
+ * without serving stale times (a workload name alone is NOT a valid
+ * key). Each distinct key is computed exactly once; concurrent
+ * requesters of the same key block on the first computation.
+ */
+class BaselineCache
+{
+  public:
+    using Finish = std::vector<Time>;
+
+    /** Finish times of @p spec under (config, core); computes on miss. */
+    std::shared_ptr<const Finish> get(const workload::TraceGenConfig &config,
+                                      const CoreModel &core,
+                                      const workload::WorkloadSpec &spec);
+
+    /** Number of distinct baselines computed so far. */
+    std::size_t size() const;
+
+  private:
+    mutable std::mutex mu_;
+    std::unordered_map<uint64_t,
+                       std::shared_future<std::shared_ptr<const Finish>>>
+        entries_;
+};
+
+/**
+ * Run one sweep cell given its precomputed baseline finish times.
+ * Pure function of its arguments (the cell seed is derived internally
+ * via cellSeed), shared by PerfRunner and the SweepEngine workers.
+ */
+PerfResult runPerfCell(const workload::TraceGenConfig &config,
+                       const CoreModel &core,
+                       const workload::WorkloadSpec &spec,
+                       const mitigation::MitigatorSpec &mitigator,
+                       abo::Level level,
+                       const std::vector<Time> &baseline);
+
 /** Runs workloads against mitigator configurations with caching. */
 class PerfRunner
 {
   public:
     explicit PerfRunner(const workload::TraceGenConfig &config,
                         CoreModel core = CoreModel{});
+
+    /** Share a baseline cache with other runners / a sweep engine. */
+    PerfRunner(const workload::TraceGenConfig &config, CoreModel core,
+               std::shared_ptr<BaselineCache> baselines);
 
     /** Run one workload against any registered mitigator design. */
     PerfResult run(const workload::WorkloadSpec &spec,
@@ -81,14 +151,16 @@ class PerfRunner
 
     const workload::TraceGenConfig &config() const { return config_; }
 
-  private:
-    /** Baseline (no-ALERT) core finish times for a workload. */
-    const std::vector<Time> &baselineFinish(
-        const workload::WorkloadSpec &spec);
+    /** The baseline cache (shared with any co-owning sweep engine). */
+    const std::shared_ptr<BaselineCache> &baselines() const
+    {
+        return baselines_;
+    }
 
+  private:
     workload::TraceGenConfig config_;
     CoreModel core_;
-    std::unordered_map<std::string, std::vector<Time>> baseline_cache_;
+    std::shared_ptr<BaselineCache> baselines_;
 };
 
 /** Average normPerf across results (the paper's Gmean bar). */

@@ -1,0 +1,203 @@
+#include "sim/result_io.hh"
+
+#include <cinttypes>
+#include <cstdio>
+#include <cstdlib>
+#include <istream>
+#include <ostream>
+
+#include "common/logging.hh"
+
+namespace moatsim::sim
+{
+
+namespace
+{
+
+/** Escape the characters JSON strings cannot carry raw. */
+std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (const char c : s) {
+        if (c == '"' || c == '\\')
+            out.push_back('\\');
+        if (static_cast<unsigned char>(c) < 0x20) {
+            char buf[8];
+            std::snprintf(buf, sizeof buf, "\\u%04x", c);
+            out += buf;
+            continue;
+        }
+        out.push_back(c);
+    }
+    return out;
+}
+
+/** %.17g: shortest form that round-trips an IEEE binary64 exactly. */
+std::string
+jsonDouble(double d)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof buf, "%.17g", d);
+    return buf;
+}
+
+/**
+ * Pull one "key":value out of a flat one-line JSON object. Values are
+ * returned as raw text (quotes stripped for strings). fatal() when the
+ * key is absent -- the golden format always writes every field.
+ */
+std::string
+jsonField(const std::string &line, const std::string &key)
+{
+    const std::string needle = "\"" + key + "\":";
+    const size_t at = line.find(needle);
+    if (at == std::string::npos)
+        fatal("result line is missing field '" + key + "': " + line);
+    size_t v = at + needle.size();
+    if (v < line.size() && line[v] == '"') {
+        // String value; our own escaper emits \", \\, and \uXXXX.
+        std::string out;
+        for (++v; v < line.size() && line[v] != '"'; ++v) {
+            if (line[v] == '\\' && v + 1 < line.size()) {
+                if (line[v + 1] == 'u' && v + 5 < line.size()) {
+                    const std::string hex = line.substr(v + 2, 4);
+                    char *end = nullptr;
+                    const long code = std::strtol(hex.c_str(), &end, 16);
+                    if (end != hex.c_str() + 4 || code > 0xff)
+                        fatal("bad \\u escape in result line: " + line);
+                    out.push_back(static_cast<char>(code));
+                    v += 5;
+                    continue;
+                }
+                ++v;
+            }
+            out.push_back(line[v]);
+        }
+        if (v >= line.size())
+            fatal("unterminated string in result line: " + line);
+        return out;
+    }
+    size_t end = v;
+    while (end < line.size() && line[end] != ',' && line[end] != '}')
+        ++end;
+    if (end == v)
+        fatal("empty value for field '" + key + "': " + line);
+    return line.substr(v, end - v);
+}
+
+uint64_t
+fieldUInt(const std::string &line, const std::string &key)
+{
+    const std::string v = jsonField(line, key);
+    char *end = nullptr;
+    const uint64_t out = std::strtoull(v.c_str(), &end, 10);
+    if (end == v.c_str() || *end != '\0')
+        fatal("field '" + key + "' is not an integer: " + v);
+    return out;
+}
+
+double
+fieldDouble(const std::string &line, const std::string &key)
+{
+    const std::string v = jsonField(line, key);
+    char *end = nullptr;
+    const double out = std::strtod(v.c_str(), &end);
+    if (end == v.c_str() || *end != '\0')
+        fatal("field '" + key + "' is not a number: " + v);
+    return out;
+}
+
+} // namespace
+
+std::string
+toJsonLine(const PerfResult &r)
+{
+    std::string out = "{\"kind\":\"perf\"";
+    out += ",\"workload\":\"" + jsonEscape(r.workload) + "\"";
+    out += ",\"mitigator\":\"" + jsonEscape(r.mitigator) + "\"";
+    out += ",\"level\":" + std::to_string(r.aboLevel);
+    out += ",\"norm_perf\":" + jsonDouble(r.normPerf);
+    out += ",\"alerts_per_refi\":" + jsonDouble(r.alertsPerRefi);
+    out += ",\"mitigations_per_bank_per_refw\":" +
+           jsonDouble(r.mitigationsPerBankPerRefw);
+    out += ",\"act_overhead\":" + jsonDouble(r.actOverheadFraction);
+    out += ",\"alerts\":" + std::to_string(r.alerts);
+    out += ",\"acts\":" + std::to_string(r.acts);
+    out += "}";
+    return out;
+}
+
+std::string
+toJsonLine(const attacks::AttackResult &r, const std::string &pattern,
+           const std::string &mitigator)
+{
+    std::string out = "{\"kind\":\"attack\"";
+    out += ",\"pattern\":\"" + jsonEscape(pattern) + "\"";
+    out += ",\"mitigator\":\"" + jsonEscape(mitigator) + "\"";
+    out += ",\"max_hammer\":" + std::to_string(r.maxHammer);
+    out += ",\"total_acts\":" + std::to_string(r.totalActs);
+    out += ",\"alerts\":" + std::to_string(r.alerts);
+    out += ",\"duration_ps\":" + std::to_string(r.duration);
+    out += "}";
+    return out;
+}
+
+std::string
+toJsonLine(const attacks::ThroughputAttackResult &r,
+           const std::string &pattern, const std::string &mitigator)
+{
+    std::string out = "{\"kind\":\"throughput_attack\"";
+    out += ",\"pattern\":\"" + jsonEscape(pattern) + "\"";
+    out += ",\"mitigator\":\"" + jsonEscape(mitigator) + "\"";
+    out += ",\"attack_rate\":" + jsonDouble(r.attackRate);
+    out += ",\"baseline_rate\":" + jsonDouble(r.baselineRate);
+    out += ",\"relative_throughput\":" + jsonDouble(r.relativeThroughput);
+    out += ",\"loss_fraction\":" + jsonDouble(r.lossFraction);
+    out += ",\"alerts\":" + std::to_string(r.alerts);
+    out += "}";
+    return out;
+}
+
+void
+writeJsonLines(std::ostream &os, const std::vector<PerfResult> &rs)
+{
+    for (const auto &r : rs)
+        os << toJsonLine(r) << "\n";
+}
+
+PerfResult
+perfResultOfJsonLine(const std::string &line)
+{
+    if (jsonField(line, "kind") != "perf")
+        fatal("not a perf result line: " + line);
+    PerfResult r;
+    r.workload = jsonField(line, "workload");
+    r.mitigator = jsonField(line, "mitigator");
+    r.aboLevel = static_cast<int>(fieldUInt(line, "level"));
+    r.normPerf = fieldDouble(line, "norm_perf");
+    r.alertsPerRefi = fieldDouble(line, "alerts_per_refi");
+    r.mitigationsPerBankPerRefw =
+        fieldDouble(line, "mitigations_per_bank_per_refw");
+    r.actOverheadFraction = fieldDouble(line, "act_overhead");
+    r.alerts = fieldUInt(line, "alerts");
+    r.acts = fieldUInt(line, "acts");
+    return r;
+}
+
+std::vector<PerfResult>
+readPerfJsonLines(std::istream &is)
+{
+    std::vector<PerfResult> out;
+    std::string line;
+    while (std::getline(is, line)) {
+        if (line.empty() || line[0] == '#')
+            continue;
+        if (jsonField(line, "kind") == "perf")
+            out.push_back(perfResultOfJsonLine(line));
+    }
+    return out;
+}
+
+} // namespace moatsim::sim

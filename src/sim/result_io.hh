@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Structured (JSON lines) serialization of experiment results.
+ *
+ * The golden-result regression harness locks every paper number down
+ * by diffing regenerated results against checked-in files, so the
+ * serialization must be byte-stable: fields are emitted in a fixed
+ * order and doubles with "%.17g" (round-trip exact for IEEE-754
+ * binary64). One JSON object per line; a "kind" discriminator tags
+ * perf cells vs. attack outcomes so mixed streams stay greppable.
+ */
+
+#ifndef MOATSIM_SIM_RESULT_IO_HH
+#define MOATSIM_SIM_RESULT_IO_HH
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "attacks/attack.hh"
+#include "sim/perf.hh"
+
+namespace moatsim::sim
+{
+
+/** One PerfResult as a byte-stable JSON line (no trailing newline). */
+std::string toJsonLine(const PerfResult &r);
+
+/**
+ * One AttackResult as a byte-stable JSON line; @p pattern and
+ * @p mitigator name the attack cell the way PerfResult lines name
+ * their (workload, mitigator) cell.
+ */
+std::string toJsonLine(const attacks::AttackResult &r,
+                       const std::string &pattern,
+                       const std::string &mitigator);
+
+/** One ThroughputAttackResult (TSA / kernel losses) as a JSON line. */
+std::string toJsonLine(const attacks::ThroughputAttackResult &r,
+                       const std::string &pattern,
+                       const std::string &mitigator);
+
+/** Write one line per result. */
+void writeJsonLines(std::ostream &os, const std::vector<PerfResult> &rs);
+
+/** Parse a toJsonLine(PerfResult) line back; fatal() on malformed. */
+PerfResult perfResultOfJsonLine(const std::string &line);
+
+/** Read every "kind":"perf" line of a JSONL stream. */
+std::vector<PerfResult> readPerfJsonLines(std::istream &is);
+
+} // namespace moatsim::sim
+
+#endif // MOATSIM_SIM_RESULT_IO_HH

@@ -1,0 +1,69 @@
+#include "sim/sweep.hh"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/thread_pool.hh"
+
+namespace moatsim::sim
+{
+
+SweepEngine::SweepEngine(const SweepConfig &config)
+    : SweepEngine(config, std::make_shared<BaselineCache>())
+{
+}
+
+SweepEngine::SweepEngine(const SweepConfig &config,
+                         std::shared_ptr<BaselineCache> baselines)
+    : config_(config),
+      jobs_(config.jobs > 0 ? config.jobs : ThreadPool::hardwareThreads()),
+      baselines_(std::move(baselines))
+{
+}
+
+PerfResult
+SweepEngine::runCell(const SweepCell &cell)
+{
+    const auto base =
+        baselines_->get(config_.tracegen, config_.core, cell.workload);
+    return runPerfCell(config_.tracegen, config_.core, cell.workload,
+                       cell.mitigator, cell.level, *base);
+}
+
+std::vector<PerfResult>
+SweepEngine::run(const std::vector<SweepCell> &cells)
+{
+    std::vector<PerfResult> results(cells.size());
+    if (jobs_ <= 1 || cells.size() <= 1) {
+        for (size_t i = 0; i < cells.size(); ++i)
+            results[i] = runCell(cells[i]);
+        return results;
+    }
+
+    // No point spinning up more workers than there are cells.
+    ThreadPool pool(
+        std::min(jobs_, static_cast<unsigned>(cells.size())));
+    for (size_t i = 0; i < cells.size(); ++i) {
+        pool.submit([this, &cells, &results, i] {
+            results[i] = runCell(cells[i]);
+        });
+    }
+    pool.wait();
+    return results;
+}
+
+std::vector<SweepCell>
+crossCells(const std::vector<workload::WorkloadSpec> &workloads,
+           const std::vector<std::pair<mitigation::MitigatorSpec,
+                                       abo::Level>> &points)
+{
+    std::vector<SweepCell> cells;
+    cells.reserve(workloads.size() * points.size());
+    for (const auto &[mitigator, level] : points) {
+        for (const auto &w : workloads)
+            cells.push_back({w, mitigator, level});
+    }
+    return cells;
+}
+
+} // namespace moatsim::sim

@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Parallel sweep engine for (workload x mitigator x parameter) grids.
+ *
+ * Every cell of a paper figure/table sweep is an independent
+ * simulation, so the engine fans the cells out across a work-stealing
+ * thread pool (common/thread_pool.hh). Determinism is by construction:
+ * each cell's RNG streams are seeded from its own stable cell key
+ * (sim::cellSeed) and its baseline comes from the thread-safe
+ * BaselineCache, so the result vector is bit-identical at any --jobs
+ * value and under any thread schedule. The serial path (jobs=1) runs
+ * inline on the calling thread and produces the same bytes.
+ */
+
+#ifndef MOATSIM_SIM_SWEEP_HH
+#define MOATSIM_SIM_SWEEP_HH
+
+#include <memory>
+#include <vector>
+
+#include "abo/abo.hh"
+#include "mitigation/registry.hh"
+#include "sim/perf.hh"
+#include "workload/spec.hh"
+#include "workload/tracegen.hh"
+
+namespace moatsim::sim
+{
+
+/** One independent simulation cell of a sweep matrix. */
+struct SweepCell
+{
+    workload::WorkloadSpec workload;
+    mitigation::MitigatorSpec mitigator;
+    abo::Level level = abo::Level::L1;
+};
+
+/** Engine configuration. */
+struct SweepConfig
+{
+    /** Trace generation: DRAM timing, window fraction, cores, seed. */
+    workload::TraceGenConfig tracegen{};
+    /** Core model (memory-level parallelism). */
+    CoreModel core{};
+    /** Worker threads; 0 = hardware concurrency, 1 = run inline. */
+    unsigned jobs = 0;
+};
+
+/** Runs sweep cells in parallel with bit-identical-to-serial results. */
+class SweepEngine
+{
+  public:
+    explicit SweepEngine(const SweepConfig &config);
+
+    /** Share a baseline cache with other engines / PerfRunners. */
+    SweepEngine(const SweepConfig &config,
+                std::shared_ptr<BaselineCache> baselines);
+
+    /**
+     * Run every cell; results are returned in cell order, independent
+     * of the execution schedule.
+     */
+    std::vector<PerfResult> run(const std::vector<SweepCell> &cells);
+
+    /** Run one cell inline (shares the baseline cache). */
+    PerfResult runCell(const SweepCell &cell);
+
+    /** Resolved worker count (after the 0 -> hardware default). */
+    unsigned jobs() const { return jobs_; }
+
+    const SweepConfig &config() const { return config_; }
+
+    /** The baseline cache (shared across runs of this engine). */
+    const std::shared_ptr<BaselineCache> &baselines() const
+    {
+        return baselines_;
+    }
+
+  private:
+    SweepConfig config_;
+    unsigned jobs_;
+    std::shared_ptr<BaselineCache> baselines_;
+};
+
+/** Cross product: every workload at every (mitigator, level) point. */
+std::vector<SweepCell>
+crossCells(const std::vector<workload::WorkloadSpec> &workloads,
+           const std::vector<std::pair<mitigation::MitigatorSpec,
+                                       abo::Level>> &points);
+
+} // namespace moatsim::sim
+
+#endif // MOATSIM_SIM_SWEEP_HH

@@ -17,9 +17,21 @@
  *   moatsim postponement [--mitigator S] [--max N]
  *   moatsim tsa     [--mitigator S] [--banks N] [--cycles N]
  *   moatsim attack  --pattern P [--mitigator S] [--pool N] [--acts N]
- *                   [--trials N] [--level 1|2|4]     generic driver
+ *                   [--trials N] [--jobs N] [--level 1|2|4]
+ *                   generic driver. Without --jobs, --trials keeps its
+ *                   pattern-internal meaning (alignment sweep). With
+ *                   --jobs, --trials N instead runs N independently
+ *                   seeded single-shot instances across the workers
+ *                   and reports the best outcome -- identical at any
+ *                   --jobs value, but a different search than the
+ *                   internal sweep.
  *   moatsim perf    [--workload NAME|all] [--mitigator S] [--ath N]
  *                   [--eth N] [--level 1|2|4] [--fraction F]
+ *                   [--jobs N] [--jsonl FILE]
+ *                   --jobs N fans the sweep across N workers (0 =
+ *                   hardware concurrency; results are bit-identical at
+ *                   any value); --jsonl appends one structured JSON
+ *                   line per result
  *   moatsim replay  --trace FILE [--mitigator S] [--ath N] [--eth N]
  *                   [--postpone]
  *   moatsim list-mitigators
@@ -35,6 +47,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
 #include <iostream>
 #include <string>
 
@@ -47,8 +60,10 @@
 #include "common/logging.hh"
 #include "common/stats.hh"
 #include "common/table.hh"
+#include "attacks/attack.hh"
 #include "mitigation/registry.hh"
 #include "sim/experiment.hh"
+#include "sim/result_io.hh"
 #include "workload/trace_io.hh"
 
 using namespace moatsim;
@@ -341,7 +356,14 @@ cmdAttack(const Args &args)
     cfg.seed = args.getInt("seed", 1);
     const auto spec = withMoatLevelEntries(
         mitigatorArg(args, defaultDesignOf(cfg.pattern)), cfg.aboLevel);
-    const auto r = attacks::runAttack(cfg, spec);
+    // --trials N with --jobs: N independently seeded instances across
+    // the pool, best outcome wins; identical at any --jobs value.
+    const auto r =
+        args.has("jobs")
+            ? attacks::runAttackTrials(
+                  cfg, spec, cfg.trials > 0 ? cfg.trials : 1,
+                  static_cast<unsigned>(args.getInt("jobs", 0)))
+            : attacks::runAttack(cfg, spec);
     std::printf("%s vs %s: max ACTs=%u, %lu total ACTs, %lu ALERTs, "
                 "%.2f ms\n",
                 cfg.pattern.c_str(), spec.describe().c_str(), r.maxHammer,
@@ -375,17 +397,28 @@ cmdPerf(const Args &args)
     ec.aboLevel = level;
     ec.mitigator = perfMitigator(args, level);
     ec.workload = args.get("workload", "all");
+    ec.jobs = static_cast<unsigned>(args.getInt("jobs", 0));
     sim::Experiment exp(ec);
+
+    const auto results = exp.run();
 
     std::printf("mitigator: %s\n", ec.mitigator.describe().c_str());
     TablePrinter t({"workload", "slowdown", "ALERTs/tREFI",
                     "mitigations/bank/tREFW"});
-    for (const auto &r : exp.run()) {
+    for (const auto &r : results) {
         t.addRow({r.workload, formatPercent(1.0 - r.normPerf),
                   formatFixed(r.alertsPerRefi, 4),
                   formatFixed(r.mitigationsPerBankPerRefw, 0)});
     }
     t.print(std::cout);
+
+    const std::string jsonl = args.get("jsonl", "");
+    if (!jsonl.empty()) {
+        std::ofstream os(jsonl, std::ios::app);
+        if (!os)
+            fatal("cannot open --jsonl file " + jsonl);
+        sim::writeJsonLines(os, results);
+    }
     return 0;
 }
 
@@ -469,6 +502,9 @@ usage()
         "usage: moatsim <command> [--flag [value] ...]\n"
         "commands: bound ratchet jailbreak feinting postponement tsa\n"
         "          attack perf replay list-mitigators list-workloads\n"
+        "perf and attack accept --jobs N (parallel sweep/trials; 0 =\n"
+        "hardware concurrency, results bit-identical at any value) and\n"
+        "perf accepts --jsonl FILE for structured results\n"
         "every experiment accepts --mitigator name[:k=v,...]; run\n"
         "'moatsim list-mitigators' for the registered designs and see\n"
         "the file header of src/tools/moatsim_cli.cc for all flags\n");

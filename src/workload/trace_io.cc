@@ -14,7 +14,10 @@ writeTraces(std::ostream &os, const std::vector<CoreTrace> &traces)
     os << "# moatsim trace v1: time_ps bank row\n";
     for (size_t c = 0; c < traces.size(); ++c) {
         os << "core " << c << "\n";
-        os << "window " << traces[c].window << "\n";
+        // The reader rejects "window 0" as malformed; an unset window
+        // is simply omitted and re-derived from the last event.
+        if (traces[c].window > 0)
+            os << "window " << traces[c].window << "\n";
         for (const auto &e : traces[c].events)
             os << e.at << ' ' << e.bank << ' ' << e.row << "\n";
     }

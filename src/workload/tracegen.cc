@@ -5,6 +5,7 @@
 #include <unordered_map>
 #include <unordered_set>
 
+#include "common/hash.hh"
 #include "common/logging.hh"
 
 namespace moatsim::workload
@@ -23,6 +24,39 @@ roundStochastic(double x, Rng &rng)
 }
 
 } // namespace
+
+uint64_t
+configKey(const TraceGenConfig &config)
+{
+    const dram::TimingParams &t = config.timing;
+    uint64_t h = stableHash64("moatsim.tracegen.v1");
+    for (const Time v :
+         {t.tACT, t.tPRE, t.tRAS, t.tRC, t.tREFW, t.tREFI, t.tRFC, t.tRRD,
+          t.tFAW, t.tRFM, t.tAlertNormal})
+        h = hashCombine(h, static_cast<uint64_t>(v));
+    for (const uint64_t v :
+         {static_cast<uint64_t>(t.rowsPerBank),
+          static_cast<uint64_t>(t.banksPerSubchannel),
+          static_cast<uint64_t>(t.refreshGroups),
+          static_cast<uint64_t>(t.blastRadius),
+          static_cast<uint64_t>(config.numCores),
+          static_cast<uint64_t>(config.banksSimulated),
+          static_cast<uint64_t>(config.systemBanks),
+          static_cast<uint64_t>(config.coreMlp),
+          static_cast<uint64_t>(config.intraEpisodeGap), config.seed})
+        h = hashCombine(h, v);
+    for (const double v :
+         {config.baseIpc, config.cpuGhz, config.bankUtilizationCap,
+          config.coreUtilizationCap, config.windowFraction})
+        h = hashCombine(h, hashDouble(v));
+    return h;
+}
+
+uint64_t
+traceSeed(const WorkloadSpec &spec, const TraceGenConfig &config)
+{
+    return hashCombine(hashMix(config.seed), stableHash64(spec.name));
+}
 
 double
 effectiveIpc(const WorkloadSpec &spec, const TraceGenConfig &config)
@@ -50,7 +84,10 @@ generateTraces(const WorkloadSpec &spec, const TraceGenConfig &config)
     if (config.banksSimulated > config.systemBanks)
         fatal("generateTraces: simulated banks exceed system banks");
 
-    Rng rng(config.seed ^ (std::hash<std::string>{}(spec.name) | 1));
+    // Stable per-workload stream: equal (seed, name) pairs regenerate
+    // identical traces on any platform, and the mitigated run of a cell
+    // replays exactly the traces its cached baseline ran on.
+    Rng rng(traceSeed(spec, config));
 
     const Time window =
         static_cast<Time>(static_cast<double>(t.tREFW) *

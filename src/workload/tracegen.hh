@@ -94,6 +94,22 @@ std::vector<CoreTrace> generateTraces(const WorkloadSpec &spec,
                                       const TraceGenConfig &config);
 
 /**
+ * Stable hash of every generator parameter (including the timing
+ * block). Two configs with equal keys generate identical traces for
+ * equal workloads; baseline caches key on it so one cache can serve
+ * sweeps with different configurations.
+ */
+uint64_t configKey(const TraceGenConfig &config);
+
+/**
+ * The RNG seed generateTraces uses for @p spec: a stable function of
+ * (config.seed, spec.name) only — deliberately independent of the
+ * mitigator under test, so a cell's mitigated run replays exactly the
+ * traces its no-ALERT baseline was measured on.
+ */
+uint64_t traceSeed(const WorkloadSpec &spec, const TraceGenConfig &config);
+
+/**
  * Effective IPC of a workload: baseIpc capped so that the implied
  * activation rate stays within the banks' and the core's achievable
  * memory bandwidth (memory-bound workloads run at lower IPC, exactly

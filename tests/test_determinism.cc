@@ -1,0 +1,210 @@
+/**
+ * @file
+ * Determinism guarantees of the parallel sweep engine: the same sweep
+ * must produce bit-identical PerfResult vectors at jobs=1, jobs=2, and
+ * jobs=8 (catches RNG or schedule leaks between cells), match the
+ * serial PerfRunner path, and the baseline cache must key on the full
+ * configuration, not just the workload name.
+ */
+
+#include <gtest/gtest.h>
+
+#include "attacks/attack.hh"
+#include "sim/result_io.hh"
+#include "sim/sweep.hh"
+
+namespace moatsim::sim
+{
+namespace
+{
+
+workload::TraceGenConfig
+smallTracegen()
+{
+    workload::TraceGenConfig tg;
+    tg.banksSimulated = 8;
+    tg.numCores = 4;
+    tg.windowFraction = 0.015625;
+    return tg;
+}
+
+std::vector<SweepCell>
+sampleCells()
+{
+    std::vector<SweepCell> cells;
+    for (const char *w : {"roms", "parest", "xz"}) {
+        for (const char *m :
+             {"moat", "moat:ath=32,eth=16", "panopticon"}) {
+            cells.push_back({workload::findWorkload(w),
+                             mitigation::Registry::parse(m),
+                             abo::Level::L1});
+        }
+    }
+    cells.push_back({workload::findWorkload("roms"),
+                     mitigation::Registry::parse("moat:entries=2"),
+                     abo::Level::L2});
+    return cells;
+}
+
+/** Bit-exact comparison; serialized form covers every field. */
+void
+expectIdentical(const std::vector<PerfResult> &a,
+                const std::vector<PerfResult> &b, const std::string &label)
+{
+    ASSERT_EQ(a.size(), b.size()) << label;
+    for (size_t i = 0; i < a.size(); ++i)
+        EXPECT_EQ(toJsonLine(a[i]), toJsonLine(b[i]))
+            << label << " cell " << i;
+}
+
+TEST(SweepDeterminism, BitIdenticalAcrossJobCounts)
+{
+    const auto cells = sampleCells();
+    std::vector<std::vector<PerfResult>> runs;
+    for (const unsigned jobs : {1u, 2u, 8u}) {
+        SweepConfig sc;
+        sc.tracegen = smallTracegen();
+        sc.jobs = jobs;
+        SweepEngine engine(sc);
+        runs.push_back(engine.run(cells));
+    }
+    expectIdentical(runs[0], runs[1], "jobs=1 vs jobs=2");
+    expectIdentical(runs[0], runs[2], "jobs=1 vs jobs=8");
+}
+
+TEST(SweepDeterminism, MatchesSerialPerfRunner)
+{
+    const auto cells = sampleCells();
+    SweepConfig sc;
+    sc.tracegen = smallTracegen();
+    sc.jobs = 4;
+    SweepEngine engine(sc);
+    const auto parallel = engine.run(cells);
+
+    PerfRunner runner(smallTracegen());
+    std::vector<PerfResult> serial;
+    for (const auto &cell : cells)
+        serial.push_back(
+            runner.run(cell.workload, cell.mitigator, cell.level));
+    expectIdentical(parallel, serial, "engine vs PerfRunner");
+}
+
+TEST(SweepDeterminism, RepeatedRunsOnOneEngineAreIdentical)
+{
+    // The baseline cache is warm on the second run; results must not
+    // depend on cache state.
+    const auto cells = sampleCells();
+    SweepConfig sc;
+    sc.tracegen = smallTracegen();
+    sc.jobs = 8;
+    SweepEngine engine(sc);
+    const auto first = engine.run(cells);
+    const auto second = engine.run(cells);
+    expectIdentical(first, second, "cold vs warm cache");
+}
+
+TEST(SweepDeterminism, CellSeedIsAStableCellKey)
+{
+    const auto tg = smallTracegen();
+    const auto &roms = workload::findWorkload("roms");
+    const auto &xz = workload::findWorkload("xz");
+    const auto moat = mitigation::Registry::parse("moat");
+    const auto moat32 = mitigation::Registry::parse("moat:ath=32");
+
+    const uint64_t base = cellSeed(tg, roms, moat, abo::Level::L1);
+    EXPECT_EQ(base, cellSeed(tg, roms, moat, abo::Level::L1));
+    EXPECT_NE(base, cellSeed(tg, xz, moat, abo::Level::L1));
+    EXPECT_NE(base, cellSeed(tg, roms, moat32, abo::Level::L1));
+    EXPECT_NE(base, cellSeed(tg, roms, moat, abo::Level::L2));
+
+    auto tg2 = tg;
+    tg2.seed += 1;
+    EXPECT_NE(base, cellSeed(tg2, roms, moat, abo::Level::L1));
+}
+
+TEST(BaselineCache, KeyIncludesConfigNotJustWorkloadName)
+{
+    // Regression: a shared cache serving two sweeps with different
+    // trace configs must not return stale finish times for the second
+    // config just because the workload name matches.
+    const auto cache = std::make_shared<BaselineCache>();
+    const auto &spec = workload::findWorkload("roms");
+
+    auto tg1 = smallTracegen();
+    auto tg2 = smallTracegen();
+    tg2.windowFraction *= 2;
+
+    const auto f1 = cache->get(tg1, CoreModel{}, spec);
+    const auto f2 = cache->get(tg2, CoreModel{}, spec);
+    EXPECT_EQ(cache->size(), 2u);
+    ASSERT_EQ(f1->size(), f2->size());
+    // Twice the window means later finish times under config 2.
+    EXPECT_NE(*f1, *f2);
+
+    // Different core model, same tracegen: also a distinct entry.
+    CoreModel core2;
+    core2.mlp = 1;
+    cache->get(tg1, core2, spec);
+    EXPECT_EQ(cache->size(), 3u);
+
+    // Re-requesting an existing key hits the cache.
+    const auto f1again = cache->get(tg1, CoreModel{}, spec);
+    EXPECT_EQ(cache->size(), 3u);
+    EXPECT_EQ(f1.get(), f1again.get());
+}
+
+TEST(BaselineCache, SharedAcrossRunnersGivesIdenticalResults)
+{
+    const auto cache = std::make_shared<BaselineCache>();
+    const auto tg = smallTracegen();
+    PerfRunner a(tg, CoreModel{}, cache);
+    PerfRunner b(tg, CoreModel{}, cache);
+    const auto &spec = workload::findWorkload("xz");
+    const auto m = mitigation::Registry::parse("moat");
+    EXPECT_EQ(toJsonLine(a.run(spec, m)), toJsonLine(b.run(spec, m)));
+    EXPECT_EQ(cache->size(), 1u);
+}
+
+TEST(SweepDeterminism, TraceSeedIgnoresMitigator)
+{
+    // The mitigated run must replay the exact traces its cached
+    // baseline ran on: trace seeding may depend on (seed, workload)
+    // only.
+    const auto tg = smallTracegen();
+    const auto &spec = workload::findWorkload("parest");
+    const uint64_t s = workload::traceSeed(spec, tg);
+    auto tg2 = tg;
+    tg2.banksSimulated = 16; // non-seed fields do not move the stream
+    EXPECT_EQ(s, workload::traceSeed(spec, tg2));
+    auto tg3 = tg;
+    tg3.seed = 1234;
+    EXPECT_NE(s, workload::traceSeed(spec, tg3));
+}
+
+TEST(ResultIo, EscapedStringsRoundTrip)
+{
+    // Quotes, backslashes, and control characters in names must
+    // survive serialize -> parse -> serialize unchanged.
+    PerfResult r;
+    r.workload = "we\"ird\\name\nwith\tcontrols";
+    r.mitigator = "moat";
+    const std::string line = toJsonLine(r);
+    const PerfResult back = perfResultOfJsonLine(line);
+    EXPECT_EQ(back.workload, r.workload);
+    EXPECT_EQ(toJsonLine(back), line);
+}
+
+TEST(AttackTrials, DeterministicAcrossJobCounts)
+{
+    attacks::AttackConfig cfg;
+    cfg.pattern = "round-robin";
+    cfg.budget = 512;
+    const auto m = mitigation::Registry::parse("moat");
+    const auto serial = attacks::runAttackTrials(cfg, m, 4, 1);
+    const auto parallel = attacks::runAttackTrials(cfg, m, 4, 8);
+    EXPECT_EQ(toJsonLine(serial, cfg.pattern, m.describe()),
+              toJsonLine(parallel, cfg.pattern, m.describe()));
+}
+
+} // namespace
+} // namespace moatsim::sim

@@ -1,0 +1,231 @@
+/**
+ * @file
+ * Golden-result regression harness.
+ *
+ * Regenerates a small, fast sweep of every registered mitigator (perf
+ * cells through the parallel SweepEngine, attack outcomes through
+ * runAttack) and byte-compares the JSONL serialization against the
+ * checked-in files under tests/golden/. Any intentional change to
+ * simulation behaviour must regenerate them:
+ *
+ *     ./test_golden_results --update-golden
+ *     (or MOATSIM_UPDATE_GOLDEN=1 ctest -R golden)
+ *
+ * Regenerated output is always also written to golden_actual/ in the
+ * build directory, so CI can upload the diff as an artifact when the
+ * comparison fails.
+ *
+ * This binary has its own main() (it must see argv before gtest eats
+ * it), so CMake links it against gtest, not gtest_main.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "attacks/attack.hh"
+#include "sim/result_io.hh"
+#include "sim/sweep.hh"
+
+#ifndef MOATSIM_GOLDEN_DIR
+#error "MOATSIM_GOLDEN_DIR must point at the checked-in golden files"
+#endif
+#ifndef MOATSIM_GOLDEN_OUT
+#define MOATSIM_GOLDEN_OUT "."
+#endif
+
+namespace moatsim::sim
+{
+namespace
+{
+
+bool g_update_golden = false;
+
+workload::TraceGenConfig
+goldenTracegen()
+{
+    workload::TraceGenConfig tg;
+    tg.banksSimulated = 8;
+    tg.numCores = 4;
+    tg.windowFraction = 0.015625;
+    return tg;
+}
+
+/** The golden perf sweep of one registered design: 2 workloads x L1,
+ *  run through the parallel engine (jobs=2 exercises the pool). */
+std::vector<std::string>
+perfLinesFor(const std::string &mitigator)
+{
+    SweepConfig sc;
+    sc.tracegen = goldenTracegen();
+    sc.jobs = 2;
+    SweepEngine engine(sc);
+
+    std::vector<SweepCell> cells;
+    for (const char *w : {"roms", "xz"}) {
+        cells.push_back({workload::findWorkload(w),
+                         mitigation::Registry::parse(mitigator),
+                         abo::Level::L1});
+    }
+    std::vector<std::string> lines;
+    for (const auto &r : engine.run(cells))
+        lines.push_back(toJsonLine(r));
+    return lines;
+}
+
+/** The golden attack matrix: the generic pattern against every design
+ *  plus each specialized pattern against its natural target. */
+std::vector<std::string>
+attackLines()
+{
+    struct AttackCell
+    {
+        const char *pattern;
+        const char *mitigator;
+        uint64_t budget;
+        uint32_t trials;
+    };
+    const AttackCell cells[] = {
+        {"hammer", "null", 2048, 0},
+        {"hammer", "moat", 2048, 0},
+        {"hammer", "panopticon", 2048, 0},
+        {"hammer", "panopticon-counter", 2048, 0},
+        {"hammer", "ideal-prc", 2048, 0},
+        {"round-robin", "moat", 1024, 0},
+        {"ratchet", "moat", 0, 0},
+        {"jailbreak", "panopticon", 0, 0},
+        {"feinting", "ideal-prc", 0, 0},
+        {"postponement", "panopticon", 0, 8},
+    };
+    std::vector<std::string> lines;
+    for (const auto &cell : cells) {
+        attacks::AttackConfig cfg;
+        cfg.pattern = cell.pattern;
+        cfg.budget = cell.budget;
+        cfg.trials = cell.trials;
+        const auto spec = mitigation::Registry::parse(cell.mitigator);
+        const auto r = attacks::runAttack(cfg, spec);
+        lines.push_back(toJsonLine(r, cell.pattern, spec.describe()));
+    }
+    return lines;
+}
+
+void
+writeLines(const std::filesystem::path &path,
+           const std::vector<std::string> &lines)
+{
+    std::filesystem::create_directories(path.parent_path());
+    std::ofstream os(path);
+    ASSERT_TRUE(os) << "cannot write " << path;
+    for (const auto &line : lines)
+        os << line << "\n";
+}
+
+std::vector<std::string>
+readLines(const std::filesystem::path &path)
+{
+    std::ifstream is(path);
+    std::vector<std::string> lines;
+    std::string line;
+    while (std::getline(is, line))
+        lines.push_back(line);
+    return lines;
+}
+
+/**
+ * Compare regenerated lines against the golden file (or rewrite it in
+ * update mode). The regenerated lines always land in golden_actual/
+ * next to the test binary for CI artifact upload.
+ */
+void
+checkGolden(const std::string &name, const std::vector<std::string> &actual)
+{
+    const std::filesystem::path golden =
+        std::filesystem::path(MOATSIM_GOLDEN_DIR) / name;
+    writeLines(std::filesystem::path(MOATSIM_GOLDEN_OUT) / "golden_actual" /
+                   name,
+               actual);
+
+    if (g_update_golden) {
+        writeLines(golden, actual);
+        std::cout << "updated " << golden << " (" << actual.size()
+                  << " lines)\n";
+        return;
+    }
+
+    ASSERT_TRUE(std::filesystem::exists(golden))
+        << golden << " is missing; run with --update-golden to create it";
+    const auto expected = readLines(golden);
+    EXPECT_EQ(expected.size(), actual.size())
+        << name << ": cell count changed; if intentional, regenerate "
+        << "with --update-golden";
+    const size_t n = std::min(expected.size(), actual.size());
+    for (size_t i = 0; i < n; ++i) {
+        EXPECT_EQ(expected[i], actual[i])
+            << name << " line " << (i + 1) << " diverged\n"
+            << "  golden: " << expected[i] << "\n"
+            << "  actual: " << actual[i] << "\n"
+            << "If the change is intentional, regenerate with "
+            << "--update-golden and commit the diff.";
+    }
+}
+
+class GoldenPerf : public ::testing::TestWithParam<std::string>
+{
+};
+
+TEST_P(GoldenPerf, MatchesCheckedInResults)
+{
+    checkGolden("perf_" + GetParam() + ".jsonl", perfLinesFor(GetParam()));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllMitigators, GoldenPerf,
+    ::testing::ValuesIn(mitigation::Registry::names()),
+    [](const ::testing::TestParamInfo<std::string> &info) {
+        std::string name = info.param;
+        for (auto &c : name) {
+            if (c == '-')
+                c = '_';
+        }
+        return name;
+    });
+
+TEST(GoldenAttacks, MatchCheckedInResults)
+{
+    checkGolden("attack_results.jsonl", attackLines());
+}
+
+TEST(GoldenFormat, PerfLinesRoundTripThroughParser)
+{
+    // The golden files stay useful to external tooling only if the
+    // serialization is parseable; round-trip one file's worth.
+    const auto lines = perfLinesFor("moat");
+    for (const auto &line : lines) {
+        const PerfResult r = perfResultOfJsonLine(line);
+        EXPECT_EQ(toJsonLine(r), line);
+    }
+}
+
+} // namespace
+} // namespace moatsim::sim
+
+int
+main(int argc, char **argv)
+{
+    for (int i = 1; i < argc; ++i) {
+        if (std::string(argv[i]) == "--update-golden")
+            moatsim::sim::g_update_golden = true;
+    }
+    if (const char *env = std::getenv("MOATSIM_UPDATE_GOLDEN")) {
+        if (env[0] != '\0' && env[0] != '0')
+            moatsim::sim::g_update_golden = true;
+    }
+    ::testing::InitGoogleTest(&argc, argv);
+    return RUN_ALL_TESTS();
+}

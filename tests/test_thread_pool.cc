@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Tests for the work-stealing thread pool the sweep engine runs on.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <vector>
+
+#include "common/thread_pool.hh"
+
+namespace moatsim
+{
+namespace
+{
+
+TEST(ThreadPool, RunsEveryJobExactlyOnce)
+{
+    ThreadPool pool(4);
+    EXPECT_EQ(pool.threadCount(), 4u);
+    std::vector<std::atomic<int>> hits(512);
+    for (auto &h : hits)
+        h = 0;
+    for (size_t i = 0; i < hits.size(); ++i)
+        pool.submit([&hits, i] { ++hits[i]; });
+    pool.wait();
+    for (const auto &h : hits)
+        EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, ZeroThreadsMeansHardwareConcurrency)
+{
+    ThreadPool pool(0);
+    EXPECT_EQ(pool.threadCount(), ThreadPool::hardwareThreads());
+    EXPECT_GE(ThreadPool::hardwareThreads(), 1u);
+}
+
+TEST(ThreadPool, SingleWorkerDrainsEverything)
+{
+    ThreadPool pool(1);
+    std::atomic<int> sum{0};
+    for (int i = 1; i <= 100; ++i)
+        pool.submit([&sum, i] { sum += i; });
+    pool.wait();
+    EXPECT_EQ(sum.load(), 5050);
+}
+
+TEST(ThreadPool, ReusableAfterWait)
+{
+    ThreadPool pool(2);
+    std::atomic<int> count{0};
+    for (int round = 0; round < 3; ++round) {
+        for (int i = 0; i < 32; ++i)
+            pool.submit([&count] { ++count; });
+        pool.wait();
+        EXPECT_EQ(count.load(), 32 * (round + 1));
+    }
+}
+
+TEST(ThreadPool, JobsMaySubmitJobs)
+{
+    // wait() must cover work spawned by running jobs (a sweep cell
+    // enqueuing follow-up cells).
+    ThreadPool pool(3);
+    std::atomic<int> count{0};
+    for (int i = 0; i < 8; ++i) {
+        pool.submit([&pool, &count] {
+            ++count;
+            pool.submit([&count] { ++count; });
+        });
+    }
+    pool.wait();
+    EXPECT_EQ(count.load(), 16);
+}
+
+TEST(ThreadPool, MoreThreadsThanJobs)
+{
+    ThreadPool pool(8);
+    std::atomic<int> count{0};
+    pool.submit([&count] { ++count; });
+    pool.wait();
+    EXPECT_EQ(count.load(), 1);
+}
+
+TEST(ThreadPool, WaitWithNothingSubmittedReturns)
+{
+    ThreadPool pool(2);
+    pool.wait();
+    SUCCEED();
+}
+
+} // namespace
+} // namespace moatsim

@@ -78,6 +78,89 @@ TEST(TraceIo, MissingWindowDerivedFromLastEvent)
     EXPECT_EQ(out[0].window, 51);
 }
 
+TEST(TraceIo, EmptyStreamGivesNoTraces)
+{
+    std::stringstream ss;
+    EXPECT_TRUE(readTraces(ss).empty());
+}
+
+TEST(TraceIo, EmptyTraceListRoundTrip)
+{
+    std::stringstream ss;
+    writeTraces(ss, {});
+    EXPECT_TRUE(readTraces(ss).empty());
+}
+
+TEST(TraceIo, EmptyCoreRoundTrip)
+{
+    // A core that issued no activations (e.g. idle during the traced
+    // window) must survive the round trip.
+    std::vector<CoreTrace> in(2);
+    in[0].window = fromNs(500);
+    in[1].window = fromNs(500);
+    in[1].events = {{fromNs(5), 0, 1}};
+    std::stringstream ss;
+    writeTraces(ss, in);
+    const auto out = readTraces(ss);
+    ASSERT_EQ(out.size(), 2u);
+    EXPECT_EQ(out[0].window, fromNs(500));
+    EXPECT_TRUE(out[0].events.empty());
+    ASSERT_EQ(out[1].events.size(), 1u);
+}
+
+TEST(TraceIo, UnsetWindowOmittedAndRederived)
+{
+    // window == 0 is not serialized (the reader rejects "window 0");
+    // it is re-derived from the last event on load.
+    std::vector<CoreTrace> in(1);
+    in[0].events = {{10, 0, 1}, {50, 0, 2}};
+    std::stringstream ss;
+    writeTraces(ss, in);
+    EXPECT_EQ(ss.str().find("window"), std::string::npos);
+    const auto out = readTraces(ss);
+    ASSERT_EQ(out.size(), 1u);
+    EXPECT_EQ(out[0].window, 51);
+}
+
+TEST(TraceIoDeathTest, TruncatedWindowLineFatal)
+{
+    std::stringstream ss;
+    ss << "core 0\nwindow\n";
+    EXPECT_EXIT(readTraces(ss), testing::ExitedWithCode(1), "bad window");
+}
+
+TEST(TraceIoDeathTest, TruncatedCoreHeaderFatal)
+{
+    std::stringstream ss;
+    ss << "core\n";
+    EXPECT_EXIT(readTraces(ss), testing::ExitedWithCode(1),
+                "bad core header");
+}
+
+TEST(TraceIoDeathTest, TruncatedEventLineFatal)
+{
+    // An event line cut off mid-file (e.g. a partial download) must be
+    // rejected, not silently zero-filled.
+    std::stringstream ss;
+    ss << "core 0\nwindow 100\n10 0\n";
+    EXPECT_EXIT(readTraces(ss), testing::ExitedWithCode(1), "bad event");
+}
+
+TEST(TraceIoDeathTest, WindowBeforeCoreFatal)
+{
+    std::stringstream ss;
+    ss << "window 100\n";
+    EXPECT_EXIT(readTraces(ss), testing::ExitedWithCode(1),
+                "before any core");
+}
+
+TEST(TraceIoDeathTest, NegativeEventFieldFatal)
+{
+    std::stringstream ss;
+    ss << "core 0\nwindow 100\n10 -1 5\n";
+    EXPECT_EXIT(readTraces(ss), testing::ExitedWithCode(1), "bad event");
+}
+
 TEST(TraceIoDeathTest, OutOfOrderEventsFatal)
 {
     std::stringstream ss;
