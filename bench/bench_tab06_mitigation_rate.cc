@@ -23,6 +23,8 @@ main()
 
     sim::ExperimentConfig ec;
     ec.tracegen.windowFraction = 0.0625 * bench::benchScale();
+    // Full-system configuration (Table 3): 2 sub-channels x 32 banks.
+    ec.tracegen.subchannels = 2;
     ec.jobs = bench::jobs();
     sim::Experiment exp(ec);
 

@@ -1,0 +1,89 @@
+#!/usr/bin/env python3
+"""Aggregate a bench-smoke JSONL stream into one BENCH_<date>.json.
+
+Reads the MOATSIM_JSONL lines every bench emitted (perf cells, attack
+outcomes, throughput-attack outcomes, and the core-loop acts/sec
+record) plus the per-bench wall times, and writes a single JSON
+document: the perf-trajectory snapshot CI archives on every push.
+Stdlib only.
+"""
+
+import datetime
+import json
+import sys
+
+
+def main() -> int:
+    if len(sys.argv) != 6:
+        print(
+            "usage: bench_aggregate.py JSONL TIMES OUT SCALE GITREV",
+            file=sys.stderr,
+        )
+        return 2
+    jsonl_path, times_path, out_path, scale, git_rev = sys.argv[1:]
+
+    rows = []
+    with open(jsonl_path, encoding="utf-8") as fh:
+        for line in fh:
+            line = line.strip()
+            if line and not line.startswith("#"):
+                rows.append(json.loads(line))
+
+    bench_ms = {}
+    with open(times_path, encoding="utf-8") as fh:
+        for line in fh:
+            name, ms = line.split()
+            bench_ms[name] = int(ms)
+
+    perf = [r for r in rows if r.get("kind") == "perf"]
+    attacks = [r for r in rows if r.get("kind") == "attack"]
+    tput = [r for r in rows if r.get("kind") == "throughput_attack"]
+    core = next((r for r in rows if r.get("kind") == "core_loop"), None)
+
+    def mean(values):
+        vals = list(values)
+        return sum(vals) / len(vals) if vals else 0.0
+
+    doc = {
+        "schema": "moatsim-bench-smoke-v1",
+        "date": datetime.date.today().isoformat(),
+        "git": git_rev,
+        "scale": float(scale),
+        "core_loop": core,
+        "perf": {
+            "cells": len(perf),
+            "total_acts": sum(r["acts"] for r in perf),
+            "mean_norm_perf": mean(r["norm_perf"] for r in perf),
+            "worst_norm_perf": min(
+                (r["norm_perf"] for r in perf), default=1.0
+            ),
+            "mean_alerts_per_refi": mean(
+                r["alerts_per_refi"] for r in perf
+            ),
+            "subchannel_cells": sum(
+                1 for r in perf if len(r.get("sc_acts", [])) > 1
+            ),
+        },
+        "attack": {
+            "cells": len(attacks),
+            "worst_max_hammer": max(
+                (r["max_hammer"] for r in attacks), default=0
+            ),
+        },
+        "throughput_attack": {
+            "cells": len(tput),
+            "worst_loss_fraction": max(
+                (r["loss_fraction"] for r in tput), default=0.0
+            ),
+        },
+        "bench_ms": bench_ms,
+        "total_ms": sum(bench_ms.values()),
+    }
+    with open(out_path, "w", encoding="utf-8") as fh:
+        json.dump(doc, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,71 @@
+#!/usr/bin/env bash
+# Format gate for CI and pre-commit use.
+#
+# Blocking: the mechanical invariants every source file must satisfy
+# (no tabs, no trailing whitespace, no CRLF line endings, <= 80
+# columns) -- these are enforceable without any particular
+# clang-format version and the tree is kept clean of them.
+#
+# Advisory (by default): clang-format drift against .clang-format.
+# Different clang-format majors disagree on edge cases, so the drift
+# report only fails the job when CLANGFORMAT_STRICT=1 (CI pins
+# clang-format-18 for that). Apply fixes with scripts/format.sh and
+# record format-only commits in .git-blame-ignore-revs.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+# C++ sources and headers; golden data files and docs are exempt from
+# the column limit.
+mapfile -t files < <(find src tests bench examples \
+    \( -name '*.cc' -o -name '*.hh' -o -name '*.cpp' \) | sort)
+
+fail=0
+
+check() {
+    local label="$1" pattern="$2"
+    local hits
+    hits=$(grep -nP "$pattern" "${files[@]}" || true)
+    if [ -n "$hits" ]; then
+        echo "FORMAT: $label:"
+        echo "$hits" | head -20
+        fail=1
+    fi
+}
+
+check "tab characters (use 4 spaces)" '\t'
+check "trailing whitespace" ' +$'
+check "CRLF line endings" '\r'
+check "lines over 80 columns" '^.{81,}'
+
+# Shell scripts: executable bit + bash shebang.
+for s in scripts/*.sh; do
+    if [ ! -x "$s" ]; then
+        echo "FORMAT: $s is not executable"
+        fail=1
+    fi
+done
+
+if [ "$fail" -ne 0 ]; then
+    echo "mechanical format checks FAILED"
+    exit 1
+fi
+echo "mechanical format checks passed (${#files[@]} files)"
+
+CLANG_FORMAT="${CLANG_FORMAT:-clang-format}"
+if command -v "$CLANG_FORMAT" > /dev/null 2>&1; then
+    if "$CLANG_FORMAT" --dry-run -Werror "${files[@]}" 2> /dev/null; then
+        echo "clang-format: no drift"
+    else
+        echo "clang-format drift detected ($("$CLANG_FORMAT" --version)):"
+        "$CLANG_FORMAT" --dry-run "${files[@]}" 2>&1 | head -40 || true
+        if [ "${CLANGFORMAT_STRICT:-0}" = "1" ]; then
+            echo "CLANGFORMAT_STRICT=1: failing"
+            exit 1
+        fi
+        echo "(advisory; run scripts/format.sh and commit the fixup to"
+        echo " .git-blame-ignore-revs, or set CLANGFORMAT_STRICT=1)"
+    fi
+else
+    echo "clang-format not found; skipped the drift report"
+fi

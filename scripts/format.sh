@@ -1,0 +1,19 @@
+#!/usr/bin/env bash
+# Apply .clang-format to every C++ source in place. Commit the result
+# as a standalone format-only commit and append its hash to
+# .git-blame-ignore-revs so `git blame` (with
+# `git config blame.ignoreRevsFile .git-blame-ignore-revs`) skips it.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+CLANG_FORMAT="${CLANG_FORMAT:-clang-format}"
+if ! command -v "$CLANG_FORMAT" > /dev/null 2>&1; then
+    echo "error: $CLANG_FORMAT not found" >&2
+    exit 1
+fi
+
+find src tests bench examples \
+    \( -name '*.cc' -o -name '*.hh' -o -name '*.cpp' \) \
+    -exec "$CLANG_FORMAT" -i {} +
+echo "formatted; review with git diff"

@@ -32,7 +32,12 @@ namespace moatsim::sim
 /** Everything one performance experiment needs. */
 struct ExperimentConfig
 {
-    /** Trace generation: DRAM timing, window fraction, cores, seed. */
+    /**
+     * Trace generation: DRAM timing, window fraction, cores, seed, and
+     * the sub-channel count (tracegen.subchannels) -- set it to 2 for
+     * the paper's full-system Table-3 baseline; every cell then
+     * simulates a sim::System of that many sub-channels.
+     */
     workload::TraceGenConfig tracegen{};
     /** ABO mitigation level of the sub-channel (MR71 op[1:0]). */
     abo::Level aboLevel = abo::Level::L1;

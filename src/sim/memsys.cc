@@ -1,8 +1,6 @@
 #include "sim/memsys.hh"
 
-#include <algorithm>
-#include <cassert>
-#include <deque>
+#include "sim/system.hh"
 
 namespace moatsim::sim
 {
@@ -12,84 +10,16 @@ runMemSystem(subchannel::SubChannel &channel,
              const std::vector<workload::CoreTrace> &traces,
              const CoreModel &core)
 {
-    struct CoreState
-    {
-        size_t next = 0;
-        /** Earliest time the next ACT may be requested. */
-        Time arrival = 0;
-        /** Completion times of in-flight ACTs (bounded by mlp). */
-        std::deque<Time> inflight;
-        Time last_intended = 0;
-        Time last_completion = 0;
-    };
-
-    const Time start = channel.now();
-    const uint64_t start_refs = channel.stats().refs;
-    const uint64_t start_alerts = channel.abo().alertCount();
-    const Time tRC = channel.timing().tRC;
-
-    std::vector<CoreState> cores(traces.size());
-    for (size_t c = 0; c < traces.size(); ++c) {
-        if (!traces[c].events.empty())
-            cores[c].arrival = start + traces[c].events.front().at;
-    }
-
-    // Issue in global arrival order: repeatedly pick the core whose
-    // next request is ready earliest (FCFS memory scheduling under the
-    // closed-page policy).
-    for (;;) {
-        size_t best = traces.size();
-        for (size_t c = 0; c < traces.size(); ++c) {
-            if (cores[c].next >= traces[c].events.size())
-                continue;
-            if (best == traces.size() ||
-                cores[c].arrival < cores[best].arrival)
-                best = c;
-        }
-        if (best == traces.size())
-            break;
-
-        CoreState &cs = cores[best];
-        const workload::TraceEvent &ev = traces[best].events[cs.next];
-
-        // The core may have at most `mlp` activations outstanding; the
-        // request waits for the oldest one to complete otherwise.
-        Time ready = cs.arrival;
-        if (cs.inflight.size() >= core.mlp)
-            ready = std::max(ready, cs.inflight.front());
-
-        const Time issue = channel.activateAt(ev.bank, ev.row, ready);
-        const Time completion = issue + tRC;
-
-        while (cs.inflight.size() >= core.mlp)
-            cs.inflight.pop_front();
-        cs.inflight.push_back(completion);
-        cs.last_completion = completion;
-
-        // Next request: preserve the intended inter-request gap (the
-        // instruction work between the two accesses).
-        ++cs.next;
-        if (cs.next < traces[best].events.size()) {
-            const Time gap =
-                traces[best].events[cs.next].at - ev.at;
-            cs.arrival = std::max(cs.arrival, issue) + gap;
-        }
-        cs.last_intended = ev.at;
-    }
-
-    MemSysResult result;
-    result.coreFinish.resize(traces.size());
-    for (size_t c = 0; c < traces.size(); ++c) {
-        const Time tail = traces[c].events.empty()
-                              ? traces[c].window
-                              : traces[c].window - cores[c].last_intended;
-        result.coreFinish[c] =
-            (cores[c].last_completion - start) + std::max<Time>(tail, 0);
-        result.totalActs += traces[c].events.size();
-    }
-    result.refs = channel.stats().refs - start_refs;
-    result.alerts = channel.abo().alertCount() - start_alerts;
-    return result;
+    // Single-sub-channel view of the shared replay loop (see
+    // sim/system.hh); every event lands on the one channel regardless
+    // of its subchannel field.
+    const SystemResult r = runOnSubChannels({&channel}, traces, core);
+    MemSysResult out;
+    out.coreFinish = r.coreFinish;
+    out.totalActs = r.totalActs;
+    out.refs = r.refs;
+    out.alerts = r.alerts;
+    return out;
 }
 
 } // namespace moatsim::sim

@@ -3,7 +3,10 @@
  * Multi-core memory-system performance model.
  *
  * Replays per-core activation traces (workload::CoreTrace) through a
- * SubChannel. Cores are elastic: the intended gap between two
+ * single SubChannel. This is the one-sub-channel compatibility view of
+ * the full-system replay in sim/system.hh (which drives N sub-channels
+ * in one merged event loop); both share the same flattened inner loop.
+ * Cores are elastic: the intended gap between two
  * activations is preserved (it represents the instructions executed
  * between them), but a core may only run ahead of its outstanding
  * memory requests by a bounded memory-level parallelism, so channel

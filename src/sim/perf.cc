@@ -5,6 +5,7 @@
 
 #include "common/hash.hh"
 #include "mitigation/null.hh"
+#include "sim/system.hh"
 
 namespace moatsim::sim
 {
@@ -23,6 +24,18 @@ channelConfigFor(const workload::TraceGenConfig &tg, abo::Level level,
     sc.securityEnabled = false; // perf runs skip the damage oracle
     sc.seed = seed;
     return sc;
+}
+
+/** The full system a perf run simulates: tracegen.subchannels
+ *  sub-channels, each configured by channelConfigFor. */
+System
+systemFor(const workload::TraceGenConfig &tg, abo::Level level,
+          uint64_t seed, const subchannel::SubChannel::MitigatorFactory &f)
+{
+    SystemConfig sys;
+    sys.channel = channelConfigFor(tg, level, seed);
+    sys.subchannels = std::max(1u, tg.subchannels);
+    return System(sys, f);
 }
 
 /** Seed of the no-ALERT baseline run of @p spec (mitigator-free key). */
@@ -78,13 +91,12 @@ BaselineCache::get(const workload::TraceGenConfig &config,
     }
     if (compute) {
         const auto traces = workload::generateTraces(spec, config);
-        subchannel::SubChannel ch(
-            channelConfigFor(config, abo::Level::L1,
-                             baselineSeed(config, core, spec)),
+        System sys = systemFor(
+            config, abo::Level::L1, baselineSeed(config, core, spec),
             [](BankId) {
                 return std::make_unique<mitigation::NullMitigator>();
             });
-        const MemSysResult res = runMemSystem(ch, traces, core);
+        SystemResult res = runSystem(sys, traces, core);
         promise.set_value(
             std::make_shared<const Finish>(std::move(res.coreFinish)));
     }
@@ -105,11 +117,10 @@ runPerfCell(const workload::TraceGenConfig &config, const CoreModel &core,
             const std::vector<Time> &baseline)
 {
     const auto traces = workload::generateTraces(spec, config);
-    subchannel::SubChannel ch(
-        channelConfigFor(config, level,
-                         cellSeed(config, spec, mitigator, level)),
-        mitigator.factory());
-    const MemSysResult res = runMemSystem(ch, traces, core);
+    System sys = systemFor(config, level,
+                           cellSeed(config, spec, mitigator, level),
+                           mitigator.factory());
+    const SystemResult res = runSystem(sys, traces, core);
 
     PerfResult out;
     out.workload = spec.name;
@@ -131,12 +142,37 @@ runPerfCell(const workload::TraceGenConfig &config, const CoreModel &core,
     }
     out.normPerf = n > 0 ? sum / static_cast<double>(n) : 1.0;
 
-    if (res.refs > 0)
-        out.alertsPerRefi = static_cast<double>(res.alerts) /
-                            static_cast<double>(res.refs);
+    // Per-sub-channel breakdown plus the paper's per-sub-channel ALERT
+    // rate (mean over the simulated sub-channels).
+    out.perSubchannel.resize(res.perSubchannel.size());
+    const double banks_per_sc =
+        static_cast<double>(sys.numSubchannels() > 0
+                                ? sys.totalBanks() / sys.numSubchannels()
+                                : 0);
+    double refi_sum = 0.0;
+    size_t refi_n = 0;
+    for (size_t i = 0; i < res.perSubchannel.size(); ++i) {
+        const SubChannelUsage &u = res.perSubchannel[i];
+        SubChannelPerf &p = out.perSubchannel[i];
+        p.acts = u.acts;
+        p.alerts = u.alerts;
+        if (u.refs > 0) {
+            p.alertsPerRefi = static_cast<double>(u.alerts) /
+                              static_cast<double>(u.refs);
+            refi_sum += p.alertsPerRefi;
+            ++refi_n;
+        }
+        if (banks_per_sc > 0) {
+            p.mitigationsPerBankPerRefw =
+                static_cast<double>(u.mitigation.totalMitigations()) /
+                banks_per_sc / config.windowFraction;
+        }
+    }
+    if (refi_n > 0)
+        out.alertsPerRefi = refi_sum / static_cast<double>(refi_n);
 
-    const auto mit = ch.mitigationStats();
-    const double banks = static_cast<double>(ch.numBanks());
+    const auto mit = sys.mitigationStats();
+    const double banks = static_cast<double>(sys.totalBanks());
     // Scale the generated fraction of a window back to a full tREFW.
     out.mitigationsPerBankPerRefw =
         static_cast<double>(mit.totalMitigations()) / banks /

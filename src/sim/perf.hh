@@ -37,6 +37,20 @@
 namespace moatsim::sim
 {
 
+/** Per-sub-channel slice of a PerfResult (Table 5's per-sub-channel
+ *  ALERT rate, simulated rather than extrapolated). */
+struct SubChannelPerf
+{
+    /** Demand activations replayed on this sub-channel. */
+    uint64_t acts = 0;
+    /** ALERTs asserted on this sub-channel. */
+    uint64_t alerts = 0;
+    /** ALERTs per tREFI on this sub-channel. */
+    double alertsPerRefi = 0.0;
+    /** Mitigations per bank per full tREFW on this sub-channel. */
+    double mitigationsPerBankPerRefw = 0.0;
+};
+
 /** Metrics of one (workload, configuration) run. */
 struct PerfResult
 {
@@ -47,16 +61,18 @@ struct PerfResult
     int aboLevel = 1;
     /** Weighted speedup relative to the no-ALERT baseline (<= 1). */
     double normPerf = 1.0;
-    /** ALERTs per tREFI (per sub-channel). */
+    /** ALERTs per tREFI per sub-channel (mean over sub-channels). */
     double alertsPerRefi = 0.0;
     /** Mitigations + ALERT mitigations per bank per full tREFW. */
     double mitigationsPerBankPerRefw = 0.0;
     /** Extra mitigation row operations / demand activations. */
     double actOverheadFraction = 0.0;
-    /** Raw ALERT count during the run. */
+    /** Raw ALERT count during the run (all sub-channels). */
     uint64_t alerts = 0;
-    /** Demand activations replayed. */
+    /** Demand activations replayed (all sub-channels). */
     uint64_t acts = 0;
+    /** Per-sub-channel breakdown (config.tracegen.subchannels entries). */
+    std::vector<SubChannelPerf> perSubchannel;
 };
 
 /**

@@ -45,8 +45,9 @@ jsonDouble(double d)
 
 /**
  * Pull one "key":value out of a flat one-line JSON object. Values are
- * returned as raw text (quotes stripped for strings). fatal() when the
- * key is absent -- the golden format always writes every field.
+ * returned as raw text (quotes stripped for strings, brackets kept for
+ * arrays). fatal() when the key is absent -- the golden format always
+ * writes every field.
  */
 std::string
 jsonField(const std::string &line, const std::string &key)
@@ -56,6 +57,14 @@ jsonField(const std::string &line, const std::string &key)
     if (at == std::string::npos)
         fatal("result line is missing field '" + key + "': " + line);
     size_t v = at + needle.size();
+    if (v < line.size() && line[v] == '[') {
+        // Numeric array (per-sub-channel breakdowns); no nesting and
+        // no strings inside, so the first ']' terminates it.
+        const size_t end = line.find(']', v);
+        if (end == std::string::npos)
+            fatal("unterminated array in result line: " + line);
+        return line.substr(v, end - v + 1);
+    }
     if (v < line.size() && line[v] == '"') {
         // String value; our own escaper emits \", \\, and \uXXXX.
         std::string out;
@@ -88,9 +97,8 @@ jsonField(const std::string &line, const std::string &key)
 }
 
 uint64_t
-fieldUInt(const std::string &line, const std::string &key)
+parseUInt(const std::string &v, const std::string &key)
 {
-    const std::string v = jsonField(line, key);
     char *end = nullptr;
     const uint64_t out = std::strtoull(v.c_str(), &end, 10);
     if (end == v.c_str() || *end != '\0')
@@ -99,13 +107,45 @@ fieldUInt(const std::string &line, const std::string &key)
 }
 
 double
-fieldDouble(const std::string &line, const std::string &key)
+parseDouble(const std::string &v, const std::string &key)
 {
-    const std::string v = jsonField(line, key);
     char *end = nullptr;
     const double out = std::strtod(v.c_str(), &end);
     if (end == v.c_str() || *end != '\0')
         fatal("field '" + key + "' is not a number: " + v);
+    return out;
+}
+
+uint64_t
+fieldUInt(const std::string &line, const std::string &key)
+{
+    return parseUInt(jsonField(line, key), key);
+}
+
+double
+fieldDouble(const std::string &line, const std::string &key)
+{
+    return parseDouble(jsonField(line, key), key);
+}
+
+/** Split a "[a,b,c]" array field into its raw element strings. */
+std::vector<std::string>
+fieldArray(const std::string &line, const std::string &key)
+{
+    const std::string v = jsonField(line, key);
+    if (v.size() < 2 || v.front() != '[' || v.back() != ']')
+        fatal("field '" + key + "' is not an array: " + v);
+    std::vector<std::string> out;
+    size_t pos = 1;
+    while (pos < v.size() - 1) {
+        size_t comma = v.find(',', pos);
+        if (comma == std::string::npos || comma > v.size() - 1)
+            comma = v.size() - 1;
+        if (comma == pos)
+            fatal("empty element in array field '" + key + "': " + v);
+        out.push_back(v.substr(pos, comma - pos));
+        pos = comma + 1;
+    }
     return out;
 }
 
@@ -125,6 +165,32 @@ toJsonLine(const PerfResult &r)
     out += ",\"act_overhead\":" + jsonDouble(r.actOverheadFraction);
     out += ",\"alerts\":" + std::to_string(r.alerts);
     out += ",\"acts\":" + std::to_string(r.acts);
+    // Per-sub-channel breakdowns as parallel arrays, one element per
+    // simulated sub-channel (empty when no breakdown was recorded).
+    auto append_array = [&out](const std::string &key, const auto &fmt) {
+        out += ",\"" + key + "\":[";
+        fmt();
+        out += "]";
+    };
+    append_array("sc_acts", [&] {
+        for (size_t i = 0; i < r.perSubchannel.size(); ++i)
+            out += (i ? "," : "") + std::to_string(r.perSubchannel[i].acts);
+    });
+    append_array("sc_alerts", [&] {
+        for (size_t i = 0; i < r.perSubchannel.size(); ++i)
+            out +=
+                (i ? "," : "") + std::to_string(r.perSubchannel[i].alerts);
+    });
+    append_array("sc_alerts_per_refi", [&] {
+        for (size_t i = 0; i < r.perSubchannel.size(); ++i)
+            out += (i ? "," : "") +
+                   jsonDouble(r.perSubchannel[i].alertsPerRefi);
+    });
+    append_array("sc_mitigations_per_bank_per_refw", [&] {
+        for (size_t i = 0; i < r.perSubchannel.size(); ++i)
+            out += (i ? "," : "") +
+                   jsonDouble(r.perSubchannel[i].mitigationsPerBankPerRefw);
+    });
     out += "}";
     return out;
 }
@@ -183,6 +249,27 @@ perfResultOfJsonLine(const std::string &line)
     r.actOverheadFraction = fieldDouble(line, "act_overhead");
     r.alerts = fieldUInt(line, "alerts");
     r.acts = fieldUInt(line, "acts");
+    // Pre-v2 lines carry no per-sub-channel arrays; treat their
+    // absence as an empty breakdown so old JSONL stays readable (the
+    // trace reader gives v1 files the same courtesy).
+    if (line.find("\"sc_acts\":") == std::string::npos)
+        return r;
+    const auto sc_acts = fieldArray(line, "sc_acts");
+    const auto sc_alerts = fieldArray(line, "sc_alerts");
+    const auto sc_refi = fieldArray(line, "sc_alerts_per_refi");
+    const auto sc_mit = fieldArray(line, "sc_mitigations_per_bank_per_refw");
+    if (sc_alerts.size() != sc_acts.size() ||
+        sc_refi.size() != sc_acts.size() || sc_mit.size() != sc_acts.size())
+        fatal("per-sub-channel arrays disagree in length: " + line);
+    r.perSubchannel.resize(sc_acts.size());
+    for (size_t i = 0; i < sc_acts.size(); ++i) {
+        r.perSubchannel[i].acts = parseUInt(sc_acts[i], "sc_acts");
+        r.perSubchannel[i].alerts = parseUInt(sc_alerts[i], "sc_alerts");
+        r.perSubchannel[i].alertsPerRefi =
+            parseDouble(sc_refi[i], "sc_alerts_per_refi");
+        r.perSubchannel[i].mitigationsPerBankPerRefw =
+            parseDouble(sc_mit[i], "sc_mitigations_per_bank_per_refw");
+    }
     return r;
 }
 

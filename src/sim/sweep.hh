@@ -38,7 +38,8 @@ struct SweepCell
 /** Engine configuration. */
 struct SweepConfig
 {
-    /** Trace generation: DRAM timing, window fraction, cores, seed. */
+    /** Trace generation: DRAM timing, window fraction, cores, seed,
+     *  and sub-channel count (tracegen.subchannels). */
     workload::TraceGenConfig tracegen{};
     /** Core model (memory-level parallelism). */
     CoreModel core{};

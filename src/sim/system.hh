@@ -1,0 +1,143 @@
+/**
+ * @file
+ * Full-system, multi-sub-channel memory model.
+ *
+ * The paper's baseline (Table 3) is a 32 GB system with two DDR5
+ * sub-channels of 32 banks each. A System instantiates N SubChannel
+ * instances -- each with its own per-bank mitigator set built from the
+ * same mitigation::MitigatorSpec factory and an independently derived
+ * RNG stream -- and replays every core's pre-decoded activation trace
+ * (workload::TraceEvent carries the dram::AddressMap-routed
+ * coordinates) through one merged event loop: cores issue in global
+ * intended-arrival order, each ACT dispatches to its event's
+ * sub-channel, and the per-core memory-level-parallelism bound
+ * back-pressures the instruction stream across all sub-channels a
+ * core touches.
+ *
+ * The replay loop is the simulator's hot path, so it is flattened:
+ * per-core in-flight completions live in fixed ring buffers (no deque
+ * allocation per ACT), trace events are consumed through raw pointers,
+ * and the sub-channels run the fastAlertScan path (see
+ * subchannel/subchannel.hh). bench_core_loop measures the resulting
+ * acts/sec against the pre-flattening loop.
+ */
+
+#ifndef MOATSIM_SIM_SYSTEM_HH
+#define MOATSIM_SIM_SYSTEM_HH
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/time.hh"
+#include "sim/memsys.hh"
+#include "subchannel/subchannel.hh"
+#include "workload/tracegen.hh"
+
+namespace moatsim::sim
+{
+
+/** Configuration of a multi-sub-channel system. */
+struct SystemConfig
+{
+    /**
+     * Per-sub-channel configuration; every sub-channel is built from
+     * this template. Sub-channel i seeds its RNG from
+     * hashCombine(channel.seed, i) so streams never collide.
+     */
+    subchannel::SubChannelConfig channel{};
+    /** Number of sub-channels (Table 3 baseline: 2). */
+    uint32_t subchannels = 2;
+};
+
+/** Activity of one sub-channel during a replay. */
+struct SubChannelUsage
+{
+    /** Demand activations issued on this sub-channel. */
+    uint64_t acts = 0;
+    /** REF commands executed. */
+    uint64_t refs = 0;
+    /** ALERTs asserted. */
+    uint64_t alerts = 0;
+    /** RFM commands executed. */
+    uint64_t rfms = 0;
+    /** Mitigation work performed by this sub-channel's banks. */
+    mitigation::MitigationStats mitigation{};
+};
+
+/** Result of replaying one set of traces on a System. */
+struct SystemResult
+{
+    /** Per-core completion time (last ACT completion + trailing gap). */
+    std::vector<Time> coreFinish;
+    /** Total activations replayed (all sub-channels). */
+    uint64_t totalActs = 0;
+    /** REF commands executed (summed over sub-channels). */
+    uint64_t refs = 0;
+    /** ALERTs asserted (summed over sub-channels). */
+    uint64_t alerts = 0;
+    /** Per-sub-channel breakdown (one entry per sub-channel). */
+    std::vector<SubChannelUsage> perSubchannel;
+};
+
+/** N sub-channels sharing one mitigator design and timing. */
+class System
+{
+  public:
+    System(const SystemConfig &config,
+           const subchannel::SubChannel::MitigatorFactory &factory);
+
+    /** Number of sub-channels. */
+    uint32_t numSubchannels() const
+    {
+        return static_cast<uint32_t>(channels_.size());
+    }
+
+    /** One sub-channel. */
+    subchannel::SubChannel &subchannel(uint32_t i)
+    {
+        return *channels_.at(i);
+    }
+    const subchannel::SubChannel &subchannel(uint32_t i) const
+    {
+        return *channels_.at(i);
+    }
+
+    /** Enable/disable refresh postponement on every sub-channel. */
+    void setPostponeRefresh(bool on);
+
+    /** Mitigation-work counters summed over every sub-channel. */
+    mitigation::MitigationStats mitigationStats() const;
+
+    /** Max hammer count across every bank of every sub-channel. */
+    uint32_t maxHammerAnyBank() const;
+
+    /** Total banks across all sub-channels. */
+    uint32_t totalBanks() const;
+
+    const SystemConfig &config() const { return config_; }
+
+  private:
+    SystemConfig config_;
+    std::vector<std::unique_ptr<subchannel::SubChannel>> channels_;
+};
+
+/**
+ * Replay @p traces across an explicit sub-channel set in one merged
+ * event loop; event.subchannel indexes @p channels (reduced modulo its
+ * size, so single-sub-channel replays accept any trace). Shared by
+ * runSystem() and the single-channel runMemSystem() wrapper.
+ */
+SystemResult
+runOnSubChannels(const std::vector<subchannel::SubChannel *> &channels,
+                 const std::vector<workload::CoreTrace> &traces,
+                 const CoreModel &core = CoreModel{});
+
+/** Replay @p traces on @p system until every core consumed its trace. */
+SystemResult runSystem(System &system,
+                       const std::vector<workload::CoreTrace> &traces,
+                       const CoreModel &core = CoreModel{});
+
+} // namespace moatsim::sim
+
+#endif // MOATSIM_SIM_SYSTEM_HH

@@ -89,7 +89,12 @@ SubChannel::activateAt(BankId bank, RowId row, Time not_before)
             security_[bank]->onActivate(row);
         mitigation::MitigationContext ctx(bk, *security_[bank],
                                           mitigation_stats_[bank]);
-        mitigators_[bank]->onActivate(row, ctx);
+        mitigation::IMitigator &mit = *mitigators_[bank];
+        mit.onActivate(row, ctx);
+        // An ACT can only raise the activated bank's own want; the
+        // sticky flag spares the per-ACT scan over every other bank.
+        if (config_.fastAlertScan && mit.wantsAlert())
+            alert_wanted_sticky_ = true;
         ++stats_.acts;
 
         bank_ready_[bank] = t + tRC;
@@ -149,6 +154,10 @@ SubChannel::processRefBoundary()
                           static_cast<Time>(n) * config_.timing.tRFC;
     for (uint32_t i = 0; i < n; ++i)
         performOneRef();
+    // REF-time mitigation work can clear (or, via counter resets on
+    // refresh, raise) wants on any bank; refresh the sticky flag.
+    if (config_.fastAlertScan)
+        alert_wanted_sticky_ = anyAlertWanted();
     maybeAssertAlert(channel_busy_until_);
 }
 
@@ -189,6 +198,9 @@ SubChannel::serviceRfmBlock()
         std::max(channel_busy_until_, abo_.rfmBlockEnd());
     abo_.completeAlert();
     rfm_block_pending_ = false;
+    // RFM mitigation cleared wants on any subset of banks.
+    if (config_.fastAlertScan)
+        alert_wanted_sticky_ = anyAlertWanted();
 }
 
 void
@@ -196,7 +208,10 @@ SubChannel::maybeAssertAlert(Time t)
 {
     if (rfm_block_pending_)
         return;
-    if (!anyAlertWanted())
+    // The sticky flag is exact (see its invariant in the header), so
+    // the fast path replaces the all-banks wantsAlert() poll that
+    // otherwise dominates the per-ACT cost.
+    if (config_.fastAlertScan ? !alert_wanted_sticky_ : !anyAlertWanted())
         return;
     if (!abo_.canAssert(t))
         return;

@@ -66,6 +66,15 @@ struct SubChannelConfig
     bool securityEnabled = true;
     /** Number of banks; 0 means timing.banksPerSubchannel. */
     uint32_t numBanks = 0;
+    /**
+     * Track bank ALERT requests incrementally (a sticky flag updated
+     * at the single points where a mitigator's wantsAlert() can
+     * change) instead of polling every bank's mitigator on every ACT.
+     * Behaviour is bit-identical either way -- the flag exists so the
+     * flattened hot path can be benchmarked against the full per-ACT
+     * scan (bench_core_loop) and cross-checked in tests.
+     */
+    bool fastAlertScan = true;
     /** Maximum REFs that postponement may owe at once (DDR5: 2). */
     uint32_t maxPostponedRefs = 2;
     /** Seed for randomized counter initialization. */
@@ -211,6 +220,14 @@ class SubChannel
     /** RFM block of the in-flight ALERT not yet executed. */
     bool rfm_block_pending_ = false;
     bool postpone_refresh_ = false;
+    /**
+     * Whether any bank's mitigator currently wants an ALERT, kept
+     * current by the fastAlertScan path: OR-ed with the activated
+     * bank's state after every ACT (the only place a want can appear)
+     * and recomputed after REF/RFM mitigation work (the only places a
+     * want can clear). Unused when fastAlertScan is off.
+     */
+    bool alert_wanted_sticky_ = false;
     /** Channel-level count of postponed (owed) REFs. */
     uint32_t owed_refs_ = 0;
 };

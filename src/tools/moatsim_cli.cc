@@ -27,13 +27,18 @@
  *                   internal sweep.
  *   moatsim perf    [--workload NAME|all] [--mitigator S] [--ath N]
  *                   [--eth N] [--level 1|2|4] [--fraction F]
- *                   [--jobs N] [--jsonl FILE]
- *                   --jobs N fans the sweep across N workers (0 =
- *                   hardware concurrency; results are bit-identical at
- *                   any value); --jsonl appends one structured JSON
- *                   line per result
+ *                   [--subchannels N] [--jobs N] [--jsonl FILE]
+ *                   --subchannels N simulates the full system as N
+ *                   sub-channels (default 2, the Table-3 baseline)
+ *                   and reports per-sub-channel ALERT/mitigation
+ *                   breakdowns; --jobs N fans the sweep across N
+ *                   workers (0 = hardware concurrency; results are
+ *                   bit-identical at any value); --jsonl appends one
+ *                   structured JSON line per result
  *   moatsim replay  --trace FILE [--mitigator S] [--ath N] [--eth N]
- *                   [--postpone]
+ *                   [--subchannels N] [--postpone]
+ *                   traces carrying a sub-channel column replay on a
+ *                   multi-sub-channel System automatically
  *   moatsim list-mitigators
  *   moatsim list-workloads
  *
@@ -42,6 +47,7 @@
  * name.
  */
 
+#include <algorithm>
 #include <cctype>
 #include <cerrno>
 #include <cstdio>
@@ -64,6 +70,7 @@
 #include "mitigation/registry.hh"
 #include "sim/experiment.hh"
 #include "sim/result_io.hh"
+#include "sim/system.hh"
 #include "workload/trace_io.hh"
 
 using namespace moatsim;
@@ -388,12 +395,32 @@ perfMitigator(const Args &args, abo::Level level)
     return mitigation::moatSpec(moat);
 }
 
+/** "a / b / c" column joining one value per sub-channel. */
+std::string
+perSubchannelColumn(const std::vector<sim::SubChannelPerf> &per,
+                    double sim::SubChannelPerf::*field, int digits)
+{
+    std::string out;
+    for (const auto &p : per) {
+        if (!out.empty())
+            out += " / ";
+        out += formatFixed(p.*field, digits);
+    }
+    return out;
+}
+
 int
 cmdPerf(const Args &args)
 {
     const auto level = levelOf(args.getInt("level", 1));
     sim::ExperimentConfig ec;
     ec.tracegen.windowFraction = args.getDouble("fraction", 0.0625);
+    // Default to the paper's full-system baseline: 2 sub-channels of
+    // 32 banks each (Table 3).
+    ec.tracegen.subchannels =
+        static_cast<uint32_t>(args.getInt("subchannels", 2));
+    if (ec.tracegen.subchannels == 0)
+        fatal("--subchannels must be at least 1");
     ec.aboLevel = level;
     ec.mitigator = perfMitigator(args, level);
     ec.workload = args.get("workload", "all");
@@ -402,13 +429,31 @@ cmdPerf(const Args &args)
 
     const auto results = exp.run();
 
-    std::printf("mitigator: %s\n", ec.mitigator.describe().c_str());
-    TablePrinter t({"workload", "slowdown", "ALERTs/tREFI",
-                    "mitigations/bank/tREFW"});
+    std::printf("mitigator: %s (%u sub-channels)\n",
+                ec.mitigator.describe().c_str(),
+                ec.tracegen.subchannels);
+    const bool multi = ec.tracegen.subchannels > 1;
+    std::vector<std::string> cols = {"workload", "slowdown",
+                                     "ALERTs/tREFI",
+                                     "mitigations/bank/tREFW"};
+    if (multi) {
+        cols.push_back("per-sc ALERTs/tREFI");
+        cols.push_back("per-sc mitigations");
+    }
+    TablePrinter t(cols);
     for (const auto &r : results) {
-        t.addRow({r.workload, formatPercent(1.0 - r.normPerf),
-                  formatFixed(r.alertsPerRefi, 4),
-                  formatFixed(r.mitigationsPerBankPerRefw, 0)});
+        std::vector<std::string> row = {
+            r.workload, formatPercent(1.0 - r.normPerf),
+            formatFixed(r.alertsPerRefi, 4),
+            formatFixed(r.mitigationsPerBankPerRefw, 0)};
+        if (multi) {
+            row.push_back(perSubchannelColumn(
+                r.perSubchannel, &sim::SubChannelPerf::alertsPerRefi, 4));
+            row.push_back(perSubchannelColumn(
+                r.perSubchannel,
+                &sim::SubChannelPerf::mitigationsPerBankPerRefw, 0));
+        }
+        t.addRow(row);
     }
     t.print(std::cout);
 
@@ -430,22 +475,46 @@ cmdReplay(const Args &args)
         fatal("replay requires --trace FILE");
     const auto traces = workload::loadTraces(path);
 
+    // The trace's sub-channel column sizes the replayed System;
+    // --subchannels overrides (e.g. to fold a trace onto one channel).
+    uint32_t nsc = 1;
+    for (const auto &t : traces) {
+        for (const auto &e : t.events)
+            nsc = std::max(nsc, e.subchannel + 1);
+    }
+    nsc = static_cast<uint32_t>(args.getInt("subchannels", nsc));
+    if (nsc == 0)
+        fatal("--subchannels must be at least 1");
+
     const auto spec = perfMitigator(args, abo::Level::L1);
-    subchannel::SubChannelConfig sc;
-    sc.securityEnabled = true;
-    subchannel::SubChannel ch(sc, spec.factory());
+    sim::SystemConfig sys;
+    sys.channel.securityEnabled = true;
+    sys.subchannels = nsc;
+    sim::System system(sys, spec.factory());
     // Boolean flag: replay under attacker-controlled REF postponement.
-    ch.setPostponeRefresh(args.getBool("postpone", false));
-    const auto res = sim::runMemSystem(ch, traces);
-    std::printf("Replayed %lu activations from %zu cores against %s: "
-                "%lu ALERTs, %lu mitigations, max unmitigated ACTs on "
-                "any row %u\n",
+    system.setPostponeRefresh(args.getBool("postpone", false));
+    const auto res = sim::runSystem(system, traces);
+    std::printf("Replayed %lu activations from %zu cores on %u "
+                "sub-channel%s against %s: %lu ALERTs, %lu mitigations, "
+                "max unmitigated ACTs on any row %u\n",
                 static_cast<unsigned long>(res.totalActs), traces.size(),
-                spec.describe().c_str(),
+                nsc, nsc == 1 ? "" : "s", spec.describe().c_str(),
                 static_cast<unsigned long>(res.alerts),
                 static_cast<unsigned long>(
-                    ch.mitigationStats().totalMitigations()),
-                ch.maxHammerAnyBank());
+                    system.mitigationStats().totalMitigations()),
+                system.maxHammerAnyBank());
+    if (nsc > 1) {
+        for (uint32_t i = 0; i < nsc; ++i) {
+            const auto &u = res.perSubchannel[i];
+            std::printf("  sub-channel %u: %lu ACTs, %lu REFs, %lu "
+                        "ALERTs, %lu mitigations\n",
+                        i, static_cast<unsigned long>(u.acts),
+                        static_cast<unsigned long>(u.refs),
+                        static_cast<unsigned long>(u.alerts),
+                        static_cast<unsigned long>(
+                            u.mitigation.totalMitigations()));
+        }
+    }
     return 0;
 }
 
@@ -503,8 +572,9 @@ usage()
         "commands: bound ratchet jailbreak feinting postponement tsa\n"
         "          attack perf replay list-mitigators list-workloads\n"
         "perf and attack accept --jobs N (parallel sweep/trials; 0 =\n"
-        "hardware concurrency, results bit-identical at any value) and\n"
-        "perf accepts --jsonl FILE for structured results\n"
+        "hardware concurrency, results bit-identical at any value);\n"
+        "perf accepts --jsonl FILE for structured results and\n"
+        "--subchannels N (default 2) for the full-system simulation\n"
         "every experiment accepts --mitigator name[:k=v,...]; run\n"
         "'moatsim list-mitigators' for the registered designs and see\n"
         "the file header of src/tools/moatsim_cli.cc for all flags\n");

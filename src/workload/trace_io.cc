@@ -11,15 +11,30 @@ namespace moatsim::workload
 void
 writeTraces(std::ostream &os, const std::vector<CoreTrace> &traces)
 {
-    os << "# moatsim trace v1: time_ps bank row\n";
+    // Single-sub-channel traces keep the v1 3-column format so older
+    // tooling can read them; any event on a sub-channel other than 0
+    // switches the whole file to the v2 4-column format.
+    bool multi = false;
+    for (const auto &t : traces) {
+        for (const auto &e : t.events)
+            multi = multi || e.subchannel != 0;
+    }
+    if (multi)
+        os << "# moatsim trace v2: time_ps bank row subchannel\n";
+    else
+        os << "# moatsim trace v1: time_ps bank row\n";
     for (size_t c = 0; c < traces.size(); ++c) {
         os << "core " << c << "\n";
         // The reader rejects "window 0" as malformed; an unset window
         // is simply omitted and re-derived from the last event.
         if (traces[c].window > 0)
             os << "window " << traces[c].window << "\n";
-        for (const auto &e : traces[c].events)
-            os << e.at << ' ' << e.bank << ' ' << e.row << "\n";
+        for (const auto &e : traces[c].events) {
+            os << e.at << ' ' << e.bank << ' ' << e.row;
+            if (multi)
+                os << ' ' << e.subchannel;
+            os << "\n";
+        }
     }
 }
 
@@ -66,8 +81,16 @@ readTraces(std::istream &is)
                 row < 0)
                 fatal("trace line " + std::to_string(lineno) +
                       ": bad event");
+            // Optional v2 fourth column: the target sub-channel.
+            int64_t subchannel = 0;
+            if (es >> subchannel) {
+                if (subchannel < 0)
+                    fatal("trace line " + std::to_string(lineno) +
+                          ": bad event");
+            }
             e.bank = static_cast<BankId>(bank);
             e.row = static_cast<RowId>(row);
+            e.subchannel = static_cast<uint32_t>(subchannel);
             if (!current->events.empty() &&
                 e.at < current->events.back().at)
                 fatal("trace line " + std::to_string(lineno) +

@@ -10,9 +10,12 @@
  *   # comment
  *   window <picoseconds>          (once per core section)
  *   core <index>
- *   <time_ps> <bank> <row>
+ *   <time_ps> <bank> <row> [subchannel]
  *
- * Events must be sorted by time within a core.
+ * Events must be sorted by time within a core. The fourth column is
+ * the v2 extension for multi-sub-channel systems; files whose events
+ * all target sub-channel 0 are written in the 3-column v1 format and
+ * both are accepted on read.
  */
 
 #ifndef MOATSIM_WORKLOAD_TRACE_IO_HH

@@ -1,12 +1,14 @@
 #include "workload/tracegen.hh"
 
 #include <algorithm>
+#include <bit>
 #include <cmath>
 #include <unordered_map>
 #include <unordered_set>
 
 #include "common/hash.hh"
 #include "common/logging.hh"
+#include "dram/address_map.hh"
 
 namespace moatsim::workload
 {
@@ -23,13 +25,63 @@ roundStochastic(double x, Rng &rng)
     return static_cast<uint32_t>(fl) + (rng.chance(frac) ? 1u : 0u);
 }
 
+/** Effective sub-channel count (0 means 1). */
+uint32_t
+subchannelsOf(const TraceGenConfig &config)
+{
+    return std::max(1u, config.subchannels);
+}
+
+/**
+ * The address map that routes generated traffic onto the simulated
+ * system: bankBits/subchannelBits sized to the configuration, bank
+ * XOR hashing on (the CoffeeLake baseline of Table 3).
+ */
+dram::AddressMap
+addressMapOf(const TraceGenConfig &config)
+{
+    const uint32_t scs = subchannelsOf(config);
+    if (!std::has_single_bit(config.banksSimulated) ||
+        !std::has_single_bit(scs))
+        fatal("generateTraces: banksSimulated and subchannels must be "
+              "powers of two (address-bit routing)");
+    dram::AddressMap::Config amc;
+    amc.bankBits = static_cast<uint32_t>(std::bit_width(
+        config.banksSimulated) - 1);
+    amc.subchannelBits = static_cast<uint32_t>(std::bit_width(scs) - 1);
+    amc.rowIndexBits = static_cast<uint32_t>(
+        std::bit_width(std::max(1u, config.timing.rowsPerBank - 1)));
+    return dram::AddressMap(amc);
+}
+
+/**
+ * Route one generated access through the address map: compose the raw
+ * physical address of (subchannel, bank, row) and decode it, so the
+ * emitted coordinates carry the bank XOR hash exactly like demand
+ * traffic on the modeled system. Decoding happens here, at trace
+ * build time -- the replay loop consumes final coordinates.
+ */
+dram::DramCoord
+routeCoord(const dram::AddressMap &map, uint32_t subchannel,
+           uint32_t raw_bank, RowId row)
+{
+    const auto &amc = map.config();
+    uint64_t a = row;
+    a = (a << amc.bankBits) | raw_bank;
+    a = (a << amc.subchannelBits) | subchannel;
+    a <<= amc.rowBits;
+    return map.decode(a);
+}
+
 } // namespace
 
 uint64_t
 configKey(const TraceGenConfig &config)
 {
     const dram::TimingParams &t = config.timing;
-    uint64_t h = stableHash64("moatsim.tracegen.v1");
+    // v2: sub-channel-aware emission (events routed through the
+    // address map and pre-decoded).
+    uint64_t h = stableHash64("moatsim.tracegen.v2");
     for (const Time v :
          {t.tACT, t.tPRE, t.tRAS, t.tRC, t.tREFW, t.tREFI, t.tRFC, t.tRRD,
           t.tFAW, t.tRFM, t.tAlertNormal})
@@ -41,6 +93,7 @@ configKey(const TraceGenConfig &config)
           static_cast<uint64_t>(t.blastRadius),
           static_cast<uint64_t>(config.numCores),
           static_cast<uint64_t>(config.banksSimulated),
+          static_cast<uint64_t>(subchannelsOf(config)),
           static_cast<uint64_t>(config.systemBanks),
           static_cast<uint64_t>(config.coreMlp),
           static_cast<uint64_t>(config.intraEpisodeGap), config.seed})
@@ -81,7 +134,7 @@ generateTraces(const WorkloadSpec &spec, const TraceGenConfig &config)
     const dram::TimingParams &t = config.timing;
     if (config.numCores == 0 || config.banksSimulated == 0)
         fatal("generateTraces: cores and banks must be non-zero");
-    if (config.banksSimulated > config.systemBanks)
+    if (config.banksSimulated * subchannelsOf(config) > config.systemBanks)
         fatal("generateTraces: simulated banks exceed system banks");
 
     // Stable per-workload stream: equal (seed, name) pairs regenerate
@@ -111,6 +164,8 @@ generateTraces(const WorkloadSpec &spec, const TraceGenConfig &config)
                               static_cast<double>(config.systemBanks);
 
     const uint32_t rows_per_core = t.rowsPerBank / config.numCores;
+    const uint32_t scs = subchannelsOf(config);
+    const dram::AddressMap map = addressMapOf(config);
     std::vector<CoreTrace> traces(config.numCores);
 
     for (uint32_t core = 0; core < config.numCores; ++core) {
@@ -118,7 +173,15 @@ generateTraces(const WorkloadSpec &spec, const TraceGenConfig &config)
         trace.window = window;
         const RowId row_base = core * rows_per_core;
 
-        for (uint32_t bank = 0; bank < config.banksSimulated; ++bank) {
+        // Traffic spans the whole simulated system: banksSimulated
+        // banks on each of the scs sub-channels. The flat index is
+        // split into a raw (sub-channel, bank) pair and every access
+        // is routed through the address map, which XOR-hashes the
+        // final bank with the row bits.
+        const uint32_t flat_banks = config.banksSimulated * scs;
+        for (uint32_t fb = 0; fb < flat_banks; ++fb) {
+            const uint32_t sc = fb / config.banksSimulated;
+            const uint32_t raw_bank = fb % config.banksSimulated;
             // Hot rows for this (core, bank): distinct rows from the
             // core's range with per-tier target counts.
             struct HotRow
@@ -158,10 +221,12 @@ generateTraces(const WorkloadSpec &spec, const TraceGenConfig &config)
                 }
                 const Time start = static_cast<Time>(
                     rng.below(static_cast<uint64_t>(window - span)));
+                const dram::DramCoord c =
+                    routeCoord(map, sc, raw_bank, h.row);
                 for (uint32_t i = 0; i < h.count; ++i) {
                     trace.events.push_back(
-                        {start + static_cast<Time>(i) * gap,
-                         static_cast<BankId>(bank), h.row});
+                        {start + static_cast<Time>(i) * gap, c.bank,
+                         c.row, c.subchannel});
                 }
             }
 
@@ -175,7 +240,8 @@ generateTraces(const WorkloadSpec &spec, const TraceGenConfig &config)
                                                rng.below(rows_per_core));
                 const Time at = static_cast<Time>(
                     rng.below(static_cast<uint64_t>(window)));
-                trace.events.push_back({at, static_cast<BankId>(bank), r});
+                const dram::DramCoord c = routeCoord(map, sc, raw_bank, r);
+                trace.events.push_back({at, c.bank, c.row, c.subchannel});
             }
         }
 
@@ -191,12 +257,13 @@ TierCensus
 censusOf(const std::vector<CoreTrace> &traces, const TraceGenConfig &config,
          const WorkloadSpec &spec)
 {
-    // Count ACTs per (bank, row) across all cores.
+    // Count ACTs per (subchannel, bank, row) across all cores.
     std::unordered_map<uint64_t, uint32_t> counts;
     uint64_t total_acts = 0;
     for (const auto &trace : traces) {
         for (const auto &e : trace.events) {
-            ++counts[(static_cast<uint64_t>(e.bank) << 32) | e.row];
+            ++counts[(static_cast<uint64_t>(e.subchannel) << 56) |
+                     (static_cast<uint64_t>(e.bank) << 32) | e.row];
             ++total_acts;
         }
     }
@@ -211,9 +278,11 @@ censusOf(const std::vector<CoreTrace> &traces, const TraceGenConfig &config,
         if (c >= 128)
             census.act128 += 1;
     }
-    // Rescale: counts were per simulated bank per generated window.
-    const double denom =
-        static_cast<double>(config.banksSimulated) * config.windowFraction;
+    // Rescale: counts were per simulated bank per generated window,
+    // across every simulated sub-channel.
+    const double denom = static_cast<double>(config.banksSimulated) *
+                         static_cast<double>(subchannelsOf(config)) *
+                         config.windowFraction;
     census.act32 /= denom;
     census.act64 /= denom;
     census.act128 /= denom;
@@ -227,7 +296,8 @@ censusOf(const std::vector<CoreTrace> &traces, const TraceGenConfig &config,
     const double system_acts =
         static_cast<double>(total_acts) *
         static_cast<double>(config.systemBanks) /
-        static_cast<double>(config.banksSimulated);
+        static_cast<double>(config.banksSimulated *
+                            subchannelsOf(config));
     if (instr_total > 0)
         census.actPki = system_acts / instr_total * 1000.0;
     return census;

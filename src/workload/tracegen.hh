@@ -36,13 +36,20 @@
 namespace moatsim::workload
 {
 
-/** One intended activation. */
+/**
+ * One intended activation. The DRAM coordinates are pre-decoded at
+ * trace build time (routed through dram::AddressMap, including the
+ * XOR bank hash), so the replay hot loop never touches the address
+ * mapping: it dispatches straight on (subchannel, bank, row).
+ */
 struct TraceEvent
 {
     /** Intended time within the window (pre-back-pressure). */
     Time at = 0;
     BankId bank = 0;
     RowId row = 0;
+    /** Target sub-channel (0 when the system has only one). */
+    uint32_t subchannel = 0;
 };
 
 /** The activation stream of one core, sorted by intended time. */
@@ -59,8 +66,16 @@ struct TraceGenConfig
     dram::TimingParams timing{};
     /** Cores in the system (rate mode). */
     uint32_t numCores = 8;
-    /** Banks simulated (one sub-channel). */
+    /** Banks simulated per sub-channel. */
     uint32_t banksSimulated = 32;
+    /**
+     * Sub-channels simulated (power of two). Each core's traffic is
+     * routed across subchannels x banksSimulated banks through
+     * dram::AddressMap, and the events carry the decoded coordinates.
+     * The full-system configuration of Table 3 is 2; the default of 1
+     * keeps single-sub-channel experiments cheap.
+     */
+    uint32_t subchannels = 1;
     /** Banks in the whole system (traffic divides across them). */
     uint32_t systemBanks = 64;
     /** Non-memory IPC used to convert ACT-PKI into a time rate. */

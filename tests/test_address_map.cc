@@ -80,6 +80,33 @@ TEST(AddressMap, XorHashSpreadsRowStridesOverBanks)
     EXPECT_GT(banks.size(), 1u);
 }
 
+TEST(AddressMap, SubChannelBitRoundTripProperty)
+{
+    // Property over the sub-channel bit: for random addresses,
+    // (1) encode(decode(a)) == a with the sub-channel field intact,
+    // (2) flipping the sub-channel address bit flips only the decoded
+    //     sub-channel -- bank, row, and column are sub-channel
+    //     invariant, which is what lets the trace generator route a
+    //     core's accesses across sub-channels without perturbing the
+    //     per-bank row structure.
+    AddressMap m;
+    const uint32_t sc_shift = m.config().rowBits;
+    Rng rng(11);
+    for (int i = 0; i < 2000; ++i) {
+        const uint64_t addr = rng.below(m.capacityBytes());
+        const DramCoord c = m.decode(addr);
+        EXPECT_LT(c.subchannel, 2u);
+        EXPECT_EQ(m.encode(c), addr);
+
+        const uint64_t flipped = addr ^ (1ULL << sc_shift);
+        const DramCoord f = m.decode(flipped);
+        EXPECT_EQ(f.subchannel, c.subchannel ^ 1u);
+        EXPECT_EQ(f.bank, c.bank);
+        EXPECT_EQ(f.row, c.row);
+        EXPECT_EQ(f.column, c.column);
+    }
+}
+
 TEST(AddressMap, SameRowDifferentColumnsShareBankAndRow)
 {
     AddressMap m;

@@ -72,6 +72,29 @@ TEST(SweepDeterminism, BitIdenticalAcrossJobCounts)
     expectIdentical(runs[0], runs[2], "jobs=1 vs jobs=8");
 }
 
+TEST(SweepDeterminism, MultiSubChannelBitIdenticalAcrossJobCounts)
+{
+    // Cross-sub-channel determinism: the full-system (2-sub-channel)
+    // simulation fans the same cells and must stay bit-identical at
+    // jobs=1 and jobs=4 -- the ISSUE's acceptance bar for the System
+    // layer.
+    auto tg = smallTracegen();
+    tg.subchannels = 2;
+    const auto cells = sampleCells();
+    std::vector<std::vector<PerfResult>> runs;
+    for (const unsigned jobs : {1u, 4u}) {
+        SweepConfig sc;
+        sc.tracegen = tg;
+        sc.jobs = jobs;
+        SweepEngine engine(sc);
+        runs.push_back(engine.run(cells));
+    }
+    expectIdentical(runs[0], runs[1], "subchannels=2 jobs=1 vs jobs=4");
+    // And the breakdown is really per-sub-channel (2 entries).
+    for (const auto &r : runs[0])
+        EXPECT_EQ(r.perSubchannel.size(), 2u);
+}
+
 TEST(SweepDeterminism, MatchesSerialPerfRunner)
 {
     const auto cells = sampleCells();
@@ -192,6 +215,48 @@ TEST(ResultIo, EscapedStringsRoundTrip)
     const PerfResult back = perfResultOfJsonLine(line);
     EXPECT_EQ(back.workload, r.workload);
     EXPECT_EQ(toJsonLine(back), line);
+}
+
+TEST(ResultIo, PerSubChannelBreakdownRoundTrips)
+{
+    PerfResult r;
+    r.workload = "w";
+    r.mitigator = "moat";
+    r.perSubchannel.resize(2);
+    r.perSubchannel[0] = {123, 4, 0.125, 830.5};
+    r.perSubchannel[1] = {456, 0, 0.0, 829.25};
+    const std::string line = toJsonLine(r);
+    const PerfResult back = perfResultOfJsonLine(line);
+    ASSERT_EQ(back.perSubchannel.size(), 2u);
+    EXPECT_EQ(back.perSubchannel[0].acts, 123u);
+    EXPECT_EQ(back.perSubchannel[0].alerts, 4u);
+    EXPECT_EQ(back.perSubchannel[0].alertsPerRefi, 0.125);
+    EXPECT_EQ(back.perSubchannel[1].mitigationsPerBankPerRefw, 829.25);
+    EXPECT_EQ(toJsonLine(back), line);
+
+    // The empty breakdown (no System run) round-trips too.
+    PerfResult none;
+    none.workload = "w";
+    none.mitigator = "null";
+    const std::string line2 = toJsonLine(none);
+    EXPECT_TRUE(perfResultOfJsonLine(line2).perSubchannel.empty());
+    EXPECT_EQ(toJsonLine(perfResultOfJsonLine(line2)), line2);
+}
+
+TEST(ResultIo, PreSubChannelLinesStayParseable)
+{
+    // JSONL written before the per-sub-channel arrays existed has no
+    // sc_* fields; it must parse to an empty breakdown, not fatal().
+    const std::string old_line =
+        "{\"kind\":\"perf\",\"workload\":\"roms\",\"mitigator\":\"moat\","
+        "\"level\":1,\"norm_perf\":0.5,\"alerts_per_refi\":0.25,"
+        "\"mitigations_per_bank_per_refw\":10,\"act_overhead\":0.125,"
+        "\"alerts\":7,\"acts\":99}";
+    const PerfResult r = perfResultOfJsonLine(old_line);
+    EXPECT_EQ(r.workload, "roms");
+    EXPECT_EQ(r.alerts, 7u);
+    EXPECT_EQ(r.normPerf, 0.5);
+    EXPECT_TRUE(r.perSubchannel.empty());
 }
 
 TEST(AttackTrials, DeterministicAcrossJobCounts)

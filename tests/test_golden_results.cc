@@ -59,10 +59,11 @@ goldenTracegen()
 /** The golden perf sweep of one registered design: 2 workloads x L1,
  *  run through the parallel engine (jobs=2 exercises the pool). */
 std::vector<std::string>
-perfLinesFor(const std::string &mitigator)
+perfLinesFor(const std::string &mitigator, uint32_t subchannels = 1)
 {
     SweepConfig sc;
     sc.tracegen = goldenTracegen();
+    sc.tracegen.subchannels = subchannels;
     sc.jobs = 2;
     SweepEngine engine(sc);
 
@@ -199,6 +200,13 @@ INSTANTIATE_TEST_SUITE_P(
 TEST(GoldenAttacks, MatchCheckedInResults)
 {
     checkGolden("attack_results.jsonl", attackLines());
+}
+
+TEST(GoldenSystem, FullSystemSweepMatchesCheckedInResults)
+{
+    // The 2-sub-channel System path, per-sub-channel breakdowns
+    // included, locked down end to end.
+    checkGolden("perf_system2_moat.jsonl", perfLinesFor("moat", 2));
 }
 
 TEST(GoldenFormat, PerfLinesRoundTripThroughParser)

@@ -1,13 +1,17 @@
 /**
  * @file
- * Tests of the memory-system performance model and the PerfRunner.
+ * Tests of the memory-system performance model (single-sub-channel
+ * runMemSystem and the full-system sim::System replay) and the
+ * PerfRunner.
  */
 
 #include <gtest/gtest.h>
 
 #include "mitigation/null.hh"
+#include "mitigation/registry.hh"
 #include "sim/memsys.hh"
 #include "sim/perf.hh"
+#include "sim/system.hh"
 
 namespace moatsim::sim
 {
@@ -113,6 +117,145 @@ TEST(MemSys, CountsRefsAndAlerts)
     const MemSysResult r = runMemSystem(ch, traces);
     EXPECT_GE(r.refs, 8u);
     EXPECT_EQ(r.alerts, 0u);
+}
+
+SystemConfig
+moatSystem(uint32_t subchannels, uint32_t banks)
+{
+    SystemConfig sys;
+    sys.channel.numBanks = banks;
+    sys.channel.securityEnabled = false;
+    sys.subchannels = subchannels;
+    return sys;
+}
+
+/** A trace hammering one row on one sub-channel hard enough to ALERT. */
+workload::CoreTrace
+hammerTrace(uint32_t subchannel, int n)
+{
+    workload::CoreTrace t;
+    t.window = fromNs(static_cast<int64_t>(n) * 100);
+    for (int i = 0; i < n; ++i)
+        t.events.push_back({static_cast<Time>(i) * fromNs(60), 0, 7,
+                            subchannel});
+    return t;
+}
+
+TEST(System, AlertsStayOnTheirSubChannel)
+{
+    // Sub-channels are independent ABO domains: hammering rows on
+    // sub-channel 0 must raise ALERTs there and nowhere else.
+    const auto moat = mitigation::Registry::parse("moat:ath=32,eth=16");
+    System sys(moatSystem(2, 4), moat.factory());
+    std::vector<workload::CoreTrace> traces;
+    traces.push_back(hammerTrace(0, 600));
+    const SystemResult r = runSystem(sys, traces);
+    ASSERT_EQ(r.perSubchannel.size(), 2u);
+    EXPECT_GT(r.perSubchannel[0].alerts, 0u);
+    EXPECT_EQ(r.perSubchannel[1].alerts, 0u);
+    EXPECT_EQ(r.perSubchannel[1].acts, 0u);
+    EXPECT_EQ(r.perSubchannel[0].acts, 600u);
+}
+
+TEST(System, AggregatesAreTheSumOfSubChannels)
+{
+    const auto moat = mitigation::Registry::parse("moat:ath=32,eth=16");
+    System sys(moatSystem(2, 4), moat.factory());
+    std::vector<workload::CoreTrace> traces;
+    traces.push_back(hammerTrace(0, 400));
+    traces.push_back(hammerTrace(1, 400));
+    const SystemResult r = runSystem(sys, traces);
+    ASSERT_EQ(r.perSubchannel.size(), 2u);
+    uint64_t acts = 0;
+    uint64_t refs = 0;
+    uint64_t alerts = 0;
+    for (const auto &u : r.perSubchannel) {
+        acts += u.acts;
+        refs += u.refs;
+        alerts += u.alerts;
+    }
+    EXPECT_EQ(acts, r.totalActs);
+    EXPECT_EQ(refs, r.refs);
+    EXPECT_EQ(alerts, r.alerts);
+    // Both channels saw the same hammer pattern.
+    EXPECT_EQ(r.perSubchannel[0].acts, r.perSubchannel[1].acts);
+}
+
+TEST(System, SingleSubChannelMatchesRunMemSystem)
+{
+    // The System loop with one sub-channel must reproduce the
+    // runMemSystem compatibility wrapper bit for bit.
+    const auto moat = mitigation::Registry::parse("moat:ath=32,eth=16");
+    std::vector<workload::CoreTrace> traces;
+    traces.push_back(hammerTrace(0, 500));
+    traces.push_back(simpleTrace(fromNs(30000), fromNs(150), 1, 42, 150));
+
+    System sys(moatSystem(1, 4), moat.factory());
+    const SystemResult a = runSystem(sys, traces);
+
+    subchannel::SubChannelConfig sc = moatSystem(1, 4).channel;
+    sc.seed = sys.subchannel(0).config().seed; // same derived stream
+    SubChannel ch(sc, moat.factory());
+    const MemSysResult b = runMemSystem(ch, traces);
+
+    EXPECT_EQ(a.coreFinish, b.coreFinish);
+    EXPECT_EQ(a.totalActs, b.totalActs);
+    EXPECT_EQ(a.refs, b.refs);
+    EXPECT_EQ(a.alerts, b.alerts);
+}
+
+TEST(System, FastAlertScanIsBehaviourNeutral)
+{
+    // The sticky-flag ALERT path is a pure optimization: a full run
+    // with fastAlertScan off must match one with it on exactly.
+    const auto moat = mitigation::Registry::parse("moat:ath=32,eth=16");
+    std::vector<workload::CoreTrace> traces;
+    traces.push_back(hammerTrace(0, 800));
+    traces.push_back(hammerTrace(1, 800));
+
+    SystemResult results[2];
+    for (const bool fast : {false, true}) {
+        SystemConfig cfg = moatSystem(2, 4);
+        cfg.channel.fastAlertScan = fast;
+        System sys(cfg, moat.factory());
+        results[fast ? 1 : 0] = runSystem(sys, traces);
+    }
+    EXPECT_EQ(results[0].coreFinish, results[1].coreFinish);
+    EXPECT_EQ(results[0].alerts, results[1].alerts);
+    EXPECT_EQ(results[0].refs, results[1].refs);
+    ASSERT_GT(results[0].alerts, 0u); // the comparison must bite
+}
+
+TEST(System, EmptyTracesFinishAtWindow)
+{
+    System sys(moatSystem(2, 2), [](BankId) {
+        return std::make_unique<mitigation::NullMitigator>();
+    });
+    std::vector<workload::CoreTrace> traces(2);
+    traces[0].window = fromNs(1000);
+    traces[1].window = fromNs(1000);
+    const SystemResult r = runSystem(sys, traces);
+    EXPECT_EQ(r.totalActs, 0u);
+    EXPECT_EQ(r.coreFinish[0], fromNs(1000));
+    EXPECT_EQ(r.coreFinish[1], fromNs(1000));
+}
+
+TEST(PerfRunner, MultiSubChannelRunReportsBreakdown)
+{
+    workload::TraceGenConfig tg;
+    tg.banksSimulated = 8;
+    tg.subchannels = 2;
+    tg.windowFraction = 0.03125;
+    PerfRunner runner(tg);
+    const auto r = runner.run(workload::findWorkload("roms"),
+                              mitigation::Registry::parse("moat"));
+    ASSERT_EQ(r.perSubchannel.size(), 2u);
+    // Traffic is routed across both sub-channels.
+    EXPECT_GT(r.perSubchannel[0].acts, 0u);
+    EXPECT_GT(r.perSubchannel[1].acts, 0u);
+    EXPECT_EQ(r.perSubchannel[0].acts + r.perSubchannel[1].acts, r.acts);
+    EXPECT_EQ(r.perSubchannel[0].alerts + r.perSubchannel[1].alerts,
+              r.alerts);
 }
 
 TEST(PerfRunner, BaselineNormPerfIsOne)

@@ -60,6 +60,46 @@ TEST(TraceIo, GeneratedTracesRoundTrip)
         EXPECT_EQ(out[c].events.size(), in[c].events.size());
 }
 
+TEST(TraceIo, MultiSubChannelRoundTrip)
+{
+    // Events on a non-zero sub-channel switch the file to the v2
+    // 4-column format; the sub-channel must survive the round trip.
+    std::vector<CoreTrace> in(1);
+    in[0].window = fromNs(1000);
+    in[0].events = {{fromNs(10), 0, 100, 0},
+                    {fromNs(20), 1, 200, 1},
+                    {fromNs(30), 2, 300, 1}};
+    std::stringstream ss;
+    writeTraces(ss, in);
+    EXPECT_NE(ss.str().find("trace v2"), std::string::npos);
+    const auto out = readTraces(ss);
+    ASSERT_EQ(out.size(), 1u);
+    ASSERT_EQ(out[0].events.size(), 3u);
+    for (size_t i = 0; i < 3; ++i) {
+        EXPECT_EQ(out[0].events[i].subchannel, in[0].events[i].subchannel);
+        EXPECT_EQ(out[0].events[i].bank, in[0].events[i].bank);
+        EXPECT_EQ(out[0].events[i].row, in[0].events[i].row);
+    }
+}
+
+TEST(TraceIo, SingleSubChannelKeepsV1Format)
+{
+    // All-sub-channel-0 traces stay in the 3-column v1 format so
+    // external tooling written against it keeps working.
+    const auto in = sampleTraces();
+    std::stringstream ss;
+    writeTraces(ss, in);
+    EXPECT_NE(ss.str().find("trace v1"), std::string::npos);
+    EXPECT_EQ(ss.str().find("trace v2"), std::string::npos);
+}
+
+TEST(TraceIoDeathTest, NegativeSubChannelFatal)
+{
+    std::stringstream ss;
+    ss << "core 0\nwindow 100\n10 0 5 -1\n";
+    EXPECT_EXIT(readTraces(ss), testing::ExitedWithCode(1), "bad event");
+}
+
 TEST(TraceIo, CommentsAndBlankLinesIgnored)
 {
     std::stringstream ss;

@@ -129,6 +129,57 @@ TEST_F(TraceGenTest, DeterministicForSameSeed)
     }
 }
 
+TEST_F(TraceGenTest, SubChannelEmissionSpansAndBalances)
+{
+    // Full-system emission: events carry a valid pre-decoded
+    // sub-channel, both sub-channels see traffic, and the split is
+    // roughly even (the address-map routing spreads every core's
+    // banks across the system).
+    auto cfg2 = cfg;
+    cfg2.subchannels = 2;
+    const auto &spec = findWorkload("omnetpp");
+    const auto traces = generateTraces(spec, cfg2);
+    uint64_t per_sc[2] = {0, 0};
+    for (const auto &t : traces) {
+        for (const auto &e : t.events) {
+            ASSERT_LT(e.subchannel, 2u);
+            EXPECT_LT(e.bank, cfg2.banksSimulated);
+            ++per_sc[e.subchannel];
+        }
+    }
+    ASSERT_GT(per_sc[0], 0u);
+    ASSERT_GT(per_sc[1], 0u);
+    const double ratio = static_cast<double>(per_sc[0]) /
+                         static_cast<double>(per_sc[1]);
+    EXPECT_NEAR(ratio, 1.0, 0.2);
+
+    // Single-sub-channel emission stays on sub-channel 0.
+    for (const auto &t : generateTraces(spec, cfg)) {
+        for (const auto &e : t.events)
+            ASSERT_EQ(e.subchannel, 0u);
+    }
+}
+
+TEST_F(TraceGenTest, SubChannelCountMovesTheConfigKey)
+{
+    auto cfg2 = cfg;
+    cfg2.subchannels = 2;
+    EXPECT_NE(configKey(cfg), configKey(cfg2));
+}
+
+TEST_F(TraceGenTest, CensusHoldsOnTheFullSystem)
+{
+    // The per-bank tier census must survive the sub-channel split --
+    // the whole point of routing instead of duplicating traffic.
+    auto cfg2 = cfg;
+    cfg2.subchannels = 2;
+    const auto &spec = findWorkload("roms");
+    const auto traces = generateTraces(spec, cfg2);
+    const TierCensus census = censusOf(traces, cfg2, spec);
+    EXPECT_NEAR(census.act64, spec.act64, spec.act64 * 0.15 + 40);
+    EXPECT_NEAR(census.act128, spec.act128, spec.act128 * 0.15 + 40);
+}
+
 TEST_F(TraceGenTest, EffectiveIpcCapsMemoryBoundWorkloads)
 {
     // cc at 71.5 ACT-PKI cannot run at the nominal IPC of 2.
