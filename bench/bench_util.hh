@@ -92,6 +92,14 @@ emitJsonl(const std::vector<sim::PerfResult> &results)
         sim::writeJsonLines(*os, results);
 }
 
+/** Append co-attack results to the MOATSIM_JSONL sink, if configured. */
+inline void
+emitJsonl(const std::vector<sim::CoAttackResult> &results)
+{
+    if (std::ostream *os = jsonlStream())
+        sim::writeJsonLines(*os, results);
+}
+
 /** Append one attack outcome to the MOATSIM_JSONL sink. */
 inline void
 emitJsonl(const attacks::AttackResult &result, const std::string &pattern,

@@ -38,6 +38,7 @@ def main() -> int:
     perf = [r for r in rows if r.get("kind") == "perf"]
     attacks = [r for r in rows if r.get("kind") == "attack"]
     tput = [r for r in rows if r.get("kind") == "throughput_attack"]
+    coattack = [r for r in rows if r.get("kind") == "coattack"]
     core = next((r for r in rows if r.get("kind") == "core_loop"), None)
 
     def mean(values):
@@ -74,6 +75,20 @@ def main() -> int:
             "cells": len(tput),
             "worst_loss_fraction": max(
                 (r["loss_fraction"] for r in tput), default=0.0
+            ),
+        },
+        # Adversary-under-load cells: the attacker's residual hammer
+        # on the shared system and the victims' worst/mean slowdown.
+        "coattack": {
+            "cells": len(coattack),
+            "worst_attacker_max_hammer": max(
+                (r["attacker_max_hammer"] for r in coattack), default=0
+            ),
+            "worst_victim_slowdown": max(
+                (r["victim_slowdown"] for r in coattack), default=1.0
+            ),
+            "mean_victim_slowdown": mean(
+                r["victim_slowdown"] for r in coattack
             ),
         },
         "bench_ms": bench_ms,

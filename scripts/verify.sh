@@ -30,4 +30,16 @@ echo "determinism smoke: perf sweep at --jobs 1 vs --jobs 8"
 "$BUILD_DIR/moatsim" perf --workload all --fraction 0.015625 \
   --subchannels 2 --jobs 8 > "$BUILD_DIR/perf_jobs8.txt"
 diff "$BUILD_DIR/perf_jobs1.txt" "$BUILD_DIR/perf_jobs8.txt"
+
+# The adversary-under-load sweep carries the same guarantee: every
+# (workload x mitigator x attack) cell is independently seeded, so a
+# parallel co-attack run must be byte-identical to a serial one.
+echo "determinism smoke: coattack sweep at --jobs 1 vs --jobs 8"
+"$BUILD_DIR/moatsim" coattack --workload all --pattern postponement \
+  --mitigator panopticon --fraction 0.015625 --subchannels 2 \
+  --jobs 1 > "$BUILD_DIR/coattack_jobs1.txt"
+"$BUILD_DIR/moatsim" coattack --workload all --pattern postponement \
+  --mitigator panopticon --fraction 0.015625 --subchannels 2 \
+  --jobs 8 > "$BUILD_DIR/coattack_jobs8.txt"
+diff "$BUILD_DIR/coattack_jobs1.txt" "$BUILD_DIR/coattack_jobs8.txt"
 echo "determinism smoke passed"

@@ -21,6 +21,7 @@
 #include "common/thread_pool.hh"
 #include "mitigation/registry.hh"
 #include "subchannel/subchannel.hh"
+#include "workload/attack_trace.hh"
 
 namespace moatsim::attacks
 {
@@ -43,6 +44,19 @@ makeChannel(const AttackConfig &config,
     return SubChannel(sc, mitigator.factory());
 }
 
+/**
+ * Drain to quiescence: a fixed post-attack advance (the old 2000 ns)
+ * cut off still-pending ALERT/recovery work at high ABO levels, so
+ * `alerts` and `duration` undercounted. One refresh window is enough
+ * for every registered design's REF-time mitigation to retire the
+ * last want.
+ */
+void
+drain(SubChannel &ch)
+{
+    ch.drainToQuiescence(ch.timing().tREFW);
+}
+
 AttackResult
 resultOf(const SubChannel &ch)
 {
@@ -61,10 +75,10 @@ runHammer(const AttackConfig &config,
 {
     SubChannel ch = makeChannel(config, mitigator);
     const uint64_t budget = config.budget != 0 ? config.budget : 4096;
-    const RowId target = config.timing.rowsPerBank / 2;
+    const RowId target = workload::attackBaseRow(config.timing);
     for (uint64_t i = 0; i < budget; ++i)
         ch.activate(0, target);
-    ch.advanceTo(ch.now() + fromNs(2000)); // drain any pending ALERT
+    drain(ch);
     return resultOf(ch);
 }
 
@@ -77,17 +91,13 @@ runRoundRobin(const AttackConfig &config,
     const uint32_t pool = config.poolRows != 0 ? config.poolRows : 8;
     const uint64_t budget =
         config.budget != 0 ? config.budget : 512ULL * pool;
-    const RowId base = config.timing.rowsPerBank / 2;
-    const uint32_t stride = 2 * config.timing.blastRadius + 2;
-    const uint32_t max_fit = (config.timing.rowsPerBank - base) / stride;
-    if (pool > max_fit) {
-        fatal("round-robin: pool of " + std::to_string(pool) +
-              " rows does not fit in the bank (max " +
-              std::to_string(max_fit) + ")");
-    }
+    // The same placement convention the co-attack trace synthesizer
+    // uses, so the isolated and co-scheduled variants stay comparable.
+    const std::vector<RowId> rows =
+        workload::attackRowPool(config.timing, pool);
     for (uint64_t i = 0; i < budget; ++i)
-        ch.activate(0, base + static_cast<RowId>(i % pool) * stride);
-    ch.advanceTo(ch.now() + fromNs(2000));
+        ch.activate(0, rows[i % pool]);
+    drain(ch);
     return resultOf(ch);
 }
 

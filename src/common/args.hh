@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Tiny command-line flag parser shared by the moatsim CLI tools.
+ *
+ * Flags come after the subcommand as either `--name value` pairs or
+ * valueless booleans (`--name` followed by another flag or the end of
+ * the line). Typed getters report the offending flag by name when its
+ * value is missing or malformed, and the count-valued getters check
+ * the 32-bit range instead of silently truncating: before them,
+ * `--subchannels 4294967297` wrapped to 1 through static_cast and a
+ * negative count sailed past `== 0` guards.
+ */
+
+#ifndef MOATSIM_COMMON_ARGS_HH
+#define MOATSIM_COMMON_ARGS_HH
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace moatsim
+{
+
+/** Parsed `--flag [value]` list of one CLI invocation. */
+class Args
+{
+  public:
+    /** Parse argv[first..argc); fatal()s on a malformed flag. */
+    Args(int argc, char **argv, int first);
+
+    /** Whether the flag was given (with or without a value). */
+    bool has(const std::string &name) const;
+
+    /** String value of the flag, or @p def when absent. */
+    std::string get(const std::string &name, const std::string &def) const;
+
+    /** Unsigned integer value; rejects signs, junk, and overflow. */
+    uint64_t getInt(const std::string &name, uint64_t def) const;
+
+    /**
+     * Count-valued flag that must fit in 32 bits (--trials, --pool,
+     * --jobs, ...). fatal()s on anything getInt rejects and on values
+     * above UINT32_MAX, which an unchecked static_cast would wrap.
+     */
+    uint32_t getUint32(const std::string &name, uint32_t def) const;
+
+    /** getUint32 that additionally rejects 0 (--subchannels, ...). */
+    uint32_t getPositive(const std::string &name, uint32_t def) const;
+
+    /** Floating-point value. */
+    double getDouble(const std::string &name, double def) const;
+
+    /** Boolean flag: bare, true/1, or false/0. */
+    bool getBool(const std::string &name, bool def) const;
+
+  private:
+    std::vector<std::pair<std::string, std::string>> values_;
+};
+
+} // namespace moatsim
+
+#endif // MOATSIM_COMMON_ARGS_HH

@@ -9,7 +9,8 @@ namespace moatsim::dram
 SecurityMonitor::SecurityMonitor(uint32_t num_rows, uint32_t blast_radius)
     : blast_radius_(blast_radius),
       damage_(num_rows, 0),
-      hammer_(num_rows, 0)
+      hammer_(num_rows, 0),
+      peak_hammer_(num_rows, 0)
 {
     assert(num_rows > 0 && blast_radius > 0);
 }
@@ -19,6 +20,8 @@ SecurityMonitor::onActivate(RowId row)
 {
     assert(row < hammer_.size());
     const uint32_t h = ++hammer_[row];
+    if (h > peak_hammer_[row])
+        peak_hammer_[row] = h;
     if (h > max_hammer_) {
         max_hammer_ = h;
         max_hammer_row_ = row;
@@ -72,11 +75,19 @@ SecurityMonitor::hammerCount(RowId row) const
     return hammer_[row];
 }
 
+uint32_t
+SecurityMonitor::peakHammer(RowId row) const
+{
+    assert(row < peak_hammer_.size());
+    return peak_hammer_[row];
+}
+
 void
 SecurityMonitor::clear()
 {
     std::fill(damage_.begin(), damage_.end(), 0);
     std::fill(hammer_.begin(), hammer_.end(), 0);
+    std::fill(peak_hammer_.begin(), peak_hammer_.end(), 0);
     max_damage_ = 0;
     max_damage_row_ = kInvalidRow;
     max_hammer_ = 0;

@@ -59,6 +59,14 @@ class SecurityMonitor
     /** Hammer count currently on an aggressor row. */
     uint32_t hammerCount(RowId row) const;
 
+    /**
+     * Highest hammer count @p row ever reached. Per-core-class
+     * accounting needs this: on a shared system the bank-wide
+     * maxHammer() may belong to a benign hot row, so an attacker's
+     * exposure is the peak over its own rows.
+     */
+    uint32_t peakHammer(RowId row) const;
+
     /** Highest damage any victim row ever reached. */
     uint32_t maxDamage() const { return max_damage_; }
 
@@ -78,6 +86,8 @@ class SecurityMonitor
     uint32_t blast_radius_;
     std::vector<uint32_t> damage_;
     std::vector<uint32_t> hammer_;
+    /** Historical per-row peak of hammer_ (never reset by refresh). */
+    std::vector<uint32_t> peak_hammer_;
     uint32_t max_damage_ = 0;
     RowId max_damage_row_ = kInvalidRow;
     uint32_t max_hammer_ = 0;

@@ -1,0 +1,260 @@
+#include "sim/coattack.hh"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/hash.hh"
+#include "common/logging.hh"
+#include "common/thread_pool.hh"
+#include "sim/perf.hh"
+
+namespace moatsim::sim
+{
+
+namespace
+{
+
+/** The channel template of a co-attack System: unlike perf runs the
+ *  security oracle stays on -- attacker exposure is the point. */
+subchannel::SubChannelConfig
+coChannelConfig(const workload::TraceGenConfig &tg, abo::Level level,
+                uint64_t seed)
+{
+    subchannel::SubChannelConfig sc;
+    sc.timing = tg.timing;
+    sc.numBanks = tg.banksSimulated;
+    sc.aboLevel = level;
+    sc.securityEnabled = true;
+    sc.seed = seed;
+    return sc;
+}
+
+} // namespace
+
+uint64_t
+coAttackCellSeed(const workload::TraceGenConfig &config,
+                 const workload::WorkloadSpec &spec,
+                 const mitigation::MitigatorSpec &mitigator,
+                 abo::Level level,
+                 const workload::AttackTraceConfig & /*attack*/)
+{
+    // Deliberately independent of the attack: the attacked run and its
+    // attack-free baseline share one system state (seeding, counter
+    // init) and differ only in the command stream, exactly like a real
+    // co-tenant attack.
+    return hashCombine(cellSeed(config, spec, mitigator, level),
+                       stableHash64("coattack"));
+}
+
+workload::AttackTraceConfig
+resolveAttack(const CoAttackScenario &scenario,
+              const workload::TraceGenConfig &config)
+{
+    workload::AttackTraceConfig at;
+    at.timing = config.timing;
+    at.pattern = scenario.pattern;
+    at.subchannel = scenario.subchannel;
+    at.bank = static_cast<BankId>(scenario.bank);
+    at.poolRows = scenario.poolRows;
+    at.budget = scenario.budget;
+    at.window = static_cast<Time>(
+        static_cast<double>(config.timing.tREFW) * config.windowFraction);
+    at.seed = scenario.seed;
+    return at;
+}
+
+SystemResult
+runCoSystem(const workload::TraceGenConfig &config, const CoreModel &core,
+            const workload::WorkloadSpec &spec,
+            const mitigation::MitigatorSpec &mitigator, abo::Level level,
+            const workload::AttackTraceConfig &attack,
+            uint32_t *attacker_max_hammer)
+{
+    const uint32_t subchannels = std::max(1u, config.subchannels);
+    if (attack.subchannel >= subchannels)
+        fatal("runCoSystem: attack sub-channel " +
+              std::to_string(attack.subchannel) + " out of range (" +
+              std::to_string(subchannels) + " simulated)");
+    if (attack.bank >= config.banksSimulated)
+        fatal("runCoSystem: attack bank " + std::to_string(attack.bank) +
+              " out of range (" + std::to_string(config.banksSimulated) +
+              " simulated)");
+
+    auto traces = workload::generateTraces(spec, config);
+    const workload::AttackTrace at = workload::generateAttackTrace(attack);
+    if (!at.trace.events.empty())
+        traces.push_back(at.trace);
+
+    SystemConfig sys;
+    sys.channel = coChannelConfig(
+        config, level,
+        coAttackCellSeed(config, spec, mitigator, level, attack));
+    sys.subchannels = subchannels;
+    System system(sys, mitigator.factory());
+    system.setPostponeRefresh(
+        workload::attackPostponesRefresh(attack.pattern));
+
+    const SystemResult res = runSystem(system, traces, core);
+
+    if (attacker_max_hammer != nullptr) {
+        uint32_t peak = 0;
+        const auto &sec =
+            system.subchannel(at.subchannel).security(at.bank);
+        for (const RowId row : at.rows)
+            peak = std::max(peak, sec.peakHammer(row));
+        *attacker_max_hammer = peak;
+    }
+    return res;
+}
+
+CoAttackEngine::CoAttackEngine(const SweepConfig &config)
+    : config_(config),
+      jobs_(config.jobs > 0 ? config.jobs : ThreadPool::hardwareThreads())
+{
+}
+
+std::shared_ptr<const CoAttackEngine::Baseline>
+CoAttackEngine::baseline(const CoAttackCell &cell)
+{
+    uint64_t key = hashCombine(perfConfigKey(config_.tracegen, config_.core),
+                               stableHash64(cell.workload.name));
+    key = hashCombine(key, stableHash64(cell.mitigator.describe()));
+    key = hashCombine(key,
+                      static_cast<uint64_t>(abo::levelValue(cell.level)));
+    key = hashCombine(key, stableHash64("coattack-baseline"));
+
+    std::shared_future<std::shared_ptr<const Baseline>> future;
+    std::promise<std::shared_ptr<const Baseline>> promise;
+    bool compute = false;
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        auto it = baselines_.find(key);
+        if (it == baselines_.end()) {
+            future = promise.get_future().share();
+            baselines_.emplace(key, future);
+            compute = true;
+        } else {
+            future = it->second;
+        }
+    }
+    if (compute) {
+        CoAttackScenario none;
+        none.pattern = "none";
+        const SystemResult res = runCoSystem(
+            config_.tracegen, config_.core, cell.workload, cell.mitigator,
+            cell.level, resolveAttack(none, config_.tracegen));
+        auto base = std::make_shared<Baseline>();
+        base->coreFinish = res.coreFinish;
+        base->totalActs = res.totalActs;
+        base->alerts = res.alerts;
+        base->refs = res.refs;
+        for (const auto &u : res.perSubchannel)
+            base->rfms += u.rfms;
+        promise.set_value(std::move(base));
+    }
+    return future.get();
+}
+
+CoAttackResult
+CoAttackEngine::runCell(const CoAttackCell &cell)
+{
+    const auto base = baseline(cell);
+
+    CoAttackResult out;
+    out.workload = cell.workload.name;
+    out.mitigator = cell.mitigator.describe();
+    out.pattern = cell.attack.pattern;
+    out.aboLevel = abo::levelValue(cell.level);
+    out.victimActs = base->totalActs;
+    out.attackFreeAlerts = base->alerts;
+    out.attackFreeRfms = base->rfms;
+    if (base->refs > 0) {
+        out.attackFreeAlertsPerRefi =
+            static_cast<double>(base->alerts) /
+            static_cast<double>(base->refs);
+    }
+
+    if (cell.attack.pattern == "none") {
+        // The attack-free cell *is* the baseline.
+        out.alerts = base->alerts;
+        out.rfms = base->rfms;
+        out.refs = base->refs;
+        out.alertsPerRefi = out.attackFreeAlertsPerRefi;
+        return out;
+    }
+
+    const workload::AttackTraceConfig attack =
+        resolveAttack(cell.attack, config_.tracegen);
+    uint32_t max_hammer = 0;
+    const SystemResult co =
+        runCoSystem(config_.tracegen, config_.core, cell.workload,
+                    cell.mitigator, cell.level, attack, &max_hammer);
+
+    out.attackerMaxHammer = max_hammer;
+    out.attackerActs = co.totalActs - base->totalActs;
+    out.alerts = co.alerts;
+    out.refs = co.refs;
+    for (const auto &u : co.perSubchannel)
+        out.rfms += u.rfms;
+    if (co.refs > 0) {
+        out.alertsPerRefi = static_cast<double>(co.alerts) /
+                            static_cast<double>(co.refs);
+    }
+
+    // Victim classes occupy [0, numCores); the attacker is last.
+    const size_t victims =
+        std::min(base->coreFinish.size(), co.coreFinish.size());
+    double slow_sum = 0.0;
+    double norm_sum = 0.0;
+    size_t n = 0;
+    for (size_t c = 0; c < victims; ++c) {
+        if (base->coreFinish[c] <= 0 || co.coreFinish[c] <= 0)
+            continue;
+        slow_sum += static_cast<double>(co.coreFinish[c]) /
+                    static_cast<double>(base->coreFinish[c]);
+        norm_sum += static_cast<double>(base->coreFinish[c]) /
+                    static_cast<double>(co.coreFinish[c]);
+        ++n;
+    }
+    if (n > 0) {
+        out.victimSlowdown = slow_sum / static_cast<double>(n);
+        out.victimNormPerf = norm_sum / static_cast<double>(n);
+    }
+    return out;
+}
+
+std::vector<CoAttackResult>
+CoAttackEngine::run(const std::vector<CoAttackCell> &cells)
+{
+    std::vector<CoAttackResult> results(cells.size());
+    if (jobs_ <= 1 || cells.size() <= 1) {
+        for (size_t i = 0; i < cells.size(); ++i)
+            results[i] = runCell(cells[i]);
+        return results;
+    }
+
+    ThreadPool pool(std::min(jobs_, static_cast<unsigned>(cells.size())));
+    for (size_t i = 0; i < cells.size(); ++i) {
+        pool.submit([this, &cells, &results, i] {
+            results[i] = runCell(cells[i]);
+        });
+    }
+    pool.wait();
+    return results;
+}
+
+std::vector<CoAttackCell>
+crossCoAttackCells(const std::vector<workload::WorkloadSpec> &workloads,
+                   const std::vector<mitigation::MitigatorSpec> &mitigators,
+                   abo::Level level, const CoAttackScenario &attack)
+{
+    std::vector<CoAttackCell> cells;
+    cells.reserve(workloads.size() * mitigators.size());
+    for (const auto &m : mitigators) {
+        for (const auto &w : workloads)
+            cells.push_back({w, m, level, attack});
+    }
+    return cells;
+}
+
+} // namespace moatsim::sim

@@ -1,0 +1,192 @@
+/**
+ * @file
+ * Adversary-under-load scenario engine.
+ *
+ * The paper's security results run the attacker on an isolated
+ * sub-channel; its performance results replay only benign traffic.
+ * This engine closes the gap between the two: it appends a synthesized
+ * attacker core (workload/attack_trace.hh) to a workload's benign
+ * tracegen cores and replays all of them through sim::System's merged
+ * multi-sub-channel event loop, then reports per-core-class metrics --
+ * the attacker's residual maxHammer under real contention, the
+ * victims' slowdown against an attack-free co-run of the *same*
+ * mitigator (isolating the attack's cost from the mitigation's own
+ * overhead), and the ALERT/RFM activity attributable to the attack.
+ *
+ * Cells of a (workload x mitigator x attack x level) sweep are
+ * independent simulations seeded from stable cell keys, so the engine
+ * fans them across a thread pool with bit-identical results at any
+ * jobs count; attack-free baselines are computed once per
+ * (configuration, workload, mitigator, level) in a thread-safe cache.
+ */
+
+#ifndef MOATSIM_SIM_COATTACK_HH
+#define MOATSIM_SIM_COATTACK_HH
+
+#include <future>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "abo/abo.hh"
+#include "mitigation/registry.hh"
+#include "sim/sweep.hh"
+#include "sim/system.hh"
+#include "workload/attack_trace.hh"
+#include "workload/spec.hh"
+
+namespace moatsim::sim
+{
+
+/** The attack side of one co-attack cell (placement + shape). */
+struct CoAttackScenario
+{
+    /** Pattern name (attacks::attackPatterns()), or "none". */
+    std::string pattern = "hammer";
+    /** Rows in the attack pool (0 = pattern default). */
+    uint32_t poolRows = 0;
+    /** Activation budget (0 = span the benign window). */
+    uint64_t budget = 0;
+    /** Sub-channel the attacker pins. */
+    uint32_t subchannel = 0;
+    /** Bank (within that sub-channel) the attacker pins. */
+    uint32_t bank = 0;
+    uint64_t seed = 1;
+};
+
+/** One independent (workload, mitigator, level, attack) cell. */
+struct CoAttackCell
+{
+    workload::WorkloadSpec workload;
+    mitigation::MitigatorSpec mitigator;
+    abo::Level level = abo::Level::L1;
+    CoAttackScenario attack{};
+};
+
+/** Per-core-class outcome of one adversary-under-load cell. */
+struct CoAttackResult
+{
+    std::string workload;
+    /** Canonical spec of the design under test. */
+    std::string mitigator;
+    /** Attack pattern ("none" for an attack-free co-run). */
+    std::string pattern;
+    int aboLevel = 1;
+
+    // ----- attacker class ------------------------------------------
+    /** Peak unmitigated ACTs over the attacker's rows (under load). */
+    uint32_t attackerMaxHammer = 0;
+    /** Activations the attacker core issued. */
+    uint64_t attackerActs = 0;
+
+    // ----- victim class --------------------------------------------
+    /** Mean per-victim finish-time ratio vs the attack-free co-run of
+     *  the same mitigator (>= 1; the attack's denial-of-service). */
+    double victimSlowdown = 1.0;
+    /** Inverse view (mean attack-free/attacked, <= 1). */
+    double victimNormPerf = 1.0;
+    /** Activations the benign cores issued. */
+    uint64_t victimActs = 0;
+
+    // ----- defence activity attributable to the attack -------------
+    /** ALERTs during the co-run / during the attack-free baseline. */
+    uint64_t alerts = 0;
+    uint64_t attackFreeAlerts = 0;
+    /** RFM commands during the co-run / the attack-free baseline. */
+    uint64_t rfms = 0;
+    uint64_t attackFreeRfms = 0;
+    /** REF commands during the co-run. */
+    uint64_t refs = 0;
+    /** ALERTs per tREFI (all sub-channels) with / without the attack. */
+    double alertsPerRefi = 0.0;
+    double attackFreeAlertsPerRefi = 0.0;
+};
+
+/**
+ * Channel seed of a co-attack cell: the perf cell seed re-keyed for
+ * the co-attack domain. Deliberately independent of @p attack: the
+ * attacked run and its attack-free baseline share one system state
+ * (seeding, counter init) and differ only in the command stream,
+ * exactly like a real co-tenant attack.
+ */
+uint64_t coAttackCellSeed(const workload::TraceGenConfig &config,
+                          const workload::WorkloadSpec &spec,
+                          const mitigation::MitigatorSpec &mitigator,
+                          abo::Level level,
+                          const workload::AttackTraceConfig &attack);
+
+/**
+ * Replay @p spec's benign traces -- plus the attacker stream unless
+ * @p attack is "none" -- on a fresh System of
+ * config.subchannels sub-channels (security tracking on). The benign
+ * cores occupy result indices [0, numCores); the attacker, when
+ * present, is the last core. When @p attacker_max_hammer is non-null
+ * it receives the peak hammer count over the attacker's rows.
+ */
+SystemResult runCoSystem(const workload::TraceGenConfig &config,
+                         const CoreModel &core,
+                         const workload::WorkloadSpec &spec,
+                         const mitigation::MitigatorSpec &mitigator,
+                         abo::Level level,
+                         const workload::AttackTraceConfig &attack,
+                         uint32_t *attacker_max_hammer = nullptr);
+
+/** The AttackTraceConfig a scenario resolves to under a benign
+ *  configuration (timing and window filled in). */
+workload::AttackTraceConfig
+resolveAttack(const CoAttackScenario &scenario,
+              const workload::TraceGenConfig &config);
+
+/** Runs co-attack cells in parallel with bit-identical results. */
+class CoAttackEngine
+{
+  public:
+    explicit CoAttackEngine(const SweepConfig &config);
+
+    /** Run every cell; results are in cell order regardless of the
+     *  execution schedule. */
+    std::vector<CoAttackResult> run(const std::vector<CoAttackCell> &cells);
+
+    /** Run one cell inline (shares the baseline cache). */
+    CoAttackResult runCell(const CoAttackCell &cell);
+
+    /** Resolved worker count. */
+    unsigned jobs() const { return jobs_; }
+
+    const SweepConfig &config() const { return config_; }
+
+  private:
+    /** Attack-free co-run of (workload, mitigator, level): the victim
+     *  baseline every attacked cell of that tuple compares against. */
+    struct Baseline
+    {
+        std::vector<Time> coreFinish;
+        /** Benign activations (the victim-class act count). */
+        uint64_t totalActs = 0;
+        uint64_t alerts = 0;
+        uint64_t rfms = 0;
+        uint64_t refs = 0;
+    };
+
+    std::shared_ptr<const Baseline> baseline(const CoAttackCell &cell);
+
+    SweepConfig config_;
+    unsigned jobs_;
+    std::mutex mu_;
+    std::unordered_map<uint64_t,
+                       std::shared_future<std::shared_ptr<const Baseline>>>
+        baselines_;
+};
+
+/** Cross product: every workload at every (mitigator, level, attack)
+ *  point. */
+std::vector<CoAttackCell>
+crossCoAttackCells(const std::vector<workload::WorkloadSpec> &workloads,
+                   const std::vector<mitigation::MitigatorSpec> &mitigators,
+                   abo::Level level, const CoAttackScenario &attack);
+
+} // namespace moatsim::sim
+
+#endif // MOATSIM_SIM_COATTACK_HH

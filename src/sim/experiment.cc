@@ -19,7 +19,9 @@ sweepConfigOf(const ExperimentConfig &config)
 } // namespace
 
 Experiment::Experiment(const ExperimentConfig &config)
-    : config_(config), engine_(sweepConfigOf(config))
+    : config_(config),
+      engine_(sweepConfigOf(config)),
+      coattack_(sweepConfigOf(config))
 {
 }
 
@@ -72,6 +74,37 @@ Experiment::runWorkload(const workload::WorkloadSpec &spec,
                         abo::Level level)
 {
     return engine_.runCell({spec, mitigator, level});
+}
+
+std::vector<CoAttackResult>
+Experiment::runCoAttack(const CoAttackScenario &attack)
+{
+    return coattack_.run(crossCoAttackCells(
+        selectedWorkloads(), {config_.mitigator}, config_.aboLevel,
+        attack));
+}
+
+std::vector<std::vector<CoAttackResult>>
+Experiment::runCoAttackMatrix(const std::vector<CoAttackPoint> &points)
+{
+    const auto workloads = selectedWorkloads();
+    std::vector<CoAttackCell> cells;
+    cells.reserve(points.size() * workloads.size());
+    for (const auto &p : points) {
+        for (const auto &w : workloads)
+            cells.push_back({w, p.mitigator, p.level, p.attack});
+    }
+
+    const auto flat = coattack_.run(cells);
+
+    std::vector<std::vector<CoAttackResult>> out(points.size());
+    for (size_t i = 0; i < points.size(); ++i) {
+        out[i].assign(flat.begin() + static_cast<ptrdiff_t>(
+                                         i * workloads.size()),
+                      flat.begin() + static_cast<ptrdiff_t>(
+                                         (i + 1) * workloads.size()));
+    }
+    return out;
 }
 
 } // namespace moatsim::sim

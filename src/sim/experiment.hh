@@ -23,6 +23,7 @@
 
 #include "abo/abo.hh"
 #include "mitigation/registry.hh"
+#include "sim/coattack.hh"
 #include "sim/perf.hh"
 #include "sim/sweep.hh"
 
@@ -58,6 +59,14 @@ struct SweepPoint
     abo::Level level = abo::Level::L1;
 };
 
+/** One (design, level, attack) point of a co-attack sweep matrix. */
+struct CoAttackPoint
+{
+    mitigation::MitigatorSpec mitigator{};
+    abo::Level level = abo::Level::L1;
+    CoAttackScenario attack{};
+};
+
 /** Runs the configured workloads against registered mitigator designs. */
 class Experiment
 {
@@ -88,10 +97,29 @@ class Experiment
                            const mitigation::MitigatorSpec &mitigator,
                            abo::Level level);
 
+    /**
+     * Run the adversary-under-load scenario: the workload selection
+     * co-scheduled with @p attack against the configured design and
+     * level (one CoAttackResult per workload).
+     */
+    std::vector<CoAttackResult> runCoAttack(const CoAttackScenario &attack);
+
+    /**
+     * Run the workload selection at every (design, level, attack)
+     * point as one parallel batch; result [i][w] is point i on
+     * workload w. The (workload x mitigator x attack x level) cells
+     * all fan out across the engine's pool.
+     */
+    std::vector<std::vector<CoAttackResult>>
+    runCoAttackMatrix(const std::vector<CoAttackPoint> &points);
+
     const ExperimentConfig &config() const { return config_; }
 
     /** The underlying sweep engine (baseline cache included). */
     SweepEngine &engine() { return engine_; }
+
+    /** The co-attack engine (attack-free baseline cache included). */
+    CoAttackEngine &coAttackEngine() { return coattack_; }
 
   private:
     /** The workloads config_.workload selects. */
@@ -99,6 +127,7 @@ class Experiment
 
     ExperimentConfig config_;
     SweepEngine engine_;
+    CoAttackEngine coattack_;
 };
 
 } // namespace moatsim::sim

@@ -1,5 +1,6 @@
 #include "sim/result_io.hh"
 
+#include <cctype>
 #include <cinttypes>
 #include <cstdio>
 #include <cstdlib>
@@ -66,23 +67,91 @@ jsonField(const std::string &line, const std::string &key)
         return line.substr(v, end - v + 1);
     }
     if (v < line.size() && line[v] == '"') {
-        // String value; our own escaper emits \", \\, and \uXXXX.
+        // String value. Our own escaper emits \", \\, and \u00XX for
+        // control characters; the reader additionally accepts every
+        // standard JSON escape so externally produced lines decode to
+        // the same bytes a compliant parser would see. Unknown escapes
+        // are an error, not a silently dropped backslash.
         std::string out;
         for (++v; v < line.size() && line[v] != '"'; ++v) {
-            if (line[v] == '\\' && v + 1 < line.size()) {
-                if (line[v + 1] == 'u' && v + 5 < line.size()) {
-                    const std::string hex = line.substr(v + 2, 4);
-                    char *end = nullptr;
-                    const long code = std::strtol(hex.c_str(), &end, 16);
-                    if (end != hex.c_str() + 4 || code > 0xff)
-                        fatal("bad \\u escape in result line: " + line);
-                    out.push_back(static_cast<char>(code));
-                    v += 5;
-                    continue;
-                }
-                ++v;
+            if (line[v] != '\\') {
+                out.push_back(line[v]);
+                continue;
             }
-            out.push_back(line[v]);
+            if (v + 1 >= line.size())
+                fatal("dangling escape in result line: " + line);
+            const char e = line[v + 1];
+            switch (e) {
+            case '"':
+            case '\\':
+            case '/':
+                out.push_back(e);
+                ++v;
+                continue;
+            case 'b':
+                out.push_back('\b');
+                ++v;
+                continue;
+            case 'f':
+                out.push_back('\f');
+                ++v;
+                continue;
+            case 'n':
+                out.push_back('\n');
+                ++v;
+                continue;
+            case 'r':
+                out.push_back('\r');
+                ++v;
+                continue;
+            case 't':
+                out.push_back('\t');
+                ++v;
+                continue;
+            case 'u': {
+                if (v + 5 >= line.size())
+                    fatal("truncated \\u escape in result line: " + line);
+                const std::string hex = line.substr(v + 2, 4);
+                // strtol alone would accept signs, whitespace, and 0x
+                // prefixes; insist on exactly four hex digits.
+                long code = 0;
+                for (const char h : hex) {
+                    if (!std::isxdigit(static_cast<unsigned char>(h)))
+                        fatal("bad \\u escape in result line: " + line);
+                    code = code * 16 +
+                           (std::isdigit(static_cast<unsigned char>(h))
+                                ? h - '0'
+                                : (std::tolower(
+                                       static_cast<unsigned char>(h)) -
+                                   'a' + 10));
+                }
+                if (code >= 0xd800 && code <= 0xdfff)
+                    fatal("surrogate \\u escape in result line: " + line);
+                // Encode as UTF-8 so codes above 0xff round-trip: the
+                // writer passes non-ASCII bytes through raw, so the
+                // decoded bytes re-serialize to the same string.
+                if (code < 0x80) {
+                    out.push_back(static_cast<char>(code));
+                } else if (code < 0x800) {
+                    out.push_back(
+                        static_cast<char>(0xc0 | (code >> 6)));
+                    out.push_back(
+                        static_cast<char>(0x80 | (code & 0x3f)));
+                } else {
+                    out.push_back(
+                        static_cast<char>(0xe0 | (code >> 12)));
+                    out.push_back(
+                        static_cast<char>(0x80 | ((code >> 6) & 0x3f)));
+                    out.push_back(
+                        static_cast<char>(0x80 | (code & 0x3f)));
+                }
+                v += 5;
+                continue;
+            }
+            default:
+                fatal(std::string("unknown escape '\\") + e +
+                      "' in result line: " + line);
+            }
         }
         if (v >= line.size())
             fatal("unterminated string in result line: " + line);
@@ -173,24 +242,60 @@ toJsonLine(const PerfResult &r)
         out += "]";
     };
     append_array("sc_acts", [&] {
-        for (size_t i = 0; i < r.perSubchannel.size(); ++i)
-            out += (i ? "," : "") + std::to_string(r.perSubchannel[i].acts);
+        for (size_t i = 0; i < r.perSubchannel.size(); ++i) {
+            if (i)
+                out += ',';
+            out += std::to_string(r.perSubchannel[i].acts);
+        }
     });
     append_array("sc_alerts", [&] {
-        for (size_t i = 0; i < r.perSubchannel.size(); ++i)
-            out +=
-                (i ? "," : "") + std::to_string(r.perSubchannel[i].alerts);
+        for (size_t i = 0; i < r.perSubchannel.size(); ++i) {
+            if (i)
+                out += ',';
+            out += std::to_string(r.perSubchannel[i].alerts);
+        }
     });
     append_array("sc_alerts_per_refi", [&] {
-        for (size_t i = 0; i < r.perSubchannel.size(); ++i)
-            out += (i ? "," : "") +
-                   jsonDouble(r.perSubchannel[i].alertsPerRefi);
+        for (size_t i = 0; i < r.perSubchannel.size(); ++i) {
+            if (i)
+                out += ',';
+            out += jsonDouble(r.perSubchannel[i].alertsPerRefi);
+        }
     });
     append_array("sc_mitigations_per_bank_per_refw", [&] {
-        for (size_t i = 0; i < r.perSubchannel.size(); ++i)
-            out += (i ? "," : "") +
-                   jsonDouble(r.perSubchannel[i].mitigationsPerBankPerRefw);
+        for (size_t i = 0; i < r.perSubchannel.size(); ++i) {
+            if (i)
+                out += ',';
+            out += jsonDouble(r.perSubchannel[i].mitigationsPerBankPerRefw);
+        }
     });
+    out += "}";
+    return out;
+}
+
+std::string
+toJsonLine(const CoAttackResult &r)
+{
+    std::string out = "{\"kind\":\"coattack\"";
+    out += ",\"workload\":\"" + jsonEscape(r.workload) + "\"";
+    out += ",\"mitigator\":\"" + jsonEscape(r.mitigator) + "\"";
+    out += ",\"pattern\":\"" + jsonEscape(r.pattern) + "\"";
+    out += ",\"level\":" + std::to_string(r.aboLevel);
+    out += ",\"attacker_max_hammer\":" +
+           std::to_string(r.attackerMaxHammer);
+    out += ",\"attacker_acts\":" + std::to_string(r.attackerActs);
+    out += ",\"victim_slowdown\":" + jsonDouble(r.victimSlowdown);
+    out += ",\"victim_norm_perf\":" + jsonDouble(r.victimNormPerf);
+    out += ",\"victim_acts\":" + std::to_string(r.victimActs);
+    out += ",\"alerts\":" + std::to_string(r.alerts);
+    out += ",\"attack_free_alerts\":" +
+           std::to_string(r.attackFreeAlerts);
+    out += ",\"rfms\":" + std::to_string(r.rfms);
+    out += ",\"attack_free_rfms\":" + std::to_string(r.attackFreeRfms);
+    out += ",\"refs\":" + std::to_string(r.refs);
+    out += ",\"alerts_per_refi\":" + jsonDouble(r.alertsPerRefi);
+    out += ",\"attack_free_alerts_per_refi\":" +
+           jsonDouble(r.attackFreeAlertsPerRefi);
     out += "}";
     return out;
 }
@@ -231,6 +336,40 @@ writeJsonLines(std::ostream &os, const std::vector<PerfResult> &rs)
 {
     for (const auto &r : rs)
         os << toJsonLine(r) << "\n";
+}
+
+void
+writeJsonLines(std::ostream &os, const std::vector<CoAttackResult> &rs)
+{
+    for (const auto &r : rs)
+        os << toJsonLine(r) << "\n";
+}
+
+CoAttackResult
+coAttackResultOfJsonLine(const std::string &line)
+{
+    if (jsonField(line, "kind") != "coattack")
+        fatal("not a coattack result line: " + line);
+    CoAttackResult r;
+    r.workload = jsonField(line, "workload");
+    r.mitigator = jsonField(line, "mitigator");
+    r.pattern = jsonField(line, "pattern");
+    r.aboLevel = static_cast<int>(fieldUInt(line, "level"));
+    r.attackerMaxHammer =
+        static_cast<uint32_t>(fieldUInt(line, "attacker_max_hammer"));
+    r.attackerActs = fieldUInt(line, "attacker_acts");
+    r.victimSlowdown = fieldDouble(line, "victim_slowdown");
+    r.victimNormPerf = fieldDouble(line, "victim_norm_perf");
+    r.victimActs = fieldUInt(line, "victim_acts");
+    r.alerts = fieldUInt(line, "alerts");
+    r.attackFreeAlerts = fieldUInt(line, "attack_free_alerts");
+    r.rfms = fieldUInt(line, "rfms");
+    r.attackFreeRfms = fieldUInt(line, "attack_free_rfms");
+    r.refs = fieldUInt(line, "refs");
+    r.alertsPerRefi = fieldDouble(line, "alerts_per_refi");
+    r.attackFreeAlertsPerRefi =
+        fieldDouble(line, "attack_free_alerts_per_refi");
+    return r;
 }
 
 PerfResult

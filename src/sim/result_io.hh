@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "attacks/attack.hh"
+#include "sim/coattack.hh"
 #include "sim/perf.hh"
 
 namespace moatsim::sim
@@ -25,6 +26,9 @@ namespace moatsim::sim
 
 /** One PerfResult as a byte-stable JSON line (no trailing newline). */
 std::string toJsonLine(const PerfResult &r);
+
+/** One adversary-under-load cell ("kind":"coattack") as a JSON line. */
+std::string toJsonLine(const CoAttackResult &r);
 
 /**
  * One AttackResult as a byte-stable JSON line; @p pattern and
@@ -43,8 +47,14 @@ std::string toJsonLine(const attacks::ThroughputAttackResult &r,
 /** Write one line per result. */
 void writeJsonLines(std::ostream &os, const std::vector<PerfResult> &rs);
 
+/** Write one line per co-attack result. */
+void writeJsonLines(std::ostream &os, const std::vector<CoAttackResult> &rs);
+
 /** Parse a toJsonLine(PerfResult) line back; fatal() on malformed. */
 PerfResult perfResultOfJsonLine(const std::string &line);
+
+/** Parse a toJsonLine(CoAttackResult) line back; fatal() on malformed. */
+CoAttackResult coAttackResultOfJsonLine(const std::string &line);
 
 /** Read every "kind":"perf" line of a JSONL stream. */
 std::vector<PerfResult> readPerfJsonLines(std::istream &is);

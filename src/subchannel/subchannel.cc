@@ -116,6 +116,28 @@ SubChannel::advanceTo(Time t)
     now_ = std::max(now_, t);
 }
 
+Time
+SubChannel::drainToQuiescence(Time max_advance)
+{
+    const Time deadline = now_ + max_advance;
+    while (alertWorkPending()) {
+        // The next thing that can retire work: the in-flight ALERT's
+        // RFM block, or the next REF boundary (whose mitigation slot
+        // is the only thing that clears a want once ACTs stop).
+        Time next = next_ref_time_;
+        if (rfm_block_pending_)
+            next = std::min(next, abo_.rfmBlockStart());
+        if (next > deadline)
+            break;
+        advanceTo(next);
+    }
+    // The recovery is over when the work that retired the last want
+    // finishes executing, not when it was issued.
+    if (!alertWorkPending())
+        now_ = std::max(now_, std::min(channel_busy_until_, deadline));
+    return now_;
+}
+
 void
 SubChannel::processEventsBefore(Time t)
 {

@@ -131,6 +131,30 @@ class SubChannel
     /** Advance the clock to @p t, processing REFs and pending ALERTs. */
     void advanceTo(Time t);
 
+    /**
+     * Whether serviceable ALERT/mitigation work is still outstanding:
+     * an asserted ALERT whose RFM block has not been serviced yet, or
+     * a bank wanting an ALERT that the ABO protocol can still accept
+     * without further activations. A want gated on the inter-ALERT
+     * activation minimum is latent state, not pending work -- it
+     * cannot resolve until the command stream resumes.
+     */
+    bool alertWorkPending() const
+    {
+        return rfm_block_pending_ ||
+               (anyAlertWanted() && abo_.canAssert(now_));
+    }
+
+    /**
+     * Advance time until no serviceable ALERT/mitigation work is
+     * pending -- the in-flight RFM block executes, and an assertable
+     * want is raised at the next REF boundary and serviced -- then
+     * land on the end of the busy window that retired the last work
+     * item. Never advances beyond now() + @p max_advance.
+     * @return the new now().
+     */
+    Time drainToQuiescence(Time max_advance);
+
     /** Enable/disable attacker-controlled refresh postponement. */
     void setPostponeRefresh(bool on) { postpone_refresh_ = on; }
 

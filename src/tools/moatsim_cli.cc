@@ -35,6 +35,19 @@
  *                   workers (0 = hardware concurrency; results are
  *                   bit-identical at any value); --jsonl appends one
  *                   structured JSON line per result
+ *   moatsim coattack [--pattern P] [--workload NAME|all]
+ *                   [--mitigator S] [--level 1|2|4] [--fraction F]
+ *                   [--subchannels N] [--pool N] [--acts N]
+ *                   [--attack-subchannel I] [--attack-bank B]
+ *                   [--seed N] [--jobs N] [--jsonl FILE]
+ *                   adversary-under-load scenario: the attack pattern
+ *                   is synthesized as one more core's activation
+ *                   trace and co-scheduled with the workload's benign
+ *                   cores on the full multi-sub-channel System;
+ *                   reports the attacker's maxHammer under contention,
+ *                   the victims' slowdown vs an attack-free co-run of
+ *                   the same design, and the ALERT/RFM activity with
+ *                   the attack-free counts alongside
  *   moatsim replay  --trace FILE [--mitigator S] [--ath N] [--eth N]
  *                   [--subchannels N] [--postpone]
  *                   traces carrying a sub-channel column replay on a
@@ -48,11 +61,7 @@
  */
 
 #include <algorithm>
-#include <cctype>
-#include <cerrno>
 #include <cstdio>
-#include <cstdlib>
-#include <cstring>
 #include <fstream>
 #include <iostream>
 #include <string>
@@ -63,6 +72,7 @@
 #include "attacks/postponement.hh"
 #include "attacks/ratchet.hh"
 #include "attacks/tsa.hh"
+#include "common/args.hh"
 #include "common/logging.hh"
 #include "common/stats.hh"
 #include "common/table.hh"
@@ -77,105 +87,6 @@ using namespace moatsim;
 
 namespace
 {
-
-/**
- * Tiny flag parser. Flags come after the subcommand as either
- * `--name value` pairs or valueless booleans (`--name` followed by
- * another flag or the end of the line). Typed getters report the
- * offending flag by name when its value is missing or malformed.
- */
-class Args
-{
-  public:
-    Args(int argc, char **argv, int first)
-    {
-        for (int i = first; i < argc;) {
-            if (std::strncmp(argv[i], "--", 2) != 0) {
-                fatal(std::string("expected a --flag, got '") + argv[i] +
-                      "'");
-            }
-            const std::string name = argv[i] + 2;
-            if (name.empty())
-                fatal("empty flag name '--'");
-            if (i + 1 < argc && std::strncmp(argv[i + 1], "--", 2) != 0) {
-                values_.emplace_back(name, argv[i + 1]);
-                i += 2;
-            } else {
-                // Valueless boolean flag.
-                values_.emplace_back(name, "");
-                i += 1;
-            }
-        }
-    }
-
-    bool has(const std::string &name) const
-    {
-        for (const auto &[k, v] : values_) {
-            if (k == name)
-                return true;
-        }
-        return false;
-    }
-
-    std::string
-    get(const std::string &name, const std::string &def) const
-    {
-        for (const auto &[k, v] : values_) {
-            if (k == name) {
-                if (v.empty())
-                    fatal("flag --" + name + " requires a value");
-                return v;
-            }
-        }
-        return def;
-    }
-
-    uint64_t
-    getInt(const std::string &name, uint64_t def) const
-    {
-        const std::string v = get(name, std::to_string(def));
-        // strtoull would wrap a leading minus and saturate silently on
-        // overflow; insist on digits and check the range.
-        errno = 0;
-        char *end = nullptr;
-        const uint64_t out = std::strtoull(v.c_str(), &end, 10);
-        if (v.empty() || !std::isdigit(static_cast<unsigned char>(v[0])) ||
-            end == v.c_str() || *end != '\0' || errno == ERANGE)
-            fatal("flag --" + name + " expects an unsigned integer, got '" +
-                  v + "'");
-        return out;
-    }
-
-    double
-    getDouble(const std::string &name, double def) const
-    {
-        const std::string v = get(name, formatFixed(def, 6));
-        char *end = nullptr;
-        const double out = std::strtod(v.c_str(), &end);
-        if (end == v.c_str() || *end != '\0')
-            fatal("flag --" + name + " expects a number, got '" + v + "'");
-        return out;
-    }
-
-    bool
-    getBool(const std::string &name, bool def) const
-    {
-        for (const auto &[k, v] : values_) {
-            if (k == name) {
-                if (v.empty() || v == "true" || v == "1")
-                    return true;
-                if (v == "false" || v == "0")
-                    return false;
-                fatal("flag --" + name + " expects true/false, got '" + v +
-                      "'");
-            }
-        }
-        return def;
-    }
-
-  private:
-    std::vector<std::pair<std::string, std::string>> values_;
-};
 
 abo::Level
 levelOf(uint64_t l)
@@ -229,8 +140,8 @@ cmdBound(const Args &args)
 {
     dram::TimingParams t;
     const auto b = analysis::ratchetBound(
-        t, static_cast<uint32_t>(args.getInt("ath", 64)),
-        static_cast<int>(args.getInt("level", 1)));
+        t, args.getUint32("ath", 64),
+        static_cast<int>(args.getPositive("level", 1)));
     std::printf("ATH=%u level=%d: TRH_safe=%.1f (pool Nc=%lu, "
                 "tA2A=%.0f ns, %u ACTs per ALERT window)\n",
                 b.ath, b.level, b.safeTrh,
@@ -248,12 +159,12 @@ cmdRatchet(const Args &args)
     cfg.moat = mitigation::moatConfigOf(
         withMoatLevelEntries(mitigatorArg(args, "moat"), cfg.aboLevel));
     if (args.has("ath")) {
-        cfg.moat.ath = static_cast<ActCount>(args.getInt("ath", 64));
+        cfg.moat.ath = args.getUint32("ath", 64);
         cfg.moat.eth = cfg.moat.ath / 2;
     }
     if (args.has("eth"))
-        cfg.moat.eth = static_cast<ActCount>(args.getInt("eth", 0));
-    cfg.poolRows = static_cast<uint32_t>(args.getInt("pool", 0));
+        cfg.moat.eth = args.getUint32("eth", 0);
+    cfg.poolRows = args.getUint32("pool", 0);
     const auto r = attacks::runRatchet(cfg);
     const auto bound = analysis::ratchetBound(
         cfg.timing, cfg.moat.ath, abo::levelValue(cfg.aboLevel));
@@ -272,13 +183,13 @@ cmdJailbreak(const Args &args)
     attacks::JailbreakConfig cfg;
     cfg.panopticon =
         mitigation::panopticonConfigOf(mitigatorArg(args, "panopticon"));
-    cfg.panopticon.queueEntries = static_cast<uint32_t>(
-        args.getInt("queue", cfg.panopticon.queueEntries));
-    cfg.panopticon.queueThreshold = static_cast<ActCount>(
-        args.getInt("threshold", cfg.panopticon.queueThreshold));
-    cfg.hammerActs = static_cast<uint32_t>(args.getInt(
-        "hammer", static_cast<uint64_t>(cfg.panopticon.queueThreshold) *
-                      (cfg.panopticon.queueEntries + 2)));
+    cfg.panopticon.queueEntries =
+        args.getPositive("queue", cfg.panopticon.queueEntries);
+    cfg.panopticon.queueThreshold =
+        args.getPositive("threshold", cfg.panopticon.queueThreshold);
+    cfg.hammerActs = args.getUint32(
+        "hammer", cfg.panopticon.queueThreshold *
+                      (cfg.panopticon.queueEntries + 2));
     const auto r = attacks::runDeterministicJailbreak(cfg);
     std::printf("Jailbreak vs Panopticon(T=%u,Q=%u): max ACTs=%u "
                 "(%.1fx threshold), %lu ALERTs\n",
@@ -297,8 +208,8 @@ cmdFeinting(const Args &args)
     attacks::FeintingConfig cfg;
     const auto prc =
         mitigation::idealPrcConfigOf(mitigatorArg(args, "ideal-prc"));
-    cfg.mitigationPeriodRefis = static_cast<uint32_t>(
-        args.getInt("rate", prc.mitigationPeriodRefis));
+    cfg.mitigationPeriodRefis =
+        args.getPositive("rate", prc.mitigationPeriodRefis);
     const auto r = attacks::runFeinting(cfg);
     std::printf("Feinting vs IdealPRC (1 aggressor per %u tREFI): "
                 "max ACTs=%u\n",
@@ -316,7 +227,7 @@ cmdPostponement(const Args &args)
     attacks::PostponementConfig cfg;
     cfg.panopticon = mitigation::panopticonConfigOf(spec);
     cfg.panopticon.drainAllOnRef = true;
-    cfg.maxPostponed = static_cast<uint32_t>(args.getInt("max", 2));
+    cfg.maxPostponed = args.getUint32("max", 2);
     const auto r = attacks::runRefreshPostponement(cfg);
     std::printf("REF postponement (max %u) vs drain-all Panopticon: "
                 "max ACTs=%u (%.1fx threshold)\n",
@@ -331,8 +242,8 @@ cmdTsa(const Args &args)
 {
     attacks::PerfAttackConfig cfg;
     cfg.moat = mitigation::moatConfigOf(mitigatorArg(args, "moat"));
-    cfg.numBanks = static_cast<uint32_t>(args.getInt("banks", 17));
-    cfg.cycles = static_cast<uint32_t>(args.getInt("cycles", 20));
+    cfg.numBanks = args.getPositive("banks", 17);
+    cfg.cycles = args.getPositive("cycles", 20);
     const auto r = attacks::runTsa(cfg);
     std::printf("TSA on %u banks: throughput loss %s (%lu ALERTs)\n",
                 cfg.numBanks, formatPercent(r.lossFraction, 1).c_str(),
@@ -357,9 +268,9 @@ cmdAttack(const Args &args)
     attacks::AttackConfig cfg;
     cfg.pattern = args.get("pattern", "hammer");
     cfg.aboLevel = levelOf(args.getInt("level", 1));
-    cfg.poolRows = static_cast<uint32_t>(args.getInt("pool", 0));
+    cfg.poolRows = args.getUint32("pool", 0);
     cfg.budget = args.getInt("acts", 0);
-    cfg.trials = static_cast<uint32_t>(args.getInt("trials", 0));
+    cfg.trials = args.getUint32("trials", 0);
     cfg.seed = args.getInt("seed", 1);
     const auto spec = withMoatLevelEntries(
         mitigatorArg(args, defaultDesignOf(cfg.pattern)), cfg.aboLevel);
@@ -369,7 +280,7 @@ cmdAttack(const Args &args)
         args.has("jobs")
             ? attacks::runAttackTrials(
                   cfg, spec, cfg.trials > 0 ? cfg.trials : 1,
-                  static_cast<unsigned>(args.getInt("jobs", 0)))
+                  args.getUint32("jobs", 0))
             : attacks::runAttack(cfg, spec);
     std::printf("%s vs %s: max ACTs=%u, %lu total ACTs, %lu ALERTs, "
                 "%.2f ms\n",
@@ -389,8 +300,8 @@ perfMitigator(const Args &args, abo::Level level)
     }
     // Legacy MOAT flags.
     mitigation::MoatConfig moat;
-    moat.ath = static_cast<ActCount>(args.getInt("ath", 64));
-    moat.eth = static_cast<ActCount>(args.getInt("eth", moat.ath / 2));
+    moat.ath = args.getUint32("ath", 64);
+    moat.eth = args.getUint32("eth", moat.ath / 2);
     moat.trackerEntries = static_cast<uint32_t>(abo::levelValue(level));
     return mitigation::moatSpec(moat);
 }
@@ -417,14 +328,11 @@ cmdPerf(const Args &args)
     ec.tracegen.windowFraction = args.getDouble("fraction", 0.0625);
     // Default to the paper's full-system baseline: 2 sub-channels of
     // 32 banks each (Table 3).
-    ec.tracegen.subchannels =
-        static_cast<uint32_t>(args.getInt("subchannels", 2));
-    if (ec.tracegen.subchannels == 0)
-        fatal("--subchannels must be at least 1");
+    ec.tracegen.subchannels = args.getPositive("subchannels", 2);
     ec.aboLevel = level;
     ec.mitigator = perfMitigator(args, level);
     ec.workload = args.get("workload", "all");
-    ec.jobs = static_cast<unsigned>(args.getInt("jobs", 0));
+    ec.jobs = args.getUint32("jobs", 0);
     sim::Experiment exp(ec);
 
     const auto results = exp.run();
@@ -468,6 +376,61 @@ cmdPerf(const Args &args)
 }
 
 int
+cmdCoattack(const Args &args)
+{
+    const auto level = levelOf(args.getInt("level", 1));
+    sim::ExperimentConfig ec;
+    ec.tracegen.windowFraction = args.getDouble("fraction", 0.0625);
+    // The adversary-under-load default is the paper's full system:
+    // 2 sub-channels of 32 banks (Table 3); the attacker pins one of
+    // them and the benign cores spread across both.
+    ec.tracegen.subchannels = args.getPositive("subchannels", 2);
+    ec.aboLevel = level;
+    ec.mitigator = perfMitigator(args, level);
+    ec.workload = args.get("workload", "all");
+    ec.jobs = args.getUint32("jobs", 0);
+    sim::Experiment exp(ec);
+
+    sim::CoAttackScenario attack;
+    attack.pattern = args.get("pattern", "hammer");
+    attack.poolRows = args.getUint32("pool", 0);
+    attack.budget = args.getInt("acts", 0);
+    attack.subchannel = args.getUint32("attack-subchannel", 0);
+    if (attack.subchannel >= ec.tracegen.subchannels)
+        fatal("--attack-subchannel must be below --subchannels");
+    attack.bank = args.getUint32("attack-bank", 0);
+    attack.seed = args.getInt("seed", 1);
+
+    const auto results = exp.runCoAttack(attack);
+
+    std::printf("%s attacker vs %s on %u sub-channels (ABO L%d)\n",
+                attack.pattern.c_str(), ec.mitigator.describe().c_str(),
+                ec.tracegen.subchannels, abo::levelValue(level));
+    TablePrinter t({"workload", "attacker max ACTs", "attacker ACTs",
+                    "victim slowdown", "ALERTs (attack-free)",
+                    "RFMs (attack-free)"});
+    for (const auto &r : results) {
+        t.addRow({r.workload, std::to_string(r.attackerMaxHammer),
+                  std::to_string(r.attackerActs),
+                  formatFixed(r.victimSlowdown, 4) + "x",
+                  std::to_string(r.alerts) + " (" +
+                      std::to_string(r.attackFreeAlerts) + ")",
+                  std::to_string(r.rfms) + " (" +
+                      std::to_string(r.attackFreeRfms) + ")"});
+    }
+    t.print(std::cout);
+
+    const std::string jsonl = args.get("jsonl", "");
+    if (!jsonl.empty()) {
+        std::ofstream os(jsonl, std::ios::app);
+        if (!os)
+            fatal("cannot open --jsonl file " + jsonl);
+        sim::writeJsonLines(os, results);
+    }
+    return 0;
+}
+
+int
 cmdReplay(const Args &args)
 {
     const std::string path = args.get("trace", "");
@@ -482,9 +445,7 @@ cmdReplay(const Args &args)
         for (const auto &e : t.events)
             nsc = std::max(nsc, e.subchannel + 1);
     }
-    nsc = static_cast<uint32_t>(args.getInt("subchannels", nsc));
-    if (nsc == 0)
-        fatal("--subchannels must be at least 1");
+    nsc = args.getPositive("subchannels", nsc);
 
     const auto spec = perfMitigator(args, abo::Level::L1);
     sim::SystemConfig sys;
@@ -570,11 +531,15 @@ usage()
         stderr,
         "usage: moatsim <command> [--flag [value] ...]\n"
         "commands: bound ratchet jailbreak feinting postponement tsa\n"
-        "          attack perf replay list-mitigators list-workloads\n"
-        "perf and attack accept --jobs N (parallel sweep/trials; 0 =\n"
-        "hardware concurrency, results bit-identical at any value);\n"
-        "perf accepts --jsonl FILE for structured results and\n"
-        "--subchannels N (default 2) for the full-system simulation\n"
+        "          attack coattack perf replay list-mitigators\n"
+        "          list-workloads\n"
+        "perf, coattack, and attack accept --jobs N (parallel sweep /\n"
+        "trials; 0 = hardware concurrency, results bit-identical at\n"
+        "any value); perf and coattack accept --jsonl FILE for\n"
+        "structured results and --subchannels N (default 2) for the\n"
+        "full-system simulation; coattack co-schedules an attack\n"
+        "pattern with the workload's cores and reports attacker\n"
+        "maxHammer plus victim slowdown\n"
         "every experiment accepts --mitigator name[:k=v,...]; run\n"
         "'moatsim list-mitigators' for the registered designs and see\n"
         "the file header of src/tools/moatsim_cli.cc for all flags\n");
@@ -605,6 +570,8 @@ main(int argc, char **argv)
         return cmdTsa(args);
     if (cmd == "attack")
         return cmdAttack(args);
+    if (cmd == "coattack")
+        return cmdCoattack(args);
     if (cmd == "perf")
         return cmdPerf(args);
     if (cmd == "replay")

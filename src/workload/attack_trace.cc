@@ -1,0 +1,248 @@
+#include "workload/attack_trace.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace moatsim::workload
+{
+
+namespace
+{
+
+/** Builder state shared by the pattern synthesizers. */
+struct Builder
+{
+    const AttackTraceConfig &cfg;
+    AttackTrace out;
+    /** Intended-time cursor. */
+    Time t = 0;
+    /** Default pacing between attacker ACTs. */
+    Time gap;
+
+    explicit Builder(const AttackTraceConfig &config)
+        : cfg(config),
+          gap(config.actGap > 0 ? config.actGap : config.timing.tRC)
+    {
+        out.subchannel = config.subchannel;
+        out.bank = config.bank;
+    }
+
+    void
+    emit(RowId row)
+    {
+        out.trace.events.push_back(
+            {t, cfg.bank, row, cfg.subchannel});
+        t += gap;
+    }
+
+    void
+    emit(RowId row, Time at)
+    {
+        out.trace.events.push_back(
+            {at, cfg.bank, row, cfg.subchannel});
+        t = std::max(t, at + gap);
+    }
+};
+
+/** Resolved activation budget: explicit, else sized to the window,
+ *  else a fixed default matching the isolated driver's scale. */
+uint64_t
+budgetOf(const AttackTraceConfig &cfg, const Builder &b)
+{
+    if (cfg.budget != 0)
+        return cfg.budget;
+    if (cfg.window > 0)
+        return std::max<uint64_t>(
+            1024, static_cast<uint64_t>(cfg.window / b.gap));
+    return 4096;
+}
+
+/** Single mid-bank row as fast as the pacing allows. */
+void
+buildHammer(Builder &b)
+{
+    const uint64_t budget = budgetOf(b.cfg, b);
+    b.out.rows = {attackBaseRow(b.cfg.timing)};
+    for (uint64_t i = 0; i < budget; ++i)
+        b.emit(b.out.rows[0]);
+}
+
+/** Circular many-sided pool. */
+void
+buildRoundRobin(Builder &b)
+{
+    const uint32_t pool = b.cfg.poolRows != 0 ? b.cfg.poolRows : 8;
+    b.out.rows = attackRowPool(b.cfg.timing, pool);
+    const uint64_t budget = budgetOf(b.cfg, b);
+    for (uint64_t i = 0; i < budget; ++i)
+        b.emit(b.out.rows[i % pool]);
+}
+
+/**
+ * Ratchet funnel: sweep a pool, halve it every few sweeps (the
+ * survivors soak up the leaked per-ALERT activations), and spend the
+ * remaining budget on the last survivor.
+ */
+void
+buildRatchet(Builder &b)
+{
+    const uint32_t pool = b.cfg.poolRows != 0 ? b.cfg.poolRows : 64;
+    b.out.rows = attackRowPool(b.cfg.timing, pool);
+    const uint64_t budget = budgetOf(b.cfg, b);
+    constexpr uint32_t kSweepsPerStage = 4;
+
+    uint64_t acts = 0;
+    uint32_t live = pool;
+    while (live > 1 && acts < budget) {
+        for (uint32_t s = 0; s < kSweepsPerStage && acts < budget; ++s) {
+            for (uint32_t i = 0; i < live && acts < budget; ++i) {
+                b.emit(b.out.rows[i]);
+                ++acts;
+            }
+        }
+        live = live / 2;
+    }
+    for (; acts < budget; ++acts)
+        b.emit(b.out.rows[0]);
+}
+
+/**
+ * Jailbreak shape: prime a queue-sized decoy set, then hammer the
+ * target at the paper's 32-ACTs-per-tREFI pace, re-touching one decoy
+ * per period to keep the queue populated without overflowing.
+ */
+void
+buildJailbreak(Builder &b)
+{
+    const uint32_t decoys = b.cfg.poolRows != 0 ? b.cfg.poolRows : 8;
+    b.out.rows = attackRowPool(b.cfg.timing, decoys + 1);
+    const RowId target = b.out.rows[0];
+    const uint64_t budget = budgetOf(b.cfg, b);
+    constexpr uint32_t kActsPerRefi = 32;
+    const Time pace = b.cfg.timing.tREFI / (kActsPerRefi + 1);
+
+    uint64_t acts = 0;
+    for (uint32_t d = 0; d < decoys && acts < budget; ++d, ++acts)
+        b.emit(b.out.rows[1 + d]);
+
+    uint64_t period = 0;
+    while (acts < budget) {
+        const Time start = b.t;
+        for (uint32_t i = 0; i < kActsPerRefi && acts < budget;
+             ++i, ++acts) {
+            b.emit(target, start + static_cast<Time>(i) * pace);
+        }
+        if (acts < budget) {
+            b.emit(b.out.rows[1 + (period % decoys)]);
+            ++acts;
+        }
+        ++period;
+    }
+}
+
+/**
+ * Feinting: spread each sacrifice period's budget evenly over the
+ * surviving pool, dropping the last row every period; the first row
+ * survives every period and accumulates the sum.
+ */
+void
+buildFeinting(Builder &b)
+{
+    const uint32_t pool = b.cfg.poolRows != 0 ? b.cfg.poolRows : 16;
+    b.out.rows = attackRowPool(b.cfg.timing, pool);
+    const uint64_t budget = budgetOf(b.cfg, b);
+    const uint64_t per_period = std::max<uint64_t>(1, budget / pool);
+
+    uint64_t acts = 0;
+    for (uint32_t live = pool; live >= 1 && acts < budget; --live) {
+        const uint64_t share = std::max<uint64_t>(1, per_period / live);
+        for (uint32_t r = 0; r < live && acts < budget; ++r) {
+            for (uint64_t i = 0; i < share && acts < budget;
+                 ++i, ++acts) {
+                b.emit(b.out.rows[r]);
+            }
+        }
+    }
+    for (; acts < budget; ++acts)
+        b.emit(b.out.rows[0]);
+}
+
+} // namespace
+
+AttackTrace
+generateAttackTrace(const AttackTraceConfig &config)
+{
+    Builder b(config);
+    if (config.pattern == "none") {
+        // Empty stream: the attack-free co-run replays through the
+        // same engine path with the attacker core contributing nothing.
+    } else if (config.pattern == "hammer" ||
+               config.pattern == "postponement") {
+        // Postponement pressure is continuous hammering; the attack's
+        // bite comes from the System-level REF postponement the
+        // co-attack engine enables (attackPostponesRefresh).
+        buildHammer(b);
+    } else if (config.pattern == "round-robin") {
+        buildRoundRobin(b);
+    } else if (config.pattern == "ratchet") {
+        buildRatchet(b);
+    } else if (config.pattern == "jailbreak") {
+        buildJailbreak(b);
+    } else if (config.pattern == "feinting") {
+        buildFeinting(b);
+    } else {
+        fatal("generateAttackTrace: unknown pattern '" + config.pattern +
+              "'");
+    }
+
+    std::sort(b.out.trace.events.begin(), b.out.trace.events.end(),
+              [](const TraceEvent &x, const TraceEvent &y) {
+                  return x.at < y.at;
+              });
+    b.out.trace.window =
+        std::max(config.window,
+                 b.out.trace.events.empty()
+                     ? Time{0}
+                     : b.out.trace.events.back().at + b.gap);
+    return b.out;
+}
+
+bool
+attackPostponesRefresh(const std::string &pattern)
+{
+    return pattern == "postponement";
+}
+
+RowId
+attackBaseRow(const dram::TimingParams &timing)
+{
+    return timing.rowsPerBank / 2;
+}
+
+uint32_t
+attackRowStride(const dram::TimingParams &timing)
+{
+    // One stride keeps neighbouring pool rows' blast radii disjoint.
+    return 2 * timing.blastRadius + 2;
+}
+
+std::vector<RowId>
+attackRowPool(const dram::TimingParams &timing, uint32_t pool)
+{
+    const RowId base = attackBaseRow(timing);
+    const uint32_t stride = attackRowStride(timing);
+    const uint32_t max_fit = (timing.rowsPerBank - base) / stride;
+    if (pool > max_fit) {
+        fatal("attack pool of " + std::to_string(pool) +
+              " rows does not fit in the bank (max " +
+              std::to_string(max_fit) + ")");
+    }
+    std::vector<RowId> rows;
+    rows.reserve(pool);
+    for (uint32_t i = 0; i < pool; ++i)
+        rows.push_back(base + static_cast<RowId>(i) * stride);
+    return rows;
+}
+
+} // namespace moatsim::workload

@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Attacker-core activation traces for the adversary-under-load
+ * scenario engine (sim/coattack.hh).
+ *
+ * attacks::runAttack drives an isolated single-bank SubChannel with a
+ * closed feedback loop (the tuned drivers react to ALERTs online).
+ * Measuring what an attack costs co-running victims instead requires
+ * the attacker to be *one more core* in sim::System's merged event
+ * loop, so each pattern is re-expressed here as an open-loop intended
+ * activation stream (workload::CoreTrace) that pins one sub-channel
+ * and one bank: the shape of the pattern is preserved (hammer bursts,
+ * round-robin pools, ratchet funnelling, jailbreak queue priming,
+ * feinting sacrifice periods, postponement pressure), while the memory
+ * system's back-pressure paces it exactly like demand traffic.
+ */
+
+#ifndef MOATSIM_WORKLOAD_ATTACK_TRACE_HH
+#define MOATSIM_WORKLOAD_ATTACK_TRACE_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/time.hh"
+#include "common/types.hh"
+#include "dram/timing.hh"
+#include "workload/tracegen.hh"
+
+namespace moatsim::workload
+{
+
+/** Parameters of one synthesized attack trace. */
+struct AttackTraceConfig
+{
+    dram::TimingParams timing{};
+    /** Pattern name (attacks::attackPatterns()), or "none". */
+    std::string pattern = "hammer";
+    /** Sub-channel the attacker pins. */
+    uint32_t subchannel = 0;
+    /** Bank (within the sub-channel) the attacker pins. */
+    BankId bank = 0;
+    /** Rows in the attack pool (0 = pattern-specific default). */
+    uint32_t poolRows = 0;
+    /** Activation budget (0 = fill @p window, or a pattern default). */
+    uint64_t budget = 0;
+    /**
+     * Co-run window the attack should span. With budget == 0 the
+     * attack is sized to hammer for the whole window (the
+     * adversary-under-load default); 0 falls back to a fixed budget.
+     */
+    Time window = 0;
+    /** Intended gap between attacker ACTs (0 = tRC, as fast as legal). */
+    Time actGap = 0;
+    uint64_t seed = 1;
+};
+
+/** A synthesized attack stream plus its accounting metadata. */
+struct AttackTrace
+{
+    /** The attacker core's intended activation stream. */
+    CoreTrace trace;
+    /** Distinct rows the attacker activates (per-class accounting
+     *  reads their peak hammer counts after the co-run). */
+    std::vector<RowId> rows;
+    /** The pinned sub-channel and bank. */
+    uint32_t subchannel = 0;
+    BankId bank = 0;
+};
+
+/**
+ * Synthesize the configured pattern. Pattern "none" (or an explicit
+ * budget of 0 events) yields an empty trace: the attack-free co-run
+ * replays through exactly the same code path as an attacked one.
+ * fatal()s on an unknown pattern or a pool that does not fit the bank.
+ */
+AttackTrace generateAttackTrace(const AttackTraceConfig &config);
+
+/** Whether the pattern relies on attacker-controlled REF postponement
+ *  (the co-attack engine enables it on the System for these). */
+bool attackPostponesRefresh(const std::string &pattern);
+
+/**
+ * The attack-row placement convention shared by the isolated driver
+ * (attacks::runAttack) and the trace synthesizer, so the two variants
+ * of one pattern stay comparable: pools start at the mid-bank row and
+ * space rows one stride apart so their blast radii never overlap.
+ */
+RowId attackBaseRow(const dram::TimingParams &timing);
+uint32_t attackRowStride(const dram::TimingParams &timing);
+
+/** The rows of an attack pool; fatal()s when it does not fit. */
+std::vector<RowId> attackRowPool(const dram::TimingParams &timing,
+                                 uint32_t pool);
+
+} // namespace moatsim::workload
+
+#endif // MOATSIM_WORKLOAD_ATTACK_TRACE_HH

@@ -1,0 +1,105 @@
+/**
+ * @file
+ * CLI flag parser: happy paths and, above all, the error paths of the
+ * checked count-valued getters. Regression for the wrap-around bug:
+ * `--subchannels -1` and `--subchannels 4294967297` must be rejected,
+ * not silently become 4294967295 / 1 through static_cast.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/args.hh"
+
+namespace moatsim
+{
+namespace
+{
+
+/** Build an Args from a flag list (argv[0] is skipped by position). */
+Args
+argsOf(std::vector<const char *> flags)
+{
+    flags.insert(flags.begin(), "moatsim");
+    return Args(static_cast<int>(flags.size()),
+                const_cast<char **>(flags.data()), 1);
+}
+
+TEST(Args, ParsesValuedAndBooleanFlags)
+{
+    const Args a = argsOf({"--ath", "128", "--postpone", "--eth", "64"});
+    EXPECT_TRUE(a.has("ath"));
+    EXPECT_TRUE(a.has("postpone"));
+    EXPECT_FALSE(a.has("missing"));
+    EXPECT_EQ(a.getInt("ath", 0), 128u);
+    EXPECT_EQ(a.getInt("eth", 0), 64u);
+    EXPECT_TRUE(a.getBool("postpone", false));
+    EXPECT_EQ(a.getInt("absent", 7), 7u);
+    EXPECT_EQ(a.get("absent", "dflt"), "dflt");
+}
+
+TEST(Args, GetIntRejectsNegativeAndJunk)
+{
+    EXPECT_EXIT(argsOf({"--subchannels", "-1"}).getInt("subchannels", 2),
+                testing::ExitedWithCode(1), "unsigned integer");
+    EXPECT_EXIT(argsOf({"--ath", "12abc"}).getInt("ath", 0),
+                testing::ExitedWithCode(1), "unsigned integer");
+    EXPECT_EXIT(argsOf({"--ath", "99999999999999999999"}).getInt("ath", 0),
+                testing::ExitedWithCode(1), "unsigned integer");
+}
+
+TEST(Args, GetUint32RejectsValuesAboveThe32BitRange)
+{
+    // 2^32 + 1 wrapped to 1 through static_cast before the checked
+    // getter existed, sailing past every == 0 guard.
+    EXPECT_EXIT(
+        argsOf({"--subchannels", "4294967297"}).getUint32("subchannels", 2),
+        testing::ExitedWithCode(1), "at most");
+    EXPECT_EXIT(
+        argsOf({"--subchannels", "4294967296"}).getUint32("subchannels", 2),
+        testing::ExitedWithCode(1), "at most");
+    // The boundary itself is representable.
+    EXPECT_EQ(
+        argsOf({"--pool", "4294967295"}).getUint32("pool", 0), 4294967295u);
+    EXPECT_EQ(argsOf({}).getUint32("pool", 3), 3u);
+}
+
+TEST(Args, GetPositiveRejectsZero)
+{
+    EXPECT_EXIT(argsOf({"--subchannels", "0"}).getPositive("subchannels", 2),
+                testing::ExitedWithCode(1), "at least 1");
+    EXPECT_EQ(argsOf({"--subchannels", "2"}).getPositive("subchannels", 1),
+              2u);
+    EXPECT_EQ(argsOf({}).getPositive("subchannels", 2), 2u);
+}
+
+TEST(Args, ValuedFlagWithoutValueIsReportedByName)
+{
+    // `--ath` followed by another flag is boolean; asking for its
+    // value must name the offending flag.
+    EXPECT_EXIT(argsOf({"--ath", "--eth", "1"}).get("ath", "0"),
+                testing::ExitedWithCode(1), "--ath requires a value");
+}
+
+TEST(Args, MalformedFlagListIsRejected)
+{
+    EXPECT_EXIT(argsOf({"stray"}), testing::ExitedWithCode(1),
+                "expected a --flag");
+    EXPECT_EXIT(argsOf({"--"}), testing::ExitedWithCode(1),
+                "empty flag name");
+}
+
+TEST(Args, GetDoubleAndBoolValidate)
+{
+    EXPECT_DOUBLE_EQ(argsOf({"--fraction", "0.25"}).getDouble("fraction", 1),
+                     0.25);
+    EXPECT_EXIT(argsOf({"--fraction", "x"}).getDouble("fraction", 1),
+                testing::ExitedWithCode(1), "expects a number");
+    EXPECT_FALSE(argsOf({"--postpone", "false"}).getBool("postpone", true));
+    EXPECT_EXIT(argsOf({"--postpone", "maybe"}).getBool("postpone", false),
+                testing::ExitedWithCode(1), "true/false");
+}
+
+} // namespace
+} // namespace moatsim

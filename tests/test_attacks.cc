@@ -8,11 +8,14 @@
 #include <gtest/gtest.h>
 
 #include "analysis/ratchet_model.hh"
+#include "attacks/attack.hh"
 #include "attacks/feinting.hh"
 #include "attacks/jailbreak.hh"
 #include "attacks/postponement.hh"
 #include "attacks/ratchet.hh"
 #include "attacks/tsa.hh"
+#include "mitigation/registry.hh"
+#include "subchannel/subchannel.hh"
 
 namespace moatsim::attacks
 {
@@ -20,6 +23,123 @@ namespace
 {
 
 dram::TimingParams kT;
+
+TEST(AttackDriver, DrainsToQuiescenceAtEveryAboLevel)
+{
+    // Regression for the hard-coded post-attack drain: a fixed
+    // advanceTo(now + 2000 ns) cut off ALERT/recovery work that was
+    // still pending at high ABO levels, so alerts and duration
+    // undercounted. The driver must now match a manual replay of the
+    // same command stream drained to full quiescence -- most
+    // importantly at the highest level, L4, where the RFM block and
+    // the inter-ALERT activation minimum stretch recovery the most.
+    for (const abo::Level level :
+         {abo::Level::L1, abo::Level::L2, abo::Level::L4}) {
+        for (const char *mname : {"moat", "panopticon"}) {
+            AttackConfig cfg;
+            cfg.pattern = "hammer";
+            cfg.budget = 512;
+            cfg.aboLevel = level;
+            const auto spec = mitigation::Registry::parse(mname);
+            const AttackResult r = runAttack(cfg, spec);
+
+            subchannel::SubChannelConfig sc;
+            sc.timing = cfg.timing;
+            sc.numBanks = 1;
+            sc.aboLevel = level;
+            sc.seed = cfg.seed;
+            subchannel::SubChannel ch(sc, spec.factory());
+            const RowId target = cfg.timing.rowsPerBank / 2;
+            for (uint64_t i = 0; i < cfg.budget; ++i)
+                ch.activate(0, target);
+            ch.drainToQuiescence(ch.timing().tREFW);
+
+            EXPECT_FALSE(ch.alertWorkPending())
+                << mname << " L" << abo::levelValue(level)
+                << ": drain left pending ALERT/mitigation work";
+            EXPECT_EQ(r.alerts, ch.abo().alertCount())
+                << mname << " L" << abo::levelValue(level);
+            EXPECT_EQ(r.duration, ch.now())
+                << mname << " L" << abo::levelValue(level);
+            EXPECT_EQ(r.maxHammer, ch.security(0).maxHammer())
+                << mname << " L" << abo::levelValue(level);
+        }
+    }
+}
+
+TEST(AttackDriver, DurationIsTheTrueEndOfRecoveryNotAFixedWindow)
+{
+    // The old driver reported duration = last ACT + 2000 ns
+    // unconditionally: dead air when nothing was pending, and a
+    // cut-off when the recovery (RFM block + REF busy) ran longer.
+    // Against the null design nothing is ever pending, so duration is
+    // exactly the last ACT's issue time.
+    AttackConfig cfg;
+    cfg.pattern = "hammer";
+    cfg.budget = 256;
+    const AttackResult r =
+        runAttack(cfg, mitigation::Registry::parse("null"));
+
+    subchannel::SubChannelConfig sc;
+    sc.timing = cfg.timing;
+    sc.numBanks = 1;
+    sc.seed = cfg.seed;
+    subchannel::SubChannel ch(sc,
+                              mitigation::Registry::parse("null").factory());
+    const RowId target = cfg.timing.rowsPerBank / 2;
+    for (uint64_t i = 0; i < cfg.budget; ++i)
+        ch.activate(0, target);
+    EXPECT_FALSE(ch.alertWorkPending());
+    EXPECT_EQ(r.duration, ch.now());
+    EXPECT_EQ(r.alerts, 0u);
+}
+
+TEST(AttackDriver, HighestLevelRecoveryInFlightAtStreamEndIsServiced)
+{
+    // Find a budget whose final ACT leaves the L4 ALERT recovery
+    // still in flight (the undercount scenario of the old fixed
+    // window), then check the driver services it: the reported
+    // duration strictly covers the post-attack recovery and the
+    // channel the driver simulated reached quiescence.
+    const auto spec = mitigation::Registry::parse("moat");
+    auto makeChannel = [&] {
+        subchannel::SubChannelConfig sc;
+        sc.numBanks = 1;
+        sc.aboLevel = abo::Level::L4;
+        sc.seed = 1;
+        return subchannel::SubChannel(sc, spec.factory());
+    };
+
+    uint64_t budget = 0;
+    for (uint64_t b = 60; b <= 512 && budget == 0; ++b) {
+        subchannel::SubChannel probe = makeChannel();
+        const RowId target = probe.timing().rowsPerBank / 2;
+        for (uint64_t i = 0; i < b; ++i)
+            probe.activate(0, target);
+        if (probe.alertWorkPending())
+            budget = b;
+    }
+    ASSERT_NE(budget, 0u)
+        << "no budget leaves recovery in flight; scenario extinct?";
+
+    AttackConfig cfg;
+    cfg.pattern = "hammer";
+    cfg.budget = budget;
+    cfg.aboLevel = abo::Level::L4;
+    const AttackResult r = runAttack(cfg, spec);
+
+    subchannel::SubChannel ch = makeChannel();
+    const RowId target = ch.timing().rowsPerBank / 2;
+    for (uint64_t i = 0; i < budget; ++i)
+        ch.activate(0, target);
+    const Time last_act = ch.now();
+    ch.drainToQuiescence(ch.timing().tREFW);
+
+    EXPECT_FALSE(ch.alertWorkPending());
+    EXPECT_GT(r.duration, last_act);
+    EXPECT_EQ(r.duration, ch.now());
+    EXPECT_EQ(r.alerts, ch.abo().alertCount());
+}
 
 TEST(Jailbreak, DeterministicReaches1152)
 {

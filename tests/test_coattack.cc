@@ -1,0 +1,254 @@
+/**
+ * @file
+ * Adversary-under-load scenario engine: attacker/victim core-class
+ * accounting on the shared multi-sub-channel System.
+ *
+ *  - An attack-free co-run must equal a plain System replay bit for
+ *    bit (the attacker core is additive, never perturbing).
+ *  - The attacker's maxHammer on the shared system must never exceed
+ *    its isolated run of the identical trace: contention interleaves
+ *    more REFs/mitigation into the pattern and can only hurt it.
+ *  - Co-attack sweep cells must be bit-identical at any jobs count.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/coattack.hh"
+#include "sim/experiment.hh"
+#include "sim/result_io.hh"
+#include "sim/system.hh"
+
+namespace moatsim::sim
+{
+namespace
+{
+
+workload::TraceGenConfig
+smallTracegen(uint32_t subchannels = 2)
+{
+    workload::TraceGenConfig tg;
+    tg.banksSimulated = 8;
+    tg.numCores = 4;
+    tg.windowFraction = 0.015625;
+    tg.subchannels = subchannels;
+    return tg;
+}
+
+/** The System a co-attack cell simulates, built by hand. */
+System
+manualSystem(const workload::TraceGenConfig &tg,
+             const mitigation::MitigatorSpec &m, abo::Level level,
+             uint64_t seed)
+{
+    SystemConfig sys;
+    sys.channel.timing = tg.timing;
+    sys.channel.numBanks = tg.banksSimulated;
+    sys.channel.aboLevel = level;
+    sys.channel.securityEnabled = true;
+    sys.channel.seed = seed;
+    sys.subchannels = tg.subchannels;
+    return System(sys, m.factory());
+}
+
+void
+expectIdenticalSystemResults(const SystemResult &a, const SystemResult &b)
+{
+    ASSERT_EQ(a.coreFinish.size(), b.coreFinish.size());
+    for (size_t i = 0; i < a.coreFinish.size(); ++i)
+        EXPECT_EQ(a.coreFinish[i], b.coreFinish[i]) << "core " << i;
+    EXPECT_EQ(a.totalActs, b.totalActs);
+    EXPECT_EQ(a.refs, b.refs);
+    EXPECT_EQ(a.alerts, b.alerts);
+    ASSERT_EQ(a.perSubchannel.size(), b.perSubchannel.size());
+    for (size_t i = 0; i < a.perSubchannel.size(); ++i) {
+        EXPECT_EQ(a.perSubchannel[i].acts, b.perSubchannel[i].acts);
+        EXPECT_EQ(a.perSubchannel[i].refs, b.perSubchannel[i].refs);
+        EXPECT_EQ(a.perSubchannel[i].alerts, b.perSubchannel[i].alerts);
+        EXPECT_EQ(a.perSubchannel[i].rfms, b.perSubchannel[i].rfms);
+    }
+}
+
+TEST(CoAttack, AttackFreeCoRunEqualsPlainSystemReplay)
+{
+    const auto tg = smallTracegen();
+    const auto &spec = workload::findWorkload("xz");
+    const auto m = mitigation::Registry::parse("moat");
+
+    CoAttackScenario none;
+    none.pattern = "none";
+    const auto attack = resolveAttack(none, tg);
+    const SystemResult co = runCoSystem(tg, CoreModel{}, spec, m,
+                                        abo::Level::L1, attack);
+
+    // The same replay, hand-assembled without the co-attack layer.
+    System sys = manualSystem(
+        tg, m, abo::Level::L1,
+        coAttackCellSeed(tg, spec, m, abo::Level::L1, attack));
+    const SystemResult plain =
+        runSystem(sys, workload::generateTraces(spec, tg));
+
+    expectIdenticalSystemResults(co, plain);
+}
+
+TEST(CoAttack, SharedMaxHammerNeverExceedsIsolated)
+{
+    const auto tg = smallTracegen();
+    const auto &spec = workload::findWorkload("roms");
+
+    for (const char *mname : {"moat", "panopticon", "null"}) {
+        for (const char *pattern : {"hammer", "round-robin"}) {
+            const auto m = mitigation::Registry::parse(mname);
+            CoAttackScenario sc;
+            sc.pattern = pattern;
+            const auto attack = resolveAttack(sc, tg);
+
+            uint32_t shared = 0;
+            runCoSystem(tg, CoreModel{}, spec, m, abo::Level::L1, attack,
+                        &shared);
+
+            // Isolated: the identical open-loop trace with no victim
+            // traffic on an identically seeded System.
+            const auto at = workload::generateAttackTrace(attack);
+            System sys = manualSystem(
+                tg, m, abo::Level::L1,
+                coAttackCellSeed(tg, spec, m, abo::Level::L1, attack));
+            runSystem(sys, {at.trace});
+            uint32_t isolated = 0;
+            const auto &sec =
+                sys.subchannel(at.subchannel).security(at.bank);
+            for (const RowId row : at.rows)
+                isolated = std::max(isolated, sec.peakHammer(row));
+
+            // Dominance holds up to one leaked ALERT window: victim
+            // ACTs shift where the ALERT lands relative to the
+            // attacker's burst (they also count toward the
+            // inter-ALERT activation minimum), so the shared run can
+            // jitter past the isolated one by at most the 3+L ACTs a
+            // single ALERT-to-ALERT window leaks -- never by a
+            // window's worth of real progress.
+            const uint32_t slack = tg.timing.actsPerAlertWindow(
+                abo::levelValue(abo::Level::L1));
+            EXPECT_LE(shared, isolated + slack)
+                << mname << "/" << pattern
+                << ": contention must not meaningfully help the attacker";
+            EXPECT_GT(isolated, 0u) << mname << "/" << pattern;
+        }
+    }
+}
+
+TEST(CoAttack, SweepCellsBitIdenticalAcrossJobCounts)
+{
+    const auto tg = smallTracegen();
+    std::vector<CoAttackCell> cells;
+    for (const char *w : {"roms", "xz"}) {
+        for (const char *m : {"moat", "panopticon"}) {
+            for (const char *p : {"hammer", "postponement", "none"}) {
+                CoAttackScenario sc;
+                sc.pattern = p;
+                cells.push_back({workload::findWorkload(w),
+                                 mitigation::Registry::parse(m),
+                                 abo::Level::L1, sc});
+            }
+        }
+    }
+
+    std::vector<std::vector<CoAttackResult>> runs;
+    for (const unsigned jobs : {1u, 8u}) {
+        SweepConfig sc;
+        sc.tracegen = tg;
+        sc.jobs = jobs;
+        CoAttackEngine engine(sc);
+        runs.push_back(engine.run(cells));
+    }
+    ASSERT_EQ(runs[0].size(), runs[1].size());
+    for (size_t i = 0; i < runs[0].size(); ++i)
+        EXPECT_EQ(toJsonLine(runs[0][i]), toJsonLine(runs[1][i]))
+            << "cell " << i;
+}
+
+TEST(CoAttack, AttackedRunReportsAttackActivity)
+{
+    // The attacked cell must attribute extra defence work to the
+    // attack: alerts >= attack-free alerts, a positive attacker act
+    // count, and a victim slowdown of at least 1.
+    SweepConfig sc;
+    sc.tracegen = smallTracegen();
+    sc.jobs = 1;
+    CoAttackEngine engine(sc);
+    CoAttackScenario attack;
+    attack.pattern = "hammer";
+    const CoAttackResult r =
+        engine.runCell({workload::findWorkload("xz"),
+                        mitigation::Registry::parse("moat"),
+                        abo::Level::L1, attack});
+    EXPECT_GT(r.attackerActs, 0u);
+    EXPECT_GT(r.attackerMaxHammer, 0u);
+    EXPECT_GE(r.alerts, r.attackFreeAlerts);
+    EXPECT_GE(r.victimSlowdown, 1.0);
+    EXPECT_LE(r.victimNormPerf, 1.0);
+    EXPECT_GT(r.victimActs, 0u);
+}
+
+TEST(CoAttack, ExperimentMatrixMatchesEngineCells)
+{
+    // The Experiment wiring fans the same cells through the same
+    // engine; a (mitigator x attack) matrix must match per-cell runs.
+    ExperimentConfig ec;
+    ec.tracegen = smallTracegen();
+    ec.workload = "xz";
+    ec.jobs = 2;
+    Experiment exp(ec);
+
+    std::vector<CoAttackPoint> points;
+    for (const char *m : {"moat", "panopticon"}) {
+        CoAttackPoint p;
+        p.mitigator = mitigation::Registry::parse(m);
+        p.attack.pattern = "round-robin";
+        points.push_back(p);
+    }
+    const auto matrix = exp.runCoAttackMatrix(points);
+    ASSERT_EQ(matrix.size(), 2u);
+    ASSERT_EQ(matrix[0].size(), 1u);
+
+    SweepConfig sc;
+    sc.tracegen = ec.tracegen;
+    sc.jobs = 1;
+    CoAttackEngine engine(sc);
+    for (size_t i = 0; i < points.size(); ++i) {
+        const CoAttackResult direct =
+            engine.runCell({workload::findWorkload("xz"),
+                            points[i].mitigator, points[i].level,
+                            points[i].attack});
+        EXPECT_EQ(toJsonLine(matrix[i][0]), toJsonLine(direct));
+    }
+}
+
+TEST(CoAttack, ResultRoundTripsThroughJsonl)
+{
+    CoAttackResult r;
+    r.workload = "we\"ird";
+    r.mitigator = "moat:ath=64";
+    r.pattern = "hammer";
+    r.aboLevel = 4;
+    r.attackerMaxHammer = 319;
+    r.attackerActs = 9615;
+    r.victimSlowdown = 1.0625;
+    r.victimNormPerf = 0.9412;
+    r.victimActs = 12345;
+    r.alerts = 188;
+    r.attackFreeAlerts = 53;
+    r.rfms = 188;
+    r.attackFreeRfms = 53;
+    r.refs = 256;
+    r.alertsPerRefi = 0.734375;
+    r.attackFreeAlertsPerRefi = 0.20703125;
+    const std::string line = toJsonLine(r);
+    const CoAttackResult back = coAttackResultOfJsonLine(line);
+    EXPECT_EQ(toJsonLine(back), line);
+    EXPECT_EQ(back.workload, r.workload);
+    EXPECT_EQ(back.attackerMaxHammer, r.attackerMaxHammer);
+    EXPECT_EQ(back.attackFreeAlertsPerRefi, r.attackFreeAlertsPerRefi);
+}
+
+} // namespace
+} // namespace moatsim::sim

@@ -217,6 +217,75 @@ TEST(ResultIo, EscapedStringsRoundTrip)
     EXPECT_EQ(toJsonLine(back), line);
 }
 
+TEST(ResultIo, WriterAndReaderAgreeOnEscapes)
+{
+    // Writer/reader symmetry across the whole escapable range: names
+    // with quotes, backslashes, and every control character must
+    // survive serialize -> parse -> serialize byte-identically.
+    std::string nasty = "q\"b\\s";
+    for (char c = 1; c < 0x20; ++c)
+        nasty.push_back(c);
+    PerfResult r;
+    r.workload = nasty;
+    r.mitigator = "m\"\\\t";
+    const std::string line = toJsonLine(r);
+    const PerfResult back = perfResultOfJsonLine(line);
+    EXPECT_EQ(back.workload, nasty);
+    EXPECT_EQ(back.mitigator, r.mitigator);
+    EXPECT_EQ(toJsonLine(back), line);
+}
+
+TEST(ResultIo, StandardJsonEscapesDecodeToTheirCharacters)
+{
+    // Regression: \n used to decode to the bare letter 'n' (the
+    // backslash was silently dropped). Externally produced lines with
+    // the standard two-character escapes must decode correctly.
+    const std::string line =
+        "{\"kind\":\"perf\",\"workload\":\"a\\nb\\tc\\\"d\\\\e\\/f\\r\\b"
+        "\\f\",\"mitigator\":\"m\",\"level\":1,\"norm_perf\":1,"
+        "\"alerts_per_refi\":0,\"mitigations_per_bank_per_refw\":0,"
+        "\"act_overhead\":0,\"alerts\":0,\"acts\":0}";
+    const PerfResult r = perfResultOfJsonLine(line);
+    EXPECT_EQ(r.workload, std::string("a\nb\tc\"d\\e/f\r\b\f"));
+}
+
+TEST(ResultIo, UnicodeEscapesAboveLatin1DecodeAsUtf8)
+{
+    // Regression: \u0100 and friends were a hard fatal(). They decode
+    // to UTF-8 bytes, which the writer passes through raw, so the
+    // decoded result re-serializes consistently.
+    const std::string line =
+        "{\"kind\":\"perf\",\"workload\":\"\\u0100\\u20ac\\u007e\","
+        "\"mitigator\":\"m\",\"level\":1,\"norm_perf\":1,"
+        "\"alerts_per_refi\":0,\"mitigations_per_bank_per_refw\":0,"
+        "\"act_overhead\":0,\"alerts\":0,\"acts\":0}";
+    const PerfResult r = perfResultOfJsonLine(line);
+    EXPECT_EQ(r.workload, std::string("\xc4\x80\xe2\x82\xac~"));
+    // And the decoded form is stable under a second round trip.
+    const std::string re = toJsonLine(r);
+    EXPECT_EQ(perfResultOfJsonLine(re).workload, r.workload);
+}
+
+TEST(ResultIo, MalformedEscapesAreRejectedNotMangled)
+{
+    const std::string prefix = "{\"kind\":\"perf\",\"workload\":\"";
+    const std::string suffix =
+        "\",\"mitigator\":\"m\",\"level\":1,\"norm_perf\":1,"
+        "\"alerts_per_refi\":0,\"mitigations_per_bank_per_refw\":0,"
+        "\"act_overhead\":0,\"alerts\":0,\"acts\":0}";
+    EXPECT_EXIT(perfResultOfJsonLine(prefix + "a\\qb" + suffix),
+                testing::ExitedWithCode(1), "unknown escape");
+    EXPECT_EXIT(perfResultOfJsonLine(prefix + "a\\u12" + suffix),
+                testing::ExitedWithCode(1), "escape");
+    EXPECT_EXIT(perfResultOfJsonLine(prefix + "a\\ud800b" + suffix),
+                testing::ExitedWithCode(1), "surrogate");
+    // strtol-isms must not slip through: signs, spaces, 0x prefixes.
+    EXPECT_EXIT(perfResultOfJsonLine(prefix + "a\\u-123b" + suffix),
+                testing::ExitedWithCode(1), "escape");
+    EXPECT_EXIT(perfResultOfJsonLine(prefix + "a\\u0x41b" + suffix),
+                testing::ExitedWithCode(1), "escape");
+}
+
 TEST(ResultIo, PerSubChannelBreakdownRoundTrips)
 {
     PerfResult r;

@@ -29,6 +29,7 @@
 #include <vector>
 
 #include "attacks/attack.hh"
+#include "sim/coattack.hh"
 #include "sim/result_io.hh"
 #include "sim/sweep.hh"
 
@@ -72,6 +73,37 @@ perfLinesFor(const std::string &mitigator, uint32_t subchannels = 1)
         cells.push_back({workload::findWorkload(w),
                          mitigation::Registry::parse(mitigator),
                          abo::Level::L1});
+    }
+    std::vector<std::string> lines;
+    for (const auto &r : engine.run(cells))
+        lines.push_back(toJsonLine(r));
+    return lines;
+}
+
+/**
+ * The golden adversary-under-load sweep of one registered design: the
+ * hammer and postponement patterns co-scheduled with 2 workloads on
+ * the full 2-sub-channel System, run through the parallel co-attack
+ * engine (jobs=2 exercises the pool and the baseline cache).
+ */
+std::vector<std::string>
+coattackLinesFor(const std::string &mitigator)
+{
+    SweepConfig sc;
+    sc.tracegen = goldenTracegen();
+    sc.tracegen.subchannels = 2;
+    sc.jobs = 2;
+    CoAttackEngine engine(sc);
+
+    std::vector<CoAttackCell> cells;
+    for (const char *p : {"hammer", "postponement"}) {
+        for (const char *w : {"roms", "xz"}) {
+            CoAttackScenario attack;
+            attack.pattern = p;
+            cells.push_back({workload::findWorkload(w),
+                             mitigation::Registry::parse(mitigator),
+                             abo::Level::L1, attack});
+        }
     }
     std::vector<std::string> lines;
     for (const auto &r : engine.run(cells))
@@ -200,6 +232,37 @@ INSTANTIATE_TEST_SUITE_P(
 TEST(GoldenAttacks, MatchCheckedInResults)
 {
     checkGolden("attack_results.jsonl", attackLines());
+}
+
+class GoldenCoAttack : public ::testing::TestWithParam<std::string>
+{
+};
+
+TEST_P(GoldenCoAttack, MatchesCheckedInResults)
+{
+    checkGolden("coattack_" + GetParam() + ".jsonl",
+                coattackLinesFor(GetParam()));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllMitigators, GoldenCoAttack,
+    ::testing::ValuesIn(mitigation::Registry::names()),
+    [](const ::testing::TestParamInfo<std::string> &info) {
+        std::string name = info.param;
+        for (auto &c : name) {
+            if (c == '-')
+                c = '_';
+        }
+        return name;
+    });
+
+TEST(GoldenFormat, CoAttackLinesRoundTripThroughParser)
+{
+    const auto lines = coattackLinesFor("moat");
+    for (const auto &line : lines) {
+        const CoAttackResult r = coAttackResultOfJsonLine(line);
+        EXPECT_EQ(toJsonLine(r), line);
+    }
 }
 
 TEST(GoldenSystem, FullSystemSweepMatchesCheckedInResults)
