@@ -3,22 +3,26 @@
  * Replay-loop throughput bench: demand activations per second of
  * simulator wall time.
  *
- * Replays the same Table-4 workload traces three ways and reports
+ * Replays the same Table-4 workload traces four ways and reports
  * acts/sec for each:
  *
  *  - reference: the pre-flattening inner loop, kept here verbatim
  *    (std::deque in-flight queue, full-core scan per pick) against a
- *    SubChannel with fastAlertScan off (every ACT polls every bank's
- *    mitigator for a pending ALERT request);
- *  - optimized: the current sim::System path (ring-buffer in-flight
- *    state, sticky ALERT flag, pre-decoded coordinates) on one
- *    sub-channel -- the speedup column is optimized/reference and the
- *    PR bar is >= 1.3x;
+ *    SubChannel on the pre-overhaul path (fastAlertScan off -- every
+ *    ACT polls every bank's mitigator -- virtual dispatch per hook,
+ *    eagerly allocated oracle);
+ *  - virtual dispatch: the current sim::System loop with
+ *    sealedDispatch off, isolating the devirtualization/oracle-elision
+ *    delta from the loop-flattening delta;
+ *  - optimized: the full sim::System hot path (ring-buffer in-flight
+ *    state, sticky ALERT flag, pre-decoded coordinates, sealed kind
+ *    dispatch) on one sub-channel -- the speedup column is
+ *    optimized/reference and the PR bar is >= 1.3x;
  *  - system x2: the same loop on the full 2-sub-channel system
  *    (twice the traffic through one merged event loop).
  *
- * Both single-channel paths replay bit-identical simulations (same
- * traces, same seed, fastAlertScan changes no behaviour), so the
+ * All single-channel paths replay bit-identical simulations (same
+ * traces, same seed; the knobs change no behaviour), so the
  * comparison measures the loop, not the workload.
  */
 
@@ -117,13 +121,18 @@ referenceReplay(subchannel::SubChannel &channel,
 }
 
 subchannel::SubChannelConfig
-channelConfig(const workload::TraceGenConfig &tg, bool fast_alert_scan)
+channelConfig(const workload::TraceGenConfig &tg, bool fast_alert_scan,
+              bool sealed_dispatch)
 {
     subchannel::SubChannelConfig sc;
     sc.timing = tg.timing;
     sc.numBanks = tg.banksSimulated;
     sc.securityEnabled = false;
     sc.fastAlertScan = fast_alert_scan;
+    // false selects the pre-overhaul sub-channel path wholesale:
+    // virtual dispatch on every mitigator hook and the eagerly
+    // allocated (never read) security oracle.
+    sc.sealedDispatch = sealed_dispatch;
     sc.seed = 42;
     return sc;
 }
@@ -166,27 +175,42 @@ main()
     for (const auto &t : traces)
         acts += t.events.size();
 
-    // Reference: pre-PR loop, full per-ACT ALERT polling.
+    // Reference: pre-PR loop, full per-ACT ALERT polling, virtual
+    // dispatch, eager oracle allocation.
     uint64_t ref_alerts = 0;
     const double ref_s = bestSeconds(repeats, [&] {
-        subchannel::SubChannel ch(channelConfig(tg, false),
+        subchannel::SubChannel ch(channelConfig(tg, false, false),
                                   moat.factory());
         ref_alerts = referenceReplay(ch, traces, core).alerts;
+    });
+
+    // Dispatch comparison: the same System loop with the per-hook
+    // devirtualization (and oracle elision) turned off -- isolates the
+    // sealed-dispatch delta from the loop-flattening delta.
+    uint64_t virt_alerts = 0;
+    const double virt_s = bestSeconds(repeats, [&] {
+        sim::SystemConfig sys;
+        sys.channel = channelConfig(tg, true, false);
+        sys.subchannels = 1;
+        sim::System system(sys, moat.factory());
+        virt_alerts = sim::runSystem(system, traces, core).alerts;
     });
 
     // Optimized: the System path on the identical single sub-channel.
     uint64_t opt_alerts = 0;
     const double opt_s = bestSeconds(repeats, [&] {
         sim::SystemConfig sys;
-        sys.channel = channelConfig(tg, true);
+        sys.channel = channelConfig(tg, true, true);
         sys.subchannels = 1;
         sim::System system(sys, moat.factory());
         opt_alerts = sim::runSystem(system, traces, core).alerts;
     });
-    // Same simulation on both paths or the comparison is meaningless.
-    if (ref_alerts != opt_alerts) {
-        std::cerr << "FATAL: reference and optimized replays diverged ("
-                  << ref_alerts << " vs " << opt_alerts << " ALERTs)\n";
+    // Same simulation on all paths or the comparison is meaningless.
+    if (ref_alerts != opt_alerts || virt_alerts != opt_alerts) {
+        std::cerr << "FATAL: reference/virtual/optimized replays "
+                     "diverged ("
+                  << ref_alerts << " / " << virt_alerts << " / "
+                  << opt_alerts << " ALERTs)\n";
         return 1;
     }
 
@@ -199,35 +223,47 @@ main()
         acts2 += t.events.size();
     const double sys2_s = bestSeconds(repeats, [&] {
         sim::SystemConfig sys;
-        sys.channel = channelConfig(tg2, true);
+        sys.channel = channelConfig(tg2, true, true);
         sys.subchannels = 2;
         sim::System system(sys, moat.factory());
         sim::runSystem(system, traces2, core);
     });
 
     const double ref_rate = static_cast<double>(acts) / ref_s;
+    const double virt_rate = static_cast<double>(acts) / virt_s;
     const double opt_rate = static_cast<double>(acts) / opt_s;
     const double sys2_rate = static_cast<double>(acts2) / sys2_s;
     const double speedup = ref_rate > 0 ? opt_rate / ref_rate : 0.0;
+    const double dispatch_speedup =
+        virt_rate > 0 ? opt_rate / virt_rate : 0.0;
 
     TablePrinter t({"path", "acts", "seconds", "acts/sec"});
     t.addRow({"reference (pre-PR loop)", std::to_string(acts),
               formatFixed(ref_s, 4), formatFixed(ref_rate, 0)});
-    t.addRow({"optimized (System x1)", std::to_string(acts),
+    t.addRow({"virtual dispatch (System x1)", std::to_string(acts),
+              formatFixed(virt_s, 4), formatFixed(virt_rate, 0)});
+    t.addRow({"optimized (System x1, sealed)", std::to_string(acts),
               formatFixed(opt_s, 4), formatFixed(opt_rate, 0)});
     t.addRow({"full system (System x2)", std::to_string(acts2),
               formatFixed(sys2_s, 4), formatFixed(sys2_rate, 0)});
     t.print(std::cout);
     std::cout << "speedup (optimized/reference): "
               << formatFixed(speedup, 2) << "x (bar: 1.30x)\n";
+    std::cout << "dispatch speedup (sealed/virtual, construction "
+                 "included): "
+              << formatFixed(dispatch_speedup, 2) << "x\n";
 
     if (std::ostream *os = bench::jsonlStream()) {
         *os << "{\"kind\":\"core_loop\",\"workload\":\"" << spec.name
             << "\",\"acts\":" << acts
             << ",\"ref_acts_per_sec\":" << formatFixed(ref_rate, 1)
+            << ",\"virtual_acts_per_sec\":" << formatFixed(virt_rate, 1)
             << ",\"opt_acts_per_sec\":" << formatFixed(opt_rate, 1)
             << ",\"system2_acts_per_sec\":" << formatFixed(sys2_rate, 1)
-            << ",\"speedup\":" << formatFixed(speedup, 3) << "}\n";
+            << ",\"speedup\":" << formatFixed(speedup, 3)
+            << ",\"dispatch_speedup\":"
+            << formatFixed(dispatch_speedup, 3)
+            << ",\"bar\":1.3}\n";
     }
     return 0;
 }

@@ -1,0 +1,157 @@
+/**
+ * @file
+ * End-to-end matrix-sweep throughput bench: cells per second of
+ * simulator wall time on the Table-5-shaped matrix (every Table-4
+ * workload x four MOAT ETH points on the 2-sub-channel system).
+ *
+ * Runs the identical matrix twice through the SweepEngine:
+ *
+ *  - reference: trace store disabled and the pre-overhaul sub-channel
+ *    path (virtual per-hook dispatch, eagerly allocated security
+ *    oracle) -- every cell regenerates its workload trace, exactly as
+ *    the pipeline worked before the shared-trace-store PR;
+ *  - optimized: the shared workload::TraceStore plus the sealed
+ *    devirtualized hot path -- each distinct trace is generated once
+ *    (baselines included) and shared across the pool.
+ *
+ * Both runs must produce byte-identical JSONL (checked here; the bench
+ * fails otherwise), so the comparison measures the pipeline, not the
+ * simulation. The PR bar is >= 2x matrix cells/sec; the trace store's
+ * hit rate and the generateTraces() invocation counts are reported so
+ * a regression is attributable at a glance. bench_aggregate.py gates
+ * the smoke run on the emitted bar.
+ */
+
+#include <chrono>
+#include <iostream>
+#include <sstream>
+
+#include "bench_util.hh"
+#include "sim/sweep.hh"
+
+using namespace moatsim;
+
+namespace
+{
+
+struct MatrixRun
+{
+    std::vector<sim::PerfResult> results;
+    double seconds = 0.0;
+    /** generateTraces() invocations this run performed. */
+    uint64_t genCalls = 0;
+};
+
+MatrixRun
+runMatrix(const sim::SweepConfig &config,
+          const std::vector<sim::SweepCell> &cells)
+{
+    sim::SweepEngine engine(config);
+    MatrixRun out;
+    const uint64_t gen0 = workload::traceGenInvocations();
+    const auto t0 = std::chrono::steady_clock::now();
+    out.results = engine.run(cells);
+    const auto t1 = std::chrono::steady_clock::now();
+    out.seconds = std::chrono::duration<double>(t1 - t0).count();
+    out.genCalls = workload::traceGenInvocations() - gen0;
+    return out;
+}
+
+std::string
+jsonlOf(const std::vector<sim::PerfResult> &results)
+{
+    std::ostringstream os;
+    sim::writeJsonLines(os, results);
+    return os.str();
+}
+
+} // namespace
+
+int
+main()
+{
+    bench::header(
+        "Matrix-sweep throughput (cells/sec of simulator wall time)",
+        "Shared trace store + devirtualized ACT hot path vs the "
+        "store-disabled/virtual-dispatch reference pipeline on the "
+        "Table-5-shaped matrix; PR bar: >= 2x.");
+
+    const auto workloads = workload::table4Workloads();
+    std::vector<std::pair<mitigation::MitigatorSpec, abo::Level>> points;
+    for (const uint32_t eth : {0u, 16u, 32u, 48u}) {
+        points.emplace_back(
+            mitigation::Registry::parse("moat:ath=64,eth=" +
+                                        std::to_string(eth)),
+            abo::Level::L1);
+    }
+    const auto cells = sim::crossCells(
+        {workloads.begin(), workloads.end()}, points);
+
+    sim::SweepConfig base;
+    base.tracegen.windowFraction = 0.0625 * bench::benchScale();
+    base.tracegen.subchannels = 2; // Table-3 full system
+    base.jobs = bench::jobs();
+
+    // Reference: regenerate per cell, pre-overhaul sub-channel path.
+    sim::SweepConfig ref_cfg = base;
+    ref_cfg.sealedDispatch = false;
+    workload::TraceStore::Config off;
+    off.enabled = false;
+    ref_cfg.traceStore = std::make_shared<workload::TraceStore>(off);
+    const MatrixRun ref = runMatrix(ref_cfg, cells);
+
+    // Optimized: shared store, sealed hot path. The store config is
+    // pinned explicitly (not read from the environment) so an ambient
+    // MOATSIM_TRACE_STORE=0 cannot corrupt the A/B comparison.
+    sim::SweepConfig opt_cfg = base;
+    workload::TraceStore::Config on;
+    opt_cfg.traceStore = std::make_shared<workload::TraceStore>(on);
+    const MatrixRun opt = runMatrix(opt_cfg, cells);
+    const auto store = opt_cfg.traceStore->stats();
+
+    // Same simulation on both paths or the comparison is meaningless.
+    const std::string ref_jsonl = jsonlOf(ref.results);
+    const std::string opt_jsonl = jsonlOf(opt.results);
+    if (ref_jsonl != opt_jsonl) {
+        std::cerr << "FATAL: reference and optimized matrix runs "
+                     "diverged (results must be bit-identical with the "
+                     "store on or off)\n";
+        return 1;
+    }
+
+    const double n = static_cast<double>(cells.size());
+    const double ref_rate = ref.seconds > 0 ? n / ref.seconds : 0.0;
+    const double opt_rate = opt.seconds > 0 ? n / opt.seconds : 0.0;
+    const double speedup = ref_rate > 0 ? opt_rate / ref_rate : 0.0;
+
+    TablePrinter t({"pipeline", "cells", "seconds", "cells/sec",
+                    "generateTraces calls"});
+    t.addRow({"reference (no store, virtual dispatch)",
+              std::to_string(cells.size()), formatFixed(ref.seconds, 3),
+              formatFixed(ref_rate, 2), std::to_string(ref.genCalls)});
+    t.addRow({"optimized (trace store, sealed dispatch)",
+              std::to_string(cells.size()), formatFixed(opt.seconds, 3),
+              formatFixed(opt_rate, 2), std::to_string(opt.genCalls)});
+    t.print(std::cout);
+    std::cout << "trace store: " << store.hits << " hits, "
+              << store.misses << " misses (hit rate "
+              << formatFixed(store.hitRate() * 100.0, 1) << "%), "
+              << store.entries << " entries resident\n";
+    std::cout << "speedup (optimized/reference): "
+              << formatFixed(speedup, 2) << "x (bar: 2.00x)\n";
+
+    if (std::ostream *os = bench::jsonlStream()) {
+        *os << "{\"kind\":\"sweep_scale\",\"cells\":" << cells.size()
+            << ",\"ref_cells_per_sec\":" << formatFixed(ref_rate, 3)
+            << ",\"opt_cells_per_sec\":" << formatFixed(opt_rate, 3)
+            << ",\"speedup\":" << formatFixed(speedup, 3)
+            << ",\"bar\":2.0"
+            << ",\"ref_gen_calls\":" << ref.genCalls
+            << ",\"opt_gen_calls\":" << opt.genCalls
+            << ",\"trace_store_hits\":" << store.hits
+            << ",\"trace_store_misses\":" << store.misses
+            << ",\"trace_store_hit_rate\":"
+            << formatFixed(store.hitRate(), 4) << "}\n";
+    }
+    return 0;
+}

@@ -42,4 +42,17 @@ echo "determinism smoke: coattack sweep at --jobs 1 vs --jobs 8"
   --mitigator panopticon --fraction 0.015625 --subchannels 2 \
   --jobs 8 > "$BUILD_DIR/coattack_jobs8.txt"
 diff "$BUILD_DIR/coattack_jobs1.txt" "$BUILD_DIR/coattack_jobs8.txt"
+
+# The shared trace store is a pure cache: a run with it disabled (via
+# the CLI flag and via the environment switch -- both are supported
+# knobs) must be byte-identical to the cached jobs=8 run above.
+echo "determinism smoke: trace store enabled vs disabled"
+"$BUILD_DIR/moatsim" perf --workload all --fraction 0.015625 \
+  --subchannels 2 --jobs 8 --no-trace-store \
+  > "$BUILD_DIR/perf_store_flag_off.txt"
+diff "$BUILD_DIR/perf_jobs8.txt" "$BUILD_DIR/perf_store_flag_off.txt"
+MOATSIM_TRACE_STORE=0 "$BUILD_DIR/moatsim" perf --workload all \
+  --fraction 0.015625 --subchannels 2 --jobs 8 \
+  > "$BUILD_DIR/perf_store_env_off.txt"
+diff "$BUILD_DIR/perf_jobs8.txt" "$BUILD_DIR/perf_store_env_off.txt"
 echo "determinism smoke passed"

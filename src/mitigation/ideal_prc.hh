@@ -32,7 +32,7 @@ struct IdealPrcConfig
 };
 
 /** Idealized per-row-counter mitigator (per bank). */
-class IdealPrcMitigator : public IMitigator
+class IdealPrcMitigator final : public IMitigator
 {
   public:
     explicit IdealPrcMitigator(const IdealPrcConfig &config);
@@ -43,6 +43,7 @@ class IdealPrcMitigator : public IMitigator
                        MitigationContext &ctx) override;
     void onRfm(MitigationContext &ctx) override;
     bool wantsAlert() const override { return false; }
+    MitigatorKind kind() const override { return MitigatorKind::IdealPrc; }
     std::string name() const override;
     uint32_t sramBytesPerBank() const override;
 

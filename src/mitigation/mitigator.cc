@@ -11,6 +11,13 @@ namespace moatsim::mitigation
 MitigationContext::MitigationContext(dram::Bank &bank,
                                      dram::SecurityMonitor &security,
                                      MitigationStats &stats)
+    : bank_(bank), security_(&security), stats_(stats)
+{
+}
+
+MitigationContext::MitigationContext(dram::Bank &bank,
+                                     dram::SecurityMonitor *security,
+                                     MitigationStats &stats)
     : bank_(bank), security_(security), stats_(stats)
 {
 }
@@ -30,7 +37,8 @@ MitigationContext::numRows() const
 void
 MitigationContext::refreshVictim(RowId row)
 {
-    security_.onRowRefreshed(row);
+    if (security_ != nullptr)
+        security_->onRowRefreshed(row);
     ++stats_.victimRefreshes;
 }
 
@@ -44,7 +52,8 @@ MitigationContext::resetCounter(RowId row)
 void
 MitigationContext::markMitigated(RowId row, bool reactive)
 {
-    security_.onMitigated(row);
+    if (security_ != nullptr)
+        security_->onMitigated(row);
     if (reactive)
         ++stats_.alertMitigations;
     else

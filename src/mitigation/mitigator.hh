@@ -28,6 +28,25 @@ class SecurityMonitor;
 namespace moatsim::mitigation
 {
 
+/**
+ * Sealed tag of the built-in mitigator designs. The per-ACT hooks are
+ * the simulator's hottest calls, so the SubChannel resolves each
+ * bank's kind once at construction and dispatches through a switch of
+ * direct (devirtualized) calls into the five registry designs. Custom
+ * is the extensibility fallback: any IMitigator subclass outside the
+ * registry keeps working through the virtual interface, just without
+ * the sealed fast path.
+ */
+enum class MitigatorKind : uint8_t
+{
+    Moat,
+    Panopticon,
+    PanopticonCounter,
+    IdealPrc,
+    Null,
+    Custom,
+};
+
 /** Counters of mitigation work, aggregated per bank. */
 struct MitigationStats
 {
@@ -59,6 +78,16 @@ class MitigationContext
     MitigationContext(dram::Bank &bank, dram::SecurityMonitor &security,
                       MitigationStats &stats);
 
+    /**
+     * Context without a ground-truth monitor (@p security may be
+     * null). Pure performance runs elide the oracle's storage
+     * entirely; the security-facing accounting calls then become
+     * no-ops, which is unobservable -- nothing reads the oracle when
+     * it is disabled.
+     */
+    MitigationContext(dram::Bank &bank, dram::SecurityMonitor *security,
+                      MitigationStats &stats);
+
     /** PRAC counter of a row. */
     ActCount counter(RowId row) const;
 
@@ -76,7 +105,8 @@ class MitigationContext
 
   private:
     dram::Bank &bank_;
-    dram::SecurityMonitor &security_;
+    /** Null when the oracle is disabled (performance runs). */
+    dram::SecurityMonitor *security_;
     MitigationStats &stats_;
 };
 
@@ -173,6 +203,14 @@ class IMitigator
 
     /** Whether the mitigator currently needs an ALERT. */
     virtual bool wantsAlert() const = 0;
+
+    /**
+     * Sealed dispatch tag, resolved once per bank at SubChannel
+     * construction (never on the hot path). Registry designs return
+     * their own kind; anything else inherits Custom and dispatches
+     * virtually.
+     */
+    virtual MitigatorKind kind() const { return MitigatorKind::Custom; }
 
     /** Human-readable design name. */
     virtual std::string name() const = 0;

@@ -65,7 +65,7 @@ struct MoatConfig
 };
 
 /** The MOAT mitigator (per bank). */
-class MoatMitigator : public IMitigator
+class MoatMitigator final : public IMitigator
 {
   public:
     explicit MoatMitigator(const MoatConfig &config);
@@ -77,6 +77,7 @@ class MoatMitigator : public IMitigator
     void onAlertAsserted(MitigationContext &ctx) override;
     void onRfm(MitigationContext &ctx) override;
     bool wantsAlert() const override;
+    MitigatorKind kind() const override { return MitigatorKind::Moat; }
     std::string name() const override;
     uint32_t sramBytesPerBank() const override;
 

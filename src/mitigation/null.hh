@@ -15,7 +15,7 @@ namespace moatsim::mitigation
 {
 
 /** Mitigator that never mitigates and never alerts. */
-class NullMitigator : public IMitigator
+class NullMitigator final : public IMitigator
 {
   public:
     void onActivate(RowId row, MitigationContext &ctx) override;
@@ -24,6 +24,7 @@ class NullMitigator : public IMitigator
                        MitigationContext &ctx) override;
     void onRfm(MitigationContext &ctx) override;
     bool wantsAlert() const override { return false; }
+    MitigatorKind kind() const override { return MitigatorKind::Null; }
     std::string name() const override { return "none"; }
     uint32_t sramBytesPerBank() const override { return 0; }
 };

@@ -45,7 +45,7 @@ struct PanopticonConfig
 };
 
 /** The Panopticon mitigator (per bank). */
-class PanopticonMitigator : public IMitigator
+class PanopticonMitigator final : public IMitigator
 {
   public:
     explicit PanopticonMitigator(const PanopticonConfig &config);
@@ -56,6 +56,10 @@ class PanopticonMitigator : public IMitigator
                        MitigationContext &ctx) override;
     void onRfm(MitigationContext &ctx) override;
     bool wantsAlert() const override;
+    MitigatorKind kind() const override
+    {
+        return MitigatorKind::Panopticon;
+    }
     std::string name() const override;
     uint32_t sramBytesPerBank() const override;
 

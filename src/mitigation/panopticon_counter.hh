@@ -41,7 +41,7 @@ struct PanopticonCounterConfig
 };
 
 /** Panopticon with per-entry counters and max-first service. */
-class PanopticonCounterMitigator : public IMitigator
+class PanopticonCounterMitigator final : public IMitigator
 {
   public:
     explicit PanopticonCounterMitigator(
@@ -54,6 +54,10 @@ class PanopticonCounterMitigator : public IMitigator
     void onAlertAsserted(MitigationContext &ctx) override;
     void onRfm(MitigationContext &ctx) override;
     bool wantsAlert() const override;
+    MitigatorKind kind() const override
+    {
+        return MitigatorKind::PanopticonCounter;
+    }
     std::string name() const override;
     uint32_t sramBytesPerBank() const override;
 

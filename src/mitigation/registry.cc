@@ -286,8 +286,55 @@ MitigatorSpec::create() const
 std::function<std::unique_ptr<IMitigator>(BankId)>
 MitigatorSpec::factory() const
 {
-    MitigatorSpec spec = *this;
-    return [spec](BankId) { return spec.create(); };
+    // One shared resolved factory per factory() call: the per-bank
+    // invocations copy a typed config struct instead of re-parsing the
+    // spec's key=value strings.
+    auto resolved = std::make_shared<const BankMitigatorFactory>(*this);
+    return [resolved](BankId bank) { return resolved->make(bank); };
+}
+
+BankMitigatorFactory::BankMitigatorFactory(const MitigatorSpec &spec)
+    : spec_(spec)
+{
+    if (spec.name() == "moat") {
+        kind_ = MitigatorKind::Moat;
+        config_ = moatConfigOf(spec);
+    } else if (spec.name() == "panopticon") {
+        kind_ = MitigatorKind::Panopticon;
+        config_ = panopticonConfigOf(spec);
+    } else if (spec.name() == "panopticon-counter") {
+        kind_ = MitigatorKind::PanopticonCounter;
+        config_ = panopticonCounterConfigOf(spec);
+    } else if (spec.name() == "ideal-prc") {
+        kind_ = MitigatorKind::IdealPrc;
+        config_ = idealPrcConfigOf(spec);
+    } else if (spec.name() == "null") {
+        kind_ = MitigatorKind::Null;
+    }
+}
+
+std::unique_ptr<IMitigator>
+BankMitigatorFactory::make(BankId bank) const
+{
+    (void)bank; // registry designs are bank-agnostic
+    switch (kind_) {
+    case MitigatorKind::Moat:
+        return std::make_unique<MoatMitigator>(std::get<MoatConfig>(config_));
+    case MitigatorKind::Panopticon:
+        return std::make_unique<PanopticonMitigator>(
+            std::get<PanopticonConfig>(config_));
+    case MitigatorKind::PanopticonCounter:
+        return std::make_unique<PanopticonCounterMitigator>(
+            std::get<PanopticonCounterConfig>(config_));
+    case MitigatorKind::IdealPrc:
+        return std::make_unique<IdealPrcMitigator>(
+            std::get<IdealPrcConfig>(config_));
+    case MitigatorKind::Null:
+        return std::make_unique<NullMitigator>();
+    case MitigatorKind::Custom:
+        break;
+    }
+    return spec_.create();
 }
 
 uint32_t

@@ -29,6 +29,7 @@
 #include <optional>
 #include <string>
 #include <utility>
+#include <variant>
 #include <vector>
 
 #include "mitigation/ideal_prc.hh"
@@ -114,6 +115,38 @@ class MitigatorSpec
     std::string name_ = "moat";
     /** Explicit overrides, in the descriptor's parameter order. */
     std::vector<std::pair<std::string, std::string>> params_;
+};
+
+/**
+ * Reusable per-bank mitigator factory.
+ *
+ * MitigatorSpec::create() re-derives the design's typed configuration
+ * from the spec's key=value strings on every call, which a sweep pays
+ * once per bank per cell. This factory resolves the spec once -- the
+ * design kind and its parsed config struct -- and then stamps out
+ * instances with no further string work, so constructing a 64-bank
+ * System costs 64 struct copies instead of 64 re-parses. Designs
+ * outside the registry's sealed set fall back to spec.create().
+ */
+class BankMitigatorFactory
+{
+  public:
+    explicit BankMitigatorFactory(const MitigatorSpec &spec);
+
+    /** Build the mitigator instance of one bank. */
+    std::unique_ptr<IMitigator> make(BankId bank) const;
+
+    /** The sealed dispatch tag of the resolved design. */
+    MitigatorKind kind() const { return kind_; }
+
+  private:
+    MitigatorKind kind_ = MitigatorKind::Custom;
+    /** The typed config, resolved once (monostate for null/custom). */
+    std::variant<std::monostate, MoatConfig, PanopticonConfig,
+                 PanopticonCounterConfig, IdealPrcConfig>
+        config_;
+    /** Fallback spec for non-sealed designs. */
+    MitigatorSpec spec_;
 };
 
 /** Registration record of one mitigator design. */

@@ -68,7 +68,7 @@ runCoSystem(const workload::TraceGenConfig &config, const CoreModel &core,
             const workload::WorkloadSpec &spec,
             const mitigation::MitigatorSpec &mitigator, abo::Level level,
             const workload::AttackTraceConfig &attack,
-            uint32_t *attacker_max_hammer)
+            uint32_t *attacker_max_hammer, const workload::TraceSet *benign)
 {
     const uint32_t subchannels = std::max(1u, config.subchannels);
     if (attack.subchannel >= subchannels)
@@ -80,10 +80,20 @@ runCoSystem(const workload::TraceGenConfig &config, const CoreModel &core,
               " out of range (" + std::to_string(config.banksSimulated) +
               " simulated)");
 
-    auto traces = workload::generateTraces(spec, config);
+    // Benign traffic: the shared (store-cached) set when provided, a
+    // locally generated one otherwise. The attacker core rides along
+    // as one more borrowed view, so appending it never copies the
+    // benign slab.
+    std::unique_ptr<const workload::TraceSet> local;
+    if (benign == nullptr) {
+        local = std::make_unique<const workload::TraceSet>(
+            workload::generateTraces(spec, config));
+        benign = local.get();
+    }
     const workload::AttackTrace at = workload::generateAttackTrace(attack);
+    std::vector<workload::CoreTraceView> views = benign->views();
     if (!at.trace.events.empty())
-        traces.push_back(at.trace);
+        views.push_back(workload::viewOf(at.trace));
 
     SystemConfig sys;
     sys.channel = coChannelConfig(
@@ -94,7 +104,7 @@ runCoSystem(const workload::TraceGenConfig &config, const CoreModel &core,
     system.setPostponeRefresh(
         workload::attackPostponesRefresh(attack.pattern));
 
-    const SystemResult res = runSystem(system, traces, core);
+    const SystemResult res = runSystem(system, views, core);
 
     if (attacker_max_hammer != nullptr) {
         uint32_t peak = 0;
@@ -111,6 +121,8 @@ CoAttackEngine::CoAttackEngine(const SweepConfig &config)
     : config_(config),
       jobs_(config.jobs > 0 ? config.jobs : ThreadPool::hardwareThreads())
 {
+    if (!config_.traceStore)
+        config_.traceStore = std::make_shared<workload::TraceStore>();
 }
 
 std::shared_ptr<const CoAttackEngine::Baseline>
@@ -140,9 +152,12 @@ CoAttackEngine::baseline(const CoAttackCell &cell)
     if (compute) {
         CoAttackScenario none;
         none.pattern = "none";
+        const auto benign =
+            config_.traceStore->get(cell.workload, config_.tracegen);
         const SystemResult res = runCoSystem(
             config_.tracegen, config_.core, cell.workload, cell.mitigator,
-            cell.level, resolveAttack(none, config_.tracegen));
+            cell.level, resolveAttack(none, config_.tracegen), nullptr,
+            benign.get());
         auto base = std::make_shared<Baseline>();
         base->coreFinish = res.coreFinish;
         base->totalActs = res.totalActs;
@@ -186,9 +201,12 @@ CoAttackEngine::runCell(const CoAttackCell &cell)
     const workload::AttackTraceConfig attack =
         resolveAttack(cell.attack, config_.tracegen);
     uint32_t max_hammer = 0;
+    const auto benign =
+        config_.traceStore->get(cell.workload, config_.tracegen);
     const SystemResult co =
         runCoSystem(config_.tracegen, config_.core, cell.workload,
-                    cell.mitigator, cell.level, attack, &max_hammer);
+                    cell.mitigator, cell.level, attack, &max_hammer,
+                    benign.get());
 
     out.attackerMaxHammer = max_hammer;
     out.attackerActs = co.totalActs - base->totalActs;

@@ -123,7 +123,9 @@ uint64_t coAttackCellSeed(const workload::TraceGenConfig &config,
  * config.subchannels sub-channels (security tracking on). The benign
  * cores occupy result indices [0, numCores); the attacker, when
  * present, is the last core. When @p attacker_max_hammer is non-null
- * it receives the peak hammer count over the attacker's rows.
+ * it receives the peak hammer count over the attacker's rows. When
+ * @p benign is non-null it supplies the benign traces (a shared
+ * TraceStore handout); otherwise they are generated locally.
  */
 SystemResult runCoSystem(const workload::TraceGenConfig &config,
                          const CoreModel &core,
@@ -131,7 +133,8 @@ SystemResult runCoSystem(const workload::TraceGenConfig &config,
                          const mitigation::MitigatorSpec &mitigator,
                          abo::Level level,
                          const workload::AttackTraceConfig &attack,
-                         uint32_t *attacker_max_hammer = nullptr);
+                         uint32_t *attacker_max_hammer = nullptr,
+                         const workload::TraceSet *benign = nullptr);
 
 /** The AttackTraceConfig a scenario resolves to under a benign
  *  configuration (timing and window filled in). */

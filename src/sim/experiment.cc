@@ -13,6 +13,11 @@ sweepConfigOf(const ExperimentConfig &config)
     sc.tracegen = config.tracegen;
     sc.core = config.core;
     sc.jobs = config.jobs;
+    // One store for the whole experiment; the environment can disable
+    // it on top of the config (both must opt in).
+    workload::TraceStore::Config tsc = workload::TraceStore::envConfig();
+    tsc.enabled = tsc.enabled && config.traceStore;
+    sc.traceStore = std::make_shared<workload::TraceStore>(tsc);
     return sc;
 }
 
@@ -21,7 +26,10 @@ sweepConfigOf(const ExperimentConfig &config)
 Experiment::Experiment(const ExperimentConfig &config)
     : config_(config),
       engine_(sweepConfigOf(config)),
-      coattack_(sweepConfigOf(config))
+      // The co-attack engine shares the perf engine's resolved config
+      // -- trace store included -- so both replay one copy of each
+      // workload's traces.
+      coattack_(engine_.config())
 {
 }
 

@@ -50,6 +50,16 @@ struct ExperimentConfig
     CoreModel core{};
     /** Sweep worker threads; 0 = hardware concurrency, 1 = serial. */
     unsigned jobs = 0;
+    /**
+     * Whether to cache generated workload traces in the shared
+     * workload::TraceStore (one store serves both the perf and the
+     * co-attack engine, so a matrix generates each distinct trace
+     * exactly once). false -- or MOATSIM_TRACE_STORE=0 in the
+     * environment, or the CLI --no-trace-store flag -- regenerates
+     * per cell instead; results are bit-identical either way (the
+     * determinism suite proves it).
+     */
+    bool traceStore = true;
 };
 
 /** One (design, level) point of a sweep matrix. */
@@ -120,6 +130,16 @@ class Experiment
 
     /** The co-attack engine (attack-free baseline cache included). */
     CoAttackEngine &coAttackEngine() { return coattack_; }
+
+    /**
+     * The trace store shared by both engines. Its stats() are the
+     * experiment-level hit/miss record bench_sweep_scale and the
+     * bench snapshot surface.
+     */
+    const std::shared_ptr<workload::TraceStore> &traceStore() const
+    {
+        return engine_.traceStore();
+    }
 
   private:
     /** The workloads config_.workload selects. */

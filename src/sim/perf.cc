@@ -15,13 +15,14 @@ namespace
 
 subchannel::SubChannelConfig
 channelConfigFor(const workload::TraceGenConfig &tg, abo::Level level,
-                 uint64_t seed)
+                 uint64_t seed, bool sealed_dispatch)
 {
     subchannel::SubChannelConfig sc;
     sc.timing = tg.timing;
     sc.numBanks = tg.banksSimulated;
     sc.aboLevel = level;
     sc.securityEnabled = false; // perf runs skip the damage oracle
+    sc.sealedDispatch = sealed_dispatch;
     sc.seed = seed;
     return sc;
 }
@@ -30,10 +31,11 @@ channelConfigFor(const workload::TraceGenConfig &tg, abo::Level level,
  *  sub-channels, each configured by channelConfigFor. */
 System
 systemFor(const workload::TraceGenConfig &tg, abo::Level level,
-          uint64_t seed, const subchannel::SubChannel::MitigatorFactory &f)
+          uint64_t seed, const subchannel::SubChannel::MitigatorFactory &f,
+          bool sealed_dispatch)
 {
     SystemConfig sys;
-    sys.channel = channelConfigFor(tg, level, seed);
+    sys.channel = channelConfigFor(tg, level, seed, sealed_dispatch);
     sys.subchannels = std::max(1u, tg.subchannels);
     return System(sys, f);
 }
@@ -69,12 +71,8 @@ cellSeed(const workload::TraceGenConfig &config,
 }
 
 std::shared_ptr<const BaselineCache::Finish>
-BaselineCache::get(const workload::TraceGenConfig &config,
-                   const CoreModel &core, const workload::WorkloadSpec &spec)
+BaselineCache::getImpl(uint64_t key, const std::function<Finish()> &replay)
 {
-    const uint64_t key =
-        hashCombine(perfConfigKey(config, core), stableHash64(spec.name));
-
     std::shared_future<std::shared_ptr<const Finish>> future;
     std::promise<std::shared_ptr<const Finish>> promise;
     bool compute = false;
@@ -89,18 +87,49 @@ BaselineCache::get(const workload::TraceGenConfig &config,
             future = it->second;
         }
     }
-    if (compute) {
-        const auto traces = workload::generateTraces(spec, config);
+    if (compute)
+        promise.set_value(std::make_shared<const Finish>(replay()));
+    return future.get();
+}
+
+std::shared_ptr<const BaselineCache::Finish>
+BaselineCache::get(const workload::TraceGenConfig &config,
+                   const CoreModel &core, const workload::WorkloadSpec &spec,
+                   const workload::TraceSet &traces, bool sealed_dispatch)
+{
+    const uint64_t key =
+        hashCombine(perfConfigKey(config, core), stableHash64(spec.name));
+    return getImpl(key, [&]() {
         System sys = systemFor(
             config, abo::Level::L1, baselineSeed(config, core, spec),
             [](BankId) {
                 return std::make_unique<mitigation::NullMitigator>();
-            });
-        SystemResult res = runSystem(sys, traces, core);
-        promise.set_value(
-            std::make_shared<const Finish>(std::move(res.coreFinish)));
-    }
-    return future.get();
+            },
+            sealed_dispatch);
+        SystemResult res = runSystem(sys, traces.views(), core);
+        return std::move(res.coreFinish);
+    });
+}
+
+std::shared_ptr<const BaselineCache::Finish>
+BaselineCache::get(const workload::TraceGenConfig &config,
+                   const CoreModel &core, const workload::WorkloadSpec &spec,
+                   bool sealed_dispatch)
+{
+    const uint64_t key =
+        hashCombine(perfConfigKey(config, core), stableHash64(spec.name));
+    return getImpl(key, [&]() {
+        const workload::TraceSet traces(workload::generateTraces(spec,
+                                                                 config));
+        System sys = systemFor(
+            config, abo::Level::L1, baselineSeed(config, core, spec),
+            [](BankId) {
+                return std::make_unique<mitigation::NullMitigator>();
+            },
+            sealed_dispatch);
+        SystemResult res = runSystem(sys, traces.views(), core);
+        return std::move(res.coreFinish);
+    });
 }
 
 std::size_t
@@ -114,13 +143,13 @@ PerfResult
 runPerfCell(const workload::TraceGenConfig &config, const CoreModel &core,
             const workload::WorkloadSpec &spec,
             const mitigation::MitigatorSpec &mitigator, abo::Level level,
-            const std::vector<Time> &baseline)
+            const workload::TraceSet &traces,
+            const std::vector<Time> &baseline, bool sealed_dispatch)
 {
-    const auto traces = workload::generateTraces(spec, config);
     System sys = systemFor(config, level,
                            cellSeed(config, spec, mitigator, level),
-                           mitigator.factory());
-    const SystemResult res = runSystem(sys, traces, core);
+                           mitigator.factory(), sealed_dispatch);
+    const SystemResult res = runSystem(sys, traces.views(), core);
 
     PerfResult out;
     out.workload = spec.name;
@@ -193,7 +222,18 @@ PerfRunner::PerfRunner(const workload::TraceGenConfig &config,
 
 PerfRunner::PerfRunner(const workload::TraceGenConfig &config, CoreModel core,
                        std::shared_ptr<BaselineCache> baselines)
-    : config_(config), core_(core), baselines_(std::move(baselines))
+    : PerfRunner(config, core, std::move(baselines),
+                 std::make_shared<workload::TraceStore>())
+{
+}
+
+PerfRunner::PerfRunner(const workload::TraceGenConfig &config, CoreModel core,
+                       std::shared_ptr<BaselineCache> baselines,
+                       std::shared_ptr<workload::TraceStore> traces)
+    : config_(config),
+      core_(core),
+      baselines_(std::move(baselines)),
+      traces_(std::move(traces))
 {
 }
 
@@ -201,8 +241,10 @@ PerfResult
 PerfRunner::run(const workload::WorkloadSpec &spec,
                 const mitigation::MitigatorSpec &mitigator, abo::Level level)
 {
-    const auto base = baselines_->get(config_, core_, spec);
-    return runPerfCell(config_, core_, spec, mitigator, level, *base);
+    const auto traces = traces_->get(spec, config_);
+    const auto base = baselines_->get(config_, core_, spec, *traces);
+    return runPerfCell(config_, core_, spec, mitigator, level, *traces,
+                       *base);
 }
 
 std::vector<PerfResult>

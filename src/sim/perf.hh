@@ -9,7 +9,9 @@
  * bank per tREFW (Table 5), and the activation-energy overhead
  * (Section 6.5). Baseline runs are cached in a thread-safe
  * BaselineCache keyed by (configuration hash, workload), since every
- * parameter sweep shares them; see sim/sweep.hh for the parallel sweep
+ * parameter sweep shares them, and the workload traces themselves come
+ * out of a shared workload::TraceStore so a matrix generates each
+ * distinct trace exactly once; see sim/sweep.hh for the parallel sweep
  * engine that fans independent cells across a thread pool.
  *
  * The mitigator under test is selected by a mitigation::MitigatorSpec,
@@ -20,6 +22,7 @@
 #ifndef MOATSIM_SIM_PERF_HH
 #define MOATSIM_SIM_PERF_HH
 
+#include <functional>
 #include <future>
 #include <memory>
 #include <mutex>
@@ -32,6 +35,7 @@
 #include "mitigation/registry.hh"
 #include "sim/memsys.hh"
 #include "workload/spec.hh"
+#include "workload/trace_store.hh"
 #include "workload/tracegen.hh"
 
 namespace moatsim::sim
@@ -107,15 +111,40 @@ class BaselineCache
   public:
     using Finish = std::vector<Time>;
 
-    /** Finish times of @p spec under (config, core); computes on miss. */
+    /**
+     * Finish times of @p spec under (config, core); computes on miss
+     * by replaying @p traces -- the shared TraceSet the caller fetched
+     * from the TraceStore for this very (spec, config), so a matrix
+     * run never regenerates a trace just to compute its baseline.
+     * @p sealed_dispatch selects the hot path of the baseline replay
+     * (cost only; results are identical and the key ignores it).
+     */
     std::shared_ptr<const Finish> get(const workload::TraceGenConfig &config,
                                       const CoreModel &core,
-                                      const workload::WorkloadSpec &spec);
+                                      const workload::WorkloadSpec &spec,
+                                      const workload::TraceSet &traces,
+                                      bool sealed_dispatch = true);
+
+    /**
+     * As above, generating the traces itself on a miss. This is the
+     * pre-TraceStore compute path (one redundant generation per
+     * baseline); it survives for callers that hold no store and as
+     * the store-disabled reference pipeline bench_sweep_scale
+     * measures against.
+     */
+    std::shared_ptr<const Finish> get(const workload::TraceGenConfig &config,
+                                      const CoreModel &core,
+                                      const workload::WorkloadSpec &spec,
+                                      bool sealed_dispatch = true);
 
     /** Number of distinct baselines computed so far. */
     std::size_t size() const;
 
   private:
+    /** Single compute-once path; @p replay runs the baseline replay. */
+    std::shared_ptr<const Finish>
+    getImpl(uint64_t key, const std::function<Finish()> &replay);
+
     mutable std::mutex mu_;
     std::unordered_map<uint64_t,
                        std::shared_future<std::shared_ptr<const Finish>>>
@@ -123,16 +152,23 @@ class BaselineCache
 };
 
 /**
- * Run one sweep cell given its precomputed baseline finish times.
- * Pure function of its arguments (the cell seed is derived internally
- * via cellSeed), shared by PerfRunner and the SweepEngine workers.
+ * Run one sweep cell given its traces and precomputed baseline finish
+ * times. Pure function of its arguments (the cell seed is derived
+ * internally via cellSeed), shared by PerfRunner and the SweepEngine
+ * workers. @p traces is the shared TraceSet of (spec, config) --
+ * typically a TraceStore handout replayed by every cell of the
+ * matrix. @p sealed_dispatch selects the devirtualized hot path
+ * (true, the default) or the pre-overhaul reference path; results are
+ * bit-identical either way (bench_sweep_scale A/Bs the two).
  */
 PerfResult runPerfCell(const workload::TraceGenConfig &config,
                        const CoreModel &core,
                        const workload::WorkloadSpec &spec,
                        const mitigation::MitigatorSpec &mitigator,
                        abo::Level level,
-                       const std::vector<Time> &baseline);
+                       const workload::TraceSet &traces,
+                       const std::vector<Time> &baseline,
+                       bool sealed_dispatch = true);
 
 /** Runs workloads against mitigator configurations with caching. */
 class PerfRunner
@@ -144,6 +180,11 @@ class PerfRunner
     /** Share a baseline cache with other runners / a sweep engine. */
     PerfRunner(const workload::TraceGenConfig &config, CoreModel core,
                std::shared_ptr<BaselineCache> baselines);
+
+    /** Share both the baseline cache and the trace store. */
+    PerfRunner(const workload::TraceGenConfig &config, CoreModel core,
+               std::shared_ptr<BaselineCache> baselines,
+               std::shared_ptr<workload::TraceStore> traces);
 
     /** Run one workload against any registered mitigator design. */
     PerfResult run(const workload::WorkloadSpec &spec,
@@ -173,10 +214,17 @@ class PerfRunner
         return baselines_;
     }
 
+    /** The trace store (shared with any co-owning sweep engine). */
+    const std::shared_ptr<workload::TraceStore> &traceStore() const
+    {
+        return traces_;
+    }
+
   private:
     workload::TraceGenConfig config_;
     CoreModel core_;
     std::shared_ptr<BaselineCache> baselines_;
+    std::shared_ptr<workload::TraceStore> traces_;
 };
 
 /** Average normPerf across results (the paper's Gmean bar). */

@@ -19,15 +19,31 @@ SweepEngine::SweepEngine(const SweepConfig &config,
       jobs_(config.jobs > 0 ? config.jobs : ThreadPool::hardwareThreads()),
       baselines_(std::move(baselines))
 {
+    if (!config_.traceStore)
+        config_.traceStore = std::make_shared<workload::TraceStore>();
 }
 
 PerfResult
 SweepEngine::runCell(const SweepCell &cell)
 {
+    // One store fetch serves the cell and (on first touch of this
+    // workload) its baseline: each distinct trace of a matrix is
+    // generated exactly once. With the store disabled, the baseline
+    // falls back to the pre-store compute path (it regenerates its own
+    // traces), reproducing the pre-overhaul pipeline faithfully for
+    // the bench_sweep_scale reference and the determinism smoke.
+    const auto traces =
+        config_.traceStore->get(cell.workload, config_.tracegen);
     const auto base =
-        baselines_->get(config_.tracegen, config_.core, cell.workload);
+        config_.traceStore->enabled()
+            ? baselines_->get(config_.tracegen, config_.core,
+                              cell.workload, *traces,
+                              config_.sealedDispatch)
+            : baselines_->get(config_.tracegen, config_.core,
+                              cell.workload, config_.sealedDispatch);
     return runPerfCell(config_.tracegen, config_.core, cell.workload,
-                       cell.mitigator, cell.level, *base);
+                       cell.mitigator, cell.level, *traces, *base,
+                       config_.sealedDispatch);
 }
 
 std::vector<PerfResult>

@@ -6,9 +6,12 @@
  * simulation, so the engine fans the cells out across a work-stealing
  * thread pool (common/thread_pool.hh). Determinism is by construction:
  * each cell's RNG streams are seeded from its own stable cell key
- * (sim::cellSeed) and its baseline comes from the thread-safe
- * BaselineCache, so the result vector is bit-identical at any --jobs
- * value and under any thread schedule. The serial path (jobs=1) runs
+ * (sim::cellSeed), its workload traces come out of the shared
+ * content-addressed workload::TraceStore (generated exactly once per
+ * distinct key, baselines included), and its baseline comes from the
+ * thread-safe BaselineCache, so the result vector is bit-identical at
+ * any --jobs value and under any thread schedule -- and identical
+ * again with the trace store disabled. The serial path (jobs=1) runs
  * inline on the calling thread and produces the same bytes.
  */
 
@@ -45,6 +48,23 @@ struct SweepConfig
     CoreModel core{};
     /** Worker threads; 0 = hardware concurrency, 1 = run inline. */
     unsigned jobs = 0;
+    /**
+     * Shared trace store: each distinct workload trace of a matrix is
+     * generated exactly once and shared across cells (baselines
+     * included) and across the pool. Null = the engine creates an
+     * env-configured store of its own (MOATSIM_TRACE_STORE=0 yields a
+     * disabled one); pass an explicit store to share it between
+     * engines (sim::Experiment shares one across its perf and
+     * co-attack engines).
+     */
+    std::shared_ptr<workload::TraceStore> traceStore;
+    /**
+     * Run cells on the devirtualized/flattened sub-channel hot path
+     * (subchannel::SubChannelConfig::sealedDispatch). Results are
+     * bit-identical either way; false exists so bench_sweep_scale can
+     * measure the pre-overhaul reference path.
+     */
+    bool sealedDispatch = true;
 };
 
 /** Runs sweep cells in parallel with bit-identical-to-serial results. */
@@ -75,6 +95,12 @@ class SweepEngine
     const std::shared_ptr<BaselineCache> &baselines() const
     {
         return baselines_;
+    }
+
+    /** The trace store (config.traceStore, or the engine's own). */
+    const std::shared_ptr<workload::TraceStore> &traceStore() const
+    {
+        return config_.traceStore;
     }
 
   private:

@@ -64,7 +64,7 @@ System::totalBanks() const
 
 SystemResult
 runOnSubChannels(const std::vector<subchannel::SubChannel *> &channels,
-                 const std::vector<workload::CoreTrace> &traces,
+                 const std::vector<workload::CoreTraceView> &traces,
                  const CoreModel &core)
 {
     if (channels.empty())
@@ -109,12 +109,13 @@ runOnSubChannels(const std::vector<subchannel::SubChannel *> &channels,
     // Unfinished cores in index order (the stable order keeps the
     // earliest-arrival tie-break identical to a full scan).
     std::vector<uint32_t> active;
+    active.reserve(traces.size());
     for (size_t c = 0; c < traces.size(); ++c) {
-        if (traces[c].events.empty())
+        if (traces[c].count == 0)
             continue;
-        cores[c].next = traces[c].events.data();
-        cores[c].end = cores[c].next + traces[c].events.size();
-        cores[c].arrival = start + traces[c].events.front().at;
+        cores[c].next = traces[c].events;
+        cores[c].end = cores[c].next + traces[c].count;
+        cores[c].arrival = start + traces[c].events[0].at;
         active.push_back(static_cast<uint32_t>(c));
     }
 
@@ -159,7 +160,13 @@ runOnSubChannels(const std::vector<subchannel::SubChannel *> &channels,
         // instruction work between the two accesses).
         ++cs.next;
         if (cs.next != cs.end) {
-            const Time gap = cs.next->at - ev.at;
+            const workload::TraceEvent &nx = *cs.next;
+            // Warm the next counter while other cores' events
+            // interleave; the random-row PRAC update is the loop's
+            // dominant cache miss.
+            channels[nx.subchannel % nsc]->prefetchActivate(nx.bank,
+                                                            nx.row);
+            const Time gap = nx.at - ev.at;
             cs.arrival = std::max(cs.arrival, issue) + gap;
         }
         cs.last_intended = ev.at;
@@ -172,12 +179,12 @@ runOnSubChannels(const std::vector<subchannel::SubChannel *> &channels,
     SystemResult result;
     result.coreFinish.resize(traces.size());
     for (size_t c = 0; c < traces.size(); ++c) {
-        const Time tail = traces[c].events.empty()
+        const Time tail = traces[c].count == 0
                               ? traces[c].window
                               : traces[c].window - cores[c].last_intended;
         result.coreFinish[c] =
             (cores[c].last_completion - start) + std::max<Time>(tail, 0);
-        result.totalActs += traces[c].events.size();
+        result.totalActs += traces[c].count;
     }
 
     result.perSubchannel.resize(nsc);
@@ -204,7 +211,19 @@ runOnSubChannels(const std::vector<subchannel::SubChannel *> &channels,
 }
 
 SystemResult
-runSystem(System &system, const std::vector<workload::CoreTrace> &traces,
+runOnSubChannels(const std::vector<subchannel::SubChannel *> &channels,
+                 const std::vector<workload::CoreTrace> &traces,
+                 const CoreModel &core)
+{
+    std::vector<workload::CoreTraceView> views;
+    views.reserve(traces.size());
+    for (const auto &t : traces)
+        views.push_back(workload::viewOf(t));
+    return runOnSubChannels(channels, views, core);
+}
+
+SystemResult
+runSystem(System &system, const std::vector<workload::CoreTraceView> &traces,
           const CoreModel &core)
 {
     std::vector<subchannel::SubChannel *> channels;
@@ -212,6 +231,17 @@ runSystem(System &system, const std::vector<workload::CoreTrace> &traces,
     for (uint32_t i = 0; i < system.numSubchannels(); ++i)
         channels.push_back(&system.subchannel(i));
     return runOnSubChannels(channels, traces, core);
+}
+
+SystemResult
+runSystem(System &system, const std::vector<workload::CoreTrace> &traces,
+          const CoreModel &core)
+{
+    std::vector<workload::CoreTraceView> views;
+    views.reserve(traces.size());
+    for (const auto &t : traces)
+        views.push_back(workload::viewOf(t));
+    return runSystem(system, views, core);
 }
 
 } // namespace moatsim::sim

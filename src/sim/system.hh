@@ -123,17 +123,33 @@ class System
 };
 
 /**
- * Replay @p traces across an explicit sub-channel set in one merged
- * event loop; event.subchannel indexes @p channels (reduced modulo its
- * size, so single-sub-channel replays accept any trace). Shared by
- * runSystem() and the single-channel runMemSystem() wrapper.
+ * Replay per-core trace views across an explicit sub-channel set in
+ * one merged event loop; event.subchannel indexes @p channels (reduced
+ * modulo its size, so single-sub-channel replays accept any trace).
+ * Views borrow their event storage (typically a shared
+ * workload::TraceSet slab out of the TraceStore, or a CoreTrace owned
+ * by the caller), so a whole sweep matrix replays one immutable copy
+ * of each workload's trace. This is the implementation shared by every
+ * replay entry point: the CoreTrace overload, runSystem(), and the
+ * single-channel runMemSystem() wrapper.
  */
+SystemResult
+runOnSubChannels(const std::vector<subchannel::SubChannel *> &channels,
+                 const std::vector<workload::CoreTraceView> &traces,
+                 const CoreModel &core = CoreModel{});
+
+/** Convenience overload over owned traces (borrows them as views). */
 SystemResult
 runOnSubChannels(const std::vector<subchannel::SubChannel *> &channels,
                  const std::vector<workload::CoreTrace> &traces,
                  const CoreModel &core = CoreModel{});
 
 /** Replay @p traces on @p system until every core consumed its trace. */
+SystemResult runSystem(System &system,
+                       const std::vector<workload::CoreTraceView> &traces,
+                       const CoreModel &core = CoreModel{});
+
+/** Convenience overload over owned traces (borrows them as views). */
 SystemResult runSystem(System &system,
                        const std::vector<workload::CoreTrace> &traces,
                        const CoreModel &core = CoreModel{});

@@ -2,11 +2,55 @@
 
 #include <algorithm>
 #include <cassert>
+#include <span>
 
 #include "common/logging.hh"
+#include "mitigation/ideal_prc.hh"
+#include "mitigation/moat.hh"
+#include "mitigation/null.hh"
+#include "mitigation/panopticon.hh"
+#include "mitigation/panopticon_counter.hh"
 
 namespace moatsim::subchannel
 {
+
+namespace
+{
+
+using mitigation::MitigatorKind;
+
+/**
+ * Sealed dispatch of one mitigator hook: invoke @p fn with the
+ * mitigator downcast to its resolved concrete (final) type, so the
+ * call devirtualizes into a direct call the compiler can inline.
+ * Custom (and any unmatched tag) falls back to the virtual interface.
+ * The kind tag is resolved once at construction; this switch is the
+ * only per-call cost.
+ */
+template <typename Fn>
+inline auto
+dispatchSealed(MitigatorKind kind, mitigation::IMitigator &mit, Fn &&fn)
+    -> decltype(fn(mit))
+{
+    switch (kind) {
+    case MitigatorKind::Moat:
+        return fn(static_cast<mitigation::MoatMitigator &>(mit));
+    case MitigatorKind::Panopticon:
+        return fn(static_cast<mitigation::PanopticonMitigator &>(mit));
+    case MitigatorKind::PanopticonCounter:
+        return fn(
+            static_cast<mitigation::PanopticonCounterMitigator &>(mit));
+    case MitigatorKind::IdealPrc:
+        return fn(static_cast<mitigation::IdealPrcMitigator &>(mit));
+    case MitigatorKind::Null:
+        return fn(static_cast<mitigation::NullMitigator &>(mit));
+    case MitigatorKind::Custom:
+        break;
+    }
+    return fn(mit);
+}
+
+} // namespace
 
 SubChannel::SubChannel(const SubChannelConfig &config,
                        const MitigatorFactory &factory)
@@ -21,13 +65,44 @@ SubChannel::SubChannel(const SubChannelConfig &config,
     const uint32_t nb = config_.numBanks != 0
                             ? config_.numBanks
                             : config_.timing.banksPerSubchannel;
+    // The oracle's per-bank arrays (3 words per row) dominate the cost
+    // of constructing a sub-channel; allocate them only when something
+    // will read them. The reference path keeps the eager allocation so
+    // the benches can A/B the pre-overhaul cost model.
+    const bool oracle = config_.securityEnabled || !config_.sealedDispatch;
+    const size_t rows = config_.timing.rowsPerBank;
+    // The flat counter slab pays off where construction cost is the
+    // bottleneck: oracle-free performance cells, built by the
+    // thousand across a matrix. Channels that carry the oracle are
+    // dominated by its arrays anyway, and measure slightly *slower*
+    // with the slab, so they keep per-bank counter storage.
+    const bool slab = config_.sealedDispatch && !oracle;
+    if (slab)
+        counter_slab_.assign(static_cast<size_t>(nb) * rows, 0);
     banks_.reserve(nb);
+    if (oracle)
+        security_.reserve(nb);
+    mitigators_.reserve(nb);
+    kinds_.reserve(nb);
+    refresh_.reserve(nb);
+    mitigation_stats_.reserve(nb);
     for (BankId b = 0; b < nb; ++b) {
-        banks_.push_back(std::make_unique<dram::Bank>(
-            config_.timing, config_.counterInit, &rng_));
-        security_.push_back(std::make_unique<dram::SecurityMonitor>(
-            config_.timing.rowsPerBank, config_.timing.blastRadius));
+        if (slab) {
+            banks_.emplace_back(
+                config_.timing, config_.counterInit, &rng_,
+                std::span<ActCount>(counter_slab_.data() + b * rows,
+                                    rows));
+        } else {
+            banks_.emplace_back(config_.timing, config_.counterInit,
+                                &rng_);
+        }
+        if (oracle)
+            security_.emplace_back(config_.timing.rowsPerBank,
+                                   config_.timing.blastRadius);
         mitigators_.push_back(factory(b));
+        kinds_.push_back(config_.sealedDispatch
+                             ? mitigators_.back()->kind()
+                             : MitigatorKind::Custom);
         refresh_.emplace_back(config_.timing, config_.maxPostponedRefs);
         mitigation_stats_.emplace_back();
     }
@@ -58,7 +133,7 @@ Time
 SubChannel::activateAt(BankId bank, RowId row, Time not_before)
 {
     assert(bank < banks_.size());
-    assert(row < banks_[bank]->numRows());
+    assert(row < banks_[bank].numRows());
     const Time tRC = config_.timing.tRC;
 
     for (;;) {
@@ -82,18 +157,22 @@ SubChannel::activateAt(BankId bank, RowId row, Time not_before)
 
         // Issue the ACT at t; closed-page policy precharges right away
         // and the PRAC counter update lands at t + tRC.
-        dram::Bank &bk = *banks_[bank];
+        dram::Bank &bk = banks_[bank];
         bk.activate(row);
         bk.precharge();
         if (config_.securityEnabled)
-            security_[bank]->onActivate(row);
-        mitigation::MitigationContext ctx(bk, *security_[bank],
+            security_[bank].onActivate(row);
+        mitigation::MitigationContext ctx(bk, securityPtr(bank),
                                           mitigation_stats_[bank]);
         mitigation::IMitigator &mit = *mitigators_[bank];
-        mit.onActivate(row, ctx);
+        const MitigatorKind kind = kinds_[bank];
+        dispatchSealed(kind, mit,
+                       [&](auto &m) { m.onActivate(row, ctx); });
         // An ACT can only raise the activated bank's own want; the
         // sticky flag spares the per-ACT scan over every other bank.
-        if (config_.fastAlertScan && mit.wantsAlert())
+        if (config_.fastAlertScan &&
+            dispatchSealed(kind, mit,
+                           [](const auto &m) { return m.wantsAlert(); }))
             alert_wanted_sticky_ = true;
         ++stats_.acts;
 
@@ -189,16 +268,19 @@ SubChannel::performOneRef()
     for (BankId b = 0; b < banks_.size(); ++b) {
         const uint32_t group = refresh_[b].issueRef();
         const auto [first, last] = refresh_[b].groupRows(group);
-        mitigation::MitigationContext ctx(*banks_[b], *security_[b],
+        mitigation::MitigationContext ctx(banks_[b], securityPtr(b),
                                           mitigation_stats_[b]);
         if (config_.refreshResetsRows) {
             if (config_.securityEnabled) {
                 for (RowId r = first; r <= last; ++r)
-                    security_[b]->onRowRefreshed(r);
+                    security_[b].onRowRefreshed(r);
             }
-            mitigators_[b]->onAutoRefresh(first, last, ctx);
+            dispatchSealed(kinds_[b], *mitigators_[b], [&](auto &m) {
+                m.onAutoRefresh(first, last, ctx);
+            });
         }
-        mitigators_[b]->onRefCommand(ctx);
+        dispatchSealed(kinds_[b], *mitigators_[b],
+                       [&](auto &m) { m.onRefCommand(ctx); });
     }
     ++stats_.refs;
 }
@@ -210,9 +292,10 @@ SubChannel::serviceRfmBlock()
     const int n = abo_.rfmsPerAlert();
     for (int i = 0; i < n; ++i) {
         for (BankId b = 0; b < banks_.size(); ++b) {
-            mitigation::MitigationContext ctx(*banks_[b], *security_[b],
+            mitigation::MitigationContext ctx(banks_[b], securityPtr(b),
                                               mitigation_stats_[b]);
-            mitigators_[b]->onRfm(ctx);
+            dispatchSealed(kinds_[b], *mitigators_[b],
+                           [&](auto &m) { m.onRfm(ctx); });
         }
         ++stats_.rfms;
     }
@@ -240,17 +323,31 @@ SubChannel::maybeAssertAlert(Time t)
     abo_.assertAlert(t);
     rfm_block_pending_ = true;
     for (BankId b = 0; b < banks_.size(); ++b) {
-        mitigation::MitigationContext ctx(*banks_[b], *security_[b],
+        mitigation::MitigationContext ctx(banks_[b], securityPtr(b),
                                           mitigation_stats_[b]);
-        mitigators_[b]->onAlertAsserted(ctx);
+        dispatchSealed(kinds_[b], *mitigators_[b],
+                       [&](auto &m) { m.onAlertAsserted(ctx); });
     }
+}
+
+void
+SubChannel::requireOracle() const
+{
+    if (security_.empty())
+        fatal("SubChannel::security: the ground-truth oracle is elided "
+              "on this channel (securityEnabled is off on the sealed "
+              "path); enable securityEnabled to track damage/hammer "
+              "state");
 }
 
 bool
 SubChannel::anyAlertWanted() const
 {
-    for (const auto &m : mitigators_) {
-        if (m->wantsAlert())
+    for (BankId b = 0; b < banks_.size(); ++b) {
+        const bool want = dispatchSealed(
+            kinds_[b], *mitigators_[b],
+            [](const auto &m) { return m.wantsAlert(); });
+        if (want)
             return true;
     }
     return false;
@@ -274,7 +371,7 @@ SubChannel::maxHammerAnyBank() const
 {
     uint32_t best = 0;
     for (const auto &s : security_)
-        best = std::max(best, s->maxHammer());
+        best = std::max(best, s.maxHammer());
     return best;
 }
 

@@ -75,6 +75,19 @@ struct SubChannelConfig
      * scan (bench_core_loop) and cross-checked in tests.
      */
     bool fastAlertScan = true;
+    /**
+     * Run the devirtualized hot path: per-ACT (and per-REF/RFM)
+     * mitigator hooks dispatch through a sealed MitigatorKind switch
+     * of direct calls into the five registry designs (anything else
+     * falls back to the virtual IMitigator interface), and the
+     * ground-truth oracle's multi-MB per-bank arrays are allocated
+     * only when securityEnabled actually reads them. false preserves
+     * the pre-overhaul reference path -- a virtual call per hook and
+     * eagerly allocated oracle state -- so bench_core_loop and
+     * bench_sweep_scale can A/B the two; results are bit-identical
+     * either way (the same member functions run in the same order).
+     */
+    bool sealedDispatch = true;
     /** Maximum REFs that postponement may owe at once (DDR5: 2). */
     uint32_t maxPostponedRefs = 2;
     /** Seed for randomized counter initialization. */
@@ -159,14 +172,34 @@ class SubChannel
     void setPostponeRefresh(bool on) { postpone_refresh_ = on; }
 
     /** Access to a bank (counters). */
-    dram::Bank &bank(BankId b) { return *banks_.at(b); }
-    const dram::Bank &bank(BankId b) const { return *banks_.at(b); }
+    dram::Bank &bank(BankId b) { return banks_.at(b); }
+    const dram::Bank &bank(BankId b) const { return banks_.at(b); }
 
-    /** Ground-truth security monitor of a bank. */
-    dram::SecurityMonitor &security(BankId b) { return *security_.at(b); }
+    /**
+     * Prefetch hint for an upcoming ACT to (bank, row); see
+     * dram::Bank::prefetchCounter. Out-of-range banks are ignored.
+     */
+    void prefetchActivate(BankId b, RowId row) const
+    {
+        if (b < banks_.size())
+            banks_[b].prefetchCounter(row);
+    }
+
+    /**
+     * Ground-truth security monitor of a bank. Only available when the
+     * configuration keeps the oracle (securityEnabled, or the
+     * reference path); performance runs elide its storage entirely and
+     * this accessor then fatal()s with a diagnostic.
+     */
+    dram::SecurityMonitor &security(BankId b)
+    {
+        requireOracle();
+        return security_.at(b);
+    }
     const dram::SecurityMonitor &security(BankId b) const
     {
-        return *security_.at(b);
+        requireOracle();
+        return security_.at(b);
     }
 
     /** Mitigator of a bank. */
@@ -219,11 +252,35 @@ class SubChannel
     /** Whether any bank's mitigator currently wants an ALERT. */
     bool anyAlertWanted() const;
 
+    /** Security monitor of @p b, or null when the oracle is elided. */
+    dram::SecurityMonitor *securityPtr(BankId b)
+    {
+        return security_.empty() ? nullptr : &security_[b];
+    }
+
+    /** fatal() with a diagnostic when the oracle is elided. */
+    void requireOracle() const;
+
     SubChannelConfig config_;
     Rng rng_;
-    std::vector<std::unique_ptr<dram::Bank>> banks_;
-    std::vector<std::unique_ptr<dram::SecurityMonitor>> security_;
+    /**
+     * Flat PRAC-counter slab backing every bank (sealed path): one
+     * allocation of numBanks x rowsPerBank entries instead of one
+     * multi-hundred-KB allocation per bank. Declared before banks_ so
+     * it outlives the Bank spans into it. Empty on the reference path
+     * (banks own their counters, the pre-overhaul layout).
+     */
+    std::vector<ActCount> counter_slab_;
+    /** Banks stored by value: the per-ACT path indexes a contiguous
+     *  array instead of chasing one heap pointer per bank. */
+    std::vector<dram::Bank> banks_;
+    /** Empty when the oracle is elided (securityEnabled off on the
+     *  sealed path); its per-bank arrays are the dominant cost of
+     *  constructing a sub-channel. */
+    std::vector<dram::SecurityMonitor> security_;
     std::vector<std::unique_ptr<mitigation::IMitigator>> mitigators_;
+    /** Sealed dispatch tag per bank (Custom forces virtual calls). */
+    std::vector<mitigation::MitigatorKind> kinds_;
     std::vector<dram::RefreshScheduler> refresh_;
     std::vector<mitigation::MitigationStats> mitigation_stats_;
     abo::AboEngine abo_;

@@ -28,6 +28,7 @@
  *   moatsim perf    [--workload NAME|all] [--mitigator S] [--ath N]
  *                   [--eth N] [--level 1|2|4] [--fraction F]
  *                   [--subchannels N] [--jobs N] [--jsonl FILE]
+ *                   [--no-trace-store]
  *                   --subchannels N simulates the full system as N
  *                   sub-channels (default 2, the Table-3 baseline)
  *                   and reports per-sub-channel ALERT/mitigation
@@ -40,6 +41,7 @@
  *                   [--subchannels N] [--pool N] [--acts N]
  *                   [--attack-subchannel I] [--attack-bank B]
  *                   [--seed N] [--jobs N] [--jsonl FILE]
+ *                   [--no-trace-store]
  *                   adversary-under-load scenario: the attack pattern
  *                   is synthesized as one more core's activation
  *                   trace and co-scheduled with the workload's benign
@@ -333,6 +335,9 @@ cmdPerf(const Args &args)
     ec.mitigator = perfMitigator(args, level);
     ec.workload = args.get("workload", "all");
     ec.jobs = args.getUint32("jobs", 0);
+    // Cached and uncached runs are bit-identical; the flag exists for
+    // A/B timing and the determinism smoke.
+    ec.traceStore = !args.getBool("no-trace-store", false);
     sim::Experiment exp(ec);
 
     const auto results = exp.run();
@@ -389,6 +394,7 @@ cmdCoattack(const Args &args)
     ec.mitigator = perfMitigator(args, level);
     ec.workload = args.get("workload", "all");
     ec.jobs = args.getUint32("jobs", 0);
+    ec.traceStore = !args.getBool("no-trace-store", false);
     sim::Experiment exp(ec);
 
     sim::CoAttackScenario attack;
@@ -537,7 +543,9 @@ usage()
         "trials; 0 = hardware concurrency, results bit-identical at\n"
         "any value); perf and coattack accept --jsonl FILE for\n"
         "structured results and --subchannels N (default 2) for the\n"
-        "full-system simulation; coattack co-schedules an attack\n"
+        "full-system simulation (--no-trace-store, or\n"
+        "MOATSIM_TRACE_STORE=0, disables the shared trace cache --\n"
+        "results are bit-identical); coattack co-schedules an attack\n"
         "pattern with the workload's cores and reports attacker\n"
         "maxHammer plus victim slowdown\n"
         "every experiment accepts --mitigator name[:k=v,...]; run\n"

@@ -1,0 +1,141 @@
+#include "workload/trace_store.hh"
+
+#include <cstdlib>
+#include <utility>
+
+#include "common/hash.hh"
+
+namespace moatsim::workload
+{
+
+TraceSet::TraceSet(std::vector<CoreTrace> cores)
+{
+    size_t total = 0;
+    for (const auto &c : cores)
+        total += c.events.size();
+    events_.reserve(total);
+    views_.reserve(cores.size());
+    for (const auto &c : cores) {
+        const size_t offset = events_.size();
+        events_.insert(events_.end(), c.events.begin(), c.events.end());
+        views_.push_back(
+            {events_.data() + offset, c.events.size(), c.window});
+    }
+}
+
+TraceStore::TraceStore() : TraceStore(envConfig())
+{
+}
+
+TraceStore::TraceStore(const Config &config) : config_(config)
+{
+}
+
+uint64_t
+TraceStore::key(const WorkloadSpec &spec, const TraceGenConfig &config)
+{
+    // traceSeed covers (config.seed, workload); configKey covers every
+    // other generator parameter (timing included). Together they are
+    // the full content address of a generated trace.
+    return hashCombine(traceSeed(spec, config), configKey(config));
+}
+
+TraceStore::Config
+TraceStore::envConfig()
+{
+    Config cfg;
+    if (const char *s = std::getenv("MOATSIM_TRACE_STORE"))
+        cfg.enabled = !(s[0] == '0' && s[1] == '\0');
+    if (const char *s = std::getenv("MOATSIM_TRACE_STORE_BYTES")) {
+        const long long v = std::atoll(s);
+        if (v > 0)
+            cfg.maxBytes = static_cast<size_t>(v);
+    }
+    return cfg;
+}
+
+std::shared_ptr<const TraceSet>
+TraceStore::get(const WorkloadSpec &spec, const TraceGenConfig &config)
+{
+    if (!config_.enabled) {
+        auto set =
+            std::make_shared<const TraceSet>(generateTraces(spec, config));
+        std::lock_guard<std::mutex> lock(mu_);
+        ++misses_;
+        return set;
+    }
+
+    const uint64_t k = key(spec, config);
+    std::shared_future<std::shared_ptr<const TraceSet>> future;
+    std::promise<std::shared_ptr<const TraceSet>> promise;
+    bool compute = false;
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        auto it = entries_.find(k);
+        if (it == entries_.end()) {
+            future = promise.get_future().share();
+            Entry e;
+            e.future = future;
+            e.lastUse = ++tick_;
+            entries_.emplace(k, e);
+            ++misses_;
+            compute = true;
+        } else {
+            it->second.lastUse = ++tick_;
+            future = it->second.future;
+            ++hits_;
+        }
+    }
+
+    if (compute) {
+        auto set =
+            std::make_shared<const TraceSet>(generateTraces(spec, config));
+        promise.set_value(set);
+        std::lock_guard<std::mutex> lock(mu_);
+        auto it = entries_.find(k);
+        if (it != entries_.end()) {
+            // Account the resolved size, then enforce the bound (the
+            // entry just produced is exempt: its holder has it anyway).
+            it->second.bytes = set->bytes();
+            bytes_ += set->bytes();
+            evictLocked(k);
+        }
+        return set;
+    }
+    return future.get();
+}
+
+void
+TraceStore::evictLocked(uint64_t keep)
+{
+    while (bytes_ > config_.maxBytes && entries_.size() > 1) {
+        auto victim = entries_.end();
+        for (auto it = entries_.begin(); it != entries_.end(); ++it) {
+            if (it->first == keep || it->second.bytes == 0)
+                continue; // unresolved entries have no cost yet
+            if (victim == entries_.end() ||
+                it->second.lastUse < victim->second.lastUse)
+                victim = it;
+        }
+        if (victim == entries_.end())
+            break;
+        bytes_ -= victim->second.bytes;
+        entries_.erase(victim);
+        ++evictions_;
+    }
+}
+
+TraceStore::Stats
+TraceStore::stats() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    Stats s;
+    s.hits = hits_;
+    s.misses = misses_;
+    s.evictions = evictions_;
+    s.entries = entries_.size();
+    s.bytes = bytes_;
+    return s;
+}
+
+} // namespace moatsim::workload

@@ -1,0 +1,180 @@
+/**
+ * @file
+ * Content-addressed, thread-safe store of generated workload traces.
+ *
+ * Every figure/table of the paper is a (workload x mitigator x level)
+ * matrix, and each cell replays the *same* workload trace: the trace
+ * seed is deliberately independent of the mitigator under test (see
+ * workload::traceSeed). Before the store, every cell -- baselines
+ * included -- regenerated and re-decoded that trace from scratch, so a
+ * four-point matrix paid for each workload's generation five times or
+ * more. The store generates each distinct trace exactly once and hands
+ * out std::shared_ptr<const TraceSet> values that sweep cells share
+ * across the ThreadPool.
+ *
+ * A TraceSet is immutable and flattened: every core's events live in
+ * one contiguous slab, pre-decoded once through dram::AddressMap at
+ * generation time, and the replay loops (sim/system.hh) consume
+ * CoreTraceView spans straight out of the slab.
+ *
+ * Keys are content addresses: hashCombine(traceSeed(spec, config),
+ * configKey(config)) covers everything that shapes a generated trace,
+ * so equal keys mean bit-identical traces and results never depend on
+ * whether the store was hit, missed, or disabled. The store is bounded
+ * (approximate bytes; least-recently-used entries are evicted once the
+ * bound is exceeded -- outstanding shared_ptr holders keep evicted
+ * sets alive) and surfaces hit/miss/eviction stats for
+ * bench_sweep_scale and the sweep engines.
+ *
+ * Disable it with MOATSIM_TRACE_STORE=0 (or the CLI --no-trace-store
+ * flag, or Config::enabled = false): get() then generates a fresh set
+ * per call, which the determinism suite uses to prove cached and
+ * uncached runs emit byte-identical JSONL.
+ */
+
+#ifndef MOATSIM_WORKLOAD_TRACE_STORE_HH
+#define MOATSIM_WORKLOAD_TRACE_STORE_HH
+
+#include <cstdint>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "workload/spec.hh"
+#include "workload/tracegen.hh"
+
+namespace moatsim::workload
+{
+
+/**
+ * One immutable, shareable set of per-core traces: the events of all
+ * cores flattened into a single slab (coordinates pre-decoded at
+ * generation time), plus per-core spans. Always held behind
+ * std::shared_ptr<const TraceSet>; non-copyable and non-movable so the
+ * views into the slab stay valid for every holder.
+ */
+class TraceSet
+{
+  public:
+    /** Flatten @p cores (as returned by generateTraces). */
+    explicit TraceSet(std::vector<CoreTrace> cores);
+
+    TraceSet(const TraceSet &) = delete;
+    TraceSet &operator=(const TraceSet &) = delete;
+
+    /** Number of cores. */
+    size_t numCores() const { return views_.size(); }
+
+    /** Per-core spans into the shared event slab. */
+    const std::vector<CoreTraceView> &views() const { return views_; }
+
+    /** Events across all cores. */
+    uint64_t totalEvents() const { return events_.size(); }
+
+    /** Approximate heap footprint (for the store's size bound). */
+    size_t bytes() const
+    {
+        return events_.capacity() * sizeof(TraceEvent) +
+               views_.capacity() * sizeof(CoreTraceView);
+    }
+
+  private:
+    std::vector<TraceEvent> events_;
+    std::vector<CoreTraceView> views_;
+};
+
+/** Shared, bounded cache of generated TraceSets. */
+class TraceStore
+{
+  public:
+    struct Config
+    {
+        /** false: get() generates fresh sets and caches nothing. */
+        bool enabled = true;
+        /** Approximate byte bound; LRU entries evicted beyond it. */
+        size_t maxBytes = size_t{1} << 30;
+    };
+
+    /** Counters of store activity (monotonic over the store's life). */
+    struct Stats
+    {
+        /** get() calls served from a cached (or in-flight) entry. */
+        uint64_t hits = 0;
+        /** get() calls that generated (store disabled included). */
+        uint64_t misses = 0;
+        /** Entries dropped by the size bound. */
+        uint64_t evictions = 0;
+        /** Entries currently resident. */
+        size_t entries = 0;
+        /** Approximate bytes currently resident. */
+        size_t bytes = 0;
+
+        /** Fraction of get() calls served without regenerating. */
+        double hitRate() const
+        {
+            const uint64_t total = hits + misses;
+            return total > 0 ? static_cast<double>(hits) /
+                                   static_cast<double>(total)
+                             : 0.0;
+        }
+    };
+
+    /** Store configured from the environment (envConfig()). */
+    TraceStore();
+
+    explicit TraceStore(const Config &config);
+
+    /**
+     * The trace set of @p spec under @p config; generated on first
+     * touch, shared afterwards. Concurrent first-touchers of one key
+     * block on the single generation. Thread-safe.
+     */
+    std::shared_ptr<const TraceSet> get(const WorkloadSpec &spec,
+                                        const TraceGenConfig &config);
+
+    /** Whether the store caches at all. */
+    bool enabled() const { return config_.enabled; }
+
+    const Config &config() const { return config_; }
+
+    Stats stats() const;
+
+    /** Content address: everything that shapes the generated trace. */
+    static uint64_t key(const WorkloadSpec &spec,
+                        const TraceGenConfig &config);
+
+    /**
+     * Config from the environment: MOATSIM_TRACE_STORE=0 disables,
+     * MOATSIM_TRACE_STORE_BYTES overrides the size bound.
+     */
+    static Config envConfig();
+
+  private:
+    struct Entry
+    {
+        std::shared_future<std::shared_ptr<const TraceSet>> future;
+        /** LRU tick of the last get() that touched this entry. */
+        uint64_t lastUse = 0;
+        /** Resident bytes; 0 until the generation resolves. */
+        size_t bytes = 0;
+    };
+
+    /** Drop LRU resolved entries until the bound holds (mu_ held).
+     *  Never drops @p keep (the entry the caller is handing out). */
+    void evictLocked(uint64_t keep);
+
+    Config config_;
+    mutable std::mutex mu_;
+    std::unordered_map<uint64_t, Entry> entries_;
+    uint64_t tick_ = 0;
+    uint64_t hits_ = 0;
+    uint64_t misses_ = 0;
+    uint64_t evictions_ = 0;
+    size_t bytes_ = 0;
+};
+
+} // namespace moatsim::workload
+
+#endif // MOATSIM_WORKLOAD_TRACE_STORE_HH

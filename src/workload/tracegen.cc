@@ -1,6 +1,7 @@
 #include "workload/tracegen.hh"
 
 #include <algorithm>
+#include <atomic>
 #include <bit>
 #include <cmath>
 #include <unordered_map>
@@ -73,7 +74,16 @@ routeCoord(const dram::AddressMap &map, uint32_t subchannel,
     return map.decode(a);
 }
 
+/** Invocation counter behind traceGenInvocations(). */
+std::atomic<uint64_t> gen_invocations{0};
+
 } // namespace
+
+uint64_t
+traceGenInvocations()
+{
+    return gen_invocations.load(std::memory_order_relaxed);
+}
 
 uint64_t
 configKey(const TraceGenConfig &config)
@@ -131,6 +141,8 @@ effectiveIpc(const WorkloadSpec &spec, const TraceGenConfig &config)
 std::vector<CoreTrace>
 generateTraces(const WorkloadSpec &spec, const TraceGenConfig &config)
 {
+    gen_invocations.fetch_add(1, std::memory_order_relaxed);
+
     const dram::TimingParams &t = config.timing;
     if (config.numCores == 0 || config.banksSimulated == 0)
         fatal("generateTraces: cores and banks must be non-zero");
@@ -211,6 +223,20 @@ generateTraces(const WorkloadSpec &spec, const TraceGenConfig &config)
             for (const auto &h : hot)
                 hot_acts += h.count;
 
+            // Background budget, computed up front (RNG-free, so the
+            // hoist cannot perturb the stream) so the bank's events
+            // land in at most one grow. Growth stays geometric --
+            // reserving the exact need per bank would degrade the
+            // whole loop to one reallocation-and-copy per bank.
+            const double budget =
+                std::max(pki_budget, static_cast<double>(hot_acts));
+            const uint64_t n_bg = static_cast<uint64_t>(
+                std::max(0.0, budget - static_cast<double>(hot_acts)));
+            const size_t need = trace.events.size() + hot_acts + n_bg;
+            if (need > trace.events.capacity())
+                trace.events.reserve(
+                    std::max(need, trace.events.capacity() * 2));
+
             // Hot-row episodes: contiguous pacing from a uniform start.
             for (const auto &h : hot) {
                 Time gap = config.intraEpisodeGap;
@@ -231,10 +257,6 @@ generateTraces(const WorkloadSpec &spec, const TraceGenConfig &config)
             }
 
             // Background fill up to the ACT budget.
-            const double budget =
-                std::max(pki_budget, static_cast<double>(hot_acts));
-            const uint64_t n_bg = static_cast<uint64_t>(
-                std::max(0.0, budget - static_cast<double>(hot_acts)));
             for (uint64_t i = 0; i < n_bg; ++i) {
                 const RowId r = row_base + static_cast<RowId>(
                                                rng.below(rows_per_core));

@@ -60,6 +60,27 @@ struct CoreTrace
     Time window = 0;
 };
 
+/**
+ * Non-owning view of one core's activation stream. The replay loops
+ * consume views so that shared, immutable trace storage (one flat
+ * event slab per workload::TraceSet) replays without copying; a view
+ * of a CoreTrace is the same thing by construction.
+ */
+struct CoreTraceView
+{
+    const TraceEvent *events = nullptr;
+    size_t count = 0;
+    /** Length of the traced window (trace time). */
+    Time window = 0;
+};
+
+/** View of @p trace (borrows; the trace must outlive the view). */
+inline CoreTraceView
+viewOf(const CoreTrace &trace)
+{
+    return {trace.events.data(), trace.events.size(), trace.window};
+}
+
 /** Generator parameters. */
 struct TraceGenConfig
 {
@@ -107,6 +128,15 @@ struct TraceGenConfig
 /** Generate the per-core traces of one workload. */
 std::vector<CoreTrace> generateTraces(const WorkloadSpec &spec,
                                       const TraceGenConfig &config);
+
+/**
+ * Process-wide count of generateTraces() invocations. Trace
+ * generation is the redundant work the workload::TraceStore exists to
+ * eliminate, so the counter is the observable the store's regression
+ * tests and bench_sweep_scale assert on: a full matrix run must
+ * invoke the generator exactly once per distinct (spec, config).
+ */
+uint64_t traceGenInvocations();
 
 /**
  * Stable hash of every generator parameter (including the timing
