@@ -25,10 +25,10 @@ ThreadPool::~ThreadPool()
 {
     wait();
     {
-        std::lock_guard<std::mutex> lock(mu_);
+        MutexLock lock(mu_);
         stop_ = true;
     }
-    work_cv_.notify_all();
+    work_cv_.notifyAll();
     for (auto &w : workers_)
         w.join();
 }
@@ -38,16 +38,17 @@ ThreadPool::submit(std::function<void()> job)
 {
     std::size_t target;
     {
-        std::lock_guard<std::mutex> lock(mu_);
+        MutexLock lock(mu_);
         target = next_queue_++ % queues_.size();
         ++queued_;
         ++pending_;
     }
     {
-        std::lock_guard<std::mutex> lock(queues_[target]->mu);
-        queues_[target]->jobs.push_back(std::move(job));
+        Queue &q = *queues_[target];
+        MutexLock lock(q.mu);
+        q.jobs.push_back(std::move(job));
     }
-    work_cv_.notify_one();
+    work_cv_.notifyOne();
 }
 
 std::function<void()>
@@ -61,7 +62,7 @@ ThreadPool::take(unsigned self)
         {
             // Own deque: LIFO for locality.
             Queue &own = *queues_[self];
-            std::lock_guard<std::mutex> lock(own.mu);
+            MutexLock lock(own.mu);
             if (!own.jobs.empty()) {
                 auto job = std::move(own.jobs.back());
                 own.jobs.pop_back();
@@ -70,7 +71,7 @@ ThreadPool::take(unsigned self)
         }
         for (std::size_t k = 1; k < n; ++k) {
             Queue &victim = *queues_[(self + k) % n];
-            std::lock_guard<std::mutex> lock(victim.mu);
+            MutexLock lock(victim.mu);
             if (!victim.jobs.empty()) {
                 // Steal the oldest job (FIFO end).
                 auto job = std::move(victim.jobs.front());
@@ -86,8 +87,9 @@ ThreadPool::workerLoop(unsigned self)
 {
     for (;;) {
         {
-            std::unique_lock<std::mutex> lock(mu_);
-            work_cv_.wait(lock, [this] { return stop_ || queued_ > 0; });
+            MutexLock lock(mu_);
+            while (!stop_ && queued_ == 0)
+                work_cv_.wait(lock);
             if (queued_ == 0)
                 return; // stop_ set and nothing left to run
             --queued_;
@@ -95,10 +97,10 @@ ThreadPool::workerLoop(unsigned self)
         auto job = take(self);
         job();
         {
-            std::lock_guard<std::mutex> lock(mu_);
+            MutexLock lock(mu_);
             --pending_;
             if (pending_ == 0)
-                idle_cv_.notify_all();
+                idle_cv_.notifyAll();
         }
     }
 }
@@ -106,8 +108,9 @@ ThreadPool::workerLoop(unsigned self)
 void
 ThreadPool::wait()
 {
-    std::unique_lock<std::mutex> lock(mu_);
-    idle_cv_.wait(lock, [this] { return pending_ == 0; });
+    MutexLock lock(mu_);
+    while (pending_ != 0)
+        idle_cv_.wait(lock);
 }
 
 } // namespace moatsim

@@ -17,14 +17,14 @@
 #ifndef MOATSIM_COMMON_THREAD_POOL_HH
 #define MOATSIM_COMMON_THREAD_POOL_HH
 
-#include <condition_variable>
 #include <cstddef>
 #include <deque>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "common/mutex.hh"
 
 namespace moatsim
 {
@@ -43,13 +43,13 @@ class ThreadPool
     ThreadPool &operator=(const ThreadPool &) = delete;
 
     /** Enqueue one job. */
-    void submit(std::function<void()> job);
+    void submit(std::function<void()> job) EXCLUDES(mu_);
 
     /**
      * Block until every job submitted so far (including jobs submitted
      * by running jobs) has finished. The pool is reusable afterwards.
      */
-    void wait();
+    void wait() EXCLUDES(mu_);
 
     /** Number of worker threads. */
     unsigned threadCount() const
@@ -64,29 +64,31 @@ class ThreadPool
     /** One worker's deque; owner pops the back, thieves take the front. */
     struct Queue
     {
-        std::mutex mu;
-        std::deque<std::function<void()>> jobs;
+        Mutex mu;
+        std::deque<std::function<void()>> jobs GUARDED_BY(mu);
     };
 
-    /** Claim-and-take one job; @p self biases toward the own deque. */
-    std::function<void()> take(unsigned self);
+    /** Claim-and-take one job; @p self biases toward the own deque.
+     *  A claim (queued_ decrement) must precede the call. */
+    std::function<void()> take(unsigned self) EXCLUDES(mu_);
 
-    void workerLoop(unsigned self);
+    void workerLoop(unsigned self) EXCLUDES(mu_);
 
+    /** Immutable after construction (workers read them unlocked). */
     std::vector<std::unique_ptr<Queue>> queues_;
     std::vector<std::thread> workers_;
 
-    std::mutex mu_;
+    Mutex mu_;
     /** Signals workers that queued_ grew or stop_ was set. */
-    std::condition_variable work_cv_;
+    CondVar work_cv_;
     /** Signals wait() that pending_ hit zero. */
-    std::condition_variable idle_cv_;
+    CondVar idle_cv_;
     /** Jobs submitted but not yet claimed by a worker. */
-    std::size_t queued_ = 0;
+    std::size_t queued_ GUARDED_BY(mu_) = 0;
     /** Jobs submitted but not yet finished. */
-    std::size_t pending_ = 0;
-    std::size_t next_queue_ = 0;
-    bool stop_ = false;
+    std::size_t pending_ GUARDED_BY(mu_) = 0;
+    std::size_t next_queue_ GUARDED_BY(mu_) = 0;
+    bool stop_ GUARDED_BY(mu_) = false;
 };
 
 } // namespace moatsim

@@ -139,7 +139,7 @@ CoAttackEngine::baseline(const CoAttackCell &cell)
     std::promise<std::shared_ptr<const Baseline>> promise;
     bool compute = false;
     {
-        std::lock_guard<std::mutex> lock(mu_);
+        MutexLock lock(mu_);
         auto it = baselines_.find(key);
         if (it == baselines_.end()) {
             future = promise.get_future().share();

@@ -25,12 +25,12 @@
 
 #include <future>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
 #include "abo/abo.hh"
+#include "common/mutex.hh"
 #include "mitigation/registry.hh"
 #include "sim/sweep.hh"
 #include "sim/system.hh"
@@ -173,14 +173,17 @@ class CoAttackEngine
         uint64_t refs = 0;
     };
 
-    std::shared_ptr<const Baseline> baseline(const CoAttackCell &cell);
+    std::shared_ptr<const Baseline> baseline(const CoAttackCell &cell)
+        EXCLUDES(mu_);
 
     SweepConfig config_;
     unsigned jobs_;
-    std::mutex mu_;
+    Mutex mu_;
+    /** Single-flight futures: concurrent first-requesters of one
+     *  (workload, mitigator, level) tuple block on one computation. */
     std::unordered_map<uint64_t,
                        std::shared_future<std::shared_ptr<const Baseline>>>
-        baselines_;
+        baselines_ GUARDED_BY(mu_);
 };
 
 /** Cross product: every workload at every (mitigator, level, attack)

@@ -77,7 +77,7 @@ BaselineCache::getImpl(uint64_t key, const std::function<Finish()> &replay)
     std::promise<std::shared_ptr<const Finish>> promise;
     bool compute = false;
     {
-        std::lock_guard<std::mutex> lock(mu_);
+        MutexLock lock(mu_);
         auto it = entries_.find(key);
         if (it == entries_.end()) {
             future = promise.get_future().share();
@@ -135,7 +135,7 @@ BaselineCache::get(const workload::TraceGenConfig &config,
 std::size_t
 BaselineCache::size() const
 {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     return entries_.size();
 }
 

@@ -25,12 +25,12 @@
 #include <functional>
 #include <future>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
 #include "abo/abo.hh"
+#include "common/mutex.hh"
 #include "mitigation/moat.hh"
 #include "mitigation/registry.hh"
 #include "sim/memsys.hh"
@@ -138,17 +138,19 @@ class BaselineCache
                                       bool sealed_dispatch = true);
 
     /** Number of distinct baselines computed so far. */
-    std::size_t size() const;
+    std::size_t size() const EXCLUDES(mu_);
 
   private:
-    /** Single compute-once path; @p replay runs the baseline replay. */
+    /** Single compute-once path; @p replay runs the baseline replay
+     *  (outside the lock: only the winning requester computes). */
     std::shared_ptr<const Finish>
-    getImpl(uint64_t key, const std::function<Finish()> &replay);
+    getImpl(uint64_t key, const std::function<Finish()> &replay)
+        EXCLUDES(mu_);
 
-    mutable std::mutex mu_;
+    mutable Mutex mu_;
     std::unordered_map<uint64_t,
                        std::shared_future<std::shared_ptr<const Finish>>>
-        entries_;
+        entries_ GUARDED_BY(mu_);
 };
 
 /**

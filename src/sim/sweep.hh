@@ -13,6 +13,14 @@
  * any --jobs value and under any thread schedule -- and identical
  * again with the trace store disabled. The serial path (jobs=1) runs
  * inline on the calling thread and produces the same bytes.
+ *
+ * The engine itself holds no lock and so carries no thread-safety
+ * annotations (src/common/thread_annotations.hh): each worker writes
+ * only results[i] of its own pre-assigned cell index, every shared
+ * input is const, and all cross-thread state lives behind the
+ * annotated TraceStore and BaselineCache mutexes. ThreadPool::wait()
+ * provides the happens-before edge that makes the result vector safe
+ * to read afterwards.
  */
 
 #ifndef MOATSIM_SIM_SWEEP_HH

@@ -60,7 +60,7 @@ TraceStore::get(const WorkloadSpec &spec, const TraceGenConfig &config)
     if (!config_.enabled) {
         auto set =
             std::make_shared<const TraceSet>(generateTraces(spec, config));
-        std::lock_guard<std::mutex> lock(mu_);
+        MutexLock lock(mu_);
         ++misses_;
         return set;
     }
@@ -70,7 +70,7 @@ TraceStore::get(const WorkloadSpec &spec, const TraceGenConfig &config)
     std::promise<std::shared_ptr<const TraceSet>> promise;
     bool compute = false;
     {
-        std::lock_guard<std::mutex> lock(mu_);
+        MutexLock lock(mu_);
         auto it = entries_.find(k);
         if (it == entries_.end()) {
             future = promise.get_future().share();
@@ -91,7 +91,7 @@ TraceStore::get(const WorkloadSpec &spec, const TraceGenConfig &config)
         auto set =
             std::make_shared<const TraceSet>(generateTraces(spec, config));
         promise.set_value(set);
-        std::lock_guard<std::mutex> lock(mu_);
+        MutexLock lock(mu_);
         auto it = entries_.find(k);
         if (it != entries_.end()) {
             // Account the resolved size, then enforce the bound (the
@@ -128,7 +128,7 @@ TraceStore::evictLocked(uint64_t keep)
 TraceStore::Stats
 TraceStore::stats() const
 {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     Stats s;
     s.hits = hits_;
     s.misses = misses_;

@@ -38,10 +38,10 @@
 #include <cstdint>
 #include <future>
 #include <memory>
-#include <mutex>
 #include <unordered_map>
 #include <vector>
 
+#include "common/mutex.hh"
 #include "workload/spec.hh"
 #include "workload/tracegen.hh"
 
@@ -132,14 +132,15 @@ class TraceStore
      * block on the single generation. Thread-safe.
      */
     std::shared_ptr<const TraceSet> get(const WorkloadSpec &spec,
-                                        const TraceGenConfig &config);
+                                        const TraceGenConfig &config)
+        EXCLUDES(mu_);
 
     /** Whether the store caches at all. */
     bool enabled() const { return config_.enabled; }
 
     const Config &config() const { return config_; }
 
-    Stats stats() const;
+    Stats stats() const EXCLUDES(mu_);
 
     /** Content address: everything that shapes the generated trace. */
     static uint64_t key(const WorkloadSpec &spec,
@@ -163,16 +164,17 @@ class TraceStore
 
     /** Drop LRU resolved entries until the bound holds (mu_ held).
      *  Never drops @p keep (the entry the caller is handing out). */
-    void evictLocked(uint64_t keep);
+    void evictLocked(uint64_t keep) REQUIRES(mu_);
 
+    /** Immutable after construction. */
     Config config_;
-    mutable std::mutex mu_;
-    std::unordered_map<uint64_t, Entry> entries_;
-    uint64_t tick_ = 0;
-    uint64_t hits_ = 0;
-    uint64_t misses_ = 0;
-    uint64_t evictions_ = 0;
-    size_t bytes_ = 0;
+    mutable Mutex mu_;
+    std::unordered_map<uint64_t, Entry> entries_ GUARDED_BY(mu_);
+    uint64_t tick_ GUARDED_BY(mu_) = 0;
+    uint64_t hits_ GUARDED_BY(mu_) = 0;
+    uint64_t misses_ GUARDED_BY(mu_) = 0;
+    uint64_t evictions_ GUARDED_BY(mu_) = 0;
+    size_t bytes_ GUARDED_BY(mu_) = 0;
 };
 
 } // namespace moatsim::workload
