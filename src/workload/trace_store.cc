@@ -110,6 +110,10 @@ TraceStore::evictLocked(uint64_t keep)
 {
     while (bytes_ > config_.maxBytes && entries_.size() > 1) {
         auto victim = entries_.end();
+        // moatlint: allow(unordered-iter): min-by-lastUse scan; the
+        // LRU tick picks the victim regardless of visit order, and
+        // eviction is invisible to results (equal keys regenerate
+        // bit-identical traces on a later miss)
         for (auto it = entries_.begin(); it != entries_.end(); ++it) {
             if (it->first == keep || it->second.bytes == 0)
                 continue; // unresolved entries have no cost yet

@@ -291,6 +291,9 @@ censusOf(const std::vector<CoreTrace> &traces, const TraceGenConfig &config,
     }
 
     TierCensus census;
+    // moatlint: allow(unordered-iter): commutative accumulation only;
+    // each entry bumps independent census counters, so visit order
+    // cannot reach the totals
     for (const auto &[key, c] : counts) {
         (void)key;
         if (c >= 32)

@@ -1,0 +1,470 @@
+/**
+ * @file
+ * Self-tests of the moatlint determinism linter (tools/moatlint).
+ *
+ * Three layers:
+ *   - per-rule fixture snippets through lintSource(): each rule fires
+ *     on its target idiom and stays quiet on the sanctioned
+ *     alternative (comments and string literals never trigger);
+ *   - the suppression machinery round-trip: same-line and standalone
+ *     allow() comments, multi-line justifications, stacking, and the
+ *     bad-suppression diagnostics for unknown rules or missing
+ *     justifications;
+ *   - the real tree (MOATSIM_SOURCE_DIR/src) through lintTree(): the
+ *     clean-tree gate CI enforces -- zero unsuppressed findings --
+ *     plus the invariants the linter exists to keep true (mitigators
+ *     final, dispatch sealed, JSONL %.17g).
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "moatlint/lint.hh"
+
+namespace
+{
+
+using moatlint::Finding;
+using moatlint::lintSource;
+using moatlint::lintTree;
+using moatlint::reportJson;
+using moatlint::unsuppressedCount;
+
+/** Findings of @p rule (suppressed included). */
+std::vector<Finding>
+ofRule(const std::vector<Finding> &findings, const std::string &rule)
+{
+    std::vector<Finding> out;
+    for (const auto &f : findings) {
+        if (f.rule == rule)
+            out.push_back(f);
+    }
+    return out;
+}
+
+/** Lines of unsuppressed @p rule findings. */
+std::vector<int>
+linesOf(const std::vector<Finding> &findings, const std::string &rule)
+{
+    std::vector<int> lines;
+    for (const auto &f : ofRule(findings, rule)) {
+        if (!f.suppressed)
+            lines.push_back(f.line);
+    }
+    return lines;
+}
+
+// ------------------------------------------------------------ std-hash
+
+TEST(MoatlintStdHash, FlagsInstantiation)
+{
+    const auto f = lintSource(
+        "src/sim/x.cc",
+        "uint64_t k = std::hash<std::string>{}(name);\n");
+    EXPECT_EQ(linesOf(f, "std-hash"), (std::vector<int>{1}));
+}
+
+TEST(MoatlintStdHash, QuietOnStableHash)
+{
+    const auto f = lintSource(
+        "src/sim/x.cc",
+        "uint64_t k = common::stableHash64(name);\n"
+        "uint64_t c = common::hashCombine(k, 7);\n");
+    EXPECT_TRUE(ofRule(f, "std-hash").empty());
+}
+
+TEST(MoatlintStdHash, QuietInCommentAndString)
+{
+    const auto f = lintSource(
+        "src/sim/x.cc",
+        "// std::hash<int> is banned here\n"
+        "const char *s = \"std::hash<int>\";\n");
+    EXPECT_TRUE(ofRule(f, "std-hash").empty());
+}
+
+// ----------------------------------------------------------- libc-rand
+
+TEST(MoatlintLibcRand, FlagsRandCalls)
+{
+    const auto f = lintSource("src/sim/x.cc",
+                              "int a = rand() % 7;\n"
+                              "int b = std::rand();\n"
+                              "srand(42);\n"
+                              "std::random_device rd;\n");
+    EXPECT_EQ(linesOf(f, "libc-rand"), (std::vector<int>{1, 2, 3, 4}));
+}
+
+TEST(MoatlintLibcRand, QuietOnMemberAndPrefixNames)
+{
+    // Member functions and identifiers merely containing "rand" are
+    // someone else's business.
+    const auto f = lintSource("src/sim/x.cc",
+                              "int a = rng.rand();\n"
+                              "int b = gen->rand();\n"
+                              "int operand = my_rand_count;\n"
+                              "int c = brand();\n");
+    EXPECT_TRUE(ofRule(f, "libc-rand").empty());
+}
+
+// ---------------------------------------------------------- wall-clock
+
+TEST(MoatlintWallClock, FlagsClockReads)
+{
+    const auto f = lintSource(
+        "src/sim/x.cc",
+        "auto t = std::chrono::steady_clock::now();\n"
+        "auto u = std::chrono::system_clock::now();\n"
+        "time_t v = time(nullptr);\n"
+        "clock_gettime(CLOCK_MONOTONIC, &ts);\n");
+    EXPECT_EQ(linesOf(f, "wall-clock"), (std::vector<int>{1, 2, 3, 4}));
+}
+
+TEST(MoatlintWallClock, QuietOnSimulationTime)
+{
+    const auto f = lintSource(
+        "src/sim/x.cc",
+        "Time t = picoseconds(5);\n"
+        "uint64_t lifetime = spec.lifetime;\n" // substring, not a call
+        "double realtime_factor = 2.0;\n");
+    EXPECT_TRUE(ofRule(f, "wall-clock").empty());
+}
+
+// ------------------------------------------------------ unordered-iter
+
+TEST(MoatlintUnorderedIter, FlagsRangeForAndBegin)
+{
+    const auto f = lintSource(
+        "src/sim/x.cc",
+        "std::unordered_map<uint64_t, int> counts;\n"
+        "void scan() {\n"
+        "    for (const auto &[k, v] : counts) { use(k, v); }\n"
+        "    for (auto it = counts.begin(); it != counts.end(); ++it)\n"
+        "        use(*it);\n"
+        "}\n");
+    EXPECT_EQ(linesOf(f, "unordered-iter"), (std::vector<int>{3, 4}));
+}
+
+TEST(MoatlintUnorderedIter, QuietOnLookupAndEndSentinel)
+{
+    const auto f = lintSource(
+        "src/sim/x.cc",
+        "std::unordered_map<uint64_t, int> counts;\n"
+        "bool has(uint64_t k) { return counts.find(k) != counts.end(); }\n"
+        "auto sentinel() { return counts.end(); }\n"
+        "int get(uint64_t k) { return counts.at(k); }\n");
+    EXPECT_TRUE(ofRule(f, "unordered-iter").empty());
+}
+
+TEST(MoatlintUnorderedIter, QuietOnOrderedContainers)
+{
+    const auto f = lintSource(
+        "src/sim/x.cc",
+        "std::map<uint64_t, int> counts;\n"
+        "void scan() { for (const auto &[k, v] : counts) use(k, v); }\n");
+    EXPECT_TRUE(ofRule(f, "unordered-iter").empty());
+}
+
+TEST(MoatlintUnorderedIter, ExtraNamesCoverHeaderMembers)
+{
+    // A .cc iterating a member declared in its header is caught when
+    // the header's declarations are passed through (lintTree does).
+    const std::string cc =
+        "void Store::scan() { for (const auto &e : entries_) use(e); }\n";
+    EXPECT_TRUE(ofRule(lintSource("src/sim/x.cc", cc), "unordered-iter")
+                    .empty());
+    EXPECT_EQ(linesOf(lintSource("src/sim/x.cc", cc, {"entries_"}),
+                      "unordered-iter"),
+              (std::vector<int>{1}));
+}
+
+// ------------------------------------------------------- pointer-order
+
+TEST(MoatlintPointerOrder, FlagsCastLessAndComparator)
+{
+    const auto f = lintSource(
+        "src/sim/x.cc",
+        "uint64_t k = reinterpret_cast<uintptr_t>(p);\n"
+        "std::set<Foo *, std::less<Foo *>> s;\n"
+        "auto cmp = [](const Foo *a, const Foo *b) { return a < b; };\n");
+    EXPECT_EQ(linesOf(f, "pointer-order"), (std::vector<int>{1, 2, 3}));
+}
+
+TEST(MoatlintPointerOrder, QuietOnEqualityAndStableKeys)
+{
+    const auto f = lintSource(
+        "src/sim/x.cc",
+        "bool same = (a == b);\n"
+        "auto cmp = [](const Foo *a, const Foo *b)\n"
+        "    { return a->id < b->id; };\n");
+    EXPECT_TRUE(ofRule(f, "pointer-order").empty());
+}
+
+TEST(MoatlintPointerOrder, ScopedToReplayAndSweepCode)
+{
+    // The same idiom outside src/{sim,subchannel,workload} -- e.g.
+    // common/ debug utilities -- is out of scope.
+    const auto f = lintSource(
+        "src/common/x.cc",
+        "uint64_t k = reinterpret_cast<uintptr_t>(p);\n");
+    EXPECT_TRUE(ofRule(f, "pointer-order").empty());
+}
+
+// ----------------------------------------------------- mitigator-final
+
+TEST(MoatlintMitigatorFinal, FlagsNonFinalDerivation)
+{
+    const auto f = lintSource(
+        "src/mitigation/open.hh",
+        "class Open : public IMitigator {\n};\n"
+        "class Sealed final : public IMitigator {\n};\n");
+    EXPECT_EQ(linesOf(f, "mitigator-final"), (std::vector<int>{1}));
+}
+
+TEST(MoatlintMitigatorFinal, ScopedToMitigationHeaders)
+{
+    const auto f = lintSource("src/sim/open.hh",
+                              "class Open : public IMitigator {\n};\n");
+    EXPECT_TRUE(ofRule(f, "mitigator-final").empty());
+}
+
+// ----------------------------------------------------- jsonl-stability
+
+TEST(MoatlintJsonlStability, FlagsLooseFloatsInEmitters)
+{
+    const auto f = lintSource(
+        "src/sim/x.cc",
+        "// MOATSIM_JSONL emitter\n"
+        "void emit() { std::printf(\"%.6f\", v); }\n"
+        "void also() { os << std::setprecision(9) << v; }\n"
+        "void fine() { std::snprintf(b, n, \"%.17g\", v); }\n"
+        "void ints() { std::printf(\"%d %s %u\", i, s, u); }\n");
+    EXPECT_EQ(linesOf(f, "jsonl-stability"), (std::vector<int>{2, 3}));
+}
+
+TEST(MoatlintJsonlStability, QuietOffEmitters)
+{
+    // Human-readable CLI summaries may format floats freely.
+    const auto f = lintSource(
+        "src/tools/cli.cc",
+        "void show() { std::printf(\"%.2f ms\", toMs(d)); }\n");
+    EXPECT_TRUE(ofRule(f, "jsonl-stability").empty());
+}
+
+// -------------------------------------------------------- suppressions
+
+TEST(MoatlintSuppression, SameLineRoundTrip)
+{
+    const auto f = lintSource(
+        "src/sim/x.cc",
+        "int a = rand(); // moatlint: allow(libc-rand): fixture only\n");
+    const auto hits = ofRule(f, "libc-rand");
+    ASSERT_EQ(hits.size(), 1u);
+    EXPECT_TRUE(hits[0].suppressed);
+    EXPECT_EQ(hits[0].justification, "fixture only");
+    EXPECT_EQ(unsuppressedCount(f), 0u);
+}
+
+TEST(MoatlintSuppression, StandaloneCoversNextCodeLine)
+{
+    const auto f = lintSource(
+        "src/sim/x.cc",
+        "// moatlint: allow(libc-rand): seeding the fixture\n"
+        "// (order does not matter here)\n"
+        "int a = rand();\n");
+    const auto hits = ofRule(f, "libc-rand");
+    ASSERT_EQ(hits.size(), 1u);
+    EXPECT_TRUE(hits[0].suppressed);
+    EXPECT_EQ(unsuppressedCount(f), 0u);
+}
+
+TEST(MoatlintSuppression, StackedStandaloneSuppressions)
+{
+    const auto f = lintSource(
+        "src/sim/x.cc",
+        "// moatlint: allow(libc-rand): fixture\n"
+        "// moatlint: allow(std-hash): fixture\n"
+        "int a = rand() + std::hash<int>{}(7);\n");
+    EXPECT_EQ(unsuppressedCount(f), 0u);
+}
+
+TEST(MoatlintSuppression, WrongRuleDoesNotSuppress)
+{
+    const auto f = lintSource(
+        "src/sim/x.cc",
+        "int a = rand(); // moatlint: allow(std-hash): wrong rule\n");
+    EXPECT_EQ(linesOf(f, "libc-rand"), (std::vector<int>{1}));
+}
+
+TEST(MoatlintSuppression, UnknownRuleIsBadSuppression)
+{
+    const auto f = lintSource(
+        "src/sim/x.cc",
+        "int a = rand(); // moatlint: allow(no-such-rule): nope\n");
+    EXPECT_EQ(linesOf(f, "libc-rand"), (std::vector<int>{1}));
+    EXPECT_EQ(linesOf(f, "bad-suppression"), (std::vector<int>{1}));
+}
+
+TEST(MoatlintSuppression, MissingJustificationIsBadSuppression)
+{
+    const auto f = lintSource(
+        "src/sim/x.cc",
+        "int a = rand(); // moatlint: allow(libc-rand):\n"
+        "int b = rand(); // moatlint: allow(libc-rand)\n");
+    EXPECT_EQ(linesOf(f, "libc-rand"), (std::vector<int>{1, 2}));
+    EXPECT_EQ(linesOf(f, "bad-suppression"), (std::vector<int>{1, 2}));
+}
+
+// --------------------------------------------------------- JSON report
+
+TEST(MoatlintReport, JsonIsByteStableAndComplete)
+{
+    const auto f = lintSource(
+        "src/sim/x.cc",
+        "int a = rand();\n"
+        "int b = rand(); // moatlint: allow(libc-rand): fixture\n");
+    const std::string json = reportJson(f);
+    EXPECT_EQ(json, reportJson(f)) << "report must be deterministic";
+    EXPECT_NE(json.find("\"rule\":\"libc-rand\""), std::string::npos);
+    EXPECT_NE(json.find("\"suppressed\":true"), std::string::npos);
+    EXPECT_NE(json.find("\"suppressed\":false"), std::string::npos);
+    EXPECT_NE(json.find("\"justification\":\"fixture\""),
+              std::string::npos);
+    EXPECT_NE(json.find("\"total\":2"), std::string::npos);
+    EXPECT_NE(json.find("\"unsuppressed\":1"), std::string::npos);
+}
+
+TEST(MoatlintReport, EscapesQuotesAndBackslashes)
+{
+    std::vector<Finding> f{
+        {"src/a \"b\".cc", 1, "libc-rand", "back\\slash", false, ""}};
+    const std::string json = reportJson(f);
+    EXPECT_NE(json.find("src/a \\\"b\\\".cc"), std::string::npos);
+    EXPECT_NE(json.find("back\\\\slash"), std::string::npos);
+}
+
+// ---------------------------------------------------- tree-level rules
+
+class MoatlintTreeFixture : public ::testing::Test
+{
+  protected:
+    void SetUp() override
+    {
+        root_ = std::filesystem::temp_directory_path() /
+                ("moatlint_fixture_" +
+                 std::to_string(::getpid()));
+        std::filesystem::remove_all(root_);
+        std::filesystem::create_directories(root_ / "src/mitigation");
+        std::filesystem::create_directories(root_ / "src/subchannel");
+        std::filesystem::create_directories(root_ / "src/workload");
+    }
+
+    void TearDown() override { std::filesystem::remove_all(root_); }
+
+    void write(const std::string &rel, const std::string &content)
+    {
+        std::ofstream os(root_ / rel, std::ios::binary);
+        os << content;
+    }
+
+    std::vector<Finding> lint()
+    {
+        return lintTree((root_ / "src").string());
+    }
+
+    std::filesystem::path root_;
+};
+
+TEST_F(MoatlintTreeFixture, SealedDispatchFlagsMissingCase)
+{
+    write("src/mitigation/mitigator.hh",
+          "enum class MitigatorKind { Moat, Extra, Custom };\n"
+          "struct IMitigator { virtual ~IMitigator() = default; };\n");
+    write("src/subchannel/subchannel.cc",
+          "void d() { switch (k) { case MitigatorKind::Moat: break; } }\n");
+    const auto f = lint();
+    const auto hits = ofRule(f, "sealed-dispatch");
+    ASSERT_EQ(hits.size(), 1u);
+    EXPECT_NE(hits[0].message.find("MitigatorKind::Extra"),
+              std::string::npos);
+    EXPECT_EQ(hits[0].file, "src/mitigation/mitigator.hh");
+}
+
+TEST_F(MoatlintTreeFixture, SealedDispatchCustomIsExemptAndFullIsClean)
+{
+    write("src/mitigation/mitigator.hh",
+          "enum class MitigatorKind { Moat, Custom };\n");
+    write("src/subchannel/subchannel.cc",
+          "void d() { switch (k) { case MitigatorKind::Moat: break; } }\n");
+    EXPECT_TRUE(ofRule(lint(), "sealed-dispatch").empty());
+}
+
+TEST_F(MoatlintTreeFixture, HeaderDeclsReachPairedSource)
+{
+    write("src/workload/store.hh",
+          "struct Store { std::unordered_map<uint64_t, int> entries_; };\n");
+    write("src/workload/store.cc",
+          "void Store::scan() {\n"
+          "    for (const auto &e : entries_) use(e);\n"
+          "}\n");
+    const auto f = lint();
+    const auto hits = ofRule(f, "unordered-iter");
+    ASSERT_EQ(hits.size(), 1u);
+    EXPECT_EQ(hits[0].file, "src/workload/store.cc");
+    EXPECT_EQ(hits[0].line, 2);
+}
+
+TEST_F(MoatlintTreeFixture, PathsAreRelativeAndSorted)
+{
+    write("src/workload/b.cc", "int b = rand();\n");
+    write("src/workload/a.cc", "int a = rand();\n");
+    const auto f = lint();
+    ASSERT_EQ(f.size(), 2u);
+    EXPECT_EQ(f[0].file, "src/workload/a.cc");
+    EXPECT_EQ(f[1].file, "src/workload/b.cc");
+}
+
+// ----------------------------------------------------- the real tree
+
+#ifdef MOATSIM_SOURCE_DIR
+
+/** The gate CI enforces: every finding in src/ carries a valid
+ *  suppression with a written justification. */
+TEST(MoatlintCleanTree, SrcHasZeroUnsuppressedFindings)
+{
+    const auto f =
+        lintTree(std::string(MOATSIM_SOURCE_DIR) + "/src");
+    for (const auto &fi : f) {
+        EXPECT_TRUE(fi.suppressed)
+            << fi.file << ":" << fi.line << ": [" << fi.rule << "] "
+            << fi.message;
+        EXPECT_FALSE(fi.justification.empty());
+    }
+    EXPECT_EQ(unsuppressedCount(f), 0u);
+}
+
+/** The invariants the linter exists to keep true, asserted directly
+ *  so a rule regression cannot silently exempt the real tree. */
+TEST(MoatlintCleanTree, RealTreeExercisesTheRules)
+{
+    const auto f =
+        lintTree(std::string(MOATSIM_SOURCE_DIR) + "/src");
+    // The two sanctioned unordered-iter sites keep the suppression
+    // machinery exercised in production code.
+    EXPECT_GE(ofRule(f, "unordered-iter").size(), 2u);
+    // And the hard invariants hold outright.
+    EXPECT_TRUE(ofRule(f, "mitigator-final").empty());
+    EXPECT_TRUE(ofRule(f, "sealed-dispatch").empty());
+    EXPECT_TRUE(ofRule(f, "std-hash").empty());
+    EXPECT_TRUE(ofRule(f, "libc-rand").empty());
+    EXPECT_TRUE(ofRule(f, "wall-clock").empty());
+    EXPECT_TRUE(ofRule(f, "bad-suppression").empty());
+}
+
+#endif // MOATSIM_SOURCE_DIR
+
+} // namespace

@@ -1,0 +1,1015 @@
+#include "moatlint/lint.hh"
+
+#include <algorithm>
+#include <cctype>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <regex>
+#include <set>
+#include <sstream>
+#include <tuple>
+
+namespace moatlint
+{
+
+namespace
+{
+
+// ------------------------------------------------------------ masking
+
+/** Character spans (begin, end offsets) in a file's raw text. */
+using Spans = std::vector<std::pair<size_t, size_t>>;
+
+/**
+ * Replace comments -- and, when @p mask_strings, string/char literal
+ * bodies -- with spaces, preserving newlines so offsets and line
+ * numbers stay valid. When @p string_spans is non-null it receives the
+ * extent of every string literal that is real code (not inside a
+ * comment), which the jsonl-stability rule scans for format strings.
+ */
+std::string
+maskSource(const std::string &src, bool mask_strings,
+           Spans *string_spans = nullptr)
+{
+    std::string out = src;
+    enum
+    {
+        kCode,
+        kLineComment,
+        kBlockComment,
+        kString,
+        kChar,
+        kRawString
+    } state = kCode;
+    std::string raw_end; // ")delim\"" terminator of a raw string
+    size_t span_begin = 0;
+
+    auto blank = [&](size_t i) {
+        if (out[i] != '\n')
+            out[i] = ' ';
+    };
+
+    for (size_t i = 0; i < src.size(); ++i) {
+        const char c = src[i];
+        const char next = i + 1 < src.size() ? src[i + 1] : '\0';
+        switch (state) {
+        case kCode:
+            if (c == '/' && next == '/') {
+                state = kLineComment;
+                out[i] = out[i + 1] = ' ';
+                ++i;
+            } else if (c == '/' && next == '*') {
+                state = kBlockComment;
+                out[i] = out[i + 1] = ' ';
+                ++i;
+            } else if (c == '"') {
+                if (i > 0 && src[i - 1] == 'R') {
+                    // Raw string: R"delim( ... )delim"
+                    std::string delim;
+                    size_t p = i + 1;
+                    while (p < src.size() && src[p] != '(' &&
+                           src[p] != '\n' && delim.size() < 16)
+                        delim += src[p++];
+                    if (p < src.size() && src[p] == '(') {
+                        state = kRawString;
+                        raw_end = ")" + delim + "\"";
+                        span_begin = i;
+                        break;
+                    }
+                }
+                state = kString;
+                span_begin = i;
+            } else if (c == '\'') {
+                // Digit separators (0x1'000) are not char literals.
+                const char prev = i > 0 ? src[i - 1] : '\0';
+                const bool separator =
+                    std::isalnum(static_cast<unsigned char>(prev)) &&
+                    std::isalnum(static_cast<unsigned char>(next));
+                if (!separator)
+                    state = kChar;
+            }
+            break;
+        case kLineComment:
+            if (c == '\n')
+                state = kCode;
+            else
+                blank(i);
+            break;
+        case kBlockComment:
+            if (c == '*' && next == '/') {
+                out[i] = out[i + 1] = ' ';
+                ++i;
+                state = kCode;
+            } else {
+                blank(i);
+            }
+            break;
+        case kString:
+            if (c == '\\' && next != '\0') {
+                if (mask_strings) {
+                    blank(i);
+                    blank(i + 1);
+                }
+                ++i;
+            } else if (c == '"') {
+                state = kCode;
+                if (string_spans)
+                    string_spans->push_back({span_begin, i + 1});
+            } else if (mask_strings) {
+                blank(i);
+            }
+            break;
+        case kChar:
+            if (c == '\\' && next != '\0') {
+                if (mask_strings) {
+                    blank(i);
+                    blank(i + 1);
+                }
+                ++i;
+            } else if (c == '\'') {
+                state = kCode;
+            } else if (mask_strings) {
+                blank(i);
+            }
+            break;
+        case kRawString:
+            if (src.compare(i, raw_end.size(), raw_end) == 0) {
+                i += raw_end.size() - 1;
+                state = kCode;
+                if (string_spans)
+                    string_spans->push_back({span_begin, i + 1});
+            } else if (mask_strings) {
+                blank(i);
+            }
+            break;
+        }
+    }
+    return out;
+}
+
+std::vector<size_t>
+lineStartsOf(const std::string &text)
+{
+    std::vector<size_t> starts{0};
+    for (size_t i = 0; i < text.size(); ++i) {
+        if (text[i] == '\n')
+            starts.push_back(i + 1);
+    }
+    return starts;
+}
+
+int
+lineOf(const std::vector<size_t> &starts, size_t offset)
+{
+    const auto it =
+        std::upper_bound(starts.begin(), starts.end(), offset);
+    return static_cast<int>(it - starts.begin());
+}
+
+// ------------------------------------------------------- suppressions
+
+struct Suppression
+{
+    int line = 0;        // line the comment sits on
+    int target = 0;      // line it suppresses
+    std::string rule;
+    std::string justification;
+    bool valid = false;
+};
+
+const std::regex &
+allowRe()
+{
+    static const std::regex re(
+        R"(//\s*moatlint:\s*allow\(([A-Za-z0-9_-]+)\)\s*:?[ \t]*(.*))");
+    return re;
+}
+
+std::vector<Suppression>
+parseSuppressions(const std::string &raw)
+{
+    std::vector<Suppression> sups;
+    std::istringstream is(raw);
+    std::string line;
+    std::vector<bool> comment_lines; // whole-line comments, 1-based
+    int n = 0;
+    while (std::getline(is, line)) {
+        ++n;
+        const size_t first = line.find_first_not_of(" \t");
+        comment_lines.push_back(first != std::string::npos &&
+                                line.compare(first, 2, "//") == 0);
+        std::smatch m;
+        if (!std::regex_search(line, m, allowRe()))
+            continue;
+        Suppression s;
+        s.line = n;
+        s.rule = m[1];
+        s.justification = m[2];
+        while (!s.justification.empty() &&
+               std::isspace(
+                   static_cast<unsigned char>(s.justification.back())))
+            s.justification.pop_back();
+        const std::string before = m.prefix();
+        const bool standalone =
+            before.find_first_not_of(" \t") == std::string::npos;
+        s.target = standalone ? n + 1 : n;
+        s.valid = ruleKnown(s.rule) && !s.justification.empty();
+        sups.push_back(s);
+    }
+    // A standalone allow() covers the first following non-comment
+    // line, so stacked suppressions and multi-line justification
+    // comments all reach past each other to the code below them.
+    for (auto &s : sups) {
+        if (s.target == s.line)
+            continue;
+        int t = s.target;
+        while (t <= static_cast<int>(comment_lines.size()) &&
+               comment_lines[t - 1])
+            ++t;
+        s.target = t;
+    }
+    return sups;
+}
+
+// ------------------------------------------------------------ helpers
+
+/** Whether @p path contains directory segment @p dir (e.g. "sim"). */
+bool
+inDir(const std::string &path, const std::string &dir)
+{
+    const std::string mid = "/" + dir + "/";
+    if (path.find(mid) != std::string::npos)
+        return true;
+    const std::string prefix = dir + "/";
+    return path.compare(0, prefix.size(), prefix) == 0;
+}
+
+bool
+endsWith(const std::string &s, const std::string &suffix)
+{
+    return s.size() >= suffix.size() &&
+           s.compare(s.size() - suffix.size(), suffix.size(), suffix) ==
+               0;
+}
+
+bool
+identChar(char c)
+{
+    return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+/**
+ * Occurrences of identifier-like token @p name in @p text that start a
+ * qualified-or-plain reference: the preceding character may be ':'
+ * (std::rand, ::rand) but not an identifier character, '.', or '>'
+ * (object.member / ptr->member are someone else's functions).
+ */
+std::vector<size_t>
+tokenRefs(const std::string &text, const std::string &name)
+{
+    std::vector<size_t> hits;
+    size_t at = 0;
+    while ((at = text.find(name, at)) != std::string::npos) {
+        const char prev = at > 0 ? text[at - 1] : '\0';
+        const size_t end = at + name.size();
+        const char post = end < text.size() ? text[end] : '\0';
+        if (!identChar(prev) && prev != '.' && prev != '>' &&
+            !identChar(post))
+            hits.push_back(at);
+        at = end;
+    }
+    return hits;
+}
+
+/** First non-space offset at or after @p at. */
+size_t
+skipSpace(const std::string &text, size_t at)
+{
+    while (at < text.size() &&
+           std::isspace(static_cast<unsigned char>(text[at])))
+        ++at;
+    return at;
+}
+
+/** Whether a '(' follows (spaces allowed) -- i.e. the token is called. */
+bool
+calledAt(const std::string &text, size_t end_of_token)
+{
+    const size_t p = skipSpace(text, end_of_token);
+    return p < text.size() && text[p] == '(';
+}
+
+/**
+ * Offset just past the '>' matching the '<' at @p open (which must
+ * point at '<'), or npos. '>' preceded by '-' (the arrow operator)
+ * does not close.
+ */
+size_t
+matchAngle(const std::string &text, size_t open)
+{
+    int depth = 0;
+    for (size_t i = open; i < text.size(); ++i) {
+        if (text[i] == '<') {
+            ++depth;
+        } else if (text[i] == '>' && (i == 0 || text[i - 1] != '-')) {
+            if (--depth == 0)
+                return i + 1;
+        } else if (text[i] == ';' || text[i] == '{') {
+            break; // a declaration never spans these
+        }
+    }
+    return std::string::npos;
+}
+
+/** Offset just past the matching close of the bracket at @p open. */
+size_t
+matchBracket(const std::string &text, size_t open, char o, char c)
+{
+    int depth = 0;
+    for (size_t i = open; i < text.size(); ++i) {
+        if (text[i] == o) {
+            ++depth;
+        } else if (text[i] == c) {
+            if (--depth == 0)
+                return i + 1;
+        }
+    }
+    return std::string::npos;
+}
+
+struct ParsedFile
+{
+    std::string path; // display path (used in findings and scoping)
+    std::string raw;
+    std::string code;      // comments and literal bodies masked
+    std::string with_strings; // comments masked, literals kept
+    Spans string_spans;    // literal extents within raw/with_strings
+    std::vector<size_t> lines;
+    std::vector<Suppression> sups;
+};
+
+ParsedFile
+parseFile(const std::string &path, const std::string &content)
+{
+    ParsedFile f;
+    f.path = path;
+    f.raw = content;
+    f.code = maskSource(content, true, &f.string_spans);
+    f.with_strings = maskSource(content, false);
+    f.lines = lineStartsOf(content);
+    f.sups = parseSuppressions(content);
+    return f;
+}
+
+void
+add(std::vector<Finding> &out, const ParsedFile &f, size_t offset,
+    const std::string &rule, const std::string &message)
+{
+    out.push_back({f.path, lineOf(f.lines, offset), rule, message,
+                   false, ""});
+}
+
+// -------------------------------------------------------------- rules
+
+void
+ruleStdHash(const ParsedFile &f, std::vector<Finding> &out)
+{
+    for (size_t at : tokenRefs(f.code, "std::hash")) {
+        const size_t p = skipSpace(f.code, at + 9);
+        if (p < f.code.size() && f.code[p] == '<')
+            add(out, f, at, "std-hash",
+                "std::hash is implementation-defined and varies across "
+                "stdlibs; derive seeds from FNV-1a cell keys "
+                "(common/hash.hh stableHash64/hashCombine)");
+    }
+}
+
+void
+ruleLibcRand(const ParsedFile &f, std::vector<Finding> &out)
+{
+    static const char *const kCalls[] = {"rand",    "srand",  "rand_r",
+                                         "drand48", "lrand48", "mrand48",
+                                         "random",  "srandom"};
+    for (const char *name : kCalls) {
+        for (size_t at : tokenRefs(f.code, name)) {
+            if (calledAt(f.code, at + std::string(name).size()))
+                add(out, f, at, "libc-rand",
+                    std::string(name) +
+                        "() draws from global libc state; use "
+                        "common/rng.hh seeded from a stable cell key");
+        }
+    }
+    static const char *const kTypes[] = {"std::random_device",
+                                         "random_shuffle"};
+    for (const char *name : kTypes) {
+        for (size_t at : tokenRefs(f.code, name))
+            add(out, f, at, "libc-rand",
+                std::string(name) +
+                    " is non-reproducible; use common/rng.hh seeded "
+                    "from a stable cell key");
+    }
+}
+
+void
+ruleWallClock(const ParsedFile &f, std::vector<Finding> &out)
+{
+    static const char *const kClocks[] = {
+        "system_clock", "steady_clock", "high_resolution_clock",
+        "utc_clock",    "file_clock",   "tai_clock",
+        "gps_clock"};
+    for (const char *name : kClocks) {
+        for (size_t at : tokenRefs(f.code, name))
+            add(out, f, at, "wall-clock",
+                std::string(name) +
+                    " reads host time; simulation time is "
+                    "common/time.hh picoseconds (results must not "
+                    "depend on when or how fast they ran)");
+    }
+    static const char *const kCalls[] = {
+        "time",         "gettimeofday", "clock_gettime", "clock",
+        "timespec_get", "localtime",    "gmtime",        "mktime",
+        "ctime",        "asctime",      "ftime"};
+    for (const char *name : kCalls) {
+        for (size_t at : tokenRefs(f.code, name)) {
+            if (calledAt(f.code, at + std::string(name).size()))
+                add(out, f, at, "wall-clock",
+                    std::string(name) +
+                        "() reads host wall-clock state; simulation "
+                        "time is common/time.hh picoseconds");
+        }
+    }
+}
+
+/** Identifiers declared as std::unordered_{map,set} in @p code. */
+std::vector<std::string>
+unorderedDecls(const std::string &code)
+{
+    std::vector<std::string> names;
+    for (const char *token :
+         {"std::unordered_map", "std::unordered_set"}) {
+        for (size_t at : tokenRefs(code, token)) {
+            size_t p = skipSpace(code, at + std::string(token).size());
+            if (p >= code.size() || code[p] != '<')
+                continue;
+            p = matchAngle(code, p);
+            if (p == std::string::npos)
+                continue;
+            // Skip declarator decorations: &, *, const, whitespace.
+            for (;;) {
+                p = skipSpace(code, p);
+                if (p < code.size() &&
+                    (code[p] == '&' || code[p] == '*')) {
+                    ++p;
+                } else if (code.compare(p, 6, "const ") == 0) {
+                    p += 6;
+                } else {
+                    break;
+                }
+            }
+            size_t e = p;
+            while (e < code.size() && identChar(code[e]))
+                ++e;
+            if (e > p)
+                names.push_back(code.substr(p, e - p));
+        }
+    }
+    std::sort(names.begin(), names.end());
+    names.erase(std::unique(names.begin(), names.end()), names.end());
+    return names;
+}
+
+void
+ruleUnorderedIter(const ParsedFile &f,
+                  const std::vector<std::string> &extra,
+                  std::vector<Finding> &out)
+{
+    std::vector<std::string> names = unorderedDecls(f.code);
+    names.insert(names.end(), extra.begin(), extra.end());
+    std::sort(names.begin(), names.end());
+    names.erase(std::unique(names.begin(), names.end()), names.end());
+    if (names.empty())
+        return;
+
+    std::set<std::pair<int, std::string>> seen; // (line, name) dedupe
+    auto flag = [&](size_t offset, const std::string &name) {
+        const int line = lineOf(f.lines, offset);
+        if (!seen.insert({line, name}).second)
+            return;
+        add(out, f, offset, "unordered-iter",
+            "iteration over std::unordered container '" + name +
+                "' is in unspecified order; iterate a sorted copy, or "
+                "suppress with a justification if the loop is "
+                "order-invariant (commutative accumulation only)");
+    };
+
+    // Range-for over a tracked name: for (... : name)
+    size_t at = 0;
+    while ((at = f.code.find("for", at)) != std::string::npos) {
+        const size_t kw = at;
+        at += 3;
+        if ((kw > 0 && identChar(f.code[kw - 1])) ||
+            identChar(f.code[kw + 3]))
+            continue;
+        const size_t open = skipSpace(f.code, kw + 3);
+        if (open >= f.code.size() || f.code[open] != '(')
+            continue;
+        const size_t close = matchBracket(f.code, open, '(', ')');
+        if (close == std::string::npos)
+            continue;
+        const std::string head =
+            f.code.substr(open + 1, close - open - 2);
+        if (head.find(';') != std::string::npos)
+            continue; // classic for, not range-for
+        const size_t colon = head.rfind(':');
+        if (colon == std::string::npos ||
+            (colon > 0 && head[colon - 1] == ':'))
+            continue;
+        std::string range = head.substr(colon + 1);
+        const size_t b = range.find_first_not_of(" \t\n");
+        const size_t e = range.find_last_not_of(" \t\n");
+        if (b == std::string::npos)
+            continue;
+        range = range.substr(b, e - b + 1);
+        if (std::find(names.begin(), names.end(), range) != names.end())
+            flag(kw, range);
+    }
+
+    // Iterator-style: name.begin() / name.cbegin() / name.rbegin()
+    for (const auto &name : names) {
+        for (size_t ref : tokenRefs(f.code, name)) {
+            size_t p = skipSpace(f.code, ref + name.size());
+            if (p >= f.code.size() || f.code[p] != '.')
+                continue;
+            p = skipSpace(f.code, p + 1);
+            for (const char *b : {"begin", "cbegin", "rbegin"}) {
+                const size_t n = std::string(b).size();
+                if (f.code.compare(p, n, b) == 0 &&
+                    calledAt(f.code, p + n)) {
+                    flag(ref, name);
+                    break;
+                }
+            }
+        }
+    }
+}
+
+void
+rulePointerOrder(const ParsedFile &f, std::vector<Finding> &out)
+{
+    if (!inDir(f.path, "sim") && !inDir(f.path, "subchannel") &&
+        !inDir(f.path, "workload"))
+        return;
+
+    for (size_t at : tokenRefs(f.code, "reinterpret_cast")) {
+        size_t p = skipSpace(f.code, at + 16);
+        if (p >= f.code.size() || f.code[p] != '<')
+            continue;
+        p = skipSpace(f.code, p + 1);
+        if (f.code.compare(p, 5, "std::") == 0)
+            p += 5;
+        if (f.code.compare(p, 9, "uintptr_t") == 0 ||
+            f.code.compare(p, 8, "intptr_t") == 0)
+            add(out, f, at, "pointer-order",
+                "casting a pointer to an integer exposes its runtime "
+                "address (ASLR-dependent) to arithmetic or ordering; "
+                "key replay/sweep state by stable ids instead");
+    }
+
+    static const std::regex less_ptr(R"(std::less\s*<[^<>]*\*\s*>)");
+    for (auto it = std::sregex_iterator(f.code.begin(), f.code.end(),
+                                        less_ptr);
+         it != std::sregex_iterator(); ++it) {
+        add(out, f, static_cast<size_t>(it->position()), "pointer-order",
+            "std::less over pointers orders by runtime address; order "
+            "replay/sweep collections by stable ids");
+    }
+
+    // Comparator lambda over two pointer parameters whose body orders
+    // them: [..](const T *a, const T *b) { ... a < b ... }
+    static const std::regex lambda_ptr(
+        R"(\[[^\[\]]*\]\s*\(\s*(?:const\s+)?[A-Za-z_][\w:]*\s*\*\s*)"
+        R"((\w+)\s*,\s*(?:const\s+)?[A-Za-z_][\w:]*\s*\*\s*(\w+)\s*\))");
+    for (auto it = std::sregex_iterator(f.code.begin(), f.code.end(),
+                                        lambda_ptr);
+         it != std::sregex_iterator(); ++it) {
+        const std::string a = (*it)[1], b = (*it)[2];
+        const size_t after =
+            static_cast<size_t>(it->position() + it->length());
+        const size_t open = f.code.find('{', after);
+        if (open == std::string::npos)
+            continue;
+        const size_t close = matchBracket(f.code, open, '{', '}');
+        if (close == std::string::npos)
+            continue;
+        const std::string body = f.code.substr(open, close - open);
+        const std::regex cmp("(^|[^\\w<>])(" + a + "\\s*[<>]=?\\s*" + b +
+                             "|" + b + "\\s*[<>]=?\\s*" + a +
+                             ")($|[^\\w<>=])");
+        if (std::regex_search(body, cmp))
+            add(out, f, static_cast<size_t>(it->position()),
+                "pointer-order",
+                "comparator orders raw pointers '" + a + "'/'" + b +
+                    "' by address; sort replay/sweep data by a stable "
+                    "key");
+    }
+}
+
+void
+ruleMitigatorFinal(const ParsedFile &f, std::vector<Finding> &out)
+{
+    if (!inDir(f.path, "mitigation") || !endsWith(f.path, ".hh"))
+        return;
+    static const std::regex derive(
+        R"(class\s+([A-Za-z_]\w*)\s*(final\s*)?:\s*public\s+)"
+        R"((?:\w+::)*IMitigator\b)");
+    for (auto it =
+             std::sregex_iterator(f.code.begin(), f.code.end(), derive);
+         it != std::sregex_iterator(); ++it) {
+        if ((*it)[2].matched)
+            continue;
+        add(out, f, static_cast<size_t>(it->position()),
+            "mitigator-final",
+            "class " + (*it)[1].str() +
+                " derives from IMitigator but is not final; sealed "
+                "dispatch (subchannel dispatchSealed) static_casts to "
+                "the concrete type, which is only sound for a closed "
+                "set of final classes");
+    }
+}
+
+void
+ruleJsonlStability(const ParsedFile &f, std::vector<Finding> &out)
+{
+    // A file is an emitter when it *formats* JSON itself (the
+    // toJsonLine/jsonField helpers or the explicit MOATSIM_JSONL
+    // marker) -- merely calling writeJsonLines() delegates the
+    // formatting to result_io, which is checked on its own.
+    const bool emitter =
+        f.raw.find("toJsonLine") != std::string::npos ||
+        f.raw.find("jsonField") != std::string::npos ||
+        f.raw.find("MOATSIM_JSONL") != std::string::npos;
+    if (!emitter)
+        return;
+
+    // Float conversions inside real string literals must be %.17g.
+    static const std::regex conv(R"(%[-+ #0-9.*]*[a-zA-Z])");
+    for (const auto &[b, e] : f.string_spans) {
+        const std::string lit = f.raw.substr(b, e - b);
+        for (auto it =
+                 std::sregex_iterator(lit.begin(), lit.end(), conv);
+             it != std::sregex_iterator(); ++it) {
+            const std::string spec = it->str();
+            const char kind = spec.back();
+            if (kind != 'e' && kind != 'E' && kind != 'f' &&
+                kind != 'F' && kind != 'g' && kind != 'G')
+                continue;
+            if (spec == "%.17g")
+                continue;
+            add(out, f, b + static_cast<size_t>(it->position()),
+                "jsonl-stability",
+                "float format \"" + spec +
+                    "\" in a JSONL-emitting file; use \"%.17g\" (the "
+                    "shortest round-trip-exact form result_io "
+                    "standardized) so golden files stay byte-stable");
+        }
+    }
+
+    for (size_t at : tokenRefs(f.code, "setprecision"))
+        add(out, f, at, "jsonl-stability",
+            "std::setprecision in a JSONL-emitting file; format "
+            "doubles with snprintf \"%.17g\" (see sim/result_io.cc "
+            "jsonDouble) so output stays byte-stable");
+}
+
+/** Per-file rule driver (everything except the cross-file checks). */
+std::vector<Finding>
+lintParsed(const ParsedFile &f, const std::vector<std::string> &extra)
+{
+    std::vector<Finding> out;
+    ruleStdHash(f, out);
+    ruleLibcRand(f, out);
+    ruleWallClock(f, out);
+    ruleUnorderedIter(f, extra, out);
+    rulePointerOrder(f, out);
+    ruleMitigatorFinal(f, out);
+    ruleJsonlStability(f, out);
+    return out;
+}
+
+/**
+ * Mark findings covered by a valid suppression and append
+ * bad-suppression findings for malformed allow() comments.
+ */
+void
+applySuppressions(const ParsedFile &f, std::vector<Finding> &findings)
+{
+    for (auto &fi : findings) {
+        if (fi.file != f.path)
+            continue;
+        for (const auto &s : f.sups) {
+            if (s.valid && s.rule == fi.rule && s.target == fi.line) {
+                fi.suppressed = true;
+                fi.justification = s.justification;
+                break;
+            }
+        }
+    }
+    for (const auto &s : f.sups) {
+        if (s.valid)
+            continue;
+        const std::string why =
+            !ruleKnown(s.rule)
+                ? "names unknown rule '" + s.rule + "'"
+                : "is missing its justification (write \"// moatlint: "
+                  "allow(" +
+                      s.rule + "): <why this is safe>\")";
+        findings.push_back({f.path, s.line, "bad-suppression",
+                            "suppression comment " + why, false, ""});
+    }
+}
+
+// --------------------------------------------------- cross-file rules
+
+/** Members of `enum class MitigatorKind`, with the enum's line. */
+std::vector<std::string>
+mitigatorKinds(const ParsedFile &f, int *enum_line)
+{
+    std::vector<std::string> kinds;
+    const size_t at = f.code.find("enum class MitigatorKind");
+    if (at == std::string::npos)
+        return kinds;
+    *enum_line = lineOf(f.lines, at);
+    const size_t open = f.code.find('{', at);
+    if (open == std::string::npos)
+        return kinds;
+    const size_t close = matchBracket(f.code, open, '{', '}');
+    if (close == std::string::npos)
+        return kinds;
+    std::string body = f.code.substr(open + 1, close - open - 2);
+    std::istringstream is(body);
+    std::string item;
+    while (std::getline(is, item, ',')) {
+        const size_t eq = item.find('=');
+        if (eq != std::string::npos)
+            item = item.substr(0, eq);
+        const size_t b = item.find_first_not_of(" \t\n");
+        if (b == std::string::npos)
+            continue;
+        const size_t e = item.find_last_not_of(" \t\n");
+        kinds.push_back(item.substr(b, e - b + 1));
+    }
+    return kinds;
+}
+
+void
+ruleSealedDispatch(const std::vector<ParsedFile> &files,
+                   std::vector<Finding> &findings)
+{
+    const ParsedFile *enum_file = nullptr;
+    for (const auto &f : files) {
+        if (endsWith(f.path, "mitigation/mitigator.hh"))
+            enum_file = &f;
+    }
+    if (!enum_file)
+        return; // fixture trees without the registry: nothing to check
+    int enum_line = 0;
+    const std::vector<std::string> kinds =
+        mitigatorKinds(*enum_file, &enum_line);
+    bool have_dispatch = false;
+    for (const auto &kind : kinds) {
+        if (kind == "Custom")
+            continue; // the virtual-fallback tag, by design
+        bool dispatched = false;
+        for (const auto &f : files) {
+            if (!inDir(f.path, "subchannel"))
+                continue;
+            have_dispatch = true;
+            if (f.code.find("case MitigatorKind::" + kind) !=
+                std::string::npos) {
+                dispatched = true;
+                break;
+            }
+        }
+        if (have_dispatch && !dispatched)
+            findings.push_back(
+                {enum_file->path, enum_line, "sealed-dispatch",
+                 "MitigatorKind::" + kind +
+                     " has no case in the sealed dispatch switch "
+                     "(src/subchannel); its hot path would silently "
+                     "decay to virtual calls",
+                 false, ""});
+    }
+}
+
+} // namespace
+
+// ------------------------------------------------------------- public
+
+const std::vector<RuleInfo> &
+rules()
+{
+    static const std::vector<RuleInfo> kRules = {
+        {"std-hash", "std::hash is stdlib-dependent; seeds derive from "
+                     "FNV-1a cell keys (common/hash.hh)"},
+        {"libc-rand", "rand()/std::random_device/...: non-reproducible "
+                      "randomness; use common/rng.hh"},
+        {"wall-clock", "wall-clock reads in src/ make results "
+                       "time-dependent; use simulation time"},
+        {"unordered-iter", "iteration over std::unordered_{map,set} is "
+                           "unspecified order"},
+        {"pointer-order", "pointer-value comparison/ordering in "
+                          "replay/sweep code is ASLR-dependent"},
+        {"mitigator-final", "registry mitigators must be final for "
+                            "sealed-dispatch devirtualization"},
+        {"sealed-dispatch", "every non-Custom MitigatorKind needs a "
+                            "case in dispatchSealed"},
+        {"jsonl-stability", "JSONL emitters format doubles with %.17g "
+                            "only (byte-stable goldens)"},
+        {"bad-suppression", "allow() comment naming an unknown rule or "
+                            "missing its justification"},
+    };
+    return kRules;
+}
+
+bool
+ruleKnown(const std::string &name)
+{
+    for (const auto &r : rules()) {
+        if (r.name == name)
+            return true;
+    }
+    return false;
+}
+
+std::vector<Finding>
+lintSource(const std::string &path, const std::string &content,
+           const std::vector<std::string> &extra_unordered)
+{
+    const ParsedFile f = parseFile(path, content);
+    std::vector<Finding> findings = lintParsed(f, extra_unordered);
+    applySuppressions(f, findings);
+    sortFindings(findings);
+    return findings;
+}
+
+std::vector<Finding>
+lintTree(const std::string &root)
+{
+    namespace fs = std::filesystem;
+    const fs::path root_path(root);
+    const fs::path base = root_path.parent_path();
+
+    std::vector<fs::path> paths;
+    if (fs::exists(root_path)) {
+        for (const auto &entry :
+             fs::recursive_directory_iterator(root_path)) {
+            if (!entry.is_regular_file())
+                continue;
+            const std::string ext = entry.path().extension().string();
+            if (ext == ".cc" || ext == ".hh" || ext == ".cpp" ||
+                ext == ".hpp" || ext == ".h")
+                paths.push_back(entry.path());
+        }
+    }
+    // Directory iteration order is filesystem-dependent; the linter
+    // holds itself to the determinism bar it enforces.
+    std::sort(paths.begin(), paths.end());
+
+    std::vector<ParsedFile> files;
+    files.reserve(paths.size());
+    for (const auto &p : paths) {
+        std::ifstream is(p, std::ios::binary);
+        std::ostringstream buf;
+        buf << is.rdbuf();
+        fs::path rel = p.lexically_relative(base.empty() ? "." : base);
+        std::string display = rel.generic_string();
+        if (display.empty() || display.compare(0, 2, "..") == 0)
+            display = p.generic_string();
+        files.push_back(parseFile(display, buf.str()));
+    }
+
+    // Unordered-container members declared in a header are often
+    // iterated in the paired .cc; feed each .cc its header's decls.
+    std::map<std::string, std::vector<std::string>> header_decls;
+    for (const auto &f : files) {
+        if (endsWith(f.path, ".hh") || endsWith(f.path, ".hpp") ||
+            endsWith(f.path, ".h")) {
+            const size_t dot = f.path.rfind('.');
+            header_decls[f.path.substr(0, dot)] =
+                unorderedDecls(f.code);
+        }
+    }
+
+    std::vector<Finding> findings;
+    for (const auto &f : files) {
+        std::vector<std::string> extra;
+        if (endsWith(f.path, ".cc") || endsWith(f.path, ".cpp")) {
+            const size_t dot = f.path.rfind('.');
+            const auto it = header_decls.find(f.path.substr(0, dot));
+            if (it != header_decls.end())
+                extra = it->second;
+        }
+        std::vector<Finding> fs_ = lintParsed(f, extra);
+        applySuppressions(f, fs_);
+        findings.insert(findings.end(), fs_.begin(), fs_.end());
+    }
+
+    std::vector<Finding> tree;
+    ruleSealedDispatch(files, tree);
+    for (const auto &f : files)
+        applySuppressions(f, tree);
+    // applySuppressions re-reports each file's bad allow() comments;
+    // keep only the per-file copies already in `findings`.
+    tree.erase(std::remove_if(tree.begin(), tree.end(),
+                              [](const Finding &fi) {
+                                  return fi.rule == "bad-suppression";
+                              }),
+               tree.end());
+    findings.insert(findings.end(), tree.begin(), tree.end());
+
+    sortFindings(findings);
+    return findings;
+}
+
+void
+sortFindings(std::vector<Finding> &findings)
+{
+    std::sort(findings.begin(), findings.end(),
+              [](const Finding &a, const Finding &b) {
+                  return std::tie(a.file, a.line, a.rule, a.message) <
+                         std::tie(b.file, b.line, b.rule, b.message);
+              });
+}
+
+std::size_t
+unsuppressedCount(const std::vector<Finding> &findings)
+{
+    std::size_t n = 0;
+    for (const auto &f : findings) {
+        if (!f.suppressed)
+            ++n;
+    }
+    return n;
+}
+
+namespace
+{
+
+std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (const char c : s) {
+        if (c == '"' || c == '\\')
+            out.push_back('\\');
+        if (static_cast<unsigned char>(c) < 0x20) {
+            char buf[8];
+            std::snprintf(buf, sizeof buf, "\\u%04x", c);
+            out += buf;
+            continue;
+        }
+        out.push_back(c);
+    }
+    return out;
+}
+
+} // namespace
+
+std::string
+reportJson(const std::vector<Finding> &findings)
+{
+    std::vector<Finding> sorted = findings;
+    sortFindings(sorted);
+    std::string out = "{\"rules\":[";
+    bool first = true;
+    for (const auto &r : rules()) {
+        if (!first)
+            out += ",";
+        first = false;
+        out += "\"" + jsonEscape(r.name) + "\"";
+    }
+    out += "],\"findings\":[";
+    first = true;
+    for (const auto &f : sorted) {
+        if (!first)
+            out += ",";
+        first = false;
+        out += "{\"file\":\"" + jsonEscape(f.file) + "\"";
+        out += ",\"line\":" + std::to_string(f.line);
+        out += ",\"rule\":\"" + jsonEscape(f.rule) + "\"";
+        out += ",\"message\":\"" + jsonEscape(f.message) + "\"";
+        out += std::string(",\"suppressed\":") +
+               (f.suppressed ? "true" : "false");
+        out += ",\"justification\":\"" + jsonEscape(f.justification) +
+               "\"}";
+    }
+    out += "],\"total\":" + std::to_string(sorted.size());
+    out += ",\"unsuppressed\":" +
+           std::to_string(unsuppressedCount(sorted));
+    out += "}";
+    return out;
+}
+
+} // namespace moatlint

@@ -1,0 +1,130 @@
+/**
+ * @file
+ * moatlint: repo-specific determinism and sealed-dispatch linter.
+ *
+ * moatsim's headline guarantee -- bit-identical sweep results at any
+ * --jobs count, on any host, with any stdlib -- rests on source-level
+ * invariants no off-the-shelf tool knows:
+ *
+ *   std-hash         std::hash is implementation-defined; every seed
+ *                    must derive from the FNV-1a cell keys in
+ *                    common/hash.hh.
+ *   libc-rand        rand()/std::random_device/... draw from global or
+ *                    hardware state; all randomness goes through
+ *                    common/rng.hh seeded from stable keys.
+ *   wall-clock       wall-clock reads make results time-dependent;
+ *                    simulation time is common/time.hh picoseconds.
+ *   unordered-iter   iteration order of std::unordered_{map,set} is
+ *                    unspecified; iterating one can leak that order
+ *                    into results, JSONL, or eviction decisions.
+ *   pointer-order    pointer values differ run to run (ASLR); ordering
+ *                    or comparing them in replay/sweep code
+ *                    (src/{sim,subchannel,workload}) breaks replay
+ *                    determinism.
+ *   mitigator-final  registry mitigators must be `final` so the sealed
+ *                    dispatch devirtualization stays sound.
+ *   sealed-dispatch  every MitigatorKind except Custom must have a
+ *                    case in dispatchSealed (src/subchannel), or the
+ *                    hot path silently decays to virtual calls.
+ *   jsonl-stability  JSONL emitters format doubles with "%.17g"
+ *                    (byte-stable, round-trip exact); other float
+ *                    conversions and std::setprecision are banned in
+ *                    emitting files (files that format JSON themselves
+ *                    via toJsonLine/jsonField or that opt in with a
+ *                    MOATSIM_JSONL marker comment).
+ *   bad-suppression  a moatlint suppression comment naming an unknown
+ *                    rule or missing its justification.
+ *
+ * Findings carry file/line diagnostics. A finding is suppressed -- but
+ * still reported, with its justification -- by an inline comment on
+ * the same line, or on its own line above (further whole-line comments
+ * may continue the justification between it and the code):
+ *
+ *     // moatlint: allow(unordered-iter): commutative counting only
+ *
+ * The justification is mandatory; suppressions without one (or naming
+ * an unknown rule) surface as bad-suppression findings and do not
+ * suppress anything.
+ *
+ * The engine is deliberately textual (comment/string-aware token
+ * scanning, not a full parser): it runs in milliseconds with no
+ * toolchain dependency, and the rules target idioms that are textually
+ * recognizable. tests/test_moatlint.cc pins each rule's behaviour with
+ * fixture snippets and asserts the real tree is clean.
+ */
+
+#ifndef MOATLINT_LINT_HH
+#define MOATLINT_LINT_HH
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace moatlint
+{
+
+/** One diagnostic of one rule at one source line. */
+struct Finding
+{
+    /** Path as reported (relative to the linted tree's parent). */
+    std::string file;
+    /** 1-based line. */
+    int line = 0;
+    /** Rule name (see rules()). */
+    std::string rule;
+    std::string message;
+    /** True when an allow() comment with a justification covers it. */
+    bool suppressed = false;
+    /** The suppression's justification text (when suppressed). */
+    std::string justification;
+};
+
+/** Name and one-line summary of one rule. */
+struct RuleInfo
+{
+    std::string name;
+    std::string summary;
+};
+
+/** Every rule the engine knows, in stable order. */
+const std::vector<RuleInfo> &rules();
+
+/** Whether @p name names a known rule. */
+bool ruleKnown(const std::string &name);
+
+/**
+ * Lint one file's contents. @p path scopes path-dependent rules
+ * (pointer-order, mitigator-final, jsonl-stability) and labels the
+ * findings. @p extra_unordered names identifiers to treat as
+ * unordered containers in addition to those declared in @p content
+ * (lintTree passes the paired header's declarations so a .cc
+ * iterating a member declared in its .hh is still caught).
+ */
+std::vector<Finding>
+lintSource(const std::string &path, const std::string &content,
+           const std::vector<std::string> &extra_unordered = {});
+
+/**
+ * Lint every .cc/.hh/.cpp/.hpp/.h under @p root (recursively), in
+ * sorted path order, then run the cross-file rules (sealed-dispatch).
+ * Findings report paths relative to @p root's parent directory, so
+ * linting <repo>/src yields "src/..." paths.
+ */
+std::vector<Finding> lintTree(const std::string &root);
+
+/** Findings sorted by (file, line, rule, message). */
+void sortFindings(std::vector<Finding> &findings);
+
+/** Number of findings not covered by a valid suppression. */
+std::size_t unsuppressedCount(const std::vector<Finding> &findings);
+
+/**
+ * Machine-readable report: one JSON object with the rule list, every
+ * finding (sorted; suppressed ones included with their justification),
+ * and summary counts. Byte-stable for identical findings.
+ */
+std::string reportJson(const std::vector<Finding> &findings);
+
+} // namespace moatlint
+
+#endif // MOATLINT_LINT_HH

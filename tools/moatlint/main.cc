@@ -1,0 +1,133 @@
+/**
+ * @file
+ * moatlint CLI.
+ *
+ *     moatlint [--root DIR] [--json FILE] [--list-rules] [--verbose]
+ *              [dir...]
+ *
+ * Lints each dir (default: src) relative to --root (default: cwd),
+ * prints findings as "file:line: [rule] message", and exits 1 when any
+ * finding lacks a valid suppression. --json writes the machine-
+ * readable report ("-" for stdout); --verbose also prints suppressed
+ * findings with their justifications.
+ */
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "moatlint/lint.hh"
+
+namespace
+{
+
+int
+usage(const char *argv0, int code)
+{
+    std::fprintf(
+        code == 0 ? stdout : stderr,
+        "usage: %s [--root DIR] [--json FILE] [--list-rules] "
+        "[--verbose] [dir...]\n"
+        "Lints each dir (default: src) under --root (default: .).\n"
+        "Exits 1 if any finding lacks a valid suppression.\n",
+        argv0);
+    return code;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string root = ".";
+    std::string json_path;
+    bool list_rules = false;
+    bool verbose = false;
+    std::vector<std::string> dirs;
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--root" && i + 1 < argc) {
+            root = argv[++i];
+        } else if (arg == "--json" && i + 1 < argc) {
+            json_path = argv[++i];
+        } else if (arg == "--list-rules") {
+            list_rules = true;
+        } else if (arg == "--verbose" || arg == "-v") {
+            verbose = true;
+        } else if (arg == "--help" || arg == "-h") {
+            return usage(argv[0], 0);
+        } else if (!arg.empty() && arg[0] == '-') {
+            std::fprintf(stderr, "moatlint: unknown option %s\n",
+                         arg.c_str());
+            return usage(argv[0], 2);
+        } else {
+            dirs.push_back(arg);
+        }
+    }
+
+    if (list_rules) {
+        for (const auto &r : moatlint::rules())
+            std::printf("%-16s %s\n", r.name.c_str(),
+                        r.summary.c_str());
+        return 0;
+    }
+
+    if (dirs.empty())
+        dirs.push_back("src");
+
+    std::vector<moatlint::Finding> findings;
+    for (const auto &dir : dirs) {
+        const std::filesystem::path tree =
+            std::filesystem::path(root) / dir;
+        if (!std::filesystem::exists(tree)) {
+            std::fprintf(stderr, "moatlint: no such directory: %s\n",
+                         tree.string().c_str());
+            return 2;
+        }
+        auto part = moatlint::lintTree(tree.string());
+        findings.insert(findings.end(), part.begin(), part.end());
+    }
+    moatlint::sortFindings(findings);
+
+    std::size_t suppressed = 0;
+    for (const auto &f : findings) {
+        if (f.suppressed) {
+            ++suppressed;
+            if (verbose)
+                std::printf(
+                    "%s:%d: [%s] suppressed: %s (justification: %s)\n",
+                    f.file.c_str(), f.line, f.rule.c_str(),
+                    f.message.c_str(), f.justification.c_str());
+            continue;
+        }
+        std::printf("%s:%d: [%s] %s\n", f.file.c_str(), f.line,
+                    f.rule.c_str(), f.message.c_str());
+    }
+
+    if (!json_path.empty()) {
+        const std::string report = moatlint::reportJson(findings);
+        if (json_path == "-") {
+            std::printf("%s\n", report.c_str());
+        } else {
+            std::ofstream os(json_path, std::ios::binary);
+            if (!os) {
+                std::fprintf(stderr,
+                             "moatlint: cannot write %s\n",
+                             json_path.c_str());
+                return 2;
+            }
+            os << report << "\n";
+        }
+    }
+
+    const std::size_t bad = moatlint::unsuppressedCount(findings);
+    std::fprintf(stderr,
+                 "moatlint: %zu finding(s), %zu unsuppressed, "
+                 "%zu suppressed\n",
+                 findings.size(), bad, suppressed);
+    return bad == 0 ? 0 : 1;
+}
