@@ -44,8 +44,12 @@ TraceStore::Config
 TraceStore::envConfig()
 {
     Config cfg;
+    // getenv is read at startup before any worker threads exist, and
+    // nothing in the process mutates the environment.
+    // NOLINTNEXTLINE(concurrency-mt-unsafe)
     if (const char *s = std::getenv("MOATSIM_TRACE_STORE"))
         cfg.enabled = !(s[0] == '0' && s[1] == '\0');
+    // NOLINTNEXTLINE(concurrency-mt-unsafe)
     if (const char *s = std::getenv("MOATSIM_TRACE_STORE_BYTES")) {
         const long long v = std::atoll(s);
         if (v > 0)
