@@ -17,7 +17,7 @@ cd "$(dirname "$0")/.."
 
 # C++ sources and headers; golden data files and docs are exempt from
 # the column limit.
-mapfile -t files < <(find src tests bench examples \
+mapfile -t files < <(find src tests bench examples tools \
     \( -name '*.cc' -o -name '*.hh' -o -name '*.cpp' \) | sort)
 
 fail=0

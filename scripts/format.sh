@@ -13,7 +13,7 @@ if ! command -v "$CLANG_FORMAT" > /dev/null 2>&1; then
     exit 1
 fi
 
-find src tests bench examples \
+find src tests bench examples tools \
     \( -name '*.cc' -o -name '*.hh' -o -name '*.cpp' \) \
     -exec "$CLANG_FORMAT" -i {} +
 echo "formatted; review with git diff"

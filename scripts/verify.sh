@@ -18,6 +18,13 @@ cmake -B "$BUILD_DIR" -S . -DMOATSIM_WERROR=ON ${MOATSIM_CMAKE_ARGS:-}
 cmake --build "$BUILD_DIR" -j
 ctest --test-dir "$BUILD_DIR" --output-on-failure -j"$(nproc)"
 
+# Static analysis, lint-only flavour: the moatlint determinism/
+# sealed-dispatch linter must report zero unsuppressed findings. This
+# works with any toolchain; the clang thread-safety build and the
+# clang-tidy pass run in the dedicated static-analysis CI job (run
+# ./scripts/static_analysis.sh locally when clang is installed).
+BUILD_DIR="$BUILD_DIR" ./scripts/static_analysis.sh --lint-only
+
 # Determinism smoke: the same sweep at 1 and 8 workers must produce
 # byte-identical tables (catches RNG/schedule leaks the unit tests
 # might miss at full configuration). The whole 21-workload suite on
