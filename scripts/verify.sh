@@ -50,6 +50,19 @@ echo "determinism smoke: coattack sweep at --jobs 1 vs --jobs 8"
   --jobs 8 > "$BUILD_DIR/coattack_jobs8.txt"
 diff "$BUILD_DIR/coattack_jobs1.txt" "$BUILD_DIR/coattack_jobs8.txt"
 
+# The device axis carries the same guarantee at every topology: a
+# named multi-rank, multi-channel grade fans its slots out across
+# channels x ranks x sub-channels with per-level derived seeds, and a
+# parallel run must still be byte-identical to a serial one.
+echo "determinism smoke: --device sweep at --jobs 1 vs --jobs 8"
+"$BUILD_DIR/moatsim" perf --workload all --fraction 0.015625 \
+  --subchannels 2 --device "device:org=128gb-2r2ch,speed=ddr5-prac-fast" \
+  --jobs 1 > "$BUILD_DIR/perf_device_jobs1.txt"
+"$BUILD_DIR/moatsim" perf --workload all --fraction 0.015625 \
+  --subchannels 2 --device "device:org=128gb-2r2ch,speed=ddr5-prac-fast" \
+  --jobs 8 > "$BUILD_DIR/perf_device_jobs8.txt"
+diff "$BUILD_DIR/perf_device_jobs1.txt" "$BUILD_DIR/perf_device_jobs8.txt"
+
 # The shared trace store is a pure cache: a run with it disabled (via
 # the CLI flag and via the environment switch -- both are supported
 # knobs) must be byte-identical to the cached jobs=8 run above.

@@ -13,6 +13,12 @@ moatStorage(uint32_t tracker_entries, uint32_t banks_per_chip)
     return s;
 }
 
+StorageOverhead
+moatStorage(uint32_t tracker_entries, const dram::DeviceModel &device)
+{
+    return moatStorage(tracker_entries, device.banksPerSubchannel());
+}
+
 EnergyOverhead
 mitigationEnergy(uint64_t mitigation_row_ops, uint64_t baseline_acts,
                  double act_energy_share)

@@ -9,6 +9,8 @@
 
 #include <cstdint>
 
+#include "dram/device.hh"
+
 namespace moatsim::analysis
 {
 
@@ -25,10 +27,18 @@ struct StorageOverhead
 
 /**
  * Evaluate MOAT's SRAM need: 3 bytes per tracker entry, 2 bytes for
- * the CMA register, and 2 bytes of safe-reset replica counters.
+ * the CMA register, and 2 bytes of safe-reset replica counters. The
+ * per-chip figure multiplies by an explicit bank count -- there is no
+ * baked-in "32"; geometry comes from the device model (the overload
+ * below), so the cost report is correct for every named grade.
  */
 StorageOverhead moatStorage(uint32_t tracker_entries,
-                            uint32_t banks_per_chip = 32);
+                            uint32_t banks_per_chip);
+
+/** As above with the bank count taken from @p device's geometry (the
+ *  single source of truth for banks per chip). */
+StorageOverhead moatStorage(uint32_t tracker_entries,
+                            const dram::DeviceModel &device);
 
 /** DRAM energy impact of extra mitigation activations. */
 struct EnergyOverhead

@@ -25,7 +25,9 @@ AddressMap::AddressMap(const Config &config)
 DramCoord
 AddressMap::decode(uint64_t phys_addr) const
 {
-    // Layout (low to high): column | subchannel | bank | row.
+    // Layout (low to high): column | subchannel | bank | rank |
+    // channel | row. Rank and channel default to 0 bits, so
+    // single-rank, single-channel decode is unchanged.
     uint64_t a = phys_addr;
     DramCoord c;
     c.column = static_cast<uint32_t>(a & mask(config_.rowBits));
@@ -34,6 +36,10 @@ AddressMap::decode(uint64_t phys_addr) const
     a >>= config_.subchannelBits;
     c.bank = static_cast<BankId>(a & mask(config_.bankBits));
     a >>= config_.bankBits;
+    c.rank = static_cast<uint32_t>(a & mask(config_.rankBits));
+    a >>= config_.rankBits;
+    c.channel = static_cast<uint32_t>(a & mask(config_.channelBits));
+    a >>= config_.channelBits;
     c.row = static_cast<RowId>(a & mask(config_.rowIndexBits));
     if (config_.xorBankHash) {
         // Bank hashing: XOR the bank with the low row bits, mirroring
@@ -55,6 +61,9 @@ AddressMap::encode(const DramCoord &coord) const
             mask(config_.bankBits));
     }
     uint64_t a = coord.row & mask(config_.rowIndexBits);
+    a = (a << config_.channelBits) |
+        (coord.channel & mask(config_.channelBits));
+    a = (a << config_.rankBits) | (coord.rank & mask(config_.rankBits));
     a = (a << config_.bankBits) | (raw_bank & mask(config_.bankBits));
     a = (a << config_.subchannelBits) |
         (coord.subchannel & mask(config_.subchannelBits));
@@ -66,7 +75,8 @@ uint64_t
 AddressMap::capacityBytes() const
 {
     const uint32_t total_bits = config_.rowBits + config_.subchannelBits +
-                                config_.bankBits + config_.rowIndexBits;
+                                config_.bankBits + config_.rankBits +
+                                config_.channelBits + config_.rowIndexBits;
     return 1ULL << total_bits;
 }
 

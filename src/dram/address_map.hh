@@ -25,6 +25,8 @@ namespace moatsim::dram
 /** Decoded DRAM coordinates of a physical address. */
 struct DramCoord
 {
+    uint32_t channel = 0;
+    uint32_t rank = 0;
     uint32_t subchannel = 0;
     BankId bank = 0;
     RowId row = 0;
@@ -46,6 +48,10 @@ class AddressMap
         uint32_t bankBits = 5;
         /** log2 of sub-channels (2 -> 1). */
         uint32_t subchannelBits = 1;
+        /** log2 of ranks per channel (single-rank default -> 0). */
+        uint32_t rankBits = 0;
+        /** log2 of memory channels (single-channel default -> 0). */
+        uint32_t channelBits = 0;
         /** log2 of rows per bank (64K -> 16). */
         uint32_t rowIndexBits = 16;
         /** XOR the bank index with the low row bits (bank hashing). */

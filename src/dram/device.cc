@@ -1,0 +1,425 @@
+#include "dram/device.hh"
+
+#include <algorithm>
+#include <bit>
+
+#include "common/logging.hh"
+
+namespace moatsim::dram
+{
+
+namespace
+{
+
+/**
+ * Organization presets (the ramulator org_map). Capacities assume 8 KB
+ * rows: capacity = rows x banks x sub-channels x ranks x channels x
+ * 8 KB. Every DDR5 channel has 2 sub-channels; grades vary rows per
+ * bank (per-die density) and the rank/channel population.
+ */
+std::vector<DeviceOrg>
+buildOrgs()
+{
+    std::vector<DeviceOrg> orgs;
+
+    {
+        DeviceOrg o;
+        o.name = "32gb";
+        o.summary = "Table-3 baseline: 64K rows, 8 bank groups x 4 "
+                    "banks, 1 rank, 1 channel (32 GB)";
+        o.rowsPerBank = kTable3RowsPerBank;
+        o.banksPerGroup = 4;
+        o.bankGroups = 8;
+        o.ranks = 1;
+        o.channels = 1;
+        o.subchannelsPerChannel = kTable3SubchannelsPerChannel;
+        orgs.push_back(std::move(o));
+    }
+    {
+        DeviceOrg o;
+        o.name = "8gb";
+        o.summary = "low-density die: 16K rows per bank (8 GB)";
+        o.rowsPerBank = kTable3RowsPerBank / 4;
+        o.banksPerGroup = 4;
+        o.bankGroups = 8;
+        o.ranks = 1;
+        o.channels = 1;
+        o.subchannelsPerChannel = kTable3SubchannelsPerChannel;
+        orgs.push_back(std::move(o));
+    }
+    {
+        DeviceOrg o;
+        o.name = "16gb";
+        o.summary = "mid-density die: 32K rows per bank (16 GB)";
+        o.rowsPerBank = kTable3RowsPerBank / 2;
+        o.banksPerGroup = 4;
+        o.bankGroups = 8;
+        o.ranks = 1;
+        o.channels = 1;
+        o.subchannelsPerChannel = kTable3SubchannelsPerChannel;
+        orgs.push_back(std::move(o));
+    }
+    {
+        DeviceOrg o;
+        o.name = "64gb-2r";
+        o.summary = "dual-rank DIMM: Table-3 die x 2 ranks (64 GB)";
+        o.rowsPerBank = kTable3RowsPerBank;
+        o.banksPerGroup = 4;
+        o.bankGroups = 8;
+        o.ranks = 2;
+        o.channels = 1;
+        o.subchannelsPerChannel = kTable3SubchannelsPerChannel;
+        orgs.push_back(std::move(o));
+    }
+    {
+        DeviceOrg o;
+        o.name = "64gb-2ch";
+        o.summary = "dual-channel system: Table-3 DIMM x 2 channels "
+                    "(64 GB)";
+        o.rowsPerBank = kTable3RowsPerBank;
+        o.banksPerGroup = 4;
+        o.bankGroups = 8;
+        o.ranks = 1;
+        o.channels = 2;
+        o.subchannelsPerChannel = kTable3SubchannelsPerChannel;
+        orgs.push_back(std::move(o));
+    }
+    {
+        DeviceOrg o;
+        o.name = "128gb-2r2ch";
+        o.summary = "dual-rank, dual-channel: Table-3 die x 2 ranks "
+                    "x 2 channels (128 GB)";
+        o.rowsPerBank = kTable3RowsPerBank;
+        o.banksPerGroup = 4;
+        o.bankGroups = 8;
+        o.ranks = 2;
+        o.channels = 2;
+        o.subchannelsPerChannel = kTable3SubchannelsPerChannel;
+        orgs.push_back(std::move(o));
+    }
+
+    return orgs;
+}
+
+/**
+ * Speed grades (the ramulator speed_map). "ddr5-prac" is Table 1 of
+ * the paper (revised DDR5 with PRAC) and must stay byte-equal to the
+ * TimingParams defaults; the fast/slow bins bracket it, with the PRAC
+ * counter read-modify-write (pracIncrement = tPRE - tACT) scaling with
+ * the core timings per JEDEC's per-bin tPRE.
+ */
+std::vector<DeviceSpeed>
+buildSpeeds()
+{
+    std::vector<DeviceSpeed> speeds;
+
+    {
+        const TimingParams def;
+        DeviceSpeed s;
+        s.name = "ddr5-prac";
+        s.summary = "Table-1 revised DDR5 with PRAC (tRC 52 ns, "
+                    "tPRE 36 ns incl. counter update)";
+        s.tACT = def.tACT;
+        s.tPRE = def.tPRE;
+        s.tRAS = def.tRAS;
+        s.tRC = def.tRC;
+        s.tREFW = def.tREFW;
+        s.tREFI = def.tREFI;
+        s.tRFC = def.tRFC;
+        s.tRRD = def.tRRD;
+        s.tFAW = def.tFAW;
+        s.tRFM = def.tRFM;
+        s.tAlertNormal = def.tAlertNormal;
+        s.pracIncrement = def.tPRE - def.tACT;
+        speeds.push_back(std::move(s));
+    }
+    {
+        DeviceSpeed s;
+        s.name = "ddr5-prac-fast";
+        s.summary = "fast bin: tRC 44 ns, tRFC 350 ns, tighter ABO "
+                    "recovery";
+        s.tACT = fromNs(10);
+        s.tPRE = fromNs(30);
+        s.tRAS = fromNs(14);
+        s.tRC = fromNs(44);
+        s.tREFW = fromNs(32'000'000);
+        s.tREFI = fromNs(3900);
+        s.tRFC = fromNs(350);
+        s.tRRD = fromNs(2);
+        s.tFAW = fromNs(10);
+        s.tRFM = fromNs(300);
+        s.tAlertNormal = fromNs(160);
+        s.pracIncrement = s.tPRE - s.tACT;
+        speeds.push_back(std::move(s));
+    }
+    {
+        DeviceSpeed s;
+        s.name = "ddr5-prac-slow";
+        s.summary = "slow bin: tRC 60 ns, tRFC 450 ns, wider ABO "
+                    "recovery";
+        s.tACT = fromNs(14);
+        s.tPRE = fromNs(40);
+        s.tRAS = fromNs(18);
+        s.tRC = fromNs(60);
+        s.tREFW = fromNs(32'000'000);
+        s.tREFI = fromNs(3900);
+        s.tRFC = fromNs(450);
+        s.tRRD = fromNs(4);
+        s.tFAW = fromNs(14);
+        s.tRFM = fromNs(400);
+        s.tAlertNormal = fromNs(200);
+        s.pracIncrement = s.tPRE - s.tACT;
+        speeds.push_back(std::move(s));
+    }
+
+    return speeds;
+}
+
+const DeviceOrg *
+findOrg(const std::string &name)
+{
+    for (const auto &o : deviceOrgs()) {
+        if (o.name == name)
+            return &o;
+    }
+    return nullptr;
+}
+
+const DeviceSpeed *
+findSpeed(const std::string &name)
+{
+    for (const auto &s : deviceSpeeds()) {
+        if (s.name == name)
+            return &s;
+    }
+    return nullptr;
+}
+
+std::string
+knownOrgsText()
+{
+    std::string out;
+    for (const auto &o : deviceOrgs()) {
+        if (!out.empty())
+            out += ", ";
+        out += o.name;
+    }
+    return out;
+}
+
+std::string
+knownSpeedsText()
+{
+    std::string out;
+    for (const auto &s : deviceSpeeds()) {
+        if (!out.empty())
+            out += ", ";
+        out += s.name;
+    }
+    return out;
+}
+
+/** log2 of @p value, or fatal naming @p field on a non-power-of-two. */
+uint32_t
+log2Exact(uint32_t value, const std::string &field)
+{
+    if (value == 0 || !std::has_single_bit(value))
+        fatal("DeviceModel: " + field + " (" + std::to_string(value) +
+              ") must be a power of two for address mapping");
+    return static_cast<uint32_t>(std::bit_width(value) - 1);
+}
+
+} // namespace
+
+const std::vector<DeviceOrg> &
+deviceOrgs()
+{
+    static const std::vector<DeviceOrg> orgs = buildOrgs();
+    return orgs;
+}
+
+const std::vector<DeviceSpeed> &
+deviceSpeeds()
+{
+    static const std::vector<DeviceSpeed> speeds = buildSpeeds();
+    return speeds;
+}
+
+std::string
+defaultDeviceOrg()
+{
+    return DeviceSpec{}.org();
+}
+
+std::string
+defaultDeviceSpeed()
+{
+    return DeviceSpec{}.speed();
+}
+
+DeviceSpec
+DeviceSpec::parse(const std::string &text)
+{
+    std::string error;
+    auto spec = tryParse(text, &error);
+    if (!spec)
+        fatal(error);
+    return *spec;
+}
+
+std::optional<DeviceSpec>
+DeviceSpec::tryParse(const std::string &text, std::string *error)
+{
+    const auto fail =
+        [&](const std::string &msg) -> std::optional<DeviceSpec> {
+        if (error != nullptr)
+            *error = msg;
+        return std::nullopt;
+    };
+
+    const size_t colon = text.find(':');
+    const std::string name = text.substr(0, colon);
+    if (name.empty())
+        return fail("empty device name in '" + text +
+                    "' (expected device:org=...,speed=...)");
+    if (name != "device")
+        return fail("unknown device spec '" + name +
+                    "' (expected device:org=...,speed=...)");
+
+    DeviceSpec spec;
+    if (colon == std::string::npos)
+        return spec;
+
+    // Split the "k=v,k=v" tail and validate each pair.
+    std::vector<std::pair<std::string, std::string>> given;
+    const std::string tail = text.substr(colon + 1);
+    size_t pos = 0;
+    while (pos <= tail.size()) {
+        size_t comma = tail.find(',', pos);
+        if (comma == std::string::npos)
+            comma = tail.size();
+        const std::string item = tail.substr(pos, comma - pos);
+        pos = comma + 1;
+
+        const size_t eq = item.find('=');
+        if (item.empty() || eq == std::string::npos || eq == 0 ||
+            eq + 1 == item.size()) {
+            return fail("device: malformed parameter '" + item +
+                        "' (expected key=value)");
+        }
+        const std::string key = item.substr(0, eq);
+        const std::string value = item.substr(eq + 1);
+
+        if (key != "org" && key != "speed")
+            return fail("device: unknown key '" + key +
+                        "' (known keys: org, speed)");
+        for (const auto &[k, v] : given) {
+            if (k == key)
+                return fail("device: duplicate key '" + key + "'");
+        }
+        if (key == "org" && findOrg(value) == nullptr)
+            return fail("device: unknown org '" + value + "' (known: " +
+                        knownOrgsText() + ")");
+        if (key == "speed" && findSpeed(value) == nullptr)
+            return fail("device: unknown speed '" + value +
+                        "' (known: " + knownSpeedsText() + ")");
+        given.emplace_back(key, value);
+    }
+
+    // Canonical order: org before speed, regardless of input order.
+    for (const std::string key : {"org", "speed"}) {
+        for (const auto &[k, v] : given) {
+            if (k != key)
+                continue;
+            spec.given_.push_back(k);
+            (key == "org" ? spec.org_ : spec.speed_) = v;
+        }
+    }
+    return spec;
+}
+
+std::string
+DeviceSpec::describe() const
+{
+    std::string out = "device";
+    bool first = true;
+    for (const auto &k : given_) {
+        out += first ? ":" : ",";
+        out += k + "=" + (k == "org" ? org_ : speed_);
+        first = false;
+    }
+    return out;
+}
+
+bool
+DeviceSpec::isDefault() const
+{
+    return org_ == DeviceSpec{}.org_ && speed_ == DeviceSpec{}.speed_;
+}
+
+DeviceModel
+DeviceSpec::resolve() const
+{
+    const DeviceOrg *org = findOrg(org_);
+    if (org == nullptr)
+        fatal("device: unknown org '" + org_ + "' (known: " +
+              knownOrgsText() + ")");
+    const DeviceSpeed *speed = findSpeed(speed_);
+    if (speed == nullptr)
+        fatal("device: unknown speed '" + speed_ + "' (known: " +
+              knownSpeedsText() + ")");
+    return DeviceModel(*this, *org, *speed);
+}
+
+DeviceModel::DeviceModel()
+    : DeviceModel(DeviceSpec{}.resolve())
+{
+}
+
+DeviceModel::DeviceModel(const DeviceSpec &spec, const DeviceOrg &org,
+                         const DeviceSpeed &speed)
+    : spec_(spec), org_(org), speed_(speed)
+{
+}
+
+TimingParams
+DeviceModel::timing() const
+{
+    TimingParams t;
+    t.tACT = speed_.tACT;
+    t.tPRE = speed_.tPRE;
+    t.tRAS = speed_.tRAS;
+    t.tRC = speed_.tRC;
+    t.tREFW = speed_.tREFW;
+    t.tREFI = speed_.tREFI;
+    t.tRFC = speed_.tRFC;
+    t.tRRD = speed_.tRRD;
+    t.tFAW = speed_.tFAW;
+    t.tRFM = speed_.tRFM;
+    t.tAlertNormal = speed_.tAlertNormal;
+    t.rowsPerBank = org_.rowsPerBank;
+    t.banksPerSubchannel = org_.banksPerSubchannel();
+    // refreshGroups and blastRadius keep the TimingParams defaults:
+    // both are mitigation-protocol parameters (Section 2.2), not
+    // device-grade properties.
+    t.validate();
+    return t;
+}
+
+AddressMap::Config
+DeviceModel::addressConfig() const
+{
+    AddressMap::Config cfg;
+    // rowBits (the 8 KB row size) is a property of the column/device
+    // width, identical across the grades; keep the Config default.
+    cfg.bankBits =
+        log2Exact(org_.banksPerSubchannel(), "banks per sub-channel");
+    cfg.subchannelBits =
+        log2Exact(org_.subchannelsPerChannel, "sub-channels per channel");
+    cfg.rankBits = log2Exact(org_.ranks, "ranks");
+    cfg.channelBits = log2Exact(org_.channels, "channels");
+    cfg.rowIndexBits = log2Exact(org_.rowsPerBank, "rows per bank");
+    return cfg;
+}
+
+} // namespace moatsim::dram

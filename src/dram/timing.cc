@@ -1,5 +1,8 @@
 #include "dram/timing.hh"
 
+#include <string>
+#include <utility>
+
 #include "common/logging.hh"
 
 namespace moatsim::dram
@@ -49,16 +52,53 @@ TimingParams::actsPerAlertWindow(int level) const
 void
 TimingParams::validate() const
 {
-    if (tRC <= 0 || tREFI <= 0 || tREFW <= 0 || tRFC <= 0)
-        fatal("TimingParams: all timings must be positive");
+    // Name the offending field: a sweep over device grades must point
+    // at the bad parameter, not at "all timings".
+    const std::pair<const char *, Time> positives[] = {
+        {"tACT", tACT},   {"tPRE", tPRE},   {"tRAS", tRAS},
+        {"tRC", tRC},     {"tREFW", tREFW}, {"tREFI", tREFI},
+        {"tRFC", tRFC},   {"tRRD", tRRD},   {"tFAW", tFAW},
+        {"tRFM", tRFM},   {"tAlertNormal", tAlertNormal},
+    };
+    for (const auto &[name, value] : positives) {
+        if (value <= 0)
+            fatal("TimingParams: " + std::string(name) +
+                  " must be positive (got " + std::to_string(value) +
+                  " ps)");
+    }
     if (tRFC >= tREFI)
         fatal("TimingParams: tRFC must be smaller than tREFI");
-    if (rowsPerBank == 0 || refreshGroups == 0)
-        fatal("TimingParams: geometry must be non-zero");
+    if (tREFW <= tREFI)
+        fatal("TimingParams: tREFW must be larger than tREFI");
+    if (rowsPerBank == 0)
+        fatal("TimingParams: rowsPerBank must be non-zero");
+    if (banksPerSubchannel == 0)
+        fatal("TimingParams: banksPerSubchannel must be non-zero");
+    if (refreshGroups == 0)
+        fatal("TimingParams: refreshGroups must be non-zero");
     if (rowsPerBank % refreshGroups != 0)
         fatal("TimingParams: rowsPerBank must be a multiple of refreshGroups");
     if (blastRadius == 0)
         fatal("TimingParams: blastRadius must be at least 1");
+
+    // refisPerRefw() and actsPerRefi() truncate on non-divisible
+    // inputs; the JEDEC defaults themselves leave a remainder (32 ms %
+    // 3900 ns, (tREFI - tRFC) % tRC), so truncation is expected but
+    // worth one note per process, not one per sweep cell.
+    static const bool warned_once = [this] {
+        if (tREFW % tREFI != 0)
+            warn("TimingParams: tREFW (" + std::to_string(tREFW) +
+                 " ps) is not a multiple of tREFI (" +
+                 std::to_string(tREFI) +
+                 " ps); refisPerRefw() truncates the remainder");
+        if ((tREFI - tRFC) % tRC != 0)
+            warn("TimingParams: tREFI - tRFC (" +
+                 std::to_string(tREFI - tRFC) +
+                 " ps) is not a multiple of tRC (" + std::to_string(tRC) +
+                 " ps); actsPerRefi() truncates the remainder");
+        return true;
+    }();
+    (void)warned_once;
 }
 
 } // namespace moatsim::dram

@@ -15,6 +15,13 @@
 namespace moatsim::dram
 {
 
+/** Table-3 baseline geometry: rows per bank (64K at 8 KB rows). */
+inline constexpr uint32_t kTable3RowsPerBank = 64 * 1024;
+/** Table-3 baseline geometry: banks per sub-channel (8 groups x 4). */
+inline constexpr uint32_t kTable3BanksPerSubchannel = 32;
+/** Table-3 baseline geometry: sub-channels per DDR5 channel. */
+inline constexpr uint32_t kTable3SubchannelsPerChannel = 2;
+
 /**
  * DRAM timing/geometry configuration.
  *
@@ -51,9 +58,9 @@ struct TimingParams
     Time tAlertNormal = fromNs(180);
 
     /** Rows per bank (Table 3: 64K rows). */
-    uint32_t rowsPerBank = 64 * 1024;
+    uint32_t rowsPerBank = kTable3RowsPerBank;
     /** Banks per sub-channel (Table 3: 32). */
-    uint32_t banksPerSubchannel = 32;
+    uint32_t banksPerSubchannel = kTable3BanksPerSubchannel;
     /** Refresh groups per refresh window (Section 2.2: 8192). */
     uint32_t refreshGroups = 8192;
     /** Victim rows refreshed on each side of an aggressor (blast radius 2). */

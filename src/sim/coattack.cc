@@ -71,10 +71,12 @@ runCoSystem(const workload::TraceGenConfig &config, const CoreModel &core,
             uint32_t *attacker_max_hammer, const workload::TraceSet *benign)
 {
     const uint32_t subchannels = std::max(1u, config.subchannels);
-    if (attack.subchannel >= subchannels)
-        fatal("runCoSystem: attack sub-channel " +
+    const uint32_t slots = std::max(1u, config.channels) *
+                           std::max(1u, config.ranks) * subchannels;
+    if (attack.subchannel >= slots)
+        fatal("runCoSystem: attack sub-channel slot " +
               std::to_string(attack.subchannel) + " out of range (" +
-              std::to_string(subchannels) + " simulated)");
+              std::to_string(slots) + " simulated)");
     if (attack.bank >= config.banksSimulated)
         fatal("runCoSystem: attack bank " + std::to_string(attack.bank) +
               " out of range (" + std::to_string(config.banksSimulated) +
@@ -100,6 +102,8 @@ runCoSystem(const workload::TraceGenConfig &config, const CoreModel &core,
         config, level,
         coAttackCellSeed(config, spec, mitigator, level, attack));
     sys.subchannels = subchannels;
+    sys.channels = std::max(1u, config.channels);
+    sys.ranks = std::max(1u, config.ranks);
     System system(sys, mitigator.factory());
     system.setPostponeRefresh(
         workload::attackPostponesRefresh(attack.pattern));
@@ -178,6 +182,7 @@ CoAttackEngine::runCell(const CoAttackCell &cell)
     CoAttackResult out;
     out.workload = cell.workload.name;
     out.mitigator = cell.mitigator.describe();
+    out.device = config_.tracegen.device;
     out.pattern = cell.attack.pattern;
     out.aboLevel = abo::levelValue(cell.level);
     out.victimActs = base->totalActs;

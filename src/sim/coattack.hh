@@ -49,7 +49,8 @@ struct CoAttackScenario
     uint32_t poolRows = 0;
     /** Activation budget (0 = span the benign window). */
     uint64_t budget = 0;
-    /** Sub-channel the attacker pins. */
+    /** Sub-channel replay slot the attacker pins (flat index over
+     *  channels x ranks x sub-channels, sim::System slot order). */
     uint32_t subchannel = 0;
     /** Bank (within that sub-channel) the attacker pins. */
     uint32_t bank = 0;
@@ -71,6 +72,9 @@ struct CoAttackResult
     std::string workload;
     /** Canonical spec of the design under test. */
     std::string mitigator;
+    /** Canonical device spec the cell ran on; empty for the
+     *  hand-assembled default configuration. */
+    std::string device;
     /** Attack pattern ("none" for an attack-free co-run). */
     std::string pattern;
     int aboLevel = 1;

@@ -1,5 +1,7 @@
 #include "sim/experiment.hh"
 
+#include "dram/device.hh"
+
 namespace moatsim::sim
 {
 
@@ -11,6 +13,11 @@ sweepConfigOf(const ExperimentConfig &config)
 {
     SweepConfig sc;
     sc.tracegen = config.tracegen;
+    if (!config.device.empty()) {
+        const dram::DeviceModel device =
+            dram::DeviceSpec::parse(config.device).resolve();
+        sc.tracegen = workload::withDevice(sc.tracegen, device);
+    }
     sc.core = config.core;
     sc.jobs = config.jobs;
     // One store for the whole experiment; the environment can disable

@@ -40,6 +40,16 @@ struct ExperimentConfig
      * simulates a sim::System of that many sub-channels.
      */
     workload::TraceGenConfig tracegen{};
+    /**
+     * Named device grade to run on: a dram::DeviceSpec string
+     * ("device:org=...,speed=..."). When non-empty the spec is parsed
+     * (fatal on malformed input) and applied to the trace-generator
+     * configuration via workload::withDevice() -- timing, channels x
+     * ranks topology, system bank count -- before the engines are
+     * built. Empty (the default) leaves `tracegen` exactly as given,
+     * reproducing the pre-device pipeline bit-identically.
+     */
+    std::string device;
     /** ABO mitigation level of the sub-channel (MR71 op[1:0]). */
     abo::Level aboLevel = abo::Level::L1;
     /** Design under test; default is the paper's MOAT defaults. */

@@ -28,7 +28,8 @@ channelConfigFor(const workload::TraceGenConfig &tg, abo::Level level,
 }
 
 /** The full system a perf run simulates: tracegen.subchannels
- *  sub-channels, each configured by channelConfigFor. */
+ *  sub-channels per (channel, rank), each configured by
+ *  channelConfigFor. */
 System
 systemFor(const workload::TraceGenConfig &tg, abo::Level level,
           uint64_t seed, const subchannel::SubChannel::MitigatorFactory &f,
@@ -37,6 +38,8 @@ systemFor(const workload::TraceGenConfig &tg, abo::Level level,
     SystemConfig sys;
     sys.channel = channelConfigFor(tg, level, seed, sealed_dispatch);
     sys.subchannels = std::max(1u, tg.subchannels);
+    sys.channels = std::max(1u, tg.channels);
+    sys.ranks = std::max(1u, tg.ranks);
     return System(sys, f);
 }
 
@@ -154,6 +157,7 @@ runPerfCell(const workload::TraceGenConfig &config, const CoreModel &core,
     PerfResult out;
     out.workload = spec.name;
     out.mitigator = mitigator.describe();
+    out.device = config.device;
     out.aboLevel = abo::levelValue(level);
     out.alerts = res.alerts;
     out.acts = res.totalActs;

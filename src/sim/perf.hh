@@ -61,6 +61,12 @@ struct PerfResult
     std::string workload;
     /** Canonical spec of the design under test (MitigatorSpec text). */
     std::string mitigator;
+    /**
+     * Canonical device spec the cell ran on (DeviceSpec text); empty
+     * when the run used the hand-assembled default configuration
+     * rather than a named device grade.
+     */
+    std::string device;
     /** ABO mitigation level of the run (1, 2, or 4). */
     int aboLevel = 1;
     /** Weighted speedup relative to the no-ALERT baseline (<= 1). */
@@ -75,7 +81,8 @@ struct PerfResult
     uint64_t alerts = 0;
     /** Demand activations replayed (all sub-channels). */
     uint64_t acts = 0;
-    /** Per-sub-channel breakdown (config.tracegen.subchannels entries). */
+    /** Per-sub-channel-slot breakdown (subchannels x channels x ranks
+     *  entries, in sim::System slot order). */
     std::vector<SubChannelPerf> perSubchannel;
 };
 

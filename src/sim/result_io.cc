@@ -269,6 +269,10 @@ toJsonLine(const PerfResult &r)
             out += jsonDouble(r.perSubchannel[i].mitigationsPerBankPerRefw);
         }
     });
+    // Device grade at the tail, and only when one was named: default
+    // runs keep the exact pre-device byte layout (golden files).
+    if (!r.device.empty())
+        out += ",\"device\":\"" + jsonEscape(r.device) + "\"";
     out += "}";
     return out;
 }
@@ -296,6 +300,10 @@ toJsonLine(const CoAttackResult &r)
     out += ",\"alerts_per_refi\":" + jsonDouble(r.alertsPerRefi);
     out += ",\"attack_free_alerts_per_refi\":" +
            jsonDouble(r.attackFreeAlertsPerRefi);
+    // Device grade at the tail, and only when one was named: default
+    // runs keep the exact pre-device byte layout (golden files).
+    if (!r.device.empty())
+        out += ",\"device\":\"" + jsonEscape(r.device) + "\"";
     out += "}";
     return out;
 }
@@ -369,6 +377,10 @@ coAttackResultOfJsonLine(const std::string &line)
     r.alertsPerRefi = fieldDouble(line, "alerts_per_refi");
     r.attackFreeAlertsPerRefi =
         fieldDouble(line, "attack_free_alerts_per_refi");
+    // Optional: only named-device runs write it (default-device lines,
+    // and every pre-device line, omit it entirely).
+    if (line.find("\"device\":") != std::string::npos)
+        r.device = jsonField(line, "device");
     return r;
 }
 
@@ -388,6 +400,10 @@ perfResultOfJsonLine(const std::string &line)
     r.actOverheadFraction = fieldDouble(line, "act_overhead");
     r.alerts = fieldUInt(line, "alerts");
     r.acts = fieldUInt(line, "acts");
+    // Optional: only named-device runs write it (default-device lines,
+    // and every pre-device line, omit it entirely).
+    if (line.find("\"device\":") != std::string::npos)
+        r.device = jsonField(line, "device");
     // Pre-v2 lines carry no per-sub-channel arrays; treat their
     // absence as an empty breakdown so old JSONL stays readable (the
     // trace reader gives v1 files the same courtesy).

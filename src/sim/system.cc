@@ -14,12 +14,37 @@ System::System(const SystemConfig &config,
 {
     if (config_.subchannels == 0)
         fatal("System: at least one sub-channel is required");
-    channels_.reserve(config_.subchannels);
-    for (uint32_t i = 0; i < config_.subchannels; ++i) {
-        subchannel::SubChannelConfig sc = config_.channel;
-        sc.seed = hashCombine(config_.channel.seed, i);
-        channels_.push_back(
-            std::make_unique<subchannel::SubChannel>(sc, factory));
+    if (config_.channels == 0 || config_.ranks == 0)
+        fatal("System: channels and ranks must be at least 1");
+    const uint32_t slots =
+        config_.channels * config_.ranks * config_.subchannels;
+    channels_.reserve(slots);
+    if (config_.channels == 1 && config_.ranks == 1) {
+        // Flat single-channel, single-rank system: the historical
+        // seeding scheme, which the golden results are a function of.
+        for (uint32_t i = 0; i < config_.subchannels; ++i) {
+            subchannel::SubChannelConfig sc = config_.channel;
+            sc.seed = hashCombine(config_.channel.seed, i);
+            channels_.push_back(
+                std::make_unique<subchannel::SubChannel>(sc, factory));
+        }
+        return;
+    }
+    // Per-level derivation: fold each topology coordinate in turn so
+    // streams never collide and every slot's seed is independent of
+    // the sibling counts (slot (c, r, s) keeps its seed when the
+    // sweep changes another level's population).
+    for (uint32_t c = 0; c < config_.channels; ++c) {
+        const uint64_t chan_seed = hashCombine(config_.channel.seed, c);
+        for (uint32_t r = 0; r < config_.ranks; ++r) {
+            const uint64_t rank_seed = hashCombine(chan_seed, r);
+            for (uint32_t s = 0; s < config_.subchannels; ++s) {
+                subchannel::SubChannelConfig sc = config_.channel;
+                sc.seed = hashCombine(rank_seed, s);
+                channels_.push_back(
+                    std::make_unique<subchannel::SubChannel>(sc, factory));
+            }
+        }
     }
 }
 

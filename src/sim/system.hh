@@ -42,12 +42,21 @@ struct SystemConfig
 {
     /**
      * Per-sub-channel configuration; every sub-channel is built from
-     * this template. Sub-channel i seeds its RNG from
-     * hashCombine(channel.seed, i) so streams never collide.
+     * this template with an independently derived RNG seed. On the
+     * flat single-channel, single-rank system, slot i seeds from
+     * hashCombine(channel.seed, i) (the historical scheme -- golden
+     * results depend on it); with channels or ranks above 1, slot
+     * (c, r, s) seeds from the per-level derivation
+     * hashCombine(hashCombine(hashCombine(seed, c), r), s) so streams
+     * never collide at any topology.
      */
     subchannel::SubChannelConfig channel{};
-    /** Number of sub-channels (Table 3 baseline: 2). */
+    /** Sub-channels per (channel, rank) (Table 3 baseline: 2). */
     uint32_t subchannels = 2;
+    /** Memory channels (device topology; Table 3: 1). */
+    uint32_t channels = 1;
+    /** Ranks per channel (device topology; Table 3: 1). */
+    uint32_t ranks = 1;
 };
 
 /** Activity of one sub-channel during a replay. */
@@ -87,13 +96,13 @@ class System
     System(const SystemConfig &config,
            const subchannel::SubChannel::MitigatorFactory &factory);
 
-    /** Number of sub-channels. */
+    /** Number of sub-channel slots (channels x ranks x subchannels). */
     uint32_t numSubchannels() const
     {
         return static_cast<uint32_t>(channels_.size());
     }
 
-    /** One sub-channel. */
+    /** One sub-channel slot by flat index. */
     subchannel::SubChannel &subchannel(uint32_t i)
     {
         return *channels_.at(i);
@@ -101,6 +110,14 @@ class System
     const subchannel::SubChannel &subchannel(uint32_t i) const
     {
         return *channels_.at(i);
+    }
+
+    /** Flat slot index of (channel, rank, subchannel). */
+    uint32_t slotIndex(uint32_t channel, uint32_t rank,
+                       uint32_t subchannel) const
+    {
+        return ((channel * config_.ranks) + rank) * config_.subchannels +
+               subchannel;
     }
 
     /** Enable/disable refresh postponement on every sub-channel. */

@@ -16,30 +16,35 @@
  *   moatsim feinting [--mitigator S] [--rate K]
  *   moatsim postponement [--mitigator S] [--max N]
  *   moatsim tsa     [--mitigator S] [--banks N] [--cycles N]
- *   moatsim attack  --pattern P [--mitigator S] [--pool N] [--acts N]
- *                   [--trials N] [--jobs N] [--level 1|2|4]
+ *   moatsim attack  --pattern P [--mitigator S] [--device D] [--pool N]
+ *                   [--acts N] [--trials N] [--jobs N] [--level 1|2|4]
  *                   generic driver. Without --jobs, --trials keeps its
  *                   pattern-internal meaning (alignment sweep). With
  *                   --jobs, --trials N instead runs N independently
  *                   seeded single-shot instances across the workers
  *                   and reports the best outcome -- identical at any
  *                   --jobs value, but a different search than the
- *                   internal sweep.
+ *                   internal sweep. --device D runs the attack under
+ *                   that device grade's timings.
  *   moatsim perf    [--workload NAME|all] [--mitigator S] [--ath N]
  *                   [--eth N] [--level 1|2|4] [--fraction F]
- *                   [--subchannels N] [--jobs N] [--jsonl FILE]
- *                   [--no-trace-store]
+ *                   [--subchannels N] [--device D[;D...]] [--jobs N]
+ *                   [--jsonl FILE] [--no-trace-store]
  *                   --subchannels N simulates the full system as N
  *                   sub-channels (default 2, the Table-3 baseline)
  *                   and reports per-sub-channel ALERT/mitigation
- *                   breakdowns; --jobs N fans the sweep across N
- *                   workers (0 = hardware concurrency; results are
+ *                   breakdowns; --device D runs on a named device
+ *                   grade (see `moatsim list-devices`) -- a
+ *                   semicolon-separated list sweeps the device axis,
+ *                   one experiment per grade, all appending to the
+ *                   same --jsonl file; --jobs N fans the sweep across
+ *                   N workers (0 = hardware concurrency; results are
  *                   bit-identical at any value); --jsonl appends one
  *                   structured JSON line per result
  *   moatsim coattack [--pattern P] [--workload NAME|all]
- *                   [--mitigator S] [--level 1|2|4] [--fraction F]
- *                   [--subchannels N] [--pool N] [--acts N]
- *                   [--attack-subchannel I] [--attack-bank B]
+ *                   [--mitigator S] [--device D] [--level 1|2|4]
+ *                   [--fraction F] [--subchannels N] [--pool N]
+ *                   [--acts N] [--attack-subchannel I] [--attack-bank B]
  *                   [--seed N] [--jobs N] [--jsonl FILE]
  *                   [--no-trace-store]
  *                   adversary-under-load scenario: the attack pattern
@@ -55,6 +60,7 @@
  *                   traces carrying a sub-channel column replay on a
  *                   multi-sub-channel System automatically
  *   moatsim list-mitigators
+ *   moatsim list-devices
  *   moatsim list-workloads
  *
  * Flags may be boolean (`--postpone` with no value) or valued
@@ -79,6 +85,7 @@
 #include "common/stats.hh"
 #include "common/table.hh"
 #include "attacks/attack.hh"
+#include "dram/device.hh"
 #include "mitigation/registry.hh"
 #include "sim/experiment.hh"
 #include "sim/result_io.hh"
@@ -121,6 +128,44 @@ withMoatLevelEntries(const mitigation::MitigatorSpec &spec, abo::Level level)
     return mitigation::Registry::parse(
         desc + sep + "entries=" +
         std::to_string(abo::levelValue(level)));
+}
+
+/**
+ * The --device grades to run: canonicalized DeviceSpec texts, one per
+ * semicolon-separated list entry (semicolons, because device specs
+ * carry commas internally). An absent flag yields one empty string --
+ * the hand-assembled default pipeline, bit-identical to the
+ * pre-device-model behavior.
+ */
+std::vector<std::string>
+deviceListArg(const Args &args)
+{
+    const std::string text = args.get("device", "");
+    if (text.empty())
+        return {""};
+    std::vector<std::string> out;
+    size_t pos = 0;
+    while (pos <= text.size()) {
+        size_t semi = text.find(';', pos);
+        if (semi == std::string::npos)
+            semi = text.size();
+        const std::string item = text.substr(pos, semi - pos);
+        if (item.empty())
+            fatal("--device: empty spec in list '" + text + "'");
+        out.push_back(dram::DeviceSpec::parse(item).describe());
+        pos = semi + 1;
+    }
+    return out;
+}
+
+/** The single --device grade (canonicalized), or "" when absent. */
+std::string
+deviceArg(const Args &args)
+{
+    const std::string text = args.get("device", "");
+    if (text.empty())
+        return "";
+    return dram::DeviceSpec::parse(text).describe();
 }
 
 /** Reject legacy design flags that would silently fight --mitigator. */
@@ -270,6 +315,11 @@ cmdAttack(const Args &args)
     attacks::AttackConfig cfg;
     cfg.pattern = args.get("pattern", "hammer");
     cfg.aboLevel = levelOf(args.getInt("level", 1));
+    // A named device grade swaps in that grade's timings (geometry
+    // included); attacks keep hammering one bank either way.
+    const std::string device = deviceArg(args);
+    if (!device.empty())
+        cfg.timing = dram::DeviceSpec::parse(device).resolve().timing();
     cfg.poolRows = args.getUint32("pool", 0);
     cfg.budget = args.getInt("acts", 0);
     cfg.trials = args.getUint32("trials", 0);
@@ -284,9 +334,10 @@ cmdAttack(const Args &args)
                   cfg, spec, cfg.trials > 0 ? cfg.trials : 1,
                   args.getUint32("jobs", 0))
             : attacks::runAttack(cfg, spec);
-    std::printf("%s vs %s: max ACTs=%u, %lu total ACTs, %lu ALERTs, "
+    std::printf("%s vs %s%s%s: max ACTs=%u, %lu total ACTs, %lu ALERTs, "
                 "%.2f ms\n",
-                cfg.pattern.c_str(), spec.describe().c_str(), r.maxHammer,
+                cfg.pattern.c_str(), spec.describe().c_str(),
+                device.empty() ? "" : " on ", device.c_str(), r.maxHammer,
                 static_cast<unsigned long>(r.totalActs),
                 static_cast<unsigned long>(r.alerts), toMs(r.duration));
     return 0;
@@ -338,44 +389,62 @@ cmdPerf(const Args &args)
     // Cached and uncached runs are bit-identical; the flag exists for
     // A/B timing and the determinism smoke.
     ec.traceStore = !args.getBool("no-trace-store", false);
-    sim::Experiment exp(ec);
 
-    const auto results = exp.run();
-
-    std::printf("mitigator: %s (%u sub-channels)\n",
-                ec.mitigator.describe().c_str(),
-                ec.tracegen.subchannels);
-    const bool multi = ec.tracegen.subchannels > 1;
-    std::vector<std::string> cols = {"workload", "slowdown",
-                                     "ALERTs/tREFI",
-                                     "mitigations/bank/tREFW"};
-    if (multi) {
-        cols.push_back("per-sc ALERTs/tREFI");
-        cols.push_back("per-sc mitigations");
-    }
-    TablePrinter t(cols);
-    for (const auto &r : results) {
-        std::vector<std::string> row = {
-            r.workload, formatPercent(1.0 - r.normPerf),
-            formatFixed(r.alertsPerRefi, 4),
-            formatFixed(r.mitigationsPerBankPerRefw, 0)};
-        if (multi) {
-            row.push_back(perSubchannelColumn(
-                r.perSubchannel, &sim::SubChannelPerf::alertsPerRefi, 4));
-            row.push_back(perSubchannelColumn(
-                r.perSubchannel,
-                &sim::SubChannelPerf::mitigationsPerBankPerRefw, 0));
-        }
-        t.addRow(row);
-    }
-    t.print(std::cout);
-
+    // The device axis: each named grade is its own experiment (its
+    // timings and topology reshape every trace), all results landing in
+    // one table sequence and one --jsonl file.
     const std::string jsonl = args.get("jsonl", "");
-    if (!jsonl.empty()) {
-        std::ofstream os(jsonl, std::ios::app);
-        if (!os)
-            fatal("cannot open --jsonl file " + jsonl);
-        sim::writeJsonLines(os, results);
+    for (const std::string &device : deviceListArg(args)) {
+        ec.device = device;
+        sim::Experiment exp(ec);
+        const auto results = exp.run();
+
+        uint32_t slots = ec.tracegen.subchannels;
+        if (device.empty()) {
+            std::printf("mitigator: %s (%u sub-channels)\n",
+                        ec.mitigator.describe().c_str(),
+                        ec.tracegen.subchannels);
+        } else {
+            const auto dm = dram::DeviceSpec::parse(device).resolve();
+            slots = dm.channels() * dm.ranks() * ec.tracegen.subchannels;
+            std::printf("mitigator: %s on %s (%u channel(s) x %u rank(s) "
+                        "x %u sub-channels = %u slots)\n",
+                        ec.mitigator.describe().c_str(), device.c_str(),
+                        dm.channels(), dm.ranks(),
+                        ec.tracegen.subchannels, slots);
+        }
+        const bool multi = slots > 1;
+        std::vector<std::string> cols = {"workload", "slowdown",
+                                         "ALERTs/tREFI",
+                                         "mitigations/bank/tREFW"};
+        if (multi) {
+            cols.push_back("per-sc ALERTs/tREFI");
+            cols.push_back("per-sc mitigations");
+        }
+        TablePrinter t(cols);
+        for (const auto &r : results) {
+            std::vector<std::string> row = {
+                r.workload, formatPercent(1.0 - r.normPerf),
+                formatFixed(r.alertsPerRefi, 4),
+                formatFixed(r.mitigationsPerBankPerRefw, 0)};
+            if (multi) {
+                row.push_back(perSubchannelColumn(
+                    r.perSubchannel, &sim::SubChannelPerf::alertsPerRefi,
+                    4));
+                row.push_back(perSubchannelColumn(
+                    r.perSubchannel,
+                    &sim::SubChannelPerf::mitigationsPerBankPerRefw, 0));
+            }
+            t.addRow(row);
+        }
+        t.print(std::cout);
+
+        if (!jsonl.empty()) {
+            std::ofstream os(jsonl, std::ios::app);
+            if (!os)
+                fatal("cannot open --jsonl file " + jsonl);
+            sim::writeJsonLines(os, results);
+        }
     }
     return 0;
 }
@@ -392,26 +461,38 @@ cmdCoattack(const Args &args)
     ec.tracegen.subchannels = args.getPositive("subchannels", 2);
     ec.aboLevel = level;
     ec.mitigator = perfMitigator(args, level);
+    ec.device = deviceArg(args);
     ec.workload = args.get("workload", "all");
     ec.jobs = args.getUint32("jobs", 0);
     ec.traceStore = !args.getBool("no-trace-store", false);
     sim::Experiment exp(ec);
+
+    // The attacker pins one replay slot; a named device grade may
+    // multiply the slot count by channels x ranks.
+    uint32_t slots = ec.tracegen.subchannels;
+    if (!ec.device.empty()) {
+        const auto dm = dram::DeviceSpec::parse(ec.device).resolve();
+        slots = dm.channels() * dm.ranks() * ec.tracegen.subchannels;
+    }
 
     sim::CoAttackScenario attack;
     attack.pattern = args.get("pattern", "hammer");
     attack.poolRows = args.getUint32("pool", 0);
     attack.budget = args.getInt("acts", 0);
     attack.subchannel = args.getUint32("attack-subchannel", 0);
-    if (attack.subchannel >= ec.tracegen.subchannels)
-        fatal("--attack-subchannel must be below --subchannels");
+    if (attack.subchannel >= slots)
+        fatal("--attack-subchannel must be below the sub-channel slot "
+              "count (" + std::to_string(slots) + ")");
     attack.bank = args.getUint32("attack-bank", 0);
     attack.seed = args.getInt("seed", 1);
 
     const auto results = exp.runCoAttack(attack);
 
-    std::printf("%s attacker vs %s on %u sub-channels (ABO L%d)\n",
+    std::printf("%s attacker vs %s%s%s on %u sub-channel slot%s "
+                "(ABO L%d)\n",
                 attack.pattern.c_str(), ec.mitigator.describe().c_str(),
-                ec.tracegen.subchannels, abo::levelValue(level));
+                ec.device.empty() ? "" : " on ", ec.device.c_str(),
+                slots, slots == 1 ? "" : "s", abo::levelValue(level));
     TablePrinter t({"workload", "attacker max ACTs", "attacker ACTs",
                     "victim slowdown", "ALERTs (attack-free)",
                     "RFMs (attack-free)"});
@@ -488,7 +569,11 @@ cmdReplay(const Args &args)
 int
 cmdListMitigators()
 {
-    TablePrinter t({"name", "SRAM B/bank", "parameters (default)"});
+    // Per-chip figures use the default device grade's bank count --
+    // the same DeviceModel geometry the storage model consumes.
+    const dram::DeviceModel device;
+    TablePrinter t({"name", "SRAM B/bank", "SRAM B/chip",
+                    "parameters (default)"});
     for (const auto &name : mitigation::Registry::names()) {
         const auto &desc = mitigation::Registry::descriptor(name);
         std::string params;
@@ -500,7 +585,10 @@ cmdListMitigators()
         if (params.empty())
             params = "(none)";
         const auto spec = mitigation::Registry::parse(name);
-        t.addRow({name, std::to_string(spec.sramBytesPerBank()), params});
+        t.addRow({name, std::to_string(spec.sramBytesPerBank()),
+                  std::to_string(spec.sramBytesPerBank() *
+                                 device.banksPerSubchannel()),
+                  params});
     }
     t.print(std::cout);
 
@@ -513,6 +601,39 @@ cmdListMitigators()
     }
     std::cout << "\nselect one with --mitigator name[:key=value,...], "
                  "e.g. --mitigator moat:ath=128,eth=64\n";
+    return 0;
+}
+
+int
+cmdListDevices()
+{
+    TablePrinter orgs({"org", "rows/bank", "banks/sub-ch", "ranks",
+                       "channels", "summary"});
+    for (const auto &o : dram::deviceOrgs()) {
+        orgs.addRow({o.name, std::to_string(o.rowsPerBank),
+                     std::to_string(o.banksPerSubchannel()),
+                     std::to_string(o.ranks), std::to_string(o.channels),
+                     o.summary});
+    }
+    orgs.print(std::cout);
+
+    std::cout << "\n";
+    TablePrinter speeds({"speed", "tRC ns", "tREFI ns", "tRFC ns",
+                         "tREFW ms", "tRFM ns", "summary"});
+    for (const auto &s : dram::deviceSpeeds()) {
+        speeds.addRow({s.name, formatFixed(toNs(s.tRC), 0),
+                       formatFixed(toNs(s.tREFI), 0),
+                       formatFixed(toNs(s.tRFC), 0),
+                       formatFixed(toMs(s.tREFW), 0),
+                       formatFixed(toNs(s.tRFM), 0), s.summary});
+    }
+    speeds.print(std::cout);
+
+    std::cout << "\nselect with --device device:org=NAME,speed=NAME "
+                 "(either key may be omitted; defaults are org=" +
+                     dram::defaultDeviceOrg() +
+                     ", speed=" + dram::defaultDeviceSpeed() +
+                     " -- the paper's Table-3 system)\n";
     return 0;
 }
 
@@ -538,16 +659,18 @@ usage()
         "usage: moatsim <command> [--flag [value] ...]\n"
         "commands: bound ratchet jailbreak feinting postponement tsa\n"
         "          attack coattack perf replay list-mitigators\n"
-        "          list-workloads\n"
+        "          list-devices list-workloads\n"
         "perf, coattack, and attack accept --jobs N (parallel sweep /\n"
         "trials; 0 = hardware concurrency, results bit-identical at\n"
-        "any value); perf and coattack accept --jsonl FILE for\n"
-        "structured results and --subchannels N (default 2) for the\n"
-        "full-system simulation (--no-trace-store, or\n"
-        "MOATSIM_TRACE_STORE=0, disables the shared trace cache --\n"
-        "results are bit-identical); coattack co-schedules an attack\n"
-        "pattern with the workload's cores and reports attacker\n"
-        "maxHammer plus victim slowdown\n"
+        "any value) and --device D naming a DDR5 device grade (run\n"
+        "'moatsim list-devices'; perf takes a semicolon-separated\n"
+        "list to sweep the device axis); perf and coattack accept\n"
+        "--jsonl FILE for structured results and --subchannels N\n"
+        "(default 2) for the full-system simulation\n"
+        "(--no-trace-store, or MOATSIM_TRACE_STORE=0, disables the\n"
+        "shared trace cache -- results are bit-identical); coattack\n"
+        "co-schedules an attack pattern with the workload's cores and\n"
+        "reports attacker maxHammer plus victim slowdown\n"
         "every experiment accepts --mitigator name[:k=v,...]; run\n"
         "'moatsim list-mitigators' for the registered designs and see\n"
         "the file header of src/tools/moatsim_cli.cc for all flags\n");
@@ -586,6 +709,8 @@ main(int argc, char **argv)
         return cmdReplay(args);
     if (cmd == "list-mitigators")
         return cmdListMitigators();
+    if (cmd == "list-devices")
+        return cmdListDevices();
     if (cmd == "list-workloads")
         return cmdListWorkloads();
     usage();

@@ -33,6 +33,31 @@ subchannelsOf(const TraceGenConfig &config)
     return std::max(1u, config.subchannels);
 }
 
+/** Effective channel count (0 means 1). */
+uint32_t
+channelsOf(const TraceGenConfig &config)
+{
+    return std::max(1u, config.channels);
+}
+
+/** Effective rank count (0 means 1). */
+uint32_t
+ranksOf(const TraceGenConfig &config)
+{
+    return std::max(1u, config.ranks);
+}
+
+/**
+ * Independent sub-channel replay slots of the simulated system:
+ * channels x ranks x sub-channels. TraceEvent.subchannel carries the
+ * flat slot index, in sim::System's construction order.
+ */
+uint32_t
+slotsOf(const TraceGenConfig &config)
+{
+    return channelsOf(config) * ranksOf(config) * subchannelsOf(config);
+}
+
 /**
  * The address map that routes generated traffic onto the simulated
  * system: bankBits/subchannelBits sized to the configuration, bank
@@ -42,14 +67,21 @@ dram::AddressMap
 addressMapOf(const TraceGenConfig &config)
 {
     const uint32_t scs = subchannelsOf(config);
+    const uint32_t ranks = ranksOf(config);
+    const uint32_t chans = channelsOf(config);
     if (!std::has_single_bit(config.banksSimulated) ||
         !std::has_single_bit(scs))
         fatal("generateTraces: banksSimulated and subchannels must be "
               "powers of two (address-bit routing)");
+    if (!std::has_single_bit(ranks) || !std::has_single_bit(chans))
+        fatal("generateTraces: channels and ranks must be powers of "
+              "two (address-bit routing)");
     dram::AddressMap::Config amc;
     amc.bankBits = static_cast<uint32_t>(std::bit_width(
         config.banksSimulated) - 1);
     amc.subchannelBits = static_cast<uint32_t>(std::bit_width(scs) - 1);
+    amc.rankBits = static_cast<uint32_t>(std::bit_width(ranks) - 1);
+    amc.channelBits = static_cast<uint32_t>(std::bit_width(chans) - 1);
     amc.rowIndexBits = static_cast<uint32_t>(
         std::bit_width(std::max(1u, config.timing.rowsPerBank - 1)));
     return dram::AddressMap(amc);
@@ -63,15 +95,26 @@ addressMapOf(const TraceGenConfig &config)
  * build time -- the replay loop consumes final coordinates.
  */
 dram::DramCoord
-routeCoord(const dram::AddressMap &map, uint32_t subchannel,
-           uint32_t raw_bank, RowId row)
+routeCoord(const dram::AddressMap &map, uint32_t channel, uint32_t rank,
+           uint32_t subchannel, uint32_t raw_bank, RowId row)
 {
     const auto &amc = map.config();
     uint64_t a = row;
+    a = (a << amc.channelBits) | channel;
+    a = (a << amc.rankBits) | rank;
     a = (a << amc.bankBits) | raw_bank;
     a = (a << amc.subchannelBits) | subchannel;
     a <<= amc.rowBits;
     return map.decode(a);
+}
+
+/** Flat replay-slot index of decoded coordinates (System order). */
+uint32_t
+slotOfCoord(const dram::DramCoord &c, const TraceGenConfig &config)
+{
+    return ((c.channel * ranksOf(config)) + c.rank) *
+               subchannelsOf(config) +
+           c.subchannel;
 }
 
 /** Invocation counter behind traceGenInvocations(). */
@@ -112,7 +155,36 @@ configKey(const TraceGenConfig &config)
          {config.baseIpc, config.cpuGhz, config.bankUtilizationCap,
           config.coreUtilizationCap, config.windowFraction})
         h = hashCombine(h, hashDouble(v));
+    // Device-model extensions fold in only when they depart from the
+    // flat single-channel, single-rank system, so every pre-device
+    // configuration keeps its v2 key (golden results, trace-store
+    // cache contract).
+    if (channelsOf(config) != 1 || ranksOf(config) != 1) {
+        h = hashCombine(h, channelsOf(config));
+        h = hashCombine(h, ranksOf(config));
+    }
+    if (!config.device.empty())
+        h = hashCombine(h, stableHash64(config.device));
     return h;
+}
+
+TraceGenConfig
+withDevice(const TraceGenConfig &config, const dram::DeviceModel &device)
+{
+    TraceGenConfig out = config;
+    out.timing = device.timing();
+    // Protocol knobs (refresh granularity, blast radius) are not
+    // device-grade properties; keep whatever the caller configured.
+    out.timing.refreshGroups = config.timing.refreshGroups;
+    out.timing.blastRadius = config.timing.blastRadius;
+    out.channels = device.channels();
+    out.ranks = device.ranks();
+    out.systemBanks = device.totalBanks();
+    // The default grade IS today's hand-assembled Table-3 system;
+    // leaving its tag empty keeps the config key, every derived seed,
+    // and the JSONL output bit-identical to the pre-device pipeline.
+    out.device = device.isDefault() ? "" : device.describe();
+    return out;
 }
 
 uint64_t
@@ -146,7 +218,7 @@ generateTraces(const WorkloadSpec &spec, const TraceGenConfig &config)
     const dram::TimingParams &t = config.timing;
     if (config.numCores == 0 || config.banksSimulated == 0)
         fatal("generateTraces: cores and banks must be non-zero");
-    if (config.banksSimulated * subchannelsOf(config) > config.systemBanks)
+    if (config.banksSimulated * slotsOf(config) > config.systemBanks)
         fatal("generateTraces: simulated banks exceed system banks");
 
     // Stable per-workload stream: equal (seed, name) pairs regenerate
@@ -177,6 +249,8 @@ generateTraces(const WorkloadSpec &spec, const TraceGenConfig &config)
 
     const uint32_t rows_per_core = t.rowsPerBank / config.numCores;
     const uint32_t scs = subchannelsOf(config);
+    const uint32_t ranks = ranksOf(config);
+    const uint32_t slots = slotsOf(config);
     const dram::AddressMap map = addressMapOf(config);
     std::vector<CoreTrace> traces(config.numCores);
 
@@ -186,14 +260,18 @@ generateTraces(const WorkloadSpec &spec, const TraceGenConfig &config)
         const RowId row_base = core * rows_per_core;
 
         // Traffic spans the whole simulated system: banksSimulated
-        // banks on each of the scs sub-channels. The flat index is
-        // split into a raw (sub-channel, bank) pair and every access
-        // is routed through the address map, which XOR-hashes the
-        // final bank with the row bits.
-        const uint32_t flat_banks = config.banksSimulated * scs;
+        // banks on each replay slot (channels x ranks x
+        // sub-channels). The flat index is split into a raw (channel,
+        // rank, sub-channel, bank) tuple and every access is routed
+        // through the address map, which XOR-hashes the final bank
+        // with the row bits.
+        const uint32_t flat_banks = config.banksSimulated * slots;
         for (uint32_t fb = 0; fb < flat_banks; ++fb) {
-            const uint32_t sc = fb / config.banksSimulated;
+            const uint32_t slot = fb / config.banksSimulated;
             const uint32_t raw_bank = fb % config.banksSimulated;
+            const uint32_t sc = slot % scs;
+            const uint32_t rank = (slot / scs) % ranks;
+            const uint32_t chan = slot / (scs * ranks);
             // Hot rows for this (core, bank): distinct rows from the
             // core's range with per-tier target counts.
             struct HotRow
@@ -248,11 +326,12 @@ generateTraces(const WorkloadSpec &spec, const TraceGenConfig &config)
                 const Time start = static_cast<Time>(
                     rng.below(static_cast<uint64_t>(window - span)));
                 const dram::DramCoord c =
-                    routeCoord(map, sc, raw_bank, h.row);
+                    routeCoord(map, chan, rank, sc, raw_bank, h.row);
+                const uint32_t c_slot = slotOfCoord(c, config);
                 for (uint32_t i = 0; i < h.count; ++i) {
                     trace.events.push_back(
                         {start + static_cast<Time>(i) * gap, c.bank,
-                         c.row, c.subchannel});
+                         c.row, c_slot});
                 }
             }
 
@@ -262,8 +341,10 @@ generateTraces(const WorkloadSpec &spec, const TraceGenConfig &config)
                                                rng.below(rows_per_core));
                 const Time at = static_cast<Time>(
                     rng.below(static_cast<uint64_t>(window)));
-                const dram::DramCoord c = routeCoord(map, sc, raw_bank, r);
-                trace.events.push_back({at, c.bank, c.row, c.subchannel});
+                const dram::DramCoord c =
+                    routeCoord(map, chan, rank, sc, raw_bank, r);
+                trace.events.push_back(
+                    {at, c.bank, c.row, slotOfCoord(c, config)});
             }
         }
 
@@ -304,9 +385,9 @@ censusOf(const std::vector<CoreTrace> &traces, const TraceGenConfig &config,
             census.act128 += 1;
     }
     // Rescale: counts were per simulated bank per generated window,
-    // across every simulated sub-channel.
+    // across every simulated replay slot.
     const double denom = static_cast<double>(config.banksSimulated) *
-                         static_cast<double>(subchannelsOf(config)) *
+                         static_cast<double>(slotsOf(config)) *
                          config.windowFraction;
     census.act32 /= denom;
     census.act64 /= denom;
@@ -321,8 +402,7 @@ censusOf(const std::vector<CoreTrace> &traces, const TraceGenConfig &config,
     const double system_acts =
         static_cast<double>(total_acts) *
         static_cast<double>(config.systemBanks) /
-        static_cast<double>(config.banksSimulated *
-                            subchannelsOf(config));
+        static_cast<double>(config.banksSimulated * slotsOf(config));
     if (instr_total > 0)
         census.actPki = system_acts / instr_total * 1000.0;
     return census;

@@ -25,11 +25,13 @@
 #define MOATSIM_WORKLOAD_TRACEGEN_HH
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "common/rng.hh"
 #include "common/time.hh"
 #include "common/types.hh"
+#include "dram/device.hh"
 #include "dram/timing.hh"
 #include "workload/spec.hh"
 
@@ -48,7 +50,14 @@ struct TraceEvent
     Time at = 0;
     BankId bank = 0;
     RowId row = 0;
-    /** Target sub-channel (0 when the system has only one). */
+    /**
+     * Target sub-channel replay slot (0 when the system has only
+     * one). On a multi-channel/multi-rank system this is the flat
+     * slot index ((channel * ranks) + rank) * subchannels +
+     * subchannel, matching sim::System's construction order, so the
+     * replay hot loop dispatches on one integer regardless of the
+     * topology.
+     */
     uint32_t subchannel = 0;
 };
 
@@ -88,17 +97,22 @@ struct TraceGenConfig
     /** Cores in the system (rate mode). */
     uint32_t numCores = 8;
     /** Banks simulated per sub-channel. */
-    uint32_t banksSimulated = 32;
+    uint32_t banksSimulated = dram::kTable3BanksPerSubchannel;
     /**
-     * Sub-channels simulated (power of two). Each core's traffic is
-     * routed across subchannels x banksSimulated banks through
+     * Sub-channels simulated per (channel, rank), power of two. Each
+     * core's traffic is routed across every replay slot (subchannels
+     * x channels x ranks) x banksSimulated banks through
      * dram::AddressMap, and the events carry the decoded coordinates.
      * The full-system configuration of Table 3 is 2; the default of 1
      * keeps single-sub-channel experiments cheap.
      */
     uint32_t subchannels = 1;
+    /** Memory channels (device topology; Table 3: 1). */
+    uint32_t channels = 1;
+    /** Ranks per channel (device topology; Table 3: 1). */
+    uint32_t ranks = 1;
     /** Banks in the whole system (traffic divides across them). */
-    uint32_t systemBanks = 64;
+    uint32_t systemBanks = 2 * dram::kTable3BanksPerSubchannel;
     /** Non-memory IPC used to convert ACT-PKI into a time rate. */
     double baseIpc = 2.0;
     /** Core clock in GHz. */
@@ -123,7 +137,30 @@ struct TraceGenConfig
      */
     Time intraEpisodeGap = fromNs(2600);
     uint64_t seed = 7;
+    /**
+     * Canonical device spec text (dram::DeviceSpec::describe()) when
+     * the configuration was derived from a named device grade via
+     * withDevice(); empty for hand-assembled configs. Folded into
+     * configKey() (a device axis must never collide with a
+     * hand-tuned config of equal parameters) and carried through to
+     * the JSONL results.
+     */
+    std::string device;
 };
+
+/**
+ * Copy of @p config with the resolved @p device applied: the grade's
+ * timing and geometry, the channels x ranks topology, the system bank
+ * count (device.totalBanks()), and the canonical device text. The
+ * sub-channels-per-channel and banks-simulated counts are left as
+ * configured (experiments may still simulate a slice of each grade).
+ * The default grade maps to an empty device tag -- it *is* the
+ * hand-assembled Table-3 system, and the result is field-for-field
+ * identical to a default-constructed config, so naming it changes no
+ * key, seed, or output byte.
+ */
+TraceGenConfig withDevice(const TraceGenConfig &config,
+                          const dram::DeviceModel &device);
 
 /** Generate the per-core traces of one workload. */
 std::vector<CoreTrace> generateTraces(const WorkloadSpec &spec,

@@ -158,12 +158,18 @@ TEST(ThroughputModel, TsaGrowsWithBanks)
 TEST(StorageModel, PaperBudgets)
 {
     // Appendix D: 7/10/16 bytes per bank; 224/320/512 per 32-bank chip.
-    EXPECT_EQ(moatStorage(1).bytesPerBank, 7u);
-    EXPECT_EQ(moatStorage(2).bytesPerBank, 10u);
-    EXPECT_EQ(moatStorage(4).bytesPerBank, 16u);
-    EXPECT_EQ(moatStorage(1).bytesPerChip, 224u);
-    EXPECT_EQ(moatStorage(2).bytesPerChip, 320u);
-    EXPECT_EQ(moatStorage(4).bytesPerChip, 512u);
+    // The bank count comes from the default device grade's geometry.
+    const dram::DeviceModel device;
+    EXPECT_EQ(device.banksPerSubchannel(), 32u);
+    EXPECT_EQ(moatStorage(1, device).bytesPerBank, 7u);
+    EXPECT_EQ(moatStorage(2, device).bytesPerBank, 10u);
+    EXPECT_EQ(moatStorage(4, device).bytesPerBank, 16u);
+    EXPECT_EQ(moatStorage(1, device).bytesPerChip, 224u);
+    EXPECT_EQ(moatStorage(2, device).bytesPerChip, 320u);
+    EXPECT_EQ(moatStorage(4, device).bytesPerChip, 512u);
+    // An eight-bank-per-group org would scale the chip figure; the
+    // per-bank figure is geometry-independent.
+    EXPECT_EQ(moatStorage(1, 64u).bytesPerChip, 448u);
 }
 
 TEST(StorageModel, EnergyModel)

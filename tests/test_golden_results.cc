@@ -29,6 +29,7 @@
 #include <vector>
 
 #include "attacks/attack.hh"
+#include "dram/device.hh"
 #include "sim/coattack.hh"
 #include "sim/result_io.hh"
 #include "sim/sweep.hh"
@@ -270,6 +271,56 @@ TEST(GoldenSystem, FullSystemSweepMatchesCheckedInResults)
     // The 2-sub-channel System path, per-sub-channel breakdowns
     // included, locked down end to end.
     checkGolden("perf_system2_moat.jsonl", perfLinesFor("moat", 2));
+}
+
+/**
+ * The golden device-grade sweep: a named non-default grade applied via
+ * workload::withDevice. Locks the whole device axis end to end -- the
+ * speed grade's timing swap, the 2-rank topology with its per-level
+ * seed derivation, the device fold in the trace config key, and the
+ * JSONL "device" field -- through the same parallel engine as the
+ * default-grade goldens.
+ */
+std::vector<std::string>
+deviceLinesFor(const std::string &mitigator, const std::string &device)
+{
+    SweepConfig sc;
+    sc.tracegen = workload::withDevice(
+        goldenTracegen(), dram::DeviceSpec::parse(device).resolve());
+    sc.jobs = 2;
+    SweepEngine engine(sc);
+
+    std::vector<SweepCell> cells;
+    for (const char *w : {"roms", "xz"}) {
+        cells.push_back({workload::findWorkload(w),
+                         mitigation::Registry::parse(mitigator),
+                         abo::Level::L1});
+    }
+    std::vector<std::string> lines;
+    for (const auto &r : engine.run(cells))
+        lines.push_back(toJsonLine(r));
+    return lines;
+}
+
+TEST(GoldenDevice, NamedGradeSweepMatchesCheckedInResults)
+{
+    checkGolden(
+        "perf_device_64gb_2r_fast.jsonl",
+        deviceLinesFor("moat", "device:org=64gb-2r,speed=ddr5-prac-fast"));
+}
+
+TEST(GoldenDevice, NamedGradeLinesCarryTheDeviceTag)
+{
+    const auto lines =
+        deviceLinesFor("moat", "device:org=64gb-2r,speed=ddr5-prac-fast");
+    for (const auto &line : lines) {
+        EXPECT_NE(line.find("\"device\":\"device:org=64gb-2r,"
+                            "speed=ddr5-prac-fast\""),
+                  std::string::npos)
+            << line;
+        const PerfResult r = perfResultOfJsonLine(line);
+        EXPECT_EQ(toJsonLine(r), line);
+    }
 }
 
 TEST(GoldenFormat, PerfLinesRoundTripThroughParser)

@@ -255,6 +255,61 @@ TEST(MoatlintJsonlStability, QuietOffEmitters)
     EXPECT_TRUE(ofRule(f, "jsonl-stability").empty());
 }
 
+// ------------------------------------------------------ magic-geometry
+
+TEST(MoatlintMagicGeometry, FlagsRowAndBankLiterals)
+{
+    const auto f = lintSource(
+        "src/workload/x.cc",
+        "uint32_t rows = 64 * 1024;\n"
+        "uint32_t rows2 = 64*1024;\n"
+        "uint32_t rows3 = 65536;\n"
+        "uint32_t banks_per_chip = 32;\n"
+        "config.numBanks = 32;\n");
+    EXPECT_EQ(linesOf(f, "magic-geometry"),
+              (std::vector<int>{1, 2, 3, 4, 5}));
+}
+
+TEST(MoatlintMagicGeometry, QuietOnNamedConstantsAndOtherNumbers)
+{
+    const auto f = lintSource(
+        "src/workload/x.cc",
+        "uint32_t rows = dram::kTable3RowsPerBank;\n"
+        "uint32_t banks = device.banksPerSubchannel();\n"
+        "uint32_t eth = 32;\n"          // a threshold, not a bank count
+        "uint32_t window = 32 * 1024;\n" // not the 64K row count
+        "uint32_t x = 165536;\n");
+    EXPECT_TRUE(ofRule(f, "magic-geometry").empty());
+}
+
+TEST(MoatlintMagicGeometry, QuietInCommentAndString)
+{
+    const auto f = lintSource(
+        "src/workload/x.cc",
+        "// the Table-3 system has 64 * 1024 rows, numBanks = 32\n"
+        "const char *s = \"rows = 64 * 1024\";\n");
+    EXPECT_TRUE(ofRule(f, "magic-geometry").empty());
+}
+
+TEST(MoatlintMagicGeometry, DeviceTablesAreExempt)
+{
+    const std::string body = "uint32_t rowsPerBank = 64 * 1024;\n"
+                             "uint32_t banksPerChip = 32;\n";
+    EXPECT_TRUE(
+        ofRule(lintSource("src/dram/device.cc", body), "magic-geometry")
+            .empty());
+    EXPECT_TRUE(
+        ofRule(lintSource("src/dram/device.hh", body), "magic-geometry")
+            .empty());
+    EXPECT_TRUE(
+        ofRule(lintSource("src/dram/timing.hh", body), "magic-geometry")
+            .empty());
+    // Elsewhere in dram/ the rule applies.
+    EXPECT_EQ(linesOf(lintSource("src/dram/bank.cc", body),
+                      "magic-geometry"),
+              (std::vector<int>{1, 2}));
+}
+
 // -------------------------------------------------------- suppressions
 
 TEST(MoatlintSuppression, SameLineRoundTrip)
@@ -462,6 +517,9 @@ TEST(MoatlintCleanTree, RealTreeExercisesTheRules)
     EXPECT_TRUE(ofRule(f, "std-hash").empty());
     EXPECT_TRUE(ofRule(f, "libc-rand").empty());
     EXPECT_TRUE(ofRule(f, "wall-clock").empty());
+    // Geometry literals live only in the device tables; everything
+    // else derives from the DeviceModel (or the kTable3 constants).
+    EXPECT_TRUE(ofRule(f, "magic-geometry").empty());
     EXPECT_TRUE(ofRule(f, "bad-suppression").empty());
 }
 

@@ -682,6 +682,42 @@ ruleJsonlStability(const ParsedFile &f, std::vector<Finding> &out)
             "jsonDouble) so output stays byte-stable");
 }
 
+void
+ruleMagicGeometry(const ParsedFile &f, std::vector<Finding> &out)
+{
+    // The device tables themselves -- and the named Table-3 constants
+    // they share with TimingParams -- are where the numbers live.
+    if (endsWith(f.path, "dram/device.cc") ||
+        endsWith(f.path, "dram/device.hh") ||
+        endsWith(f.path, "dram/timing.hh"))
+        return;
+
+    // Raw Table-3 row count: 64 * 1024 in any spacing, or spelled out.
+    static const std::regex rows(R"(\b(64\s*\*\s*1024|65536|0x10000)\b)");
+    for (auto it =
+             std::sregex_iterator(f.code.begin(), f.code.end(), rows);
+         it != std::sregex_iterator(); ++it) {
+        add(out, f, static_cast<size_t>(it->position()), "magic-geometry",
+            "raw row-count literal '" + it->str() +
+                "'; use dram::kTable3RowsPerBank or derive from the "
+                "DeviceModel geometry so every device grade stays "
+                "consistent");
+    }
+
+    // Raw bank-count literal bound to a banks-ish identifier
+    // (banks_per_chip = 32, numBanks = 32, ...).
+    static const std::regex banks(R"(\b(\w*[Bb]anks\w*)\s*=\s*32\b)");
+    for (auto it =
+             std::sregex_iterator(f.code.begin(), f.code.end(), banks);
+         it != std::sregex_iterator(); ++it) {
+        add(out, f, static_cast<size_t>(it->position()), "magic-geometry",
+            "bank count '" + (*it)[1].str() +
+                " = 32' duplicates the Table-3 geometry; take it from "
+                "dram::kTable3BanksPerSubchannel or a DeviceModel "
+                "instead of a parallel constant");
+    }
+}
+
 /** Per-file rule driver (everything except the cross-file checks). */
 std::vector<Finding>
 lintParsed(const ParsedFile &f, const std::vector<std::string> &extra)
@@ -694,6 +730,7 @@ lintParsed(const ParsedFile &f, const std::vector<std::string> &extra)
     rulePointerOrder(f, out);
     ruleMitigatorFinal(f, out);
     ruleJsonlStability(f, out);
+    ruleMagicGeometry(f, out);
     return out;
 }
 
@@ -826,6 +863,8 @@ rules()
                             "case in dispatchSealed"},
         {"jsonl-stability", "JSONL emitters format doubles with %.17g "
                             "only (byte-stable goldens)"},
+        {"magic-geometry", "raw Table-3 geometry literals outside the "
+                           "device tables; derive from DeviceModel"},
         {"bad-suppression", "allow() comment naming an unknown rule or "
                             "missing its justification"},
     };

@@ -32,6 +32,11 @@
  *                    emitting files (files that format JSON themselves
  *                    via toJsonLine/jsonField or that opt in with a
  *                    MOATSIM_JSONL marker comment).
+ *   magic-geometry   raw Table-3 geometry literals (64 * 1024 row
+ *                    counts, `banks... = 32`) outside the device
+ *                    tables (dram/device.*, dram/timing.hh); geometry
+ *                    derives from the DeviceModel single source of
+ *                    truth.
  *   bad-suppression  a moatlint suppression comment naming an unknown
  *                    rule or missing its justification.
  *
