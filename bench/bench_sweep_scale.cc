@@ -109,19 +109,42 @@ main()
     const MatrixRun opt = runMatrix(opt_cfg, cells);
     const auto store = opt_cfg.traceStore->stats();
 
-    // Same simulation on both paths or the comparison is meaningless.
+    // Warm run: the identical matrix served from a pre-warmed
+    // sim::ResultStore. The untimed cold pass fills the store; the
+    // timed pass must recompute nothing (and generate no traces), so
+    // its rate is the warm full-matrix re-run throughput the
+    // result-store PR is about.
+    sim::SweepConfig warm_cfg = base;
+    warm_cfg.traceStore =
+        std::make_shared<workload::TraceStore>(workload::TraceStore::Config{});
+    sim::ResultStore::Config rs_on;
+    rs_on.enabled = true;
+    warm_cfg.resultStore = std::make_shared<sim::ResultStore>(rs_on);
+    (void)runMatrix(warm_cfg, cells); // cold fill
+    const uint64_t computes_cold = warm_cfg.resultStore->stats().computes;
+    const MatrixRun warm = runMatrix(warm_cfg, cells);
+    const uint64_t warm_recomputes =
+        warm_cfg.resultStore->stats().computes - computes_cold;
+
+    // Same simulation on all paths or the comparison is meaningless.
     const std::string ref_jsonl = jsonlOf(ref.results);
     const std::string opt_jsonl = jsonlOf(opt.results);
-    if (ref_jsonl != opt_jsonl) {
-        std::cerr << "FATAL: reference and optimized matrix runs "
+    if (ref_jsonl != opt_jsonl || jsonlOf(warm.results) != ref_jsonl) {
+        std::cerr << "FATAL: reference, optimized, and warm matrix runs "
                      "diverged (results must be bit-identical with the "
-                     "store on or off)\n";
+                     "stores on, off, cold, or warm)\n";
+        return 1;
+    }
+    if (warm_recomputes != 0) {
+        std::cerr << "FATAL: warm result-store run recomputed "
+                  << warm_recomputes << " cells (expected 0)\n";
         return 1;
     }
 
     const double n = static_cast<double>(cells.size());
     const double ref_rate = ref.seconds > 0 ? n / ref.seconds : 0.0;
     const double opt_rate = opt.seconds > 0 ? n / opt.seconds : 0.0;
+    const double warm_rate = warm.seconds > 0 ? n / warm.seconds : 0.0;
     const double speedup = ref_rate > 0 ? opt_rate / ref_rate : 0.0;
 
     TablePrinter t({"pipeline", "cells", "seconds", "cells/sec",
@@ -132,6 +155,9 @@ main()
     t.addRow({"optimized (trace store, sealed dispatch)",
               std::to_string(cells.size()), formatFixed(opt.seconds, 3),
               formatFixed(opt_rate, 2), std::to_string(opt.genCalls)});
+    t.addRow({"warm (pre-warmed result store)",
+              std::to_string(cells.size()), formatFixed(warm.seconds, 3),
+              formatFixed(warm_rate, 2), std::to_string(warm.genCalls)});
     t.print(std::cout);
     std::cout << "trace store: " << store.hits << " hits, "
               << store.misses << " misses (hit rate "
@@ -146,6 +172,8 @@ main()
             << ",\"opt_cells_per_sec\":" << formatFixed(opt_rate, 3)
             << ",\"speedup\":" << formatFixed(speedup, 3)
             << ",\"bar\":2.0"
+            << ",\"warm_cells_per_sec\":" << formatFixed(warm_rate, 3)
+            << ",\"warm_recomputes\":" << warm_recomputes
             << ",\"ref_gen_calls\":" << ref.genCalls
             << ",\"opt_gen_calls\":" << opt.genCalls
             << ",\"trace_store_hits\":" << store.hits

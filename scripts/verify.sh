@@ -75,4 +75,54 @@ MOATSIM_TRACE_STORE=0 "$BUILD_DIR/moatsim" perf --workload all \
   --fraction 0.015625 --subchannels 2 --jobs 8 \
   > "$BUILD_DIR/perf_store_env_off.txt"
 diff "$BUILD_DIR/perf_jobs8.txt" "$BUILD_DIR/perf_store_env_off.txt"
+
+# The result store is a pure cache of whole cells: a cold run filling
+# a shard directory and a warm re-run served entirely from it must be
+# byte-identical (table and JSONL), and the warm run must recompute
+# zero cells (the stderr summary proves it).
+echo "result store smoke: cold vs warm full re-run"
+rm -rf "$BUILD_DIR/result_store_smoke"
+"$BUILD_DIR/moatsim" perf --workload all --fraction 0.015625 \
+  --subchannels 2 --jobs 8 --result-store "$BUILD_DIR/result_store_smoke" \
+  --jsonl "$BUILD_DIR/perf_store_cold.jsonl" \
+  > "$BUILD_DIR/perf_store_cold.txt" 2> "$BUILD_DIR/perf_store_cold.err"
+"$BUILD_DIR/moatsim" perf --workload all --fraction 0.015625 \
+  --subchannels 2 --jobs 8 --result-store "$BUILD_DIR/result_store_smoke" \
+  --jsonl "$BUILD_DIR/perf_store_warm.jsonl" \
+  > "$BUILD_DIR/perf_store_warm.txt" 2> "$BUILD_DIR/perf_store_warm.err"
+diff "$BUILD_DIR/perf_jobs8.txt" "$BUILD_DIR/perf_store_cold.txt"
+diff "$BUILD_DIR/perf_store_cold.txt" "$BUILD_DIR/perf_store_warm.txt"
+diff "$BUILD_DIR/perf_store_cold.jsonl" "$BUILD_DIR/perf_store_warm.jsonl"
+grep -q "computes=0 " "$BUILD_DIR/perf_store_warm.err" || {
+  echo "FATAL: warm result-store run recomputed cells:" >&2
+  cat "$BUILD_DIR/perf_store_warm.err" >&2
+  exit 1
+}
+
+# Serve smoke: a daemon-served sweep must be byte-identical to the
+# direct CLI's --jsonl output. --max-requests 1 bounds the daemon's
+# life without any timeout; the client blocks until the cells stream
+# back, so no sleep/poll is needed beyond waiting for the socket.
+echo "serve smoke: daemon round-trip vs direct run"
+SOCK="$BUILD_DIR/moatsim_serve_smoke.sock"
+rm -f "$SOCK" "$BUILD_DIR/perf_serve.jsonl" "$BUILD_DIR/perf_direct.jsonl"
+"$BUILD_DIR/moatsim" serve --socket "$SOCK" --max-requests 1 \
+  2> "$BUILD_DIR/serve_smoke.err" &
+SERVE_PID=$!
+while [ ! -S "$SOCK" ]; do
+  kill -0 "$SERVE_PID" 2>/dev/null || {
+    echo "FATAL: serve daemon died before listening:" >&2
+    cat "$BUILD_DIR/serve_smoke.err" >&2
+    exit 1
+  }
+  sleep 0.05
+done
+"$BUILD_DIR/moatsim" client --socket "$SOCK" --workload all \
+  --fraction 0.015625 --subchannels 2 --jobs 8 \
+  --jsonl "$BUILD_DIR/perf_serve.jsonl"
+wait "$SERVE_PID"
+"$BUILD_DIR/moatsim" perf --workload all --fraction 0.015625 \
+  --subchannels 2 --jobs 8 --jsonl "$BUILD_DIR/perf_direct.jsonl" \
+  > /dev/null
+diff "$BUILD_DIR/perf_direct.jsonl" "$BUILD_DIR/perf_serve.jsonl"
 echo "determinism smoke passed"

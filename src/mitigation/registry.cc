@@ -537,17 +537,4 @@ idealPrcConfigOf(const MitigatorSpec &spec)
     return cfg;
 }
 
-MitigatorSpec
-moatSpec(const MoatConfig &config)
-{
-    return Registry::parse(
-        "moat:ath=" + std::to_string(config.ath) +
-        ",eth=" + std::to_string(config.eth) +
-        ",entries=" + std::to_string(config.trackerEntries) +
-        ",period=" + std::to_string(config.mitigationPeriodRefis) +
-        ",reset-on-refresh=" + boolText(config.resetOnRefresh) +
-        ",safe-reset=" + boolText(config.safeReset) +
-        ",blast=" + std::to_string(config.blastRadius));
-}
-
 } // namespace moatsim::mitigation

@@ -190,17 +190,16 @@ class Registry
 
 /**
  * Config extraction: rebuild the typed config struct a spec denotes.
- * Single parsing point shared by the factories, the attack drivers,
- * and the deprecated MoatConfig code paths. Each fatal()s when the
- * spec names a different design.
+ * Single parsing point shared by the factories and the attack drivers
+ * (which genuinely consume typed configs). Each fatal()s when the
+ * spec names a different design. Code *constructing* a request goes
+ * the other way: build the spec text and Registry::parse() it --
+ * MitigatorSpec is the one request type (see sim::RunRequest).
  */
 MoatConfig moatConfigOf(const MitigatorSpec &spec);
 PanopticonConfig panopticonConfigOf(const MitigatorSpec &spec);
 PanopticonCounterConfig panopticonCounterConfigOf(const MitigatorSpec &spec);
 IdealPrcConfig idealPrcConfigOf(const MitigatorSpec &spec);
-
-/** Inverse of moatConfigOf: a spec with every MOAT field explicit. */
-MitigatorSpec moatSpec(const MoatConfig &config);
 
 } // namespace moatsim::mitigation
 

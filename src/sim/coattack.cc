@@ -7,6 +7,7 @@
 #include "common/logging.hh"
 #include "common/thread_pool.hh"
 #include "sim/perf.hh"
+#include "sim/result_io.hh"
 
 namespace moatsim::sim
 {
@@ -44,6 +45,24 @@ coAttackCellSeed(const workload::TraceGenConfig &config,
     // co-tenant attack.
     return hashCombine(cellSeed(config, spec, mitigator, level),
                        stableHash64("coattack"));
+}
+
+uint64_t
+coAttackCellKey(const workload::TraceGenConfig &config,
+                const CoreModel &core, const CoAttackCell &cell)
+{
+    // Unlike the seed, the key must separate results by attack shape:
+    // every scenario field shapes the replayed command stream, so
+    // every field is folded in.
+    uint64_t h = perfCellKey(config, core, cell.workload, cell.mitigator,
+                             cell.level);
+    h = hashCombine(h, stableHash64(cell.attack.pattern));
+    h = hashCombine(h, static_cast<uint64_t>(cell.attack.poolRows));
+    h = hashCombine(h, cell.attack.budget);
+    h = hashCombine(h, static_cast<uint64_t>(cell.attack.subchannel));
+    h = hashCombine(h, static_cast<uint64_t>(cell.attack.bank));
+    h = hashCombine(h, cell.attack.seed);
+    return hashCombine(h, stableHash64("coattack-cell"));
 }
 
 workload::AttackTraceConfig
@@ -127,6 +146,8 @@ CoAttackEngine::CoAttackEngine(const SweepConfig &config)
 {
     if (!config_.traceStore)
         config_.traceStore = std::make_shared<workload::TraceStore>();
+    if (!config_.resultStore)
+        config_.resultStore = std::make_shared<ResultStore>();
 }
 
 std::shared_ptr<const CoAttackEngine::Baseline>
@@ -176,6 +197,21 @@ CoAttackEngine::baseline(const CoAttackCell &cell)
 
 CoAttackResult
 CoAttackEngine::runCell(const CoAttackCell &cell)
+{
+    // Store-first, exactly like SweepEngine::runCell: a warm hit skips
+    // the attack-free baseline and the co-run entirely, and both paths
+    // round-trip through the byte-stable JSONL payload.
+    if (!config_.resultStore->enabled())
+        return computeCell(cell);
+    const uint64_t key =
+        coAttackCellKey(config_.tracegen, config_.core, cell);
+    const auto payload = config_.resultStore->getOrCompute(
+        key, [&] { return toJsonLine(computeCell(cell)); });
+    return coAttackResultOfJsonLine(*payload);
+}
+
+CoAttackResult
+CoAttackEngine::computeCell(const CoAttackCell &cell)
 {
     const auto base = baseline(cell);
 
@@ -249,17 +285,29 @@ CoAttackEngine::runCell(const CoAttackCell &cell)
 std::vector<CoAttackResult>
 CoAttackEngine::run(const std::vector<CoAttackCell> &cells)
 {
+    return run(cells, nullptr);
+}
+
+std::vector<CoAttackResult>
+CoAttackEngine::run(const std::vector<CoAttackCell> &cells,
+                    const CellSink &sink)
+{
     std::vector<CoAttackResult> results(cells.size());
     if (jobs_ <= 1 || cells.size() <= 1) {
-        for (size_t i = 0; i < cells.size(); ++i)
+        for (size_t i = 0; i < cells.size(); ++i) {
             results[i] = runCell(cells[i]);
+            if (sink)
+                sink(i, results[i]);
+        }
         return results;
     }
 
     ThreadPool pool(std::min(jobs_, static_cast<unsigned>(cells.size())));
     for (size_t i = 0; i < cells.size(); ++i) {
-        pool.submit([this, &cells, &results, i] {
+        pool.submit([this, &cells, &results, &sink, i] {
             results[i] = runCell(cells[i]);
+            if (sink)
+                sink(i, results[i]);
         });
     }
     pool.wait();

@@ -23,6 +23,7 @@
 #ifndef MOATSIM_SIM_COATTACK_HH
 #define MOATSIM_SIM_COATTACK_HH
 
+#include <functional>
 #include <future>
 #include <memory>
 #include <string>
@@ -122,6 +123,16 @@ uint64_t coAttackCellSeed(const workload::TraceGenConfig &config,
                           const workload::AttackTraceConfig &attack);
 
 /**
+ * Content address of one co-attack cell for the sim::ResultStore:
+ * perfCellKey() (configuration, workload, mitigator, level) extended
+ * with every CoAttackScenario field -- unlike the cell *seed*, the
+ * cell *key* must separate attacked results by attack shape. Equal
+ * keys produce byte-identical toJsonLine(CoAttackResult) payloads.
+ */
+uint64_t coAttackCellKey(const workload::TraceGenConfig &config,
+                         const CoreModel &core, const CoAttackCell &cell);
+
+/**
  * Replay @p spec's benign traces -- plus the attacker stream unless
  * @p attack is "none" -- on a fresh System of
  * config.subchannels sub-channels (security tracking on). The benign
@@ -152,17 +163,31 @@ class CoAttackEngine
   public:
     explicit CoAttackEngine(const SweepConfig &config);
 
+    /** Streaming completion callback; see SweepEngine::CellSink. */
+    using CellSink = std::function<void(size_t, const CoAttackResult &)>;
+
     /** Run every cell; results are in cell order regardless of the
      *  execution schedule. */
     std::vector<CoAttackResult> run(const std::vector<CoAttackCell> &cells);
 
-    /** Run one cell inline (shares the baseline cache). */
+    /** As run(cells), additionally streaming each finished cell to
+     *  @p sink (null = none); the sink must be thread-safe. */
+    std::vector<CoAttackResult> run(const std::vector<CoAttackCell> &cells,
+                                    const CellSink &sink);
+
+    /** Run one cell inline (shares the baseline cache and stores). */
     CoAttackResult runCell(const CoAttackCell &cell);
 
     /** Resolved worker count. */
     unsigned jobs() const { return jobs_; }
 
     const SweepConfig &config() const { return config_; }
+
+    /** The result store (config.resultStore, or the engine's own). */
+    const std::shared_ptr<ResultStore> &resultStore() const
+    {
+        return config_.resultStore;
+    }
 
   private:
     /** Attack-free co-run of (workload, mitigator, level): the victim
@@ -179,6 +204,9 @@ class CoAttackEngine
 
     std::shared_ptr<const Baseline> baseline(const CoAttackCell &cell)
         EXCLUDES(mu_);
+
+    /** Simulate one cell (the result store's compute path). */
+    CoAttackResult computeCell(const CoAttackCell &cell);
 
     SweepConfig config_;
     unsigned jobs_;

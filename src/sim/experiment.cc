@@ -9,7 +9,8 @@ namespace
 {
 
 SweepConfig
-sweepConfigOf(const ExperimentConfig &config)
+sweepConfigOf(const ExperimentConfig &config,
+              const ExperimentStores &stores)
 {
     SweepConfig sc;
     sc.tracegen = config.tracegen;
@@ -20,22 +21,40 @@ sweepConfigOf(const ExperimentConfig &config)
     }
     sc.core = config.core;
     sc.jobs = config.jobs;
-    // One store for the whole experiment; the environment can disable
-    // it on top of the config (both must opt in).
-    workload::TraceStore::Config tsc = workload::TraceStore::envConfig();
-    tsc.enabled = tsc.enabled && config.traceStore;
-    sc.traceStore = std::make_shared<workload::TraceStore>(tsc);
+    // One store of each kind for the whole experiment -- or the
+    // caller's long-lived ones (`moatsim serve` shares stores across
+    // every client request). For the trace store the environment can
+    // disable it on top of the config (both must opt in).
+    if (stores.traces) {
+        sc.traceStore = stores.traces;
+    } else {
+        workload::TraceStore::Config tsc =
+            workload::TraceStore::envConfig();
+        tsc.enabled = tsc.enabled && config.traceStore;
+        sc.traceStore = std::make_shared<workload::TraceStore>(tsc);
+    }
+    sc.resultStore = stores.results
+                         ? stores.results
+                         : std::make_shared<ResultStore>(config.resultStore);
     return sc;
 }
 
 } // namespace
 
 Experiment::Experiment(const ExperimentConfig &config)
+    : Experiment(config, ExperimentStores{})
+{
+}
+
+Experiment::Experiment(const ExperimentConfig &config,
+                       const ExperimentStores &stores)
     : config_(config),
-      engine_(sweepConfigOf(config)),
+      engine_(sweepConfigOf(config, stores),
+              stores.baselines ? stores.baselines
+                               : std::make_shared<BaselineCache>()),
       // The co-attack engine shares the perf engine's resolved config
-      // -- trace store included -- so both replay one copy of each
-      // workload's traces.
+      // -- trace and result stores included -- so both replay one copy
+      // of each workload's traces and fill one result store.
       coattack_(engine_.config())
 {
 }
@@ -54,6 +73,14 @@ std::vector<PerfResult>
 Experiment::run()
 {
     return run(config_.mitigator, config_.aboLevel);
+}
+
+std::vector<PerfResult>
+Experiment::run(const SweepEngine::CellSink &sink)
+{
+    return engine_.run(crossCells(selectedWorkloads(),
+                                  {{config_.mitigator, config_.aboLevel}}),
+                       sink);
 }
 
 std::vector<PerfResult>
@@ -97,6 +124,16 @@ Experiment::runCoAttack(const CoAttackScenario &attack)
     return coattack_.run(crossCoAttackCells(
         selectedWorkloads(), {config_.mitigator}, config_.aboLevel,
         attack));
+}
+
+std::vector<CoAttackResult>
+Experiment::runCoAttack(const CoAttackScenario &attack,
+                        const CoAttackEngine::CellSink &sink)
+{
+    return coattack_.run(
+        crossCoAttackCells(selectedWorkloads(), {config_.mitigator},
+                           config_.aboLevel, attack),
+        sink);
 }
 
 std::vector<std::vector<CoAttackResult>>

@@ -70,6 +70,28 @@ struct ExperimentConfig
      * determinism suite proves it).
      */
     bool traceStore = true;
+    /**
+     * Result store configuration (sim/result_store.hh). The default
+     * comes from the environment (MOATSIM_RESULT_STORE unset =
+     * disabled pass-through); the CLI --result-store flag overrides
+     * it. Results are bit-identical with the store enabled, disabled,
+     * cold, or warm -- the store only changes how much is recomputed.
+     */
+    ResultStore::Config resultStore = ResultStore::envConfig();
+};
+
+/**
+ * Long-lived shared state an Experiment may attach to instead of
+ * creating its own: `moatsim serve` keeps one of each across every
+ * client request, so concurrent requests dedupe trace generation,
+ * baseline replays, and whole result cells between each other. Null
+ * members fall back to per-experiment instances.
+ */
+struct ExperimentStores
+{
+    std::shared_ptr<workload::TraceStore> traces;
+    std::shared_ptr<ResultStore> results;
+    std::shared_ptr<BaselineCache> baselines;
 };
 
 /** One (design, level) point of a sweep matrix. */
@@ -93,8 +115,20 @@ class Experiment
   public:
     explicit Experiment(const ExperimentConfig &config);
 
+    /** As above, attaching shared stores (null members = own). */
+    Experiment(const ExperimentConfig &config,
+               const ExperimentStores &stores);
+
     /** Run the configured workload selection with the configured design. */
     std::vector<PerfResult> run();
+
+    /**
+     * As run(), streaming each finished cell to @p sink (index within
+     * the workload selection, result) as it completes -- the serve
+     * protocol's per-cell response path. The sink is called from
+     * worker threads; it must be thread-safe.
+     */
+    std::vector<PerfResult> run(const SweepEngine::CellSink &sink);
 
     /**
      * Run the same workload selection with a different design and/or
@@ -124,6 +158,12 @@ class Experiment
      */
     std::vector<CoAttackResult> runCoAttack(const CoAttackScenario &attack);
 
+    /** As runCoAttack(), streaming each finished cell to @p sink (the
+     *  sink must be thread-safe). */
+    std::vector<CoAttackResult>
+    runCoAttack(const CoAttackScenario &attack,
+                const CoAttackEngine::CellSink &sink);
+
     /**
      * Run the workload selection at every (design, level, attack)
      * point as one parallel batch; result [i][w] is point i on
@@ -149,6 +189,13 @@ class Experiment
     const std::shared_ptr<workload::TraceStore> &traceStore() const
     {
         return engine_.traceStore();
+    }
+
+    /** The result store shared by both engines (hit/miss/compute
+     *  stats; the CLI prints them, `moatsim serve` exposes them). */
+    const std::shared_ptr<ResultStore> &resultStore() const
+    {
+        return engine_.resultStore();
     }
 
   private:

@@ -73,6 +73,22 @@ cellSeed(const workload::TraceGenConfig &config,
     return hashCombine(h, static_cast<uint64_t>(abo::levelValue(level)));
 }
 
+uint64_t
+perfCellKey(const workload::TraceGenConfig &config, const CoreModel &core,
+            const workload::WorkloadSpec &spec,
+            const mitigation::MitigatorSpec &mitigator, abo::Level level)
+{
+    // perfConfigKey covers the generator (device, seed, and timing
+    // included) plus the core model; the rest of the chain names the
+    // cell within that configuration. A domain tag keeps perf keys
+    // disjoint from every other key family sharing a store.
+    uint64_t h =
+        hashCombine(perfConfigKey(config, core), stableHash64(spec.name));
+    h = hashCombine(h, stableHash64(mitigator.describe()));
+    h = hashCombine(h, static_cast<uint64_t>(abo::levelValue(level)));
+    return hashCombine(h, stableHash64("perf-cell"));
+}
+
 std::shared_ptr<const BaselineCache::Finish>
 BaselineCache::getImpl(uint64_t key, const std::function<Finish()> &replay)
 {
@@ -259,19 +275,6 @@ PerfRunner::runSuite(const mitigation::MitigatorSpec &mitigator,
     for (const auto &spec : workload::table4Workloads())
         results.push_back(run(spec, mitigator, level));
     return results;
-}
-
-PerfResult
-PerfRunner::run(const workload::WorkloadSpec &spec,
-                const mitigation::MoatConfig &moat, abo::Level level)
-{
-    return run(spec, mitigation::moatSpec(moat), level);
-}
-
-std::vector<PerfResult>
-PerfRunner::runSuite(const mitigation::MoatConfig &moat, abo::Level level)
-{
-    return runSuite(mitigation::moatSpec(moat), level);
 }
 
 double

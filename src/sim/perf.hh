@@ -31,7 +31,6 @@
 
 #include "abo/abo.hh"
 #include "common/mutex.hh"
-#include "mitigation/moat.hh"
 #include "mitigation/registry.hh"
 #include "sim/memsys.hh"
 #include "workload/spec.hh"
@@ -103,6 +102,20 @@ uint64_t cellSeed(const workload::TraceGenConfig &config,
                   const workload::WorkloadSpec &spec,
                   const mitigation::MitigatorSpec &mitigator,
                   abo::Level level);
+
+/**
+ * Content address of one perf cell for the sim::ResultStore: a stable
+ * hash of everything that shapes the cell's result line --
+ * perfConfigKey() (trace generator, timing, device, seed, core model),
+ * the workload, the mitigator's canonical describe() text, and the ABO
+ * level. Equal keys produce byte-identical toJsonLine(PerfResult)
+ * payloads; the store folds its schema epoch in on top.
+ */
+uint64_t perfCellKey(const workload::TraceGenConfig &config,
+                     const CoreModel &core,
+                     const workload::WorkloadSpec &spec,
+                     const mitigation::MitigatorSpec &mitigator,
+                     abo::Level level);
 
 /**
  * Thread-safe cache of baseline (no-ALERT) per-core finish times.
@@ -202,17 +215,6 @@ class PerfRunner
 
     /** Run every Table-4 workload; returns per-workload results. */
     std::vector<PerfResult> runSuite(const mitigation::MitigatorSpec &mitigator,
-                                     abo::Level level = abo::Level::L1);
-
-    /** @deprecated Thin MOAT-only shim; use the MitigatorSpec overload. */
-    [[deprecated("pass a mitigation::MitigatorSpec instead of a MoatConfig")]]
-    PerfResult run(const workload::WorkloadSpec &spec,
-                   const mitigation::MoatConfig &moat,
-                   abo::Level level = abo::Level::L1);
-
-    /** @deprecated Thin MOAT-only shim; use the MitigatorSpec overload. */
-    [[deprecated("pass a mitigation::MitigatorSpec instead of a MoatConfig")]]
-    std::vector<PerfResult> runSuite(const mitigation::MoatConfig &moat,
                                      abo::Level level = abo::Level::L1);
 
     const workload::TraceGenConfig &config() const { return config_; }

@@ -35,7 +35,14 @@ jsonEscape(const std::string &s)
     return out;
 }
 
-/** %.17g: shortest form that round-trips an IEEE binary64 exactly. */
+} // namespace
+
+std::string
+jsonQuote(const std::string &s)
+{
+    return "\"" + jsonEscape(s) + "\"";
+}
+
 std::string
 jsonDouble(double d)
 {
@@ -44,27 +51,28 @@ jsonDouble(double d)
     return buf;
 }
 
-/**
- * Pull one "key":value out of a flat one-line JSON object. Values are
- * returned as raw text (quotes stripped for strings, brackets kept for
- * arrays). fatal() when the key is absent -- the golden format always
- * writes every field.
- */
-std::string
-jsonField(const std::string &line, const std::string &key)
+bool
+tryJsonField(const std::string &line, const std::string &key,
+             std::string *out, std::string *err)
 {
+    const auto fail = [&line, err](const std::string &msg) {
+        if (err != nullptr)
+            *err = msg + ": " + line;
+        return false;
+    };
     const std::string needle = "\"" + key + "\":";
     const size_t at = line.find(needle);
     if (at == std::string::npos)
-        fatal("result line is missing field '" + key + "': " + line);
+        return fail("result line is missing field '" + key + "'");
     size_t v = at + needle.size();
     if (v < line.size() && line[v] == '[') {
         // Numeric array (per-sub-channel breakdowns); no nesting and
         // no strings inside, so the first ']' terminates it.
         const size_t end = line.find(']', v);
         if (end == std::string::npos)
-            fatal("unterminated array in result line: " + line);
-        return line.substr(v, end - v + 1);
+            return fail("unterminated array in result line");
+        *out = line.substr(v, end - v + 1);
+        return true;
     }
     if (v < line.size() && line[v] == '"') {
         // String value. Our own escaper emits \", \\, and \u00XX for
@@ -72,52 +80,52 @@ jsonField(const std::string &line, const std::string &key)
         // standard JSON escape so externally produced lines decode to
         // the same bytes a compliant parser would see. Unknown escapes
         // are an error, not a silently dropped backslash.
-        std::string out;
+        std::string decoded;
         for (++v; v < line.size() && line[v] != '"'; ++v) {
             if (line[v] != '\\') {
-                out.push_back(line[v]);
+                decoded.push_back(line[v]);
                 continue;
             }
             if (v + 1 >= line.size())
-                fatal("dangling escape in result line: " + line);
+                return fail("dangling escape in result line");
             const char e = line[v + 1];
             switch (e) {
             case '"':
             case '\\':
             case '/':
-                out.push_back(e);
+                decoded.push_back(e);
                 ++v;
                 continue;
             case 'b':
-                out.push_back('\b');
+                decoded.push_back('\b');
                 ++v;
                 continue;
             case 'f':
-                out.push_back('\f');
+                decoded.push_back('\f');
                 ++v;
                 continue;
             case 'n':
-                out.push_back('\n');
+                decoded.push_back('\n');
                 ++v;
                 continue;
             case 'r':
-                out.push_back('\r');
+                decoded.push_back('\r');
                 ++v;
                 continue;
             case 't':
-                out.push_back('\t');
+                decoded.push_back('\t');
                 ++v;
                 continue;
             case 'u': {
                 if (v + 5 >= line.size())
-                    fatal("truncated \\u escape in result line: " + line);
+                    return fail("truncated \\u escape in result line");
                 const std::string hex = line.substr(v + 2, 4);
                 // strtol alone would accept signs, whitespace, and 0x
                 // prefixes; insist on exactly four hex digits.
                 long code = 0;
                 for (const char h : hex) {
                     if (!std::isxdigit(static_cast<unsigned char>(h)))
-                        fatal("bad \\u escape in result line: " + line);
+                        return fail("bad \\u escape in result line");
                     code = code * 16 +
                            (std::isdigit(static_cast<unsigned char>(h))
                                 ? h - '0'
@@ -126,43 +134,64 @@ jsonField(const std::string &line, const std::string &key)
                                    'a' + 10));
                 }
                 if (code >= 0xd800 && code <= 0xdfff)
-                    fatal("surrogate \\u escape in result line: " + line);
+                    return fail("surrogate \\u escape in result line");
                 // Encode as UTF-8 so codes above 0xff round-trip: the
                 // writer passes non-ASCII bytes through raw, so the
                 // decoded bytes re-serialize to the same string.
                 if (code < 0x80) {
-                    out.push_back(static_cast<char>(code));
+                    decoded.push_back(static_cast<char>(code));
                 } else if (code < 0x800) {
-                    out.push_back(
+                    decoded.push_back(
                         static_cast<char>(0xc0 | (code >> 6)));
-                    out.push_back(
+                    decoded.push_back(
                         static_cast<char>(0x80 | (code & 0x3f)));
                 } else {
-                    out.push_back(
+                    decoded.push_back(
                         static_cast<char>(0xe0 | (code >> 12)));
-                    out.push_back(
+                    decoded.push_back(
                         static_cast<char>(0x80 | ((code >> 6) & 0x3f)));
-                    out.push_back(
+                    decoded.push_back(
                         static_cast<char>(0x80 | (code & 0x3f)));
                 }
                 v += 5;
                 continue;
             }
             default:
-                fatal(std::string("unknown escape '\\") + e +
-                      "' in result line: " + line);
+                return fail(std::string("unknown escape '\\") + e +
+                            "' in result line");
             }
         }
         if (v >= line.size())
-            fatal("unterminated string in result line: " + line);
-        return out;
+            return fail("unterminated string in result line");
+        *out = decoded;
+        return true;
     }
     size_t end = v;
     while (end < line.size() && line[end] != ',' && line[end] != '}')
         ++end;
     if (end == v)
-        fatal("empty value for field '" + key + "': " + line);
-    return line.substr(v, end - v);
+        return fail("empty value for field '" + key + "'");
+    *out = line.substr(v, end - v);
+    return true;
+}
+
+namespace
+{
+
+/**
+ * Pull one "key":value out of a flat one-line JSON object. Values are
+ * returned as raw text (quotes stripped for strings, brackets kept for
+ * arrays). fatal() when the key is absent or malformed -- the golden
+ * format always writes every field.
+ */
+std::string
+jsonField(const std::string &line, const std::string &key)
+{
+    std::string out;
+    std::string err;
+    if (!tryJsonField(line, key, &out, &err))
+        fatal(err);
+    return out;
 }
 
 uint64_t

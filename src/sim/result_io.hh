@@ -24,6 +24,24 @@
 namespace moatsim::sim
 {
 
+/** @p s JSON-escaped and double-quoted (the writer's own escaping:
+ *  \", \\, and \u00XX for control characters; other bytes raw). */
+std::string jsonQuote(const std::string &s);
+
+/** %.17g: shortest form that round-trips an IEEE binary64 exactly. */
+std::string jsonDouble(double d);
+
+/**
+ * Pull one "key":value out of a flat one-line JSON object into @p out
+ * (quotes stripped and escapes decoded for strings, brackets kept for
+ * arrays). Returns false -- with a diagnostic in @p err when non-null
+ * -- on a missing key or a malformed value, so callers fed untrusted
+ * lines (the result store's shards, the serve protocol) can treat bad
+ * input as data, not as a fatal error.
+ */
+bool tryJsonField(const std::string &line, const std::string &key,
+                  std::string *out, std::string *err = nullptr);
+
 /** One PerfResult as a byte-stable JSON line (no trailing newline). */
 std::string toJsonLine(const PerfResult &r);
 

@@ -1,0 +1,245 @@
+#include "sim/result_store.hh"
+
+#include <cinttypes>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <utility>
+
+#include "common/hash.hh"
+#include "sim/result_io.hh"
+
+namespace moatsim::sim
+{
+
+namespace
+{
+
+/** Fixed shard fan-out: small enough to open-and-scan cheaply, large
+ *  enough that concurrent appends rarely contend on one file. */
+constexpr uint64_t kShards = 16;
+
+std::string
+hex16(uint64_t v)
+{
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%016" PRIx64, v);
+    return buf;
+}
+
+/** Exactly 16 lowercase hex digits; anything else is corrupt. */
+bool
+parseHex16(const std::string &s, uint64_t *out)
+{
+    if (s.size() != 16)
+        return false;
+    uint64_t v = 0;
+    for (const char c : s) {
+        v <<= 4;
+        if (c >= '0' && c <= '9')
+            v |= static_cast<uint64_t>(c - '0');
+        else if (c >= 'a' && c <= 'f')
+            v |= static_cast<uint64_t>(c - 'a' + 10);
+        else
+            return false;
+    }
+    *out = v;
+    return true;
+}
+
+} // namespace
+
+ResultStore::ResultStore() : ResultStore(envConfig())
+{
+}
+
+ResultStore::ResultStore(const Config &config) : config_(config)
+{
+    if (config_.enabled && !config_.dir.empty()) {
+        // Best-effort: an unwritable directory degrades the store to
+        // in-memory (appends fail silently, loads see no shards).
+        std::error_code ec;
+        std::filesystem::create_directories(config_.dir, ec);
+        loadShards();
+    }
+}
+
+uint64_t
+ResultStore::foldKey(uint64_t key) const
+{
+    // The epoch participates in the *stored* key, so an epoch bump
+    // orphans every old record -- explicit, total invalidation.
+    return hashCombine(hashMix(config_.epoch), key);
+}
+
+std::string
+ResultStore::shardPathOf(uint64_t folded) const
+{
+    char buf[8];
+    std::snprintf(buf, sizeof buf, "%02x",
+                  static_cast<unsigned>(folded % kShards));
+    return config_.dir + "/shard-" + buf + ".jsonl";
+}
+
+void
+ResultStore::loadShards()
+{
+    MutexLock lock(mu_);
+    for (uint64_t shard = 0; shard < kShards; ++shard) {
+        char buf[8];
+        std::snprintf(buf, sizeof buf, "%02x",
+                      static_cast<unsigned>(shard));
+        std::ifstream is(config_.dir + "/shard-" + buf + ".jsonl");
+        if (!is)
+            continue; // fresh store: shards appear on first compute
+        std::string line;
+        while (std::getline(is, line)) {
+            if (line.empty())
+                continue;
+            // Every record must decode, carry the expected kind, and
+            // checksum-match its payload; anything else (truncated
+            // tail line, flipped byte, foreign file) is counted and
+            // skipped -- a corrupt record is a miss, never an error.
+            std::string kind;
+            std::string key_text;
+            std::string sum_text;
+            std::string payload;
+            uint64_t key = 0;
+            uint64_t sum = 0;
+            if (!tryJsonField(line, "kind", &kind) || kind != "result" ||
+                !tryJsonField(line, "key", &key_text) ||
+                !tryJsonField(line, "sum", &sum_text) ||
+                !tryJsonField(line, "payload", &payload) ||
+                !parseHex16(key_text, &key) ||
+                !parseHex16(sum_text, &sum) ||
+                stableHash64(payload) != sum) {
+                ++corrupt_;
+                continue;
+            }
+            // Later records win (a re-append after a partial write),
+            // but payloads of equal keys are equal bytes anyway.
+            std::promise<std::shared_ptr<const std::string>> promise;
+            Entry e;
+            e.future = promise.get_future().share();
+            e.resolved = true;
+            promise.set_value(
+                std::make_shared<const std::string>(std::move(payload)));
+            entries_[key] = std::move(e);
+            ++loaded_;
+        }
+    }
+}
+
+void
+ResultStore::appendRecord(uint64_t folded, const std::string &payload)
+{
+    MutexLock lock(io_mu_);
+    std::ofstream os(shardPathOf(folded), std::ios::app);
+    if (!os)
+        return; // best-effort: the in-memory entry still serves
+    os << "{\"kind\":\"result\",\"key\":\"" << hex16(folded)
+       << "\",\"sum\":\"" << hex16(stableHash64(payload))
+       << "\",\"payload\":" << jsonQuote(payload) << "}\n";
+}
+
+ResultStore::Config
+ResultStore::configOf(const std::string &text)
+{
+    Config cfg;
+    if (!text.empty() && text != "0") {
+        cfg.enabled = true;
+        if (text != "1")
+            cfg.dir = text;
+    }
+    return cfg;
+}
+
+ResultStore::Config
+ResultStore::envConfig()
+{
+    Config cfg;
+    // getenv is read at startup before any worker threads exist, and
+    // nothing in the process mutates the environment.
+    // NOLINTNEXTLINE(concurrency-mt-unsafe)
+    if (const char *s = std::getenv("MOATSIM_RESULT_STORE"))
+        cfg = configOf(s);
+    // NOLINTNEXTLINE(concurrency-mt-unsafe)
+    if (const char *s = std::getenv("MOATSIM_RESULT_STORE_EPOCH")) {
+        char *end = nullptr;
+        const unsigned long long v = std::strtoull(s, &end, 10);
+        if (end != s && *end == '\0')
+            cfg.epoch = v;
+    }
+    return cfg;
+}
+
+std::shared_ptr<const std::string>
+ResultStore::getOrCompute(uint64_t key,
+                          const std::function<std::string()> &compute)
+{
+    if (!config_.enabled) {
+        auto value = std::make_shared<const std::string>(compute());
+        MutexLock lock(mu_);
+        ++misses_;
+        ++computes_;
+        return value;
+    }
+
+    const uint64_t folded = foldKey(key);
+    std::shared_future<std::shared_ptr<const std::string>> future;
+    std::promise<std::shared_ptr<const std::string>> promise;
+    bool run = false;
+    {
+        MutexLock lock(mu_);
+        auto it = entries_.find(folded);
+        if (it == entries_.end()) {
+            future = promise.get_future().share();
+            Entry e;
+            e.future = future;
+            entries_.emplace(folded, e);
+            ++misses_;
+            ++computes_;
+            ++in_flight_;
+            run = true;
+        } else {
+            future = it->second.future;
+            ++hits_;
+        }
+    }
+
+    if (run) {
+        // Only the winning first-toucher computes, outside every store
+        // lock; everyone else blocks on the shared future.
+        auto value = std::make_shared<const std::string>(compute());
+        promise.set_value(value);
+        {
+            MutexLock lock(mu_);
+            auto it = entries_.find(folded);
+            if (it != entries_.end())
+                it->second.resolved = true;
+            --in_flight_;
+        }
+        if (!config_.dir.empty())
+            appendRecord(folded, *value);
+        return value;
+    }
+    return future.get();
+}
+
+ResultStore::Stats
+ResultStore::stats() const
+{
+    MutexLock lock(mu_);
+    Stats s;
+    s.hits = hits_;
+    s.misses = misses_;
+    s.computes = computes_;
+    s.loaded = loaded_;
+    s.corrupt = corrupt_;
+    s.entries = entries_.size();
+    s.inFlight = in_flight_;
+    return s;
+}
+
+} // namespace moatsim::sim

@@ -1,0 +1,186 @@
+/**
+ * @file
+ * Content-addressed, thread-safe store of computed cell results.
+ *
+ * workload::TraceStore eliminated redundant work on the *input* side of
+ * a sweep (each distinct trace generated once); this store does the
+ * same for the *outputs*. Every perf/co-attack cell is keyed by a
+ * stable hash of everything that shapes its result -- the trace
+ * generator configuration (device, seed, and timing included), the
+ * core model, the workload, the mitigator's canonical describe() text,
+ * the ABO level, and for co-attack cells the full attack scenario (see
+ * sim::perfCellKey / sim::coAttackCellKey) -- so equal keys mean
+ * bit-identical result lines, and a warm re-run of a full matrix is
+ * O(changed cells).
+ *
+ * Values are the byte-stable JSONL payloads of sim/result_io: both the
+ * cold and the warm path of an engine round-trip the result through
+ * serialize -> parse, so a hit is byte-for-byte the line a recompute
+ * would have produced (the determinism suite proves it). The in-memory
+ * front uses the single-flight future idiom (concurrent first-touchers
+ * of one key block on one computation -- this is what dedupes in-flight
+ * cells across `moatsim serve` clients); the on-disk back is a
+ * directory of append-only JSONL shards, each record carrying the key,
+ * a payload checksum, and the payload. Corrupted, truncated, or
+ * checksum-mismatching records are counted and treated as misses, never
+ * as errors.
+ *
+ * Invalidation is explicit: the store folds Config::epoch into every
+ * key, so a code change that alters what results mean (new fields, new
+ * semantics, recalibration) must bump kResultStoreEpoch -- stale
+ * entries then simply never match again. Nothing else invalidates;
+ * that is the contract that makes warm runs O(changed cells).
+ *
+ * Enable it with MOATSIM_RESULT_STORE=DIR (persistent) or
+ * MOATSIM_RESULT_STORE=1 (in-memory only), or the CLI --result-store
+ * flag; unset or "0" leaves it disabled and getOrCompute() computes
+ * every call.
+ */
+
+#ifndef MOATSIM_SIM_RESULT_STORE_HH
+#define MOATSIM_SIM_RESULT_STORE_HH
+
+#include <cstdint>
+#include <functional>
+#include <future>
+#include <memory>
+#include <string>
+#include <unordered_map>
+
+#include "common/mutex.hh"
+
+namespace moatsim::sim
+{
+
+/**
+ * Schema epoch of the result store. Bump it whenever a change alters
+ * what a stored result means for an unchanged key: result fields added
+ * or reinterpreted, metric definitions recalibrated, cell-key inputs
+ * added (see CONTRIBUTING.md). Old entries then miss instead of
+ * serving stale bytes.
+ */
+inline constexpr uint64_t kResultStoreEpoch = 1;
+
+/** Shared, persistent cache of computed result lines. */
+class ResultStore
+{
+  public:
+    struct Config
+    {
+        /** false: getOrCompute() computes every call, caches nothing. */
+        bool enabled = false;
+        /**
+         * Shard directory (created on demand). Empty = in-memory only:
+         * single-flight dedupe and warm hits within the process, no
+         * persistence.
+         */
+        std::string dir;
+        /** Schema epoch folded into every key (kResultStoreEpoch). */
+        uint64_t epoch = kResultStoreEpoch;
+    };
+
+    /** Counters of store activity (monotonic over the store's life). */
+    struct Stats
+    {
+        /** Calls served from a resolved or in-flight entry. */
+        uint64_t hits = 0;
+        /** Calls that found no entry (disabled store included). */
+        uint64_t misses = 0;
+        /** Payloads actually computed (= misses that ran the lambda). */
+        uint64_t computes = 0;
+        /** Entries loaded from the shard files at construction. */
+        uint64_t loaded = 0;
+        /** Shard records skipped as corrupt/truncated/bad-checksum. */
+        uint64_t corrupt = 0;
+        /** Entries currently resident (in-flight included). */
+        size_t entries = 0;
+        /** Computations currently in flight. */
+        size_t inFlight = 0;
+
+        /** Fraction of calls served without recomputing. */
+        double hitRate() const
+        {
+            const uint64_t total = hits + misses;
+            return total > 0 ? static_cast<double>(hits) /
+                                   static_cast<double>(total)
+                             : 0.0;
+        }
+    };
+
+    /** Store configured from the environment (envConfig()). */
+    ResultStore();
+
+    /** Loads every shard of config.dir up front when enabled. */
+    explicit ResultStore(const Config &config);
+
+    /**
+     * The payload of @p key; computed by @p compute on first touch,
+     * shared afterwards. Concurrent first-touchers of one key block on
+     * the single computation (the computing thread runs @p compute
+     * outside every store lock). Thread-safe. The epoch is folded in
+     * here -- callers pass the raw cell key.
+     */
+    std::shared_ptr<const std::string>
+    getOrCompute(uint64_t key,
+                 const std::function<std::string()> &compute)
+        EXCLUDES(mu_, io_mu_);
+
+    /** Whether the store caches at all. */
+    bool enabled() const { return config_.enabled; }
+
+    const Config &config() const { return config_; }
+
+    Stats stats() const EXCLUDES(mu_);
+
+    /**
+     * Config from the environment: MOATSIM_RESULT_STORE unset or "0"
+     * = disabled, "1" = enabled in-memory only, anything else = the
+     * shard directory of an enabled persistent store.
+     * MOATSIM_RESULT_STORE_EPOCH overrides the epoch (test hook).
+     */
+    static Config envConfig();
+
+    /** The Config a knob string denotes -- the shared grammar of
+     *  MOATSIM_RESULT_STORE and the CLI --result-store flag: "" or
+     *  "0" = disabled, "1" = enabled in-memory only, anything else =
+     *  the shard directory of an enabled persistent store. */
+    static Config configOf(const std::string &text);
+
+  private:
+    struct Entry
+    {
+        std::shared_future<std::shared_ptr<const std::string>> future;
+        /** Resolved (vs still in flight). */
+        bool resolved = false;
+    };
+
+    /** Fold the schema epoch into a raw cell key. */
+    uint64_t foldKey(uint64_t key) const;
+
+    /** Read every shard of config_.dir into entries_ (ctor only). */
+    void loadShards();
+
+    /** Append one resolved record to its shard file. */
+    void appendRecord(uint64_t folded, const std::string &payload)
+        EXCLUDES(io_mu_);
+
+    /** Shard file path of a (folded) key. */
+    std::string shardPathOf(uint64_t folded) const;
+
+    /** Immutable after construction. */
+    Config config_;
+    mutable Mutex mu_;
+    std::unordered_map<uint64_t, Entry> entries_ GUARDED_BY(mu_);
+    uint64_t hits_ GUARDED_BY(mu_) = 0;
+    uint64_t misses_ GUARDED_BY(mu_) = 0;
+    uint64_t computes_ GUARDED_BY(mu_) = 0;
+    uint64_t loaded_ GUARDED_BY(mu_) = 0;
+    uint64_t corrupt_ GUARDED_BY(mu_) = 0;
+    size_t in_flight_ GUARDED_BY(mu_) = 0;
+    /** Serializes shard appends (never held together with mu_). */
+    Mutex io_mu_;
+};
+
+} // namespace moatsim::sim
+
+#endif // MOATSIM_SIM_RESULT_STORE_HH

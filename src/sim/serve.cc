@@ -1,0 +1,461 @@
+#include "sim/serve.hh"
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "common/logging.hh"
+#include "sim/result_io.hh"
+
+namespace moatsim::sim
+{
+
+namespace
+{
+
+/** Copy @p path into an AF_UNIX address; false when it cannot fit. */
+bool
+unixAddressOf(const std::string &path, sockaddr_un *addr)
+{
+    if (path.empty() || path.size() >= sizeof(addr->sun_path))
+        return false;
+    std::memset(addr, 0, sizeof(*addr));
+    addr->sun_family = AF_UNIX;
+    std::memcpy(addr->sun_path, path.c_str(), path.size() + 1);
+    return true;
+}
+
+/** Write all of @p data; false once the peer is gone. MSG_NOSIGNAL
+ *  turns a dead-peer SIGPIPE into an error return. */
+bool
+sendAll(int fd, const std::string &data)
+{
+    size_t off = 0;
+    while (off < data.size()) {
+        const ssize_t n = ::send(fd, data.data() + off,
+                                 data.size() - off, MSG_NOSIGNAL);
+        if (n <= 0) {
+            if (n < 0 && errno == EINTR)
+                continue;
+            return false;
+        }
+        off += static_cast<size_t>(n);
+    }
+    return true;
+}
+
+bool
+writeLine(int fd, const std::string &line)
+{
+    return sendAll(fd, line + "\n");
+}
+
+std::string
+errorLine(const std::string &message)
+{
+    return "{\"kind\":\"error\",\"message\":" + jsonQuote(message) + "}";
+}
+
+std::string
+cellLine(size_t index, const std::string &payload)
+{
+    return "{\"kind\":\"cell\",\"index\":" + std::to_string(index) +
+           ",\"payload\":" + jsonQuote(payload) + "}";
+}
+
+std::string
+doneLine(size_t cells, double cost)
+{
+    return "{\"kind\":\"done\",\"cells\":" + std::to_string(cells) +
+           ",\"cost\":" + jsonDouble(cost) + "}";
+}
+
+/** Strict base-10 parse of a bare JSON number token. */
+bool
+parseIndex(const std::string &text, size_t *out)
+{
+    if (text.empty() || text.size() > 18)
+        return false;
+    size_t v = 0;
+    for (const char c : text) {
+        if (c < '0' || c > '9')
+            return false;
+        v = v * 10 + static_cast<size_t>(c - '0');
+    }
+    *out = v;
+    return true;
+}
+
+} // namespace
+
+Server::Server(const ServeConfig &config) : config_(config)
+{
+    stores_.traces =
+        std::make_shared<workload::TraceStore>(config_.traceStore);
+    stores_.results = std::make_shared<ResultStore>(config_.resultStore);
+    stores_.baselines = std::make_shared<BaselineCache>();
+}
+
+Server::~Server()
+{
+    stop();
+    std::vector<std::thread> threads;
+    {
+        MutexLock lock(mu_);
+        threads.swap(threads_);
+    }
+    for (auto &t : threads)
+        t.join();
+    if (listen_fd_ >= 0) {
+        ::close(listen_fd_);
+        ::unlink(config_.socketPath.c_str());
+    }
+}
+
+void
+Server::start()
+{
+    sockaddr_un addr{};
+    if (!unixAddressOf(config_.socketPath, &addr))
+        fatal("serve: socket path is empty or too long for AF_UNIX: '" +
+              config_.socketPath + "'");
+    listen_fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (listen_fd_ < 0)
+        fatal("serve: cannot create socket (errno " +
+              std::to_string(errno) + ")");
+    // Replace a stale socket file from a previous run; a live server
+    // on the same path would have to be stopped first anyway.
+    ::unlink(config_.socketPath.c_str());
+    if (::bind(listen_fd_, reinterpret_cast<const sockaddr *>(&addr),
+               sizeof(addr)) != 0)
+        fatal("serve: cannot bind " + config_.socketPath + " (errno " +
+              std::to_string(errno) + ")");
+    if (::listen(listen_fd_, 64) != 0)
+        fatal("serve: cannot listen on " + config_.socketPath +
+              " (errno " + std::to_string(errno) + ")");
+}
+
+void
+Server::serveForever()
+{
+    while (true) {
+        const int fd = ::accept(listen_fd_, nullptr, nullptr);
+        if (fd < 0) {
+            if (errno == EINTR)
+                continue;
+            // stop() shut the listening socket down (or it broke);
+            // either way the accept loop is over.
+            break;
+        }
+        MutexLock lock(mu_);
+        if (stopping_) {
+            ::close(fd);
+            break;
+        }
+        conn_fds_.push_back(fd);
+        threads_.emplace_back(&Server::handleConnection, this, fd);
+    }
+
+    std::vector<std::thread> threads;
+    {
+        MutexLock lock(mu_);
+        threads.swap(threads_);
+    }
+    for (auto &t : threads)
+        t.join();
+}
+
+void
+Server::stop()
+{
+    {
+        MutexLock lock(mu_);
+        if (stopping_)
+            return;
+        stopping_ = true;
+        // Unblock every connection read; queued response bytes still
+        // drain to the peers.
+        for (const int fd : conn_fds_)
+            ::shutdown(fd, SHUT_RDWR);
+        cv_.notifyAll();
+    }
+    if (listen_fd_ >= 0)
+        ::shutdown(listen_fd_, SHUT_RDWR);
+}
+
+void
+Server::handleConnection(int fd)
+{
+    std::string buf;
+    char chunk[4096];
+    bool open = true;
+    while (open) {
+        const ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
+        if (n <= 0) {
+            if (n < 0 && errno == EINTR)
+                continue;
+            break;
+        }
+        buf.append(chunk, static_cast<size_t>(n));
+        size_t nl = 0;
+        while (open && (nl = buf.find('\n')) != std::string::npos) {
+            const std::string line = buf.substr(0, nl);
+            buf.erase(0, nl + 1);
+            if (!line.empty())
+                open = handleLine(fd, line);
+        }
+    }
+    ::close(fd);
+    MutexLock lock(mu_);
+    std::erase(conn_fds_, fd);
+}
+
+bool
+Server::handleLine(int fd, const std::string &line)
+{
+    std::string kind;
+    std::string err;
+    if (!tryJsonField(line, "kind", &kind, &err)) {
+        writeLine(fd, errorLine(err));
+        return true;
+    }
+    if (kind == "stats") {
+        writeLine(fd, statsLine());
+        return true;
+    }
+    if (kind == "shutdown") {
+        writeLine(fd, "{\"kind\":\"bye\"}");
+        stop();
+        return false;
+    }
+    if (kind == "perf" || kind == "coattack") {
+        RunRequest req;
+        if (!tryRunRequestOfJsonLine(line, &req, &err)) {
+            writeLine(fd, errorLine(err));
+            return true;
+        }
+        runOnConnection(fd, req);
+        bool last = false;
+        {
+            MutexLock lock(mu_);
+            ++served_requests_;
+            last = config_.maxRequests > 0 &&
+                   served_requests_ >= config_.maxRequests;
+        }
+        if (last)
+            stop();
+        return true;
+    }
+    writeLine(fd, errorLine("unknown request kind \"" + kind + "\""));
+    return true;
+}
+
+void
+Server::runOnConnection(int fd, const RunRequest &req)
+{
+    std::string err;
+    if (!validateRunRequest(req, &err)) {
+        writeLine(fd, errorLine(err));
+        return;
+    }
+    const double cost = estimatedCost(req);
+    admit(cost);
+
+    // The shared stores do the cross-request deduplication; the
+    // experiment itself is per-request (its own worker pool, sized by
+    // the request's jobs field).
+    Experiment exp(experimentConfigOf(req), stores_);
+    size_t cells = 0;
+    {
+        // Cells stream from worker threads; serialize the socket.
+        Mutex write_mu;
+        const auto emit = [&](size_t index,
+                              const std::string &payload) {
+            MutexLock lock(write_mu);
+            ++cells;
+            writeLine(fd, cellLine(index, payload));
+        };
+        if (req.kind == "perf") {
+            exp.run([&](size_t index, const PerfResult &r) {
+                emit(index, toJsonLine(r));
+            });
+        } else {
+            exp.runCoAttack(coAttackScenarioOf(req),
+                            [&](size_t index, const CoAttackResult &r) {
+                                emit(index, toJsonLine(r));
+                            });
+        }
+    }
+
+    release(cost);
+    writeLine(fd, doneLine(cells, cost));
+}
+
+void
+Server::admit(double cost)
+{
+    MutexLock lock(mu_);
+    while (!stopping_ && config_.maxCost > 0.0 && admitted_cost_ > 0.0 &&
+           admitted_cost_ + cost > config_.maxCost)
+        cv_.wait(lock);
+    admitted_cost_ += cost;
+    ++active_requests_;
+}
+
+void
+Server::release(double cost)
+{
+    MutexLock lock(mu_);
+    admitted_cost_ -= cost;
+    --active_requests_;
+    cv_.notifyAll();
+}
+
+std::string
+Server::statsLine()
+{
+    const ResultStore::Stats rs = stores_.results->stats();
+    const workload::TraceStore::Stats ts = stores_.traces->stats();
+    uint64_t active = 0;
+    double admitted = 0.0;
+    {
+        MutexLock lock(mu_);
+        active = active_requests_;
+        admitted = admitted_cost_;
+    }
+    return "{\"kind\":\"stats\",\"entries\":" +
+           std::to_string(rs.entries) +
+           ",\"hits\":" + std::to_string(rs.hits) +
+           ",\"misses\":" + std::to_string(rs.misses) +
+           ",\"computes\":" + std::to_string(rs.computes) +
+           ",\"loaded\":" + std::to_string(rs.loaded) +
+           ",\"corrupt\":" + std::to_string(rs.corrupt) +
+           ",\"in_flight\":" + std::to_string(rs.inFlight) +
+           ",\"trace_hits\":" + std::to_string(ts.hits) +
+           ",\"trace_misses\":" + std::to_string(ts.misses) +
+           ",\"active\":" + std::to_string(active) +
+           ",\"admitted_cost\":" + jsonDouble(admitted) + "}";
+}
+
+namespace
+{
+
+/** Connect to @p path; -1 with @p err set on failure. */
+int
+connectTo(const std::string &path, std::string *err)
+{
+    sockaddr_un addr{};
+    if (!unixAddressOf(path, &addr)) {
+        *err = "socket path is empty or too long for AF_UNIX: '" +
+               path + "'";
+        return -1;
+    }
+    const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (fd < 0) {
+        *err = "cannot create socket (errno " + std::to_string(errno) +
+               ")";
+        return -1;
+    }
+    if (::connect(fd, reinterpret_cast<const sockaddr *>(&addr),
+                  sizeof(addr)) != 0) {
+        *err = "cannot connect to " + path + " (errno " +
+               std::to_string(errno) + ")";
+        ::close(fd);
+        return -1;
+    }
+    return fd;
+}
+
+/** Fold one server line into @p reply; sets @p finished on the
+ *  terminal line (done/stats/bye/error). */
+void
+foldReplyLine(const std::string &line, ServeReply *reply,
+              bool *finished)
+{
+    std::string kind;
+    std::string err;
+    if (!tryJsonField(line, "kind", &kind, &err)) {
+        reply->error = "malformed reply: " + err;
+        *finished = true;
+        return;
+    }
+    if (kind == "cell") {
+        std::string indexText;
+        std::string payload;
+        size_t index = 0;
+        if (!tryJsonField(line, "index", &indexText, &err) ||
+            !tryJsonField(line, "payload", &payload, &err) ||
+            !parseIndex(indexText, &index)) {
+            reply->error = "malformed cell line: " + line;
+            *finished = true;
+            return;
+        }
+        if (index >= reply->cells.size())
+            reply->cells.resize(index + 1);
+        reply->cells[index] = payload;
+        return;
+    }
+    if (kind == "error") {
+        std::string message;
+        if (!tryJsonField(line, "message", &message, nullptr))
+            message = line;
+        reply->error = message;
+        *finished = true;
+        return;
+    }
+    // done / stats / bye all terminate one request's reply.
+    reply->ok = true;
+    reply->done = line;
+    *finished = true;
+}
+
+} // namespace
+
+ServeReply
+serveRequestLine(const std::string &socketPath, const std::string &line)
+{
+    ServeReply reply;
+    const int fd = connectTo(socketPath, &reply.error);
+    if (fd < 0)
+        return reply;
+    if (!sendAll(fd, line + "\n")) {
+        reply.error = "cannot send request (errno " +
+                      std::to_string(errno) + ")";
+        ::close(fd);
+        return reply;
+    }
+
+    std::string buf;
+    char chunk[4096];
+    bool finished = false;
+    while (!finished) {
+        const ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
+        if (n <= 0) {
+            if (n < 0 && errno == EINTR)
+                continue;
+            reply.error = "connection closed before the reply finished";
+            break;
+        }
+        buf.append(chunk, static_cast<size_t>(n));
+        size_t nl = 0;
+        while (!finished && (nl = buf.find('\n')) != std::string::npos) {
+            const std::string replyLine = buf.substr(0, nl);
+            buf.erase(0, nl + 1);
+            if (!replyLine.empty())
+                foldReplyLine(replyLine, &reply, &finished);
+        }
+    }
+    ::close(fd);
+    return reply;
+}
+
+ServeReply
+serveRequest(const std::string &socketPath, const RunRequest &req)
+{
+    return serveRequestLine(socketPath, toJsonLine(req));
+}
+
+} // namespace moatsim::sim

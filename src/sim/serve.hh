@@ -1,0 +1,179 @@
+/**
+ * @file
+ * `moatsim serve`: sweep-as-a-service over a local socket.
+ *
+ * A Server listens on an AF_UNIX stream socket and runs sim
+ * experiments on behalf of clients. The protocol is line-oriented
+ * JSON, and a request is literally a sim::RunRequest line (the same
+ * struct the CLI subcommands parse -- sim/run_request.hh), so the
+ * socket API has no request grammar of its own:
+ *
+ *   client -> server, one JSON object per line:
+ *     {"kind":"perf",...}       run a perf sweep (RunRequest codec)
+ *     {"kind":"coattack",...}   run a co-attack sweep
+ *     {"kind":"stats"}          report store / admission counters
+ *     {"kind":"shutdown"}       stop accepting and drain
+ *
+ *   server -> client:
+ *     {"kind":"cell","index":N,"payload":"<result JSONL>"}
+ *                               one line per finished cell, streamed
+ *                               in completion order; index is the
+ *                               cell's position in the request's
+ *                               workload selection
+ *     {"kind":"done","cells":N,"cost":C}
+ *                               the request finished
+ *     {"kind":"stats",...}      the counters (stats request)
+ *     {"kind":"bye"}            shutdown acknowledged
+ *     {"kind":"error","message":"..."}
+ *                               the request was rejected; the
+ *                               connection stays usable
+ *
+ * Every connection gets its own thread, but all of them share one
+ * ExperimentStores -- one TraceStore, one ResultStore, one
+ * BaselineCache -- so concurrent clients asking for overlapping cells
+ * dedupe down to a single computation per distinct cell (the stores'
+ * single-flight futures), and a warm on-disk result store serves
+ * repeat sweeps without recomputing anything. Admission control
+ * bounds the estimatedCost() of concurrently *running* requests by
+ * ServeConfig::maxCost; excess requests queue on a condition
+ * variable (a lone request larger than the budget still runs --
+ * admission never deadlocks an empty server).
+ *
+ * The server uses no wall-clock anywhere (the determinism lint bans
+ * clocks in src/): every wait is a blocking read, accept, or
+ * condition wait, and shutdown works by shutting the sockets down,
+ * which unblocks all of them.
+ */
+
+#ifndef MOATSIM_SIM_SERVE_HH
+#define MOATSIM_SIM_SERVE_HH
+
+#include <cstdint>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/mutex.hh"
+#include "sim/experiment.hh"
+#include "sim/run_request.hh"
+
+namespace moatsim::sim
+{
+
+/** Everything a Server needs. */
+struct ServeConfig
+{
+    /** Filesystem path of the AF_UNIX listening socket. */
+    std::string socketPath;
+    /**
+     * Cost budget for concurrently running requests (the unitless
+     * estimatedCost() scale); 0 = unlimited. A request that alone
+     * exceeds the budget still runs when the server is idle.
+     */
+    double maxCost = 0.0;
+    /** The shared trace store all requests use (server policy; a
+     *  request's trace_store field does not override it). */
+    workload::TraceStore::Config traceStore =
+        workload::TraceStore::envConfig();
+    /** The shared result store all requests fill and hit. */
+    ResultStore::Config resultStore = ResultStore::envConfig();
+    /** Stop after serving this many run requests; 0 = only on a
+     *  shutdown request or stop(). Tests use this to bound a serve
+     *  loop without any clock. */
+    uint64_t maxRequests = 0;
+};
+
+/** The `moatsim serve` daemon core (socket loop + shared stores). */
+class Server
+{
+  public:
+    explicit Server(const ServeConfig &config);
+    ~Server();
+
+    Server(const Server &) = delete;
+    Server &operator=(const Server &) = delete;
+
+    /** Bind and listen on config().socketPath (replacing a stale
+     *  socket file); fatal() on failure. After start() returns,
+     *  clients can connect. */
+    void start();
+
+    /**
+     * Accept connections and serve requests until a shutdown request
+     * arrives, stop() is called, or maxRequests run requests have
+     * completed; joins every connection thread before returning.
+     */
+    void serveForever() EXCLUDES(mu_);
+
+    /** Request shutdown from any thread: stops the accept loop and
+     *  unblocks every connection read. Idempotent. */
+    void stop() EXCLUDES(mu_);
+
+    const ServeConfig &config() const { return config_; }
+
+    /** The store shared across all requests (test hook: its computes
+     *  counter proves cross-client dedupe). */
+    const std::shared_ptr<ResultStore> &resultStore() const
+    {
+        return stores_.results;
+    }
+
+    /** The trace store shared across all requests. */
+    const std::shared_ptr<workload::TraceStore> &traceStore() const
+    {
+        return stores_.traces;
+    }
+
+  private:
+    void handleConnection(int fd) EXCLUDES(mu_);
+    /** Serve one request line; false = close the connection. */
+    bool handleLine(int fd, const std::string &line) EXCLUDES(mu_);
+    void runOnConnection(int fd, const RunRequest &req) EXCLUDES(mu_);
+    /** Block until @p cost fits under the admission budget. */
+    void admit(double cost) EXCLUDES(mu_);
+    void release(double cost) EXCLUDES(mu_);
+    std::string statsLine() EXCLUDES(mu_);
+
+    ServeConfig config_;
+    /** Shared across every request; built once in the constructor and
+     *  immutable afterwards (the stores synchronize internally). */
+    ExperimentStores stores_;
+    /** Listening socket; set once by start() before any thread runs. */
+    int listen_fd_ = -1;
+
+    mutable Mutex mu_;
+    CondVar cv_;
+    bool stopping_ GUARDED_BY(mu_) = false;
+    double admitted_cost_ GUARDED_BY(mu_) = 0.0;
+    uint64_t active_requests_ GUARDED_BY(mu_) = 0;
+    uint64_t served_requests_ GUARDED_BY(mu_) = 0;
+    std::vector<int> conn_fds_ GUARDED_BY(mu_);
+    std::vector<std::thread> threads_ GUARDED_BY(mu_);
+};
+
+/** What one run request produced, reassembled client-side. */
+struct ServeReply
+{
+    /** Whether a done line arrived (false: see error). */
+    bool ok = false;
+    /** The server's error message, or the local connect/IO failure. */
+    std::string error;
+    /** Cell payload JSONL, reordered into request (index) order --
+     *  byte-identical to the direct CLI's --jsonl output. */
+    std::vector<std::string> cells;
+    /** The raw done line. */
+    std::string done;
+};
+
+/** Connect, send one run request, and collect the reply. */
+ServeReply serveRequest(const std::string &socketPath,
+                        const RunRequest &req);
+
+/** As serveRequest() with a raw request line (test hook for protocol
+ *  errors; also how `moatsim client` forwards stats/shutdown). */
+ServeReply serveRequestLine(const std::string &socketPath,
+                            const std::string &line);
+
+} // namespace moatsim::sim
+
+#endif // MOATSIM_SIM_SERVE_HH

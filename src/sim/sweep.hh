@@ -26,12 +26,14 @@
 #ifndef MOATSIM_SIM_SWEEP_HH
 #define MOATSIM_SIM_SWEEP_HH
 
+#include <functional>
 #include <memory>
 #include <vector>
 
 #include "abo/abo.hh"
 #include "mitigation/registry.hh"
 #include "sim/perf.hh"
+#include "sim/result_store.hh"
 #include "workload/spec.hh"
 #include "workload/tracegen.hh"
 
@@ -67,6 +69,18 @@ struct SweepConfig
      */
     std::shared_ptr<workload::TraceStore> traceStore;
     /**
+     * Shared result store: every cell is keyed by perfCellKey /
+     * coAttackCellKey and its JSONL payload cached across runs,
+     * engines, and (when the store is persistent) processes, so a
+     * warm matrix re-run recomputes only changed cells. Null = the
+     * engine creates an env-configured store of its own
+     * (MOATSIM_RESULT_STORE unset yields a disabled pass-through);
+     * pass an explicit store to share it -- sim::Experiment shares
+     * one across its perf and co-attack engines, `moatsim serve`
+     * across every client request.
+     */
+    std::shared_ptr<ResultStore> resultStore;
+    /**
      * Run cells on the devirtualized/flattened sub-channel hot path
      * (subchannel::SubChannelConfig::sealedDispatch). Results are
      * bit-identical either way; false exists so bench_sweep_scale can
@@ -86,12 +100,27 @@ class SweepEngine
                 std::shared_ptr<BaselineCache> baselines);
 
     /**
+     * Per-cell completion callback of the streaming run() overload:
+     * called with (cell index, result) as each cell finishes. Invoked
+     * from worker threads in completion order -- the sink must be
+     * thread-safe; per-cell results themselves stay bit-identical to
+     * the returned vector at any jobs count.
+     */
+    using CellSink = std::function<void(size_t, const PerfResult &)>;
+
+    /**
      * Run every cell; results are returned in cell order, independent
      * of the execution schedule.
      */
     std::vector<PerfResult> run(const std::vector<SweepCell> &cells);
 
-    /** Run one cell inline (shares the baseline cache). */
+    /** As run(cells), additionally streaming each finished cell to
+     *  @p sink (null = none) -- `moatsim serve` responds per cell as
+     *  it completes instead of after the batch. */
+    std::vector<PerfResult> run(const std::vector<SweepCell> &cells,
+                                const CellSink &sink);
+
+    /** Run one cell inline (shares the baseline cache and stores). */
     PerfResult runCell(const SweepCell &cell);
 
     /** Resolved worker count (after the 0 -> hardware default). */
@@ -111,7 +140,16 @@ class SweepEngine
         return config_.traceStore;
     }
 
+    /** The result store (config.resultStore, or the engine's own). */
+    const std::shared_ptr<ResultStore> &resultStore() const
+    {
+        return config_.resultStore;
+    }
+
   private:
+    /** Simulate one cell (the result store's compute path). */
+    PerfResult computeCell(const SweepCell &cell);
+
     SweepConfig config_;
     unsigned jobs_;
     std::shared_ptr<BaselineCache> baselines_;

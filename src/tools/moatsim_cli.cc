@@ -29,7 +29,8 @@
  *   moatsim perf    [--workload NAME|all] [--mitigator S] [--ath N]
  *                   [--eth N] [--level 1|2|4] [--fraction F]
  *                   [--subchannels N] [--device D[;D...]] [--jobs N]
- *                   [--jsonl FILE] [--no-trace-store]
+ *                   [--jsonl FILE] [--no-trace-store] [--trace-seed N]
+ *                   [--result-store 0|1|DIR]
  *                   --subchannels N simulates the full system as N
  *                   sub-channels (default 2, the Table-3 baseline)
  *                   and reports per-sub-channel ALERT/mitigation
@@ -40,13 +41,18 @@
  *                   same --jsonl file; --jobs N fans the sweep across
  *                   N workers (0 = hardware concurrency; results are
  *                   bit-identical at any value); --jsonl appends one
- *                   structured JSON line per result
+ *                   structured JSON line per result; --result-store
+ *                   overrides MOATSIM_RESULT_STORE ("0" = off, "1" =
+ *                   in-memory, DIR = persistent shards) and a summary
+ *                   "result store: hits=... computes=..." line lands
+ *                   on stderr after the sweep
  *   moatsim coattack [--pattern P] [--workload NAME|all]
  *                   [--mitigator S] [--device D] [--level 1|2|4]
  *                   [--fraction F] [--subchannels N] [--pool N]
  *                   [--acts N] [--attack-subchannel I] [--attack-bank B]
  *                   [--seed N] [--jobs N] [--jsonl FILE]
- *                   [--no-trace-store]
+ *                   [--no-trace-store] [--trace-seed N]
+ *                   [--result-store 0|1|DIR]
  *                   adversary-under-load scenario: the attack pattern
  *                   is synthesized as one more core's activation
  *                   trace and co-scheduled with the workload's benign
@@ -55,6 +61,24 @@
  *                   the victims' slowdown vs an attack-free co-run of
  *                   the same design, and the ALERT/RFM activity with
  *                   the attack-free counts alongside
+ *   moatsim serve   --socket PATH [--max-cost C] [--max-requests N]
+ *                   [--result-store 0|1|DIR]
+ *                   sweep-as-a-service daemon: listens on an AF_UNIX
+ *                   socket for line-oriented JSON run requests (the
+ *                   same flags' JSON form; see sim/serve.hh for the
+ *                   protocol), sharing one trace store, result store,
+ *                   and baseline cache across all clients so
+ *                   concurrent requests for the same cells compute
+ *                   each cell once; --max-cost bounds the estimated
+ *                   cost of concurrently running requests;
+ *                   --max-requests N exits after N run requests
+ *   moatsim client  --socket PATH [--kind perf|coattack] [--stats]
+ *                   [--shutdown] [--jsonl FILE] [perf/coattack flags]
+ *                   thin client: sends one request to a serve daemon
+ *                   and prints the per-cell result JSONL in request
+ *                   order (byte-identical to the direct CLI's --jsonl
+ *                   output); --stats prints the daemon's store and
+ *                   admission counters; --shutdown stops the daemon
  *   moatsim replay  --trace FILE [--mitigator S] [--ath N] [--eth N]
  *                   [--subchannels N] [--postpone]
  *                   traces carrying a sub-channel column replay on a
@@ -89,6 +113,8 @@
 #include "mitigation/registry.hh"
 #include "sim/experiment.hh"
 #include "sim/result_io.hh"
+#include "sim/run_request.hh"
+#include "sim/serve.hh"
 #include "sim/system.hh"
 #include "workload/trace_io.hh"
 
@@ -110,24 +136,6 @@ mitigation::MitigatorSpec
 mitigatorArg(const Args &args, const std::string &def)
 {
     return mitigation::Registry::parse(args.get("mitigator", def));
-}
-
-/**
- * MOAT-L couples the tracker size to the ABO level (Appendix D). When
- * a moat spec leaves "entries" unset, bind it to @p level so that
- * `--mitigator moat --level 4` means MOAT-L4, exactly like the legacy
- * flag path. Specs that pin entries, and other designs, pass through.
- */
-mitigation::MitigatorSpec
-withMoatLevelEntries(const mitigation::MitigatorSpec &spec, abo::Level level)
-{
-    if (spec.name() != "moat" || spec.hasParam("entries"))
-        return spec;
-    const std::string desc = spec.describe();
-    const char sep = desc.find(':') == std::string::npos ? ':' : ',';
-    return mitigation::Registry::parse(
-        desc + sep + "entries=" +
-        std::to_string(abo::levelValue(level)));
 }
 
 /**
@@ -203,8 +211,8 @@ cmdRatchet(const Args &args)
     rejectLegacyWithSpec(args, {"ath", "eth"});
     attacks::RatchetConfig cfg;
     cfg.aboLevel = levelOf(args.getInt("level", 1));
-    cfg.moat = mitigation::moatConfigOf(
-        withMoatLevelEntries(mitigatorArg(args, "moat"), cfg.aboLevel));
+    cfg.moat = mitigation::moatConfigOf(sim::withMoatLevelEntries(
+        mitigatorArg(args, "moat"), cfg.aboLevel));
     if (args.has("ath")) {
         cfg.moat.ath = args.getUint32("ath", 64);
         cfg.moat.eth = cfg.moat.ath / 2;
@@ -324,7 +332,7 @@ cmdAttack(const Args &args)
     cfg.budget = args.getInt("acts", 0);
     cfg.trials = args.getUint32("trials", 0);
     cfg.seed = args.getInt("seed", 1);
-    const auto spec = withMoatLevelEntries(
+    const auto spec = sim::withMoatLevelEntries(
         mitigatorArg(args, defaultDesignOf(cfg.pattern)), cfg.aboLevel);
     // --trials N with --jobs: N independently seeded instances across
     // the pool, best outcome wins; identical at any --jobs value.
@@ -343,20 +351,32 @@ cmdAttack(const Args &args)
     return 0;
 }
 
-/** Build the perf/replay mitigator from --mitigator or legacy flags. */
-mitigation::MitigatorSpec
-perfMitigator(const Args &args, abo::Level level)
+/** The --result-store override, or the environment's default. */
+sim::ResultStore::Config
+resultStoreArg(const Args &args)
 {
-    if (args.has("mitigator")) {
-        rejectLegacyWithSpec(args, {"ath", "eth"});
-        return withMoatLevelEntries(mitigatorArg(args, "moat"), level);
-    }
-    // Legacy MOAT flags.
-    mitigation::MoatConfig moat;
-    moat.ath = args.getUint32("ath", 64);
-    moat.eth = args.getUint32("eth", moat.ath / 2);
-    moat.trackerEntries = static_cast<uint32_t>(abo::levelValue(level));
-    return mitigation::moatSpec(moat);
+    if (!args.has("result-store"))
+        return sim::ResultStore::envConfig();
+    // A bare --result-store means "1": enabled, in-memory only.
+    return sim::ResultStore::configOf(args.get("result-store", "1"));
+}
+
+/** The post-run store summary verify.sh's warm smoke greps for. */
+void
+printResultStoreStats(const sim::ResultStore &store)
+{
+    if (!store.enabled())
+        return;
+    const auto st = store.stats();
+    std::fprintf(stderr,
+                 "result store: hits=%llu misses=%llu computes=%llu "
+                 "loaded=%llu corrupt=%llu entries=%zu\n",
+                 static_cast<unsigned long long>(st.hits),
+                 static_cast<unsigned long long>(st.misses),
+                 static_cast<unsigned long long>(st.computes),
+                 static_cast<unsigned long long>(st.loaded),
+                 static_cast<unsigned long long>(st.corrupt),
+                 st.entries);
 }
 
 /** "a / b / c" column joining one value per sub-channel. */
@@ -376,37 +396,35 @@ perSubchannelColumn(const std::vector<sim::SubChannelPerf> &per,
 int
 cmdPerf(const Args &args)
 {
-    const auto level = levelOf(args.getInt("level", 1));
-    sim::ExperimentConfig ec;
-    ec.tracegen.windowFraction = args.getDouble("fraction", 0.0625);
-    // Default to the paper's full-system baseline: 2 sub-channels of
-    // 32 banks each (Table 3).
-    ec.tracegen.subchannels = args.getPositive("subchannels", 2);
-    ec.aboLevel = level;
-    ec.mitigator = perfMitigator(args, level);
-    ec.workload = args.get("workload", "all");
-    ec.jobs = args.getUint32("jobs", 0);
-    // Cached and uncached runs are bit-identical; the flag exists for
-    // A/B timing and the determinism smoke.
-    ec.traceStore = !args.getBool("no-trace-store", false);
+    // One shared RunRequest codec for the CLI, the in-process API,
+    // and the serve protocol (sim/run_request.hh); the --device list
+    // is CLI sugar, one request per grade.
+    const sim::RunRequest base = sim::runRequestOfArgs("perf", args);
+
+    // One result store across the whole device sweep (and, when
+    // --result-store names a directory, across CLI invocations).
+    sim::ExperimentStores stores;
+    stores.results =
+        std::make_shared<sim::ResultStore>(resultStoreArg(args));
 
     // The device axis: each named grade is its own experiment (its
     // timings and topology reshape every trace), all results landing in
     // one table sequence and one --jsonl file.
     const std::string jsonl = args.get("jsonl", "");
     for (const std::string &device : deviceListArg(args)) {
-        ec.device = device;
-        sim::Experiment exp(ec);
+        sim::RunRequest req = base;
+        req.device = device;
+        const sim::ExperimentConfig ec = sim::experimentConfigOf(req);
+        sim::Experiment exp(ec, stores);
         const auto results = exp.run();
 
-        uint32_t slots = ec.tracegen.subchannels;
+        const uint32_t slots = sim::slotCountOf(req);
         if (device.empty()) {
             std::printf("mitigator: %s (%u sub-channels)\n",
                         ec.mitigator.describe().c_str(),
                         ec.tracegen.subchannels);
         } else {
             const auto dm = dram::DeviceSpec::parse(device).resolve();
-            slots = dm.channels() * dm.ranks() * ec.tracegen.subchannels;
             std::printf("mitigator: %s on %s (%u channel(s) x %u rank(s) "
                         "x %u sub-channels = %u slots)\n",
                         ec.mitigator.describe().c_str(), device.c_str(),
@@ -446,53 +464,37 @@ cmdPerf(const Args &args)
             sim::writeJsonLines(os, results);
         }
     }
+    printResultStoreStats(*stores.results);
     return 0;
 }
 
 int
 cmdCoattack(const Args &args)
 {
-    const auto level = levelOf(args.getInt("level", 1));
-    sim::ExperimentConfig ec;
-    ec.tracegen.windowFraction = args.getDouble("fraction", 0.0625);
-    // The adversary-under-load default is the paper's full system:
-    // 2 sub-channels of 32 banks (Table 3); the attacker pins one of
-    // them and the benign cores spread across both.
-    ec.tracegen.subchannels = args.getPositive("subchannels", 2);
-    ec.aboLevel = level;
-    ec.mitigator = perfMitigator(args, level);
-    ec.device = deviceArg(args);
-    ec.workload = args.get("workload", "all");
-    ec.jobs = args.getUint32("jobs", 0);
-    ec.traceStore = !args.getBool("no-trace-store", false);
-    sim::Experiment exp(ec);
+    sim::RunRequest req = sim::runRequestOfArgs("coattack", args);
+    req.device = deviceArg(args);
 
     // The attacker pins one replay slot; a named device grade may
     // multiply the slot count by channels x ranks.
-    uint32_t slots = ec.tracegen.subchannels;
-    if (!ec.device.empty()) {
-        const auto dm = dram::DeviceSpec::parse(ec.device).resolve();
-        slots = dm.channels() * dm.ranks() * ec.tracegen.subchannels;
-    }
-
-    sim::CoAttackScenario attack;
-    attack.pattern = args.get("pattern", "hammer");
-    attack.poolRows = args.getUint32("pool", 0);
-    attack.budget = args.getInt("acts", 0);
-    attack.subchannel = args.getUint32("attack-subchannel", 0);
-    if (attack.subchannel >= slots)
+    const uint32_t slots = sim::slotCountOf(req);
+    if (req.attackSubchannel >= slots)
         fatal("--attack-subchannel must be below the sub-channel slot "
               "count (" + std::to_string(slots) + ")");
-    attack.bank = args.getUint32("attack-bank", 0);
-    attack.seed = args.getInt("seed", 1);
 
+    sim::ExperimentStores stores;
+    stores.results =
+        std::make_shared<sim::ResultStore>(resultStoreArg(args));
+    const sim::ExperimentConfig ec = sim::experimentConfigOf(req);
+    sim::Experiment exp(ec, stores);
+
+    const sim::CoAttackScenario attack = sim::coAttackScenarioOf(req);
     const auto results = exp.runCoAttack(attack);
 
     std::printf("%s attacker vs %s%s%s on %u sub-channel slot%s "
                 "(ABO L%d)\n",
                 attack.pattern.c_str(), ec.mitigator.describe().c_str(),
                 ec.device.empty() ? "" : " on ", ec.device.c_str(),
-                slots, slots == 1 ? "" : "s", abo::levelValue(level));
+                slots, slots == 1 ? "" : "s", req.level);
     TablePrinter t({"workload", "attacker max ACTs", "attacker ACTs",
                     "victim slowdown", "ALERTs (attack-free)",
                     "RFMs (attack-free)"});
@@ -514,6 +516,68 @@ cmdCoattack(const Args &args)
             fatal("cannot open --jsonl file " + jsonl);
         sim::writeJsonLines(os, results);
     }
+    printResultStoreStats(*stores.results);
+    return 0;
+}
+
+int
+cmdServe(const Args &args)
+{
+    sim::ServeConfig sc;
+    sc.socketPath = args.get("socket", "");
+    if (sc.socketPath.empty())
+        fatal("serve requires --socket PATH");
+    sc.maxCost = args.getDouble("max-cost", 0.0);
+    sc.maxRequests = args.getInt("max-requests", 0);
+    sc.resultStore = resultStoreArg(args);
+
+    sim::Server server(sc);
+    server.start();
+    std::fprintf(stderr, "moatsim serve: listening on %s\n",
+                 sc.socketPath.c_str());
+    server.serveForever();
+    printResultStoreStats(*server.resultStore());
+    return 0;
+}
+
+int
+cmdClient(const Args &args)
+{
+    const std::string socket = args.get("socket", "");
+    if (socket.empty())
+        fatal("client requires --socket PATH");
+    if (args.getBool("shutdown", false) || args.getBool("stats", false)) {
+        const char *kind =
+            args.getBool("shutdown", false) ? "shutdown" : "stats";
+        const auto reply = sim::serveRequestLine(
+            socket, std::string("{\"kind\":\"") + kind + "\"}");
+        if (!reply.ok)
+            fatal("client: " + reply.error);
+        std::printf("%s\n", reply.done.c_str());
+        return 0;
+    }
+
+    sim::RunRequest req =
+        sim::runRequestOfArgs(args.get("kind", "perf"), args);
+    req.device = deviceArg(args);
+    const auto reply = sim::serveRequest(socket, req);
+    if (!reply.ok)
+        fatal("client: " + reply.error);
+
+    // The cells come back in request order, so this stream is
+    // byte-identical to what the direct CLI's --jsonl would append.
+    const std::string jsonl = args.get("jsonl", "");
+    if (!jsonl.empty()) {
+        std::ofstream os(jsonl, std::ios::app);
+        if (!os)
+            fatal("cannot open --jsonl file " + jsonl);
+        for (const auto &cell : reply.cells)
+            os << cell << "\n";
+    } else {
+        for (const auto &cell : reply.cells)
+            std::printf("%s\n", cell.c_str());
+    }
+    std::fprintf(stderr, "client: %s\n", reply.done.c_str());
     return 0;
 }
 
@@ -534,7 +598,7 @@ cmdReplay(const Args &args)
     }
     nsc = args.getPositive("subchannels", nsc);
 
-    const auto spec = perfMitigator(args, abo::Level::L1);
+    const auto spec = sim::mitigatorOfArgs(args, abo::Level::L1);
     sim::SystemConfig sys;
     sys.channel.securityEnabled = true;
     sys.subchannels = nsc;
@@ -658,8 +722,8 @@ usage()
         stderr,
         "usage: moatsim <command> [--flag [value] ...]\n"
         "commands: bound ratchet jailbreak feinting postponement tsa\n"
-        "          attack coattack perf replay list-mitigators\n"
-        "          list-devices list-workloads\n"
+        "          attack coattack perf serve client replay\n"
+        "          list-mitigators list-devices list-workloads\n"
         "perf, coattack, and attack accept --jobs N (parallel sweep /\n"
         "trials; 0 = hardware concurrency, results bit-identical at\n"
         "any value) and --device D naming a DDR5 device grade (run\n"
@@ -670,7 +734,11 @@ usage()
         "(--no-trace-store, or MOATSIM_TRACE_STORE=0, disables the\n"
         "shared trace cache -- results are bit-identical); coattack\n"
         "co-schedules an attack pattern with the workload's cores and\n"
-        "reports attacker maxHammer plus victim slowdown\n"
+        "reports attacker maxHammer plus victim slowdown;\n"
+        "--result-store 0|1|DIR (or MOATSIM_RESULT_STORE) caches\n"
+        "whole result cells -- DIR persists them, so a warm re-run\n"
+        "recomputes nothing and is byte-identical; serve runs the\n"
+        "sweep daemon on --socket PATH and client talks to it\n"
         "every experiment accepts --mitigator name[:k=v,...]; run\n"
         "'moatsim list-mitigators' for the registered designs and see\n"
         "the file header of src/tools/moatsim_cli.cc for all flags\n");
@@ -705,6 +773,10 @@ main(int argc, char **argv)
         return cmdCoattack(args);
     if (cmd == "perf")
         return cmdPerf(args);
+    if (cmd == "serve")
+        return cmdServe(args);
+    if (cmd == "client")
+        return cmdClient(args);
     if (cmd == "replay")
         return cmdReplay(args);
     if (cmd == "list-mitigators")

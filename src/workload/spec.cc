@@ -45,11 +45,19 @@ table4Workloads()
 const WorkloadSpec &
 findWorkload(const std::string &name)
 {
+    if (const WorkloadSpec *w = tryFindWorkload(name))
+        return *w;
+    fatal("findWorkload: unknown workload '" + name + "'");
+}
+
+const WorkloadSpec *
+tryFindWorkload(const std::string &name)
+{
     for (const auto &w : kTable4) {
         if (w.name == name)
-            return w;
+            return &w;
     }
-    fatal("findWorkload: unknown workload '" + name + "'");
+    return nullptr;
 }
 
 } // namespace moatsim::workload

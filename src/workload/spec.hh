@@ -46,6 +46,11 @@ std::span<const WorkloadSpec> table4Workloads();
 /** Look up a workload by name; fatal() if unknown. */
 const WorkloadSpec &findWorkload(const std::string &name);
 
+/** Look up a workload by name; null if unknown. Callers validating
+ *  untrusted input (the serve protocol) use this instead of the
+ *  fatal() path. */
+const WorkloadSpec *tryFindWorkload(const std::string &name);
+
 } // namespace moatsim::workload
 
 #endif // MOATSIM_WORKLOAD_SPEC_HH

@@ -126,7 +126,11 @@ TEST(Registry, MoatConfigRoundTripsThroughSpec)
     cfg.resetOnRefresh = false;
     cfg.safeReset = false;
     cfg.blastRadius = 1;
-    const MoatConfig back = moatConfigOf(moatSpec(cfg));
+    // A fully explicit spec -- the text sim::mitigatorOfArgs emits for
+    // the legacy --ath/--eth path -- extracts back to the same config.
+    const MoatConfig back = moatConfigOf(Registry::parse(
+        "moat:ath=96,eth=24,entries=4,period=10,"
+        "reset-on-refresh=false,safe-reset=false,blast=1"));
     EXPECT_EQ(back.ath, cfg.ath);
     EXPECT_EQ(back.eth, cfg.eth);
     EXPECT_EQ(back.trackerEntries, cfg.trackerEntries);
@@ -250,21 +254,6 @@ TEST(Experiment, RunsTheConfiguredSelection)
         exp.run(Registry::parse("moat:ath=128,eth=64"), abo::Level::L1);
     ASSERT_EQ(swept.size(), 1u);
     EXPECT_EQ(swept[0].mitigator, "moat:ath=128,eth=64");
-}
-
-TEST(Experiment, DeprecatedMoatOverloadStillWorks)
-{
-    workload::TraceGenConfig tg;
-    tg.banksSimulated = 8;
-    tg.windowFraction = 0.03125;
-    sim::PerfRunner runner(tg);
-    MoatConfig moat;
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
-    const auto r = runner.run(workload::findWorkload("x264"), moat);
-#pragma GCC diagnostic pop
-    EXPECT_GT(r.acts, 0u);
-    EXPECT_EQ(r.mitigator, moatSpec(moat).describe());
 }
 
 } // namespace

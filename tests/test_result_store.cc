@@ -1,0 +1,259 @@
+/**
+ * @file
+ * The sim::ResultStore contract: content-addressed whole-cell caching
+ * with single-flight first touch, byte-identical warm re-runs at any
+ * jobs count (with zero recomputation and zero trace generation),
+ * explicit epoch-bump invalidation, and corrupt/truncated shard
+ * records degrading to misses instead of bad results.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <filesystem>
+#include <fstream>
+#include <thread>
+#include <vector>
+
+#include "mitigation/registry.hh"
+#include "sim/experiment.hh"
+#include "sim/perf.hh"
+#include "sim/result_io.hh"
+#include "sim/result_store.hh"
+
+namespace moatsim::sim
+{
+namespace
+{
+
+namespace fs = std::filesystem;
+
+/** A fresh, empty shard directory under the test temp root. */
+std::string
+freshDir(const std::string &name)
+{
+    const fs::path dir = fs::path(::testing::TempDir()) / name;
+    fs::remove_all(dir);
+    fs::create_directories(dir);
+    return dir.string();
+}
+
+ResultStore::Config
+persistentConfig(const std::string &dir)
+{
+    ResultStore::Config cfg;
+    cfg.enabled = true;
+    cfg.dir = dir;
+    return cfg;
+}
+
+ResultStore::Config
+memoryConfig()
+{
+    ResultStore::Config cfg;
+    cfg.enabled = true;
+    return cfg;
+}
+
+/** A deliberately tiny experiment (one workload, two sweep points). */
+ExperimentConfig
+smallConfig()
+{
+    ExperimentConfig ec;
+    ec.tracegen.banksSimulated = 8;
+    ec.tracegen.numCores = 4;
+    ec.tracegen.windowFraction = 0.015625;
+    ec.workload = "x264";
+    return ec;
+}
+
+std::vector<SweepPoint>
+smallMatrix()
+{
+    return {{mitigation::Registry::parse("moat:ath=64"), abo::Level::L1},
+            {mitigation::Registry::parse("moat:ath=128,eth=64"),
+             abo::Level::L2}};
+}
+
+/** Run the small matrix and return its results as one JSONL blob. */
+std::string
+runSuite(ExperimentConfig ec, unsigned jobs, ResultStore::Stats *stats,
+         uint64_t *trace_misses)
+{
+    ec.jobs = jobs;
+    Experiment exp(ec);
+    std::string out;
+    for (const auto &row : exp.runMatrix(smallMatrix())) {
+        for (const auto &r : row)
+            out += toJsonLine(r) + "\n";
+    }
+    if (stats != nullptr)
+        *stats = exp.resultStore()->stats();
+    if (trace_misses != nullptr)
+        *trace_misses = exp.traceStore()->stats().misses;
+    return out;
+}
+
+TEST(ResultStore, DisabledIsAPassThrough)
+{
+    ResultStore disabled{ResultStore::Config{}};
+    std::atomic<int> computes{0};
+    const auto a = disabled.getOrCompute(7, [&] {
+        ++computes;
+        return std::string("payload");
+    });
+    const auto b = disabled.getOrCompute(7, [&] {
+        ++computes;
+        return std::string("payload");
+    });
+    EXPECT_EQ(*a, "payload");
+    EXPECT_EQ(*b, "payload");
+    EXPECT_EQ(computes.load(), 2);
+    EXPECT_EQ(disabled.stats().computes, 2u);
+    EXPECT_EQ(disabled.stats().hits, 0u);
+    EXPECT_EQ(disabled.stats().entries, 0u);
+}
+
+TEST(ResultStore, SingleFlightComputesEachKeyOnce)
+{
+    ResultStore store(memoryConfig());
+    std::atomic<int> computes{0};
+    constexpr int kThreads = 8;
+    std::vector<std::shared_ptr<const std::string>> results(kThreads);
+    {
+        std::vector<std::thread> threads;
+        threads.reserve(kThreads);
+        for (int i = 0; i < kThreads; ++i) {
+            threads.emplace_back([&store, &computes, &results, i] {
+                results[i] = store.getOrCompute(42, [&computes] {
+                    ++computes;
+                    return std::string("cell");
+                });
+            });
+        }
+        for (auto &t : threads)
+            t.join();
+    }
+    EXPECT_EQ(computes.load(), 1);
+    for (const auto &r : results) {
+        ASSERT_NE(r, nullptr);
+        EXPECT_EQ(r.get(), results[0].get()) << "one shared payload";
+        EXPECT_EQ(*r, "cell");
+    }
+    const auto st = store.stats();
+    EXPECT_EQ(st.computes, 1u);
+    EXPECT_EQ(st.misses, 1u);
+    EXPECT_EQ(st.hits, static_cast<uint64_t>(kThreads - 1));
+    EXPECT_EQ(st.entries, 1u);
+    EXPECT_EQ(st.inFlight, 0u);
+}
+
+TEST(ResultStore, WarmRerunIsByteIdenticalAndComputesNothing)
+{
+    const std::string dir = freshDir("moatsim_rs_warm");
+    ExperimentConfig ec = smallConfig();
+    ec.resultStore = persistentConfig(dir);
+
+    ResultStore::Stats cold;
+    const std::string first = runSuite(ec, 1, &cold, nullptr);
+    EXPECT_EQ(cold.computes, 2u) << "2 points x 1 workload";
+    EXPECT_GT(cold.entries, 0u);
+
+    // Warm re-runs -- serial and parallel -- serve every cell from the
+    // shards: zero computes, zero trace generations, identical bytes.
+    for (const unsigned jobs : {1u, 8u}) {
+        ResultStore::Stats warm;
+        uint64_t trace_misses = ~0ull;
+        const std::string again = runSuite(ec, jobs, &warm, &trace_misses);
+        EXPECT_EQ(again, first) << "jobs=" << jobs;
+        EXPECT_EQ(warm.computes, 0u) << "jobs=" << jobs;
+        EXPECT_EQ(warm.loaded, cold.computes) << "jobs=" << jobs;
+        EXPECT_EQ(trace_misses, 0u)
+            << "a warm run must not regenerate traces (jobs=" << jobs
+            << ")";
+    }
+}
+
+TEST(ResultStore, EpochBumpOrphansTheShards)
+{
+    const std::string dir = freshDir("moatsim_rs_epoch");
+    ExperimentConfig ec = smallConfig();
+    ec.resultStore = persistentConfig(dir);
+
+    ResultStore::Stats cold;
+    const std::string first = runSuite(ec, 1, &cold, nullptr);
+    ASSERT_GT(cold.computes, 0u);
+
+    // Same directory, bumped epoch: every lookup misses (the old
+    // records are orphaned, not misread) and the bytes still match.
+    ec.resultStore.epoch = kResultStoreEpoch + 1;
+    ResultStore::Stats bumped;
+    const std::string again = runSuite(ec, 1, &bumped, nullptr);
+    EXPECT_EQ(again, first);
+    EXPECT_EQ(bumped.computes, cold.computes);
+    EXPECT_EQ(bumped.hits, cold.hits);
+}
+
+TEST(ResultStore, CorruptAndTruncatedRecordsDegradeToMisses)
+{
+    const std::string dir = freshDir("moatsim_rs_corrupt");
+    {
+        ResultStore store(persistentConfig(dir));
+        store.getOrCompute(1, [] { return std::string("payload-one"); });
+    }
+
+    // Mangle the shards: append garbage to each, truncate the last
+    // valid record's tail. Every damaged record must load as a miss.
+    size_t shards = 0;
+    for (const auto &entry : fs::directory_iterator(dir)) {
+        ++shards;
+        std::string text;
+        {
+            std::ifstream is(entry.path());
+            std::getline(is, text, '\0');
+        }
+        ASSERT_FALSE(text.empty());
+        text.resize(text.size() - 6); // truncate mid-record
+        text += "\nnot json at all\n";
+        std::ofstream os(entry.path(), std::ios::trunc);
+        os << text;
+    }
+    ASSERT_GT(shards, 0u);
+
+    ResultStore store(persistentConfig(dir));
+    EXPECT_EQ(store.stats().loaded, 0u);
+    EXPECT_GE(store.stats().corrupt, shards);
+    std::atomic<int> computes{0};
+    const auto a = store.getOrCompute(1, [&computes] {
+        ++computes;
+        return std::string("payload-one");
+    });
+    EXPECT_EQ(*a, "payload-one");
+    EXPECT_EQ(computes.load(), 1) << "damaged record = miss, recompute";
+}
+
+TEST(ResultStore, PerfCellKeySeparatesEveryAxis)
+{
+    const ExperimentConfig ec = smallConfig();
+    const CoreModel core{};
+    const auto &w1 = workload::findWorkload("x264");
+    const auto &w2 = workload::findWorkload("wrf");
+    const auto m1 = mitigation::Registry::parse("moat:ath=64");
+    const auto m2 = mitigation::Registry::parse("moat:ath=128");
+
+    const uint64_t base =
+        perfCellKey(ec.tracegen, core, w1, m1, abo::Level::L1);
+    EXPECT_NE(base, perfCellKey(ec.tracegen, core, w2, m1, abo::Level::L1));
+    EXPECT_NE(base, perfCellKey(ec.tracegen, core, w1, m2, abo::Level::L1));
+    EXPECT_NE(base, perfCellKey(ec.tracegen, core, w1, m1, abo::Level::L2));
+
+    auto tg = ec.tracegen;
+    tg.seed += 1;
+    EXPECT_NE(base, perfCellKey(tg, core, w1, m1, abo::Level::L1));
+    tg = ec.tracegen;
+    tg.windowFraction *= 2.0;
+    EXPECT_NE(base, perfCellKey(tg, core, w1, m1, abo::Level::L1));
+}
+
+} // namespace
+} // namespace moatsim::sim

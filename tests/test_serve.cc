@@ -1,0 +1,183 @@
+/**
+ * @file
+ * The `moatsim serve` contract: a served request's cells are
+ * byte-identical to a direct in-process run, concurrent clients
+ * asking for the same cells compute each distinct cell exactly once
+ * (the shared ResultStore's single-flight), malformed or invalid
+ * requests get protocol errors without killing the daemon, and the
+ * admission budget never starves a lone oversize request.
+ */
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "sim/experiment.hh"
+#include "sim/result_io.hh"
+#include "sim/run_request.hh"
+#include "sim/serve.hh"
+
+namespace moatsim::sim
+{
+namespace
+{
+
+/** A deliberately tiny request: one workload, one sub-channel, a
+ *  1/64 window, serial execution. */
+RunRequest
+smallRequest()
+{
+    RunRequest req;
+    req.kind = "perf";
+    req.workload = "x264";
+    req.fraction = 0.015625;
+    req.subchannels = 1;
+    req.jobs = 1;
+    return req;
+}
+
+std::string
+socketPathOf(const std::string &name)
+{
+    return (std::filesystem::path(::testing::TempDir()) / name).string();
+}
+
+/** In-memory result store, explicit (immune to ambient env knobs). */
+ServeConfig
+smallServeConfig(const std::string &socket)
+{
+    ServeConfig sc;
+    sc.socketPath = socket;
+    sc.resultStore = ResultStore::Config{};
+    sc.resultStore.enabled = true;
+    return sc;
+}
+
+TEST(Serve, RoundTripMatchesDirectRun)
+{
+    const std::string socket = socketPathOf("moatsim_serve_rt.sock");
+    Server server(smallServeConfig(socket));
+    server.start();
+    std::thread loop([&server] { server.serveForever(); });
+
+    const RunRequest req = smallRequest();
+    const ServeReply reply = serveRequest(socket, req);
+    ASSERT_TRUE(reply.ok) << reply.error;
+    ASSERT_EQ(reply.cells.size(), 1u);
+    EXPECT_NE(reply.done.find("\"kind\":\"done\""), std::string::npos);
+    EXPECT_NE(reply.done.find("\"cells\":1"), std::string::npos);
+
+    // The same request run directly, store disabled: same bytes.
+    ExperimentConfig ec = experimentConfigOf(req);
+    ec.resultStore = ResultStore::Config{};
+    Experiment direct(ec);
+    const auto results = direct.run();
+    ASSERT_EQ(results.size(), 1u);
+    EXPECT_EQ(reply.cells[0], toJsonLine(results[0]));
+
+    const auto bye = serveRequestLine(socket, "{\"kind\":\"shutdown\"}");
+    EXPECT_TRUE(bye.ok) << bye.error;
+    EXPECT_NE(bye.done.find("\"kind\":\"bye\""), std::string::npos);
+    loop.join();
+}
+
+TEST(Serve, ConcurrentClientsComputeEachCellOnce)
+{
+    const std::string socket = socketPathOf("moatsim_serve_dedupe.sock");
+    Server server(smallServeConfig(socket));
+    server.start();
+    std::thread loop([&server] { server.serveForever(); });
+
+    constexpr int kClients = 4;
+    std::vector<ServeReply> replies(kClients);
+    {
+        std::vector<std::thread> clients;
+        clients.reserve(kClients);
+        for (int i = 0; i < kClients; ++i) {
+            clients.emplace_back([&replies, &socket, i] {
+                replies[i] = serveRequest(socket, smallRequest());
+            });
+        }
+        for (auto &c : clients)
+            c.join();
+    }
+
+    for (int i = 0; i < kClients; ++i) {
+        ASSERT_TRUE(replies[i].ok) << "client " << i << ": "
+                                   << replies[i].error;
+        ASSERT_EQ(replies[i].cells.size(), 1u) << "client " << i;
+        EXPECT_EQ(replies[i].cells[0], replies[0].cells[0])
+            << "client " << i;
+    }
+    // One distinct cell across 4 requests: one compute, three-plus
+    // hits (in-flight or resolved, both count as dedupe).
+    const auto st = server.resultStore()->stats();
+    EXPECT_EQ(st.computes, 1u);
+    EXPECT_EQ(st.hits, static_cast<uint64_t>(kClients - 1));
+
+    const auto bye = serveRequestLine(socket, "{\"kind\":\"shutdown\"}");
+    EXPECT_TRUE(bye.ok) << bye.error;
+    loop.join();
+}
+
+TEST(Serve, RejectsBadRequestsWithoutDying)
+{
+    const std::string socket = socketPathOf("moatsim_serve_bad.sock");
+    Server server(smallServeConfig(socket));
+    server.start();
+    std::thread loop([&server] { server.serveForever(); });
+
+    const auto unknownWorkload = serveRequestLine(
+        socket, "{\"kind\":\"perf\",\"workload\":\"nope\"}");
+    EXPECT_FALSE(unknownWorkload.ok);
+    EXPECT_NE(unknownWorkload.error.find("workload"), std::string::npos)
+        << unknownWorkload.error;
+
+    const auto noKind = serveRequestLine(socket, "{\"nokind\":1}");
+    EXPECT_FALSE(noKind.ok);
+
+    const auto unknownKind =
+        serveRequestLine(socket, "{\"kind\":\"frobnicate\"}");
+    EXPECT_FALSE(unknownKind.ok);
+    EXPECT_NE(unknownKind.error.find("frobnicate"), std::string::npos);
+
+    const auto badLevel = serveRequestLine(
+        socket, "{\"kind\":\"perf\",\"level\":3}");
+    EXPECT_FALSE(badLevel.ok);
+    EXPECT_NE(badLevel.error.find("level"), std::string::npos);
+
+    // The daemon survived all of it.
+    const auto stats = serveRequestLine(socket, "{\"kind\":\"stats\"}");
+    ASSERT_TRUE(stats.ok) << stats.error;
+    EXPECT_NE(stats.done.find("\"kind\":\"stats\""), std::string::npos);
+    EXPECT_NE(stats.done.find("\"computes\":0"), std::string::npos);
+
+    const auto bye = serveRequestLine(socket, "{\"kind\":\"shutdown\"}");
+    EXPECT_TRUE(bye.ok) << bye.error;
+    loop.join();
+}
+
+TEST(Serve, OversizeRequestIsStillAdmittedAndMaxRequestsStops)
+{
+    const std::string socket = socketPathOf("moatsim_serve_admit.sock");
+    ServeConfig sc = smallServeConfig(socket);
+    // A budget far below any request's cost: the lone request must
+    // still run (admission only queues against other running work).
+    sc.maxCost = 1e-6;
+    // ... and the server must exit on its own after serving it.
+    sc.maxRequests = 1;
+    Server server(sc);
+    server.start();
+    std::thread loop([&server] { server.serveForever(); });
+
+    const ServeReply reply = serveRequest(socket, smallRequest());
+    ASSERT_TRUE(reply.ok) << reply.error;
+    ASSERT_EQ(reply.cells.size(), 1u);
+    loop.join(); // maxRequests reached; no shutdown request needed
+}
+
+} // namespace
+} // namespace moatsim::sim
