@@ -1,13 +1,19 @@
 #!/usr/bin/env bash
-# Static-analysis gate: the determinism linter (tools/moatlint), the
-# clang thread-safety build, and a curated clang-tidy pass.
+# Static-analysis gate: the determinism linter (tools/moatlint) with
+# its keylint cache-key pass, the clang thread-safety build, and a
+# curated clang-tidy pass.
 #
-#   ./scripts/static_analysis.sh              # full gate (CI)
-#   ./scripts/static_analysis.sh --lint-only  # moatlint only
+#   ./scripts/static_analysis.sh                 # full gate (CI)
+#   ./scripts/static_analysis.sh --lint-only     # moatlint only
+#   ./scripts/static_analysis.sh --keylint-only  # key-* rules only
 #
-# --lint-only builds and runs just moatlint, which works with any
-# toolchain; scripts/verify.sh uses it so the local loop stays gcc-
-# only. The full gate additionally needs clang (and clang-tidy):
+# --lint-only builds and runs just moatlint (both its textual and its
+# semantic pass), which works with any toolchain; scripts/verify.sh
+# uses it so the local loop stays gcc-only. --keylint-only further
+# restricts the report to the semantic key-* rules plus the
+# mutate-check self-test -- the fast inner loop when editing a config
+# struct or key function. The full gate additionally needs clang (and
+# clang-tidy):
 #
 #   - a clang build of the library, CLI, and linter with the Thread
 #     Safety Analysis promoted to errors (-Werror=thread-safety; see
@@ -30,11 +36,13 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 
 LINT_ONLY=0
+KEYLINT_ONLY=0
 for arg in "$@"; do
     case "$arg" in
     --lint-only) LINT_ONLY=1 ;;
+    --keylint-only) KEYLINT_ONLY=1 ;;
     *)
-        echo "usage: $0 [--lint-only]" >&2
+        echo "usage: $0 [--lint-only|--keylint-only]" >&2
         exit 2
         ;;
     esac
@@ -46,16 +54,31 @@ CLANG_CXX="${CLANG_CXX:-clang++}"
 CLANG_TIDY="${CLANG_TIDY:-clang-tidy}"
 
 # ------------------------------------------------------------ moatlint
-# The repo-specific determinism/sealed-dispatch linter. Exits non-zero
-# on any finding without a justified suppression; the JSON report is
-# uploaded as a CI artifact.
+# The repo-specific determinism/sealed-dispatch/cache-key linter.
+# Exits non-zero on any finding without a justified suppression; the
+# JSON report is a CI artifact and the SARIF report feeds GitHub code
+# scanning. mutate-check then proves the keylint pass would notice a
+# dropped key fold before trusting the clean run.
 if [ ! -f "$BUILD_DIR/CMakeCache.txt" ]; then
     # shellcheck disable=SC2086 # word-splitting the extra args is the point
     cmake -B "$BUILD_DIR" -S . ${MOATSIM_CMAKE_ARGS:-}
 fi
 cmake --build "$BUILD_DIR" -j --target moatlint
-echo "moatlint: linting src/"
-"$BUILD_DIR/moatlint" --root . --json "$BUILD_DIR/moatlint.json" src
+
+if [ "$KEYLINT_ONLY" -eq 1 ]; then
+    echo "moatlint: key-* rules over src/ tools/ tests/"
+    "$BUILD_DIR/moatlint" --root . --pass semantic \
+        --json "$BUILD_DIR/moatlint.json"
+    "$BUILD_DIR/moatlint" --root . --mutate-check
+    echo "static analysis (keylint-only) passed"
+    exit 0
+fi
+
+echo "moatlint: linting src/ tools/ tests/"
+"$BUILD_DIR/moatlint" --root . \
+    --json "$BUILD_DIR/moatlint.json" \
+    --sarif "$BUILD_DIR/moatlint.sarif"
+"$BUILD_DIR/moatlint" --root . --mutate-check
 
 if [ "$LINT_ONLY" -eq 1 ]; then
     echo "static analysis (lint-only) passed"

@@ -19,8 +19,10 @@ cmake --build "$BUILD_DIR" -j
 ctest --test-dir "$BUILD_DIR" --output-on-failure -j"$(nproc)"
 
 # Static analysis, lint-only flavour: the moatlint determinism/
-# sealed-dispatch linter must report zero unsuppressed findings. This
-# works with any toolchain; the clang thread-safety build and the
+# sealed-dispatch linter plus its keylint cache-key pass must report
+# zero unsuppressed findings across src/, tools/, and tests/, and the
+# moatlint --mutate-check oracle must catch every seeded key mutant.
+# This works with any toolchain; the clang thread-safety build and the
 # clang-tidy pass run in the dedicated static-analysis CI job (run
 # ./scripts/static_analysis.sh locally when clang is installed).
 BUILD_DIR="$BUILD_DIR" ./scripts/static_analysis.sh --lint-only

@@ -122,7 +122,12 @@ class DeviceModel;
  * tryParse() reports, describe() reproduces the given parameters in
  * canonical (org, speed) order, and omitted parameters resolve to the
  * Table-3 defaults.
+ *
+ * describe() is a key input (perfCellKey folds the canonical spec
+ * text into every ResultStore key), so every member below must reach
+ * it -- keylint checks the round-trip on every build.
  */
+// moatlint: key-source(DeviceSpec::describe)
 class DeviceSpec
 {
   public:

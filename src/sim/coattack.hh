@@ -41,7 +41,11 @@
 namespace moatsim::sim
 {
 
-/** The attack side of one co-attack cell (placement + shape). */
+/** The attack side of one co-attack cell (placement + shape). Every
+ *  field shapes the cell's results, so every field must be folded
+ *  into coAttackCellKey() -- the ResultStore serves cached co-attack
+ *  lines by that key; keylint proves it on every build. */
+// moatlint: key-source(coAttackCellKey)
 struct CoAttackScenario
 {
     /** Pattern name (attacks::attackPatterns()), or "none". */
@@ -58,7 +62,10 @@ struct CoAttackScenario
     uint64_t seed = 1;
 };
 
-/** One independent (workload, mitigator, level, attack) cell. */
+/** One independent (workload, mitigator, level, attack) cell. Folded
+ *  into coAttackCellKey() in full (the attack side delegates to
+ *  CoAttackScenario's own key-source contract). */
+// moatlint: key-source(coAttackCellKey)
 struct CoAttackCell
 {
     workload::WorkloadSpec workload;

@@ -65,15 +65,21 @@ inline constexpr uint64_t kResultStoreEpoch = 1;
 class ResultStore
 {
   public:
+    // moatlint: key-source(ResultStore::foldKey)
     struct Config
     {
         /** false: getOrCompute() computes every call, caches nothing. */
+        // moatlint: key-exempt(ResultStore::foldKey): whether caching
+        // is on changes how a result is obtained, never its bytes --
+        // keying on it would make cold and warm runs disjoint
         bool enabled = false;
         /**
          * Shard directory (created on demand). Empty = in-memory only:
          * single-flight dedupe and warm hits within the process, no
          * persistence.
          */
+        // moatlint: key-exempt(ResultStore::foldKey): a storage
+        // location; the same result must hit wherever the shards live
         std::string dir;
         /** Schema epoch folded into every key (kResultStoreEpoch). */
         uint64_t epoch = kResultStoreEpoch;

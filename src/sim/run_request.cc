@@ -5,6 +5,7 @@
 #include <cstdlib>
 
 #include "attacks/attack.hh"
+#include "common/hash.hh"
 #include "common/logging.hh"
 #include "dram/device.hh"
 #include "mitigation/moat.hh"
@@ -236,6 +237,29 @@ toJsonLine(const RunRequest &req)
     }
     out += "}";
     return out;
+}
+
+uint64_t
+requestKey(const RunRequest &req)
+{
+    uint64_t h = stableHash64("moatsim.run-request.v1");
+    h = hashCombine(h, stableHash64(req.kind));
+    h = hashCombine(h, stableHash64(req.mitigator));
+    h = hashCombine(h, stableHash64(req.device));
+    h = hashCombine(h, stableHash64(req.workload));
+    h = hashCombine(h, static_cast<uint64_t>(req.level));
+    h = hashCombine(h, hashDouble(req.fraction));
+    h = hashCombine(h, static_cast<uint64_t>(req.subchannels));
+    h = hashCombine(h, req.seed);
+    if (req.kind == "coattack") {
+        h = hashCombine(h, stableHash64(req.pattern));
+        h = hashCombine(h, static_cast<uint64_t>(req.poolRows));
+        h = hashCombine(h, req.budget);
+        h = hashCombine(h, static_cast<uint64_t>(req.attackSubchannel));
+        h = hashCombine(h, static_cast<uint64_t>(req.attackBank));
+        h = hashCombine(h, req.attackSeed);
+    }
+    return h;
 }
 
 bool

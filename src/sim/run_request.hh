@@ -32,7 +32,12 @@
 namespace moatsim::sim
 {
 
-/** One sweep request: everything a perf or co-attack run needs. */
+/** One sweep request: everything a perf or co-attack run needs.
+ *  Every result-shaping field must be folded into requestKey() (the
+ *  serve protocol's dedupe identity); scheduling knobs that must NOT
+ *  perturb results are key-exempt. keylint proves both directions on
+ *  every build (see tools/moatlint/keylint.hh). */
+// moatlint: key-source(requestKey)
 struct RunRequest
 {
     /** "perf" or "coattack". */
@@ -52,8 +57,14 @@ struct RunRequest
     /** Trace-generator seed. */
     uint64_t seed = 7;
     /** Worker threads; 0 = hardware concurrency. */
+    // moatlint: key-exempt(requestKey): results are bit-identical at
+    // any jobs count (the determinism headline), so two requests
+    // differing only here must dedupe to one computation
     unsigned jobs = 0;
     /** Whether the run may use the shared trace store. */
+    // moatlint: key-exempt(requestKey): the trace store is
+    // content-addressed and bit-exact, so store on/off changes how a
+    // result is computed, never what it is
     bool traceStore = true;
 
     // ----- coattack only -------------------------------------------
@@ -102,6 +113,17 @@ RunRequest runRequestOfArgs(const std::string &kind, const Args &args);
 /** One RunRequest as a byte-stable JSON line (the serve protocol's
  *  request form; no trailing newline). */
 std::string toJsonLine(const RunRequest &req);
+
+/**
+ * Content-address of a request: a stable 64-bit fold (FNV-1a,
+ * common/hash.hh) of every result-shaping field. Two requests with
+ * equal keys produce byte-identical result lines; scheduling knobs
+ * (jobs, traceStore) are deliberately absent so they dedupe. The
+ * coattack-only fields fold only for coattack requests, mirroring
+ * toJsonLine(). The serve daemon reports it in the done line and
+ * clients can use it to correlate sweeps across sessions.
+ */
+uint64_t requestKey(const RunRequest &req);
 
 /**
  * Decode a toJsonLine(RunRequest) line. Absent fields keep their

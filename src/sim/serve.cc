@@ -5,6 +5,7 @@
 #include <unistd.h>
 
 #include <cerrno>
+#include <cstdio>
 #include <cstring>
 
 #include "common/logging.hh"
@@ -66,11 +67,22 @@ cellLine(size_t index, const std::string &payload)
            ",\"payload\":" + jsonQuote(payload) + "}";
 }
 
+/** Fixed-width lowercase hex of a 64-bit key (16 digits). */
 std::string
-doneLine(size_t cells, double cost)
+hex16(uint64_t v)
+{
+    char buf[17];
+    std::snprintf(buf, sizeof buf, "%016llx",
+                  static_cast<unsigned long long>(v));
+    return buf;
+}
+
+std::string
+doneLine(size_t cells, double cost, uint64_t request_key)
 {
     return "{\"kind\":\"done\",\"cells\":" + std::to_string(cells) +
-           ",\"cost\":" + jsonDouble(cost) + "}";
+           ",\"cost\":" + jsonDouble(cost) + ",\"request\":\"" +
+           hex16(request_key) + "\"}";
 }
 
 /** Strict base-10 parse of a bare JSON number token. */
@@ -291,7 +303,10 @@ Server::runOnConnection(int fd, const RunRequest &req)
     }
 
     release(cost);
-    writeLine(fd, doneLine(cells, cost));
+    // The request's content-address closes the reply: clients can
+    // correlate identical sweeps across sessions without re-deriving
+    // the key themselves.
+    writeLine(fd, doneLine(cells, cost, requestKey(req)));
 }
 
 void

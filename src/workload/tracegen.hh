@@ -90,7 +90,11 @@ viewOf(const CoreTrace &trace)
     return {trace.events.data(), trace.events.size(), trace.window};
 }
 
-/** Generator parameters. */
+/** Generator parameters. Every field shapes the generated traces, so
+ *  every field must be folded into configKey() -- the TraceStore
+ *  serves cached traces by that key, and keylint proves the coverage
+ *  on every build (see tools/moatlint/keylint.hh). */
+// moatlint: key-source(configKey)
 struct TraceGenConfig
 {
     dram::TimingParams timing{};

@@ -292,7 +292,7 @@ TEST(PerfRunner, Ath128QuenchesAlerts)
     // Needs the full 32-bank sub-channel: every ALERT gives all banks
     // a free mitigation, so fewer banks means more residual alerts.
     workload::TraceGenConfig tg;
-    tg.banksSimulated = 32;
+    tg.banksSimulated = dram::kTable3BanksPerSubchannel;
     tg.windowFraction = 0.0625;
     PerfRunner runner(tg);
     const auto a64 = mitigation::Registry::parse("moat");

@@ -2,18 +2,23 @@
  * @file
  * Self-tests of the moatlint determinism linter (tools/moatlint).
  *
- * Three layers:
+ * Four layers:
  *   - per-rule fixture snippets through lintSource(): each rule fires
  *     on its target idiom and stays quiet on the sanctioned
  *     alternative (comments and string literals never trigger);
  *   - the suppression machinery round-trip: same-line and standalone
- *     allow() comments, multi-line justifications, stacking, and the
+ *     allow() comments, multi-line justifications, stacking, the
  *     bad-suppression diagnostics for unknown rules or missing
- *     justifications;
- *   - the real tree (MOATSIM_SOURCE_DIR/src) through lintTree(): the
- *     clean-tree gate CI enforces -- zero unsuppressed findings --
- *     plus the invariants the linter exists to keep true (mitigators
- *     final, dispatch sealed, JSONL %.17g).
+ *     justifications, and the stale-suppression audit;
+ *   - the keylint semantic pass through lintFiles(): key-source
+ *     coverage (direct folds, helper closures, member folds, nested
+ *     delegation), key-exempt leaks, drift diagnostics, and the
+ *     mutate-check oracle that proves the pass catches a dropped fold;
+ *   - the real tree (MOATSIM_SOURCE_DIR) through lintTree()/
+ *     lintFiles(): the clean-tree gate CI enforces -- zero
+ *     unsuppressed findings across src/, tools/, and tests/ -- plus
+ *     the invariants the linter exists to keep true (mitigators
+ *     final, dispatch sealed, JSONL %.17g, cache keys sound).
  */
 
 #include <gtest/gtest.h>
@@ -24,15 +29,21 @@
 #include <string>
 #include <vector>
 
+#include "moatlint/keylint.hh"
 #include "moatlint/lint.hh"
 
 namespace
 {
 
 using moatlint::Finding;
+using moatlint::lintFiles;
 using moatlint::lintSource;
 using moatlint::lintTree;
+using moatlint::mutateCheck;
+using moatlint::passOf;
 using moatlint::reportJson;
+using moatlint::reportSarif;
+using moatlint::SourceFile;
 using moatlint::unsuppressedCount;
 
 /** Findings of @p rule (suppressed included). */
@@ -239,6 +250,8 @@ TEST(MoatlintJsonlStability, FlagsLooseFloatsInEmitters)
     const auto f = lintSource(
         "src/sim/x.cc",
         "// MOATSIM_JSONL emitter\n"
+        // moatlint: allow(jsonl-stability): fixture bytes for the rule
+        // under test (the marker above makes this file an emitter too)
         "void emit() { std::printf(\"%.6f\", v); }\n"
         "void also() { os << std::setprecision(9) << v; }\n"
         "void fine() { std::snprintf(b, n, \"%.17g\", v); }\n"
@@ -251,6 +264,8 @@ TEST(MoatlintJsonlStability, QuietOffEmitters)
     // Human-readable CLI summaries may format floats freely.
     const auto f = lintSource(
         "src/tools/cli.cc",
+        // moatlint: allow(jsonl-stability): fixture bytes for the rule
+        // under test (this test file carries the emitter marker)
         "void show() { std::printf(\"%.2f ms\", toMs(d)); }\n");
     EXPECT_TRUE(ofRule(f, "jsonl-stability").empty());
 }
@@ -353,6 +368,58 @@ TEST(MoatlintSuppression, WrongRuleDoesNotSuppress)
         "src/sim/x.cc",
         "int a = rand(); // moatlint: allow(std-hash): wrong rule\n");
     EXPECT_EQ(linesOf(f, "libc-rand"), (std::vector<int>{1}));
+    // And the unused allow(std-hash) is itself flagged as stale.
+    EXPECT_EQ(linesOf(f, "bad-suppression"), (std::vector<int>{1}));
+}
+
+TEST(MoatlintSuppression, StaleSuppressionIsBadSuppression)
+{
+    // A well-formed allow() whose target line no longer triggers the
+    // rule must not linger: left in place it would silently mask the
+    // next regression at that line.
+    const auto f = lintSource(
+        "src/sim/x.cc",
+        "int a = 7; // moatlint: allow(libc-rand): was rand() once\n");
+    const auto hits = ofRule(f, "bad-suppression");
+    ASSERT_EQ(hits.size(), 1u);
+    EXPECT_EQ(hits[0].line, 1);
+    EXPECT_NE(hits[0].message.find("stale"), std::string::npos);
+    EXPECT_FALSE(hits[0].suppressed);
+}
+
+TEST(MoatlintSuppression, LiveSuppressionIsNotStale)
+{
+    const auto f = lintSource(
+        "src/sim/x.cc",
+        "int a = rand(); // moatlint: allow(libc-rand): fixture\n");
+    EXPECT_TRUE(ofRule(f, "bad-suppression").empty());
+}
+
+TEST(MoatlintSuppression, AllowBadSuppressionKeepsAStaleOne)
+{
+    // An intentionally kept stale allow() can itself be suppressed --
+    // and allow(bad-suppression) is never audited as stale, or the
+    // pair would oscillate.
+    const auto f = lintSource(
+        "src/sim/x.cc",
+        "// moatlint: allow(bad-suppression): kept for the pending\n"
+        "// re-land of the rand() fixture\n"
+        "int a = 7; // moatlint: allow(libc-rand): fixture to re-land\n");
+    const auto hits = ofRule(f, "bad-suppression");
+    ASSERT_EQ(hits.size(), 1u);
+    EXPECT_TRUE(hits[0].suppressed);
+    EXPECT_EQ(unsuppressedCount(f), 0u);
+}
+
+TEST(MoatlintSuppression, UnknownDirectiveIsBadSuppression)
+{
+    const auto f = lintSource(
+        "src/sim/x.cc",
+        "int a = 7; // moatlint: disable(libc-rand): not a directive\n");
+    const auto hits = ofRule(f, "bad-suppression");
+    ASSERT_EQ(hits.size(), 1u);
+    EXPECT_NE(hits[0].message.find("unknown moatlint directive"),
+              std::string::npos);
 }
 
 TEST(MoatlintSuppression, UnknownRuleIsBadSuppression)
@@ -400,6 +467,276 @@ TEST(MoatlintReport, EscapesQuotesAndBackslashes)
     const std::string json = reportJson(f);
     EXPECT_NE(json.find("src/a \\\"b\\\".cc"), std::string::npos);
     EXPECT_NE(json.find("back\\\\slash"), std::string::npos);
+}
+
+TEST(MoatlintReport, PassLabelsSplitTextualFromSemantic)
+{
+    EXPECT_STREQ(passOf("key-coverage"), "semantic");
+    EXPECT_STREQ(passOf("key-exempt-leak"), "semantic");
+    EXPECT_STREQ(passOf("key-source-drift"), "semantic");
+    EXPECT_STREQ(passOf("libc-rand"), "textual");
+    EXPECT_STREQ(passOf("bad-suppression"), "textual");
+    const auto f = lintSource("src/sim/x.cc", "int a = rand();\n");
+    EXPECT_NE(reportJson(f).find("\"pass\":\"textual\""),
+              std::string::npos);
+}
+
+TEST(MoatlintReport, SarifCarriesRulesResultsAndSuppressions)
+{
+    const auto f = lintSource(
+        "src/sim/x.cc",
+        "int a = rand();\n"
+        "int b = rand(); // moatlint: allow(libc-rand): fixture\n");
+    const std::string sarif = reportSarif(f);
+    EXPECT_EQ(sarif, reportSarif(f)) << "report must be deterministic";
+    EXPECT_NE(sarif.find("\"version\":\"2.1.0\""), std::string::npos);
+    EXPECT_NE(sarif.find("\"name\":\"moatlint\""), std::string::npos);
+    // Every rule appears in the driver's rule list with its pass.
+    EXPECT_NE(sarif.find("\"id\":\"key-coverage\""), std::string::npos);
+    EXPECT_NE(sarif.find("\"pass\":\"semantic\""), std::string::npos);
+    // The live finding is an error, the suppressed one a note with an
+    // inSource suppression (code scanning then opens no alert for it).
+    EXPECT_NE(sarif.find("\"ruleId\":\"libc-rand\""), std::string::npos);
+    EXPECT_NE(sarif.find("\"level\":\"error\""), std::string::npos);
+    EXPECT_NE(sarif.find("\"level\":\"note\""), std::string::npos);
+    EXPECT_NE(sarif.find("\"kind\":\"inSource\""), std::string::npos);
+    EXPECT_NE(sarif.find("\"justification\":\"fixture\""),
+              std::string::npos);
+    EXPECT_NE(sarif.find("\"startLine\":1"), std::string::npos);
+}
+
+// -------------------------------------------------------------- keylint
+
+/** A two-file key-source fixture: header with the annotated struct,
+ *  impl with the fold. @p fold is the body of cfgKey. */
+std::vector<SourceFile>
+keyFixture(const std::string &fold,
+           const std::string &extra_fields = "")
+{
+    return {
+        {"src/sim/cfg.hh",
+         "// moatlint: key-source(cfgKey)\n"
+         "struct Cfg {\n"
+         "    uint64_t seed = 0;\n"
+         "    uint32_t banks = 0;\n" +
+             extra_fields +
+             "};\n"
+             "uint64_t cfgKey(const Cfg &c);\n"},
+        {"src/sim/cfg.cc",
+         "uint64_t cfgKey(const Cfg &c)\n"
+         "{\n" +
+             fold + "}\n"}};
+}
+
+TEST(MoatlintKeylint, CoverageFlagsUnfoldedField)
+{
+    const auto f =
+        lintFiles(keyFixture("    return hashCombine(7, c.seed);\n"));
+    const auto hits = ofRule(f, "key-coverage");
+    ASSERT_EQ(hits.size(), 1u);
+    EXPECT_EQ(hits[0].file, "src/sim/cfg.hh");
+    EXPECT_EQ(hits[0].line, 4);
+    EXPECT_NE(hits[0].message.find("'Cfg::banks'"), std::string::npos);
+    EXPECT_FALSE(hits[0].suppressed);
+}
+
+TEST(MoatlintKeylint, QuietWhenEveryFieldIsFolded)
+{
+    const auto f = lintFiles(keyFixture(
+        "    return hashCombine(c.banks, c.seed);\n"));
+    EXPECT_TRUE(ofRule(f, "key-coverage").empty());
+    EXPECT_TRUE(ofRule(f, "key-source-drift").empty());
+    EXPECT_EQ(unsuppressedCount(f), 0u);
+}
+
+TEST(MoatlintKeylint, CoverageReachesThroughHelperClosure)
+{
+    // configKey folds geometry via helpers (subchannelsOf et al.); a
+    // field touched only inside a transitively called helper counts.
+    auto files = keyFixture("    return hashCombine(banksOf(c), c.seed);\n");
+    files[1].content =
+        "static uint64_t widen(uint32_t v) { return v; }\n"
+        "static uint64_t banksOf(const Cfg &c) { return widen(c.banks); }\n" +
+        files[1].content;
+    EXPECT_TRUE(ofRule(lintFiles(files), "key-coverage").empty());
+}
+
+TEST(MoatlintKeylint, MentionsInCommentsAndStringsDoNotCover)
+{
+    const auto f = lintFiles(keyFixture(
+        "    // c.banks is deliberately not folded\n"
+        "    const char *s = \"c.banks\";\n"
+        "    (void) s;\n"
+        "    return hashCombine(7, c.seed);\n"));
+    EXPECT_EQ(linesOf(f, "key-coverage"), (std::vector<int>{4}));
+}
+
+TEST(MoatlintKeylint, ExemptQuietsCoverageAndLeakFiresOnFold)
+{
+    const std::string exempt_field =
+        "    // moatlint: key-exempt(cfgKey): a storage knob, not a\n"
+        "    // result input\n"
+        "    bool cache = false;\n";
+    // Exempt and absent from the fold: clean.
+    const auto quiet = lintFiles(keyFixture(
+        "    return hashCombine(c.banks, c.seed);\n", exempt_field));
+    EXPECT_TRUE(ofRule(quiet, "key-coverage").empty());
+    EXPECT_TRUE(ofRule(quiet, "key-exempt-leak").empty());
+    // Exempt yet folded: the annotation lies; key-exempt-leak.
+    const auto leak = lintFiles(keyFixture(
+        "    return hashCombine(c.banks, c.seed ^ c.cache);\n",
+        exempt_field));
+    const auto hits = ofRule(leak, "key-exempt-leak");
+    ASSERT_EQ(hits.size(), 1u);
+    EXPECT_EQ(hits[0].line, 7);
+    EXPECT_NE(hits[0].message.find("'Cfg::cache'"), std::string::npos);
+}
+
+TEST(MoatlintKeylint, ExemptWithoutJustificationIsBadSuppression)
+{
+    const auto f = lintFiles(keyFixture(
+        "    return hashCombine(c.banks, c.seed);\n",
+        "    // moatlint: key-exempt(cfgKey)\n"
+        "    bool cache = false;\n"));
+    const auto hits = ofRule(f, "bad-suppression");
+    ASSERT_EQ(hits.size(), 1u);
+    EXPECT_NE(hits[0].message.find("justification"), std::string::npos);
+    // Without a valid exemption the field still needs folding.
+    EXPECT_EQ(ofRule(f, "key-coverage").size(), 1u);
+}
+
+TEST(MoatlintKeylint, ExemptNamingWrongFunctionIsDrift)
+{
+    const auto f = lintFiles(keyFixture(
+        "    return hashCombine(c.banks, c.seed);\n",
+        "    // moatlint: key-exempt(otherKey): wrong function\n"
+        "    bool cache = false;\n"));
+    const auto hits = ofRule(f, "key-source-drift");
+    ASSERT_EQ(hits.size(), 1u);
+    EXPECT_NE(hits[0].message.find("otherKey"), std::string::npos);
+}
+
+TEST(MoatlintKeylint, AnnotationOffAStructIsDrift)
+{
+    const auto f = lintFiles(
+        {{"src/sim/x.cc",
+          "// moatlint: key-source(cfgKey)\n"
+          "int not_a_struct = 0;\n"}});
+    const auto hits = ofRule(f, "key-source-drift");
+    ASSERT_EQ(hits.size(), 1u);
+    EXPECT_NE(hits[0].message.find("does not precede a struct"),
+              std::string::npos);
+}
+
+TEST(MoatlintKeylint, MissingDefinitionIsDriftOnTreesOnly)
+{
+    // On a full tree an undefined key fn means the contract checks
+    // nothing; in a lone header the impl legitimately lives elsewhere.
+    const std::string hh =
+        "// moatlint: key-source(cfgKey)\n"
+        "struct Cfg { uint64_t seed = 0; };\n"
+        "uint64_t cfgKey(const Cfg &c);\n";
+    const auto tree = lintFiles({{"src/sim/cfg.hh", hh}});
+    const auto hits = ofRule(tree, "key-source-drift");
+    ASSERT_EQ(hits.size(), 1u);
+    EXPECT_NE(hits[0].message.find("no definition"), std::string::npos);
+    EXPECT_TRUE(
+        ofRule(lintSource("src/sim/cfg.hh", hh), "key-source-drift")
+            .empty());
+}
+
+TEST(MoatlintKeylint, NestedKeySourceDelegates)
+{
+    const std::string common =
+        "// moatlint: key-source(innerKey)\n"
+        "struct Inner { uint64_t a = 0; };\n"
+        "// moatlint: key-source(outerKey)\n"
+        "struct Outer {\n"
+        "    Inner in;\n"
+        "    uint64_t b = 0;\n"
+        "};\n"
+        "uint64_t innerKey(const Inner &i) { return i.a; }\n";
+    // Routing through the nested struct's own key fn: clean.
+    const auto good = lintFiles(
+        {{"src/sim/k.hh",
+          common + "uint64_t outerKey(const Outer &o)\n"
+                   "{ return hashCombine(innerKey(o.in), o.b); }\n"}});
+    EXPECT_TRUE(ofRule(good, "key-coverage").empty());
+    EXPECT_TRUE(ofRule(good, "key-source-drift").empty());
+    // Restating the nested fields bypasses Inner's contract: drift.
+    const auto bypass = lintFiles(
+        {{"src/sim/k.hh",
+          common + "uint64_t outerKey(const Outer &o)\n"
+                   "{ return hashCombine(o.in.a, o.b); }\n"}});
+    const auto hits = ofRule(bypass, "key-source-drift");
+    ASSERT_EQ(hits.size(), 1u);
+    EXPECT_NE(hits[0].message.find("nested key is bypassed"),
+              std::string::npos);
+}
+
+TEST(MoatlintKeylint, MemberFoldCountsBareFieldMentions)
+{
+    // DeviceSpec::describe() is the live example: a member key fn
+    // reaches fields without an object prefix.
+    const auto f = lintFiles(
+        {{"src/sim/spec.hh",
+          "// moatlint: key-source(Spec::key)\n"
+          "class Spec {\n"
+          "  public:\n"
+          "    uint64_t key() const;\n"
+          "  private:\n"
+          "    uint64_t org_ = 0;\n"
+          "    uint64_t speed_ = 0;\n"
+          "};\n"},
+         {"src/sim/spec.cc",
+          "uint64_t Spec::key() const\n"
+          "{ return hashCombine(org_, speed_); }\n"}});
+    EXPECT_TRUE(ofRule(f, "key-coverage").empty());
+    EXPECT_TRUE(ofRule(f, "key-source-drift").empty());
+}
+
+// ---------------------------------------------------------- mutate-check
+
+TEST(MoatlintMutateCheck, SoundFixturePassesAndMutantsAreCaught)
+{
+    const auto rep = mutateCheck(keyFixture(
+        "    return hashCombine(c.banks, c.seed);\n"));
+    EXPECT_TRUE(rep.baseline.empty());
+    ASSERT_EQ(rep.mutants.size(), 2u);
+    for (const auto &m : rep.mutants) {
+        EXPECT_TRUE(m.caught)
+            << m.structName << "::" << m.field << " via " << m.keyFn;
+        EXPECT_FALSE(m.exempt);
+    }
+    EXPECT_TRUE(rep.ok());
+}
+
+TEST(MoatlintMutateCheck, ExemptMutantReinsertsAndIsCaught)
+{
+    const auto rep = mutateCheck(keyFixture(
+        "    return hashCombine(c.banks, c.seed);\n",
+        "    // moatlint: key-exempt(cfgKey): a knob, not an input\n"
+        "    bool cache = false;\n"));
+    ASSERT_EQ(rep.mutants.size(), 3u);
+    bool saw_exempt = false;
+    for (const auto &m : rep.mutants) {
+        if (m.field == "cache") {
+            saw_exempt = true;
+            EXPECT_TRUE(m.exempt);
+        }
+        EXPECT_TRUE(m.caught) << m.field;
+    }
+    EXPECT_TRUE(saw_exempt);
+    EXPECT_TRUE(rep.ok());
+}
+
+TEST(MoatlintMutateCheck, DirtyBaselineFailsClosed)
+{
+    const auto rep = mutateCheck(keyFixture(
+        "    return hashCombine(7, c.seed);\n"));
+    EXPECT_FALSE(rep.baseline.empty());
+    EXPECT_TRUE(rep.mutants.empty());
+    EXPECT_FALSE(rep.ok());
 }
 
 // ---------------------------------------------------- tree-level rules
@@ -487,12 +824,25 @@ TEST_F(MoatlintTreeFixture, PathsAreRelativeAndSorted)
 
 #ifdef MOATSIM_SOURCE_DIR
 
-/** The gate CI enforces: every finding in src/ carries a valid
- *  suppression with a written justification. */
-TEST(MoatlintCleanTree, SrcHasZeroUnsuppressedFindings)
+/** src + tools + tests as one set, the way the moatlint binary and CI
+ *  lint them (keylint resolves key fns across directory boundaries). */
+std::vector<SourceFile>
+realTree()
 {
-    const auto f =
-        lintTree(std::string(MOATSIM_SOURCE_DIR) + "/src");
+    std::vector<SourceFile> files;
+    for (const char *dir : {"/src", "/tools", "/tests"}) {
+        const auto part = moatlint::readSourceTree(
+            std::string(MOATSIM_SOURCE_DIR) + dir);
+        files.insert(files.end(), part.begin(), part.end());
+    }
+    return files;
+}
+
+/** The gate CI enforces: every finding in src/, tools/, and tests/
+ *  carries a valid suppression with a written justification. */
+TEST(MoatlintCleanTree, TreeHasZeroUnsuppressedFindings)
+{
+    const auto f = lintFiles(realTree());
     for (const auto &fi : f) {
         EXPECT_TRUE(fi.suppressed)
             << fi.file << ":" << fi.line << ": [" << fi.rule << "] "
@@ -521,6 +871,37 @@ TEST(MoatlintCleanTree, RealTreeExercisesTheRules)
     // else derives from the DeviceModel (or the kTable3 constants).
     EXPECT_TRUE(ofRule(f, "magic-geometry").empty());
     EXPECT_TRUE(ofRule(f, "bad-suppression").empty());
+}
+
+/** The cache-key contracts the sweep pipeline rests on: every
+ *  annotated key-source struct verifies, with zero findings -- a new
+ *  config field that is not folded (or exempted) fails this test. */
+TEST(MoatlintCleanTree, KeyContractsHold)
+{
+    const auto f = lintFiles(realTree());
+    EXPECT_TRUE(ofRule(f, "key-coverage").empty());
+    EXPECT_TRUE(ofRule(f, "key-exempt-leak").empty());
+    EXPECT_TRUE(ofRule(f, "key-source-drift").empty());
+}
+
+/** The oracle: the pass is only trustworthy if deleting any single
+ *  fold from a real key function is detected. Covers configKey,
+ *  requestKey, coAttackCellKey, ResultStore::foldKey, and
+ *  DeviceSpec::describe. */
+TEST(MoatlintCleanTree, RealTreeMutantsAreAllCaught)
+{
+    const auto rep = mutateCheck(realTree());
+    EXPECT_TRUE(rep.baseline.empty());
+    // The five annotated contracts carry well over 30 fields between
+    // them; a collapse of the mutant count means annotations were
+    // dropped or the scanner stopped seeing the structs.
+    EXPECT_GE(rep.mutants.size(), 30u);
+    for (const auto &m : rep.mutants) {
+        EXPECT_TRUE(m.caught)
+            << m.structName << "::" << m.field << " via " << m.keyFn
+            << (m.exempt ? " (exempt re-insertion)" : " (fold removal)");
+    }
+    EXPECT_TRUE(rep.ok());
 }
 
 #endif // MOATSIM_SOURCE_DIR

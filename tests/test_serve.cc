@@ -10,6 +10,7 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdio>
 #include <filesystem>
 #include <string>
 #include <thread>
@@ -56,6 +57,59 @@ smallServeConfig(const std::string &socket)
     return sc;
 }
 
+// ------------------------------------------------------- request keys
+
+TEST(RequestKey, SchedulingKnobsDoNotPerturbTheKey)
+{
+    // The key is the serve protocol's dedupe identity: two requests
+    // that must produce identical bytes must collide, however they
+    // are scheduled (keylint enforces the exemptions statically).
+    const RunRequest base = smallRequest();
+    RunRequest other = base;
+    other.jobs = 16;
+    other.traceStore = false;
+    EXPECT_EQ(requestKey(base), requestKey(other));
+}
+
+TEST(RequestKey, ResultShapingFieldsPerturbTheKey)
+{
+    const RunRequest base = smallRequest();
+    const uint64_t k = requestKey(base);
+    RunRequest r = base;
+    r.mitigator = "moat:eth=256";
+    EXPECT_NE(requestKey(r), k);
+    r = base;
+    r.fraction = 0.03125;
+    EXPECT_NE(requestKey(r), k);
+    r = base;
+    r.seed = 8;
+    EXPECT_NE(requestKey(r), k);
+    r = base;
+    r.level = 2;
+    EXPECT_NE(requestKey(r), k);
+    r = base;
+    r.device = "device:org=64gb";
+    EXPECT_NE(requestKey(r), k);
+}
+
+TEST(RequestKey, AttackFieldsCountOnlyForCoattack)
+{
+    // toJsonLine() omits the attack block for perf requests; the key
+    // mirrors that, so a perf request ignores attack-field noise...
+    const RunRequest base = smallRequest();
+    RunRequest r = base;
+    r.pattern = "rowpress";
+    r.attackSeed = 99;
+    EXPECT_EQ(requestKey(base), requestKey(r));
+    // ...while a coattack request folds the full scenario.
+    RunRequest ca = base;
+    ca.kind = "coattack";
+    RunRequest ca2 = ca;
+    ca2.pattern = "rowpress";
+    EXPECT_NE(requestKey(ca), requestKey(ca2));
+    EXPECT_NE(requestKey(ca), requestKey(base));
+}
+
 TEST(Serve, RoundTripMatchesDirectRun)
 {
     const std::string socket = socketPathOf("moatsim_serve_rt.sock");
@@ -69,6 +123,12 @@ TEST(Serve, RoundTripMatchesDirectRun)
     ASSERT_EQ(reply.cells.size(), 1u);
     EXPECT_NE(reply.done.find("\"kind\":\"done\""), std::string::npos);
     EXPECT_NE(reply.done.find("\"cells\":1"), std::string::npos);
+    // The done line reports the request's content-address, zero-padded
+    // hex64, so clients can correlate sweeps across sessions.
+    char key_hex[32];
+    std::snprintf(key_hex, sizeof key_hex, "\"request\":\"%016llx\"",
+                  static_cast<unsigned long long>(requestKey(req)));
+    EXPECT_NE(reply.done.find(key_hex), std::string::npos);
 
     // The same request run directly, store disabled: same bytes.
     ExperimentConfig ec = experimentConfigOf(req);

@@ -1,0 +1,788 @@
+#include "moatlint/cxx_scan.hh"
+
+#include <algorithm>
+#include <cctype>
+#include <set>
+
+namespace moatlint::cxx
+{
+
+namespace
+{
+
+bool
+identStart(char c)
+{
+    return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+
+bool
+identChar(char c)
+{
+    return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+/** Keywords that can precede '(' without naming a function. */
+bool
+isControlKeyword(const std::string &s)
+{
+    static const std::set<std::string> kKeywords = {
+        "if",       "for",      "while",  "switch",   "catch",
+        "return",   "sizeof",   "alignof", "alignas",  "decltype",
+        "new",      "delete",   "throw",  "void",     "int",
+        "char",     "bool",     "float",  "double",   "long",
+        "short",    "unsigned", "signed", "auto",     "case",
+        "static_cast",          "const_cast",
+        "dynamic_cast",         "reinterpret_cast",
+        "static_assert",        "noexcept",
+        "operator", "co_return", "co_await", "co_yield"};
+    return kKeywords.count(s) > 0;
+}
+
+bool
+allCaps(const std::string &s)
+{
+    bool has_alpha = false;
+    for (const char c : s) {
+        if (std::islower(static_cast<unsigned char>(c)))
+            return false;
+        if (std::isalpha(static_cast<unsigned char>(c)))
+            has_alpha = true;
+    }
+    return has_alpha;
+}
+
+} // namespace
+
+std::string
+maskSource(const std::string &src, unsigned flags, Spans *string_spans)
+{
+    std::string out = src;
+    enum
+    {
+        kCode,
+        kLineComment,
+        kBlockComment,
+        kString,
+        kChar,
+        kRawString
+    } state = kCode;
+    std::string raw_end; // ")delim\"" terminator of a raw string
+    size_t span_begin = 0;
+
+    const bool mask_line = (flags & kMaskLineComments) != 0;
+    const bool mask_block = (flags & kMaskBlockComments) != 0;
+    const bool mask_strings = (flags & kMaskStrings) != 0;
+
+    auto blank = [&](size_t i) {
+        if (out[i] != '\n')
+            out[i] = ' ';
+    };
+    auto blankIf = [&](bool cond, size_t i) {
+        if (cond)
+            blank(i);
+    };
+
+    for (size_t i = 0; i < src.size(); ++i) {
+        const char c = src[i];
+        const char next = i + 1 < src.size() ? src[i + 1] : '\0';
+        switch (state) {
+        case kCode:
+            if (c == '/' && next == '/') {
+                state = kLineComment;
+                blankIf(mask_line, i);
+                blankIf(mask_line, i + 1);
+                ++i;
+            } else if (c == '/' && next == '*') {
+                state = kBlockComment;
+                blankIf(mask_block, i);
+                blankIf(mask_block, i + 1);
+                ++i;
+            } else if (c == '"') {
+                if (i > 0 && src[i - 1] == 'R') {
+                    // Raw string: R"delim( ... )delim"
+                    std::string delim;
+                    size_t p = i + 1;
+                    while (p < src.size() && src[p] != '(' &&
+                           src[p] != '\n' && delim.size() < 16)
+                        delim += src[p++];
+                    if (p < src.size() && src[p] == '(') {
+                        state = kRawString;
+                        raw_end = ")" + delim + "\"";
+                        span_begin = i;
+                        break;
+                    }
+                }
+                state = kString;
+                span_begin = i;
+            } else if (c == '\'') {
+                // Digit separators (0x1'000) are not char literals.
+                const char prev = i > 0 ? src[i - 1] : '\0';
+                const bool separator =
+                    std::isalnum(static_cast<unsigned char>(prev)) &&
+                    std::isalnum(static_cast<unsigned char>(next));
+                if (!separator)
+                    state = kChar;
+            }
+            break;
+        case kLineComment:
+            if (c == '\n')
+                state = kCode;
+            else
+                blankIf(mask_line, i);
+            break;
+        case kBlockComment:
+            if (c == '*' && next == '/') {
+                blankIf(mask_block, i);
+                blankIf(mask_block, i + 1);
+                ++i;
+                state = kCode;
+            } else {
+                blankIf(mask_block, i);
+            }
+            break;
+        case kString:
+            if (c == '\\' && next != '\0') {
+                blankIf(mask_strings, i);
+                blankIf(mask_strings, i + 1);
+                ++i;
+            } else if (c == '"') {
+                state = kCode;
+                if (string_spans)
+                    string_spans->push_back({span_begin, i + 1});
+            } else {
+                blankIf(mask_strings, i);
+            }
+            break;
+        case kChar:
+            if (c == '\\' && next != '\0') {
+                blankIf(mask_strings, i);
+                blankIf(mask_strings, i + 1);
+                ++i;
+            } else if (c == '\'') {
+                state = kCode;
+            } else {
+                blankIf(mask_strings, i);
+            }
+            break;
+        case kRawString:
+            if (src.compare(i, raw_end.size(), raw_end) == 0) {
+                i += raw_end.size() - 1;
+                state = kCode;
+                if (string_spans)
+                    string_spans->push_back({span_begin, i + 1});
+            } else {
+                blankIf(mask_strings, i);
+            }
+            break;
+        }
+    }
+    return out;
+}
+
+std::vector<size_t>
+lineStartsOf(const std::string &text)
+{
+    std::vector<size_t> starts{0};
+    for (size_t i = 0; i < text.size(); ++i) {
+        if (text[i] == '\n')
+            starts.push_back(i + 1);
+    }
+    return starts;
+}
+
+int
+lineOf(const std::vector<size_t> &starts, size_t offset)
+{
+    const auto it =
+        std::upper_bound(starts.begin(), starts.end(), offset);
+    return static_cast<int>(it - starts.begin());
+}
+
+std::vector<Token>
+tokenize(const std::string &code)
+{
+    std::vector<Token> out;
+    const size_t n = code.size();
+    size_t i = 0;
+    while (i < n) {
+        const char c = code[i];
+        if (std::isspace(static_cast<unsigned char>(c))) {
+            ++i;
+            continue;
+        }
+        Token t;
+        t.begin = i;
+        if (identStart(c)) {
+            size_t e = i;
+            while (e < n && identChar(code[e]))
+                ++e;
+            t.kind = Token::kIdent;
+            t.end = e;
+        } else if (std::isdigit(static_cast<unsigned char>(c)) ||
+                   (c == '.' && i + 1 < n &&
+                    std::isdigit(static_cast<unsigned char>(
+                        code[i + 1])))) {
+            size_t e = i;
+            while (e < n) {
+                const char d = code[e];
+                if (identChar(d) || d == '.' || d == '\'') {
+                    // Exponents may carry a sign: 1e-9, 0x1p+3.
+                    if ((d == 'e' || d == 'E' || d == 'p' ||
+                         d == 'P') &&
+                        e + 1 < n &&
+                        (code[e + 1] == '+' || code[e + 1] == '-') &&
+                        e > i)
+                        ++e;
+                    ++e;
+                } else {
+                    break;
+                }
+            }
+            t.kind = Token::kNumber;
+            t.end = e;
+        } else if (c == '"') {
+            size_t e = i + 1;
+            while (e < n && code[e] != '"') {
+                if (code[e] == '\\' && e + 1 < n)
+                    ++e;
+                ++e;
+            }
+            t.kind = Token::kString;
+            t.end = e < n ? e + 1 : n;
+        } else if (c == '\'') {
+            size_t e = i + 1;
+            while (e < n && code[e] != '\'') {
+                if (code[e] == '\\' && e + 1 < n)
+                    ++e;
+                ++e;
+            }
+            t.kind = Token::kChar;
+            t.end = e < n ? e + 1 : n;
+        } else {
+            t.kind = Token::kPunct;
+            const char next = i + 1 < n ? code[i + 1] : '\0';
+            if ((c == ':' && next == ':') || (c == '-' && next == '>'))
+                t.end = i + 2;
+            else
+                t.end = i + 1;
+        }
+        t.text = code.substr(t.begin, t.end - t.begin);
+        out.push_back(std::move(t));
+        i = out.back().end;
+    }
+    return out;
+}
+
+namespace
+{
+
+/** Token-level declaration walker behind scanDecls(). */
+class Scanner
+{
+  public:
+    explicit Scanner(std::vector<Token> tokens)
+        : t_(std::move(tokens))
+    {
+    }
+
+    FileDecls run()
+    {
+        scanScope(0, t_.size(), "");
+        return std::move(out_);
+    }
+
+  private:
+    bool is(size_t i, const char *text) const
+    {
+        return i < t_.size() && t_[i].text == text;
+    }
+
+    bool isIdent(size_t i) const
+    {
+        return i < t_.size() && t_[i].kind == Token::kIdent;
+    }
+
+    /** Token index just past the group closer matching t_[open]. */
+    size_t matchGroup(size_t open, const char *o, const char *c,
+                      size_t e) const
+    {
+        int depth = 0;
+        for (size_t i = open; i < e; ++i) {
+            if (t_[i].text == o)
+                ++depth;
+            else if (t_[i].text == c && --depth == 0)
+                return i + 1;
+        }
+        return e; // unbalanced: clamp to the scope end
+    }
+
+    /** Token index just past the next depth-0 ';' (brace-aware). */
+    size_t skipToSemi(size_t i, size_t e) const
+    {
+        while (i < e) {
+            if (is(i, "{") || is(i, "(") || is(i, "[")) {
+                i = matchGroup(i, t_[i].text.c_str(),
+                               t_[i].text == "{"   ? "}"
+                               : t_[i].text == "(" ? ")"
+                                                   : "]",
+                               e);
+                continue;
+            }
+            if (is(i, ";"))
+                return i + 1;
+            ++i;
+        }
+        return e;
+    }
+
+    /** Token index just past the '>' matching a '<' at @p open. */
+    size_t skipAngles(size_t open, size_t e) const
+    {
+        int depth = 0;
+        for (size_t i = open; i < e; ++i) {
+            if (is(i, "<")) {
+                ++depth;
+            } else if (is(i, ">")) {
+                if (--depth == 0)
+                    return i + 1;
+            } else if (is(i, ";") || is(i, "{")) {
+                return i; // not a template argument list after all
+            }
+        }
+        return e;
+    }
+
+    static std::string qualify(const std::string &qual,
+                               const std::string &name)
+    {
+        return qual.empty() ? name : qual + "::" + name;
+    }
+
+    /**
+     * Try to read a function whose parameter list opens at @p open.
+     * On success records the declaration/definition and returns the
+     * token index to resume at; returns 0 when the tokens do not form
+     * a function (the caller then just skips the parenthesis group).
+     */
+    size_t tryFunction(size_t open, size_t e, const std::string &qual)
+    {
+        // Name chain directly before '(': ident (:: ident)* reversed.
+        if (open == 0 || !isIdent(open - 1))
+            return 0;
+        size_t p = open - 1;
+        std::string chain = t_[p].text;
+        const std::string name = t_[p].text;
+        while (p >= 2 && is(p - 1, "::") && isIdent(p - 2)) {
+            p -= 2;
+            chain = t_[p].text + "::" + chain;
+        }
+        if (isControlKeyword(name))
+            return 0;
+        const size_t head = t_[p].begin;
+
+        const size_t close = matchGroup(open, "(", ")", e);
+        // Trailer: consume qualifiers, init lists, trailing return
+        // types... up to the body '{' or a terminating ';'.
+        bool seen_colon = false;
+        std::string prev;
+        for (size_t j = close; j < e;) {
+            const std::string &tx = t_[j].text;
+            if (tx == "{") {
+                if (seen_colon && (prev.empty() ||
+                                   identChar(prev.back()))) {
+                    // Brace init inside a constructor init list
+                    // (`: x_{1}`), not the body yet.
+                    j = matchGroup(j, "{", "}", e);
+                    prev = "}";
+                    continue;
+                }
+                const size_t body = matchGroup(j, "{", "}", e);
+                FunctionDecl fn;
+                fn.name = name;
+                fn.qualified = qualify(qual, chain);
+                fn.head = head;
+                fn.body_begin = t_[j].begin;
+                fn.body_end = body <= e && body > 0
+                                  ? t_[body - 1].end
+                                  : t_[e - 1].end;
+                fn.defined = true;
+                out_.functions.push_back(std::move(fn));
+                return body;
+            }
+            if (tx == ";" || tx == "=") {
+                // Declaration (`;`, `= default;`, `= delete;`, pure).
+                FunctionDecl fn;
+                fn.name = name;
+                fn.qualified = qualify(qual, chain);
+                fn.head = head;
+                fn.defined = false;
+                out_.functions.push_back(std::move(fn));
+                return tx == ";" ? j + 1 : skipToSemi(j, e);
+            }
+            if (tx == "(") {
+                j = matchGroup(j, "(", ")", e);
+                prev = ")";
+                continue;
+            }
+            if (t_[j].kind == Token::kIdent || tx == "::" ||
+                tx == "->" || tx == "," || tx == "&" || tx == "*" ||
+                tx == "<" || tx == ">" || tx == "[" || tx == "]" ||
+                t_[j].kind == Token::kNumber ||
+                t_[j].kind == Token::kString) {
+                prev = tx;
+                ++j;
+                continue;
+            }
+            if (tx == ":") {
+                seen_colon = true;
+                prev = tx;
+                ++j;
+                continue;
+            }
+            return 0; // something a function head never contains
+        }
+        return 0;
+    }
+
+    /** Handle `struct`/`class` at token @p i; returns resume index,
+     *  or 0 when it is not a named definition (caller advances). */
+    size_t handleStruct(size_t i, size_t e, const std::string &qual,
+                        StructDecl **opened)
+    {
+        *opened = nullptr;
+        size_t j = i + 1;
+        while (j < e && is(j, "[")) // [[attributes]]
+            j = matchGroup(j, "[", "]", e);
+        if (!isIdent(j))
+            return 0; // anonymous struct or elaborated type use
+        const std::string name = t_[j].text;
+        size_t k = j + 1;
+        while (k < e && !is(k, "{") && !is(k, ";")) {
+            if (is(k, "(")) {
+                k = matchGroup(k, "(", ")", e);
+                continue;
+            }
+            if (is(k, "<")) {
+                k = skipAngles(k, e);
+                continue;
+            }
+            if (is(k, "=") || is(k, ","))
+                return 0; // `struct X *p = ...`: a variable, not a def
+            ++k;
+        }
+        if (k >= e || is(k, ";"))
+            return k < e ? k + 1 : e; // forward declaration
+        const size_t body = matchGroup(k, "{", "}", e);
+        StructDecl s;
+        s.name = name;
+        s.qualified = qualify(qual, name);
+        s.head = t_[i].begin;
+        s.body_begin = t_[k].begin;
+        s.body_end = body > 0 && body <= e ? t_[body - 1].end
+                                           : t_[e - 1].end;
+        scanStructBody(s, k + 1, body > 0 ? body - 1 : e);
+        out_.structs.push_back(std::move(s));
+        *opened = &out_.structs.back();
+        return body;
+    }
+
+    void scanScope(size_t b, size_t e, const std::string &qual)
+    {
+        size_t i = b;
+        while (i < e) {
+            if (is(i, "namespace")) {
+                size_t j = i + 1;
+                while (j < e && !is(j, "{") && !is(j, ";"))
+                    ++j;
+                if (j < e && is(j, "{")) {
+                    const size_t k = matchGroup(j, "{", "}", e);
+                    scanScope(j + 1, k > 0 ? k - 1 : e, qual);
+                    i = k;
+                } else {
+                    i = j + 1;
+                }
+                continue;
+            }
+            if (is(i, "template")) {
+                i = (i + 1 < e && is(i + 1, "<"))
+                        ? skipAngles(i + 1, e)
+                        : i + 1;
+                continue;
+            }
+            if (is(i, "using") || is(i, "typedef") ||
+                is(i, "static_assert")) {
+                i = skipToSemi(i, e);
+                continue;
+            }
+            if (is(i, "enum")) {
+                size_t j = i + 1;
+                while (j < e && !is(j, "{") && !is(j, ";"))
+                    ++j;
+                i = (j < e && is(j, "{"))
+                        ? skipToSemi(matchGroup(j, "{", "}", e) - 1, e)
+                        : j + 1;
+                continue;
+            }
+            if (is(i, "struct") || is(i, "class")) {
+                StructDecl *opened = nullptr;
+                const size_t r = handleStruct(i, e, qual, &opened);
+                if (r > 0) {
+                    i = opened ? skipToSemi(r, e) : r;
+                    continue;
+                }
+                ++i;
+                continue;
+            }
+            if (is(i, "=")) {
+                i = skipToSemi(i, e); // initializer: calls are not fns
+                continue;
+            }
+            if (is(i, "(")) {
+                const size_t r = tryFunction(i, e, qual);
+                i = r > 0 ? r : matchGroup(i, "(", ")", e);
+                continue;
+            }
+            if (is(i, "{")) {
+                i = matchGroup(i, "{", "}", e); // stray block: skip
+                continue;
+            }
+            ++i;
+        }
+    }
+
+    void scanStructBody(StructDecl &s, size_t b, size_t e)
+    {
+        size_t i = b;
+        std::string last;        // field-name candidate
+        std::string second_last; // type-ish identifier before it
+        bool frozen = false;
+        bool has_eq = false;
+        bool is_static = false;
+        auto reset = [&] {
+            last.clear();
+            second_last.clear();
+            frozen = false;
+            has_eq = false;
+            is_static = false;
+        };
+        while (i < e) {
+            if (isIdent(i)) {
+                const std::string &tx = t_[i].text;
+                if ((tx == "public" || tx == "private" ||
+                     tx == "protected") &&
+                    is(i + 1, ":")) {
+                    i += 2;
+                    reset();
+                    continue;
+                }
+                if (tx == "using" || tx == "typedef" ||
+                    tx == "friend" || tx == "static_assert") {
+                    i = skipToSemi(i, e);
+                    reset();
+                    continue;
+                }
+                if (tx == "struct" || tx == "class") {
+                    StructDecl *opened = nullptr;
+                    const size_t r =
+                        handleStruct(i, e, s.qualified, &opened);
+                    if (r > 0 && opened) {
+                        const std::string nested = opened->name;
+                        // `} name;` after the body: a field of the
+                        // nested type.
+                        if (isIdent(r) && is(r + 1, ";")) {
+                            s.fields.push_back(
+                                {t_[r].text, nested, t_[r].begin});
+                            i = r + 2;
+                        } else {
+                            i = skipToSemi(r, e);
+                        }
+                        reset();
+                        continue;
+                    }
+                    i = r > 0 ? r : i + 1;
+                    reset();
+                    continue;
+                }
+                if (tx == "enum") {
+                    size_t j = i + 1;
+                    while (j < e && !is(j, "{") && !is(j, ";"))
+                        ++j;
+                    i = (j < e && is(j, "{"))
+                            ? skipToSemi(matchGroup(j, "{", "}", e) - 1,
+                                         e)
+                            : j + 1;
+                    reset();
+                    continue;
+                }
+                if (tx == "static") {
+                    is_static = true;
+                    ++i;
+                    continue;
+                }
+                if (!frozen && allCaps(tx) && is(i + 1, "(")) {
+                    // Annotation macro (GUARDED_BY(mu_), EXCLUDES(..)):
+                    // skip without disturbing the field candidate.
+                    i = matchGroup(i + 1, "(", ")", e);
+                    continue;
+                }
+                if (!frozen) {
+                    second_last = last;
+                    last = tx;
+                }
+                ++i;
+                continue;
+            }
+            if (is(i, "(")) {
+                if (!has_eq) {
+                    const size_t r = tryFunction(i, e, s.qualified);
+                    if (r > 0) {
+                        i = r;
+                        reset();
+                        continue;
+                    }
+                }
+                i = matchGroup(i, "(", ")", e);
+                continue;
+            }
+            if (is(i, "=")) {
+                has_eq = true;
+                frozen = true;
+                ++i;
+                continue;
+            }
+            if (is(i, "[")) {
+                if (!last.empty())
+                    frozen = true; // array extent after the name
+                i = matchGroup(i, "[", "]", e);
+                continue;
+            }
+            if (is(i, "{")) {
+                if (!has_eq)
+                    frozen = true; // brace init: name already seen
+                i = matchGroup(i, "{", "}", e);
+                continue;
+            }
+            if (is(i, ":")) {
+                frozen = true; // bitfield width
+                ++i;
+                continue;
+            }
+            if (is(i, ";")) {
+                if (!last.empty() && !is_static)
+                    s.fields.push_back({last, second_last, fieldAt(i)});
+                reset();
+                ++i;
+                continue;
+            }
+            ++i;
+        }
+    }
+
+    /** Offset of the recorded field name nearest before token @p semi
+     *  (the name token was consumed during the statement walk). */
+    size_t fieldAt(size_t semi) const
+    {
+        // Walk back to the name token so the field's line is the
+        // declaration line even when the initializer spans lines.
+        for (size_t j = semi; j-- > 0;) {
+            if (t_[j].kind == Token::kIdent)
+                return t_[j].begin;
+            if (t_[j].text == ";" || t_[j].text == "}")
+                break;
+        }
+        return semi < t_.size() ? t_[semi].begin : 0;
+    }
+
+    std::vector<Token> t_;
+    FileDecls out_;
+};
+
+} // namespace
+
+FileDecls
+scanDecls(const std::string &code)
+{
+    return Scanner(tokenize(code)).run();
+}
+
+std::vector<size_t>
+identRefs(const std::string &code, const std::string &name)
+{
+    std::vector<size_t> hits;
+    size_t at = 0;
+    while ((at = code.find(name, at)) != std::string::npos) {
+        const char prev = at > 0 ? code[at - 1] : '\0';
+        const size_t end = at + name.size();
+        const char post = end < code.size() ? code[end] : '\0';
+        if (!identChar(prev) && prev != '.' && prev != '>' &&
+            !identChar(post))
+            hits.push_back(at);
+        at = end;
+    }
+    return hits;
+}
+
+std::vector<size_t>
+memberRefs(const std::string &code, const std::string &name)
+{
+    std::vector<size_t> hits;
+    size_t at = 0;
+    while ((at = code.find(name, at)) != std::string::npos) {
+        const size_t end = at + name.size();
+        const char prev = at > 0 ? code[at - 1] : '\0';
+        const char post = end < code.size() ? code[end] : '\0';
+        // `1.f` is a float literal, not a member access: a dot only
+        // counts when whatever precedes it is not a numeric literal.
+        bool dot = prev == '.' && !(at > 1 && code[at - 2] == '.');
+        if (dot && at > 1 &&
+            std::isdigit(static_cast<unsigned char>(code[at - 2]))) {
+            size_t rb = at - 2;
+            while (rb > 0 && identChar(code[rb - 1]))
+                --rb;
+            dot = !std::isdigit(static_cast<unsigned char>(code[rb]));
+        }
+        const bool arrow =
+            prev == '>' && at > 1 && code[at - 2] == '-';
+        if ((dot || arrow) && !identChar(post))
+            hits.push_back(at);
+        at = end;
+    }
+    return hits;
+}
+
+std::vector<std::string>
+calledNames(const std::string &body)
+{
+    std::vector<std::string> names;
+    const size_t n = body.size();
+    size_t i = 0;
+    while (i < n) {
+        if (!identStart(body[i])) {
+            ++i;
+            continue;
+        }
+        const size_t b = i;
+        while (i < n && identChar(body[i]))
+            ++i;
+        const char prev = b > 0 ? body[b - 1] : '\0';
+        if (prev == '.' || identChar(prev))
+            continue; // member call or mid-identifier
+        if (prev == '>' && b > 1 && body[b - 2] == '-')
+            continue; // ptr->call()
+        size_t p = i;
+        while (p < n &&
+               std::isspace(static_cast<unsigned char>(body[p])))
+            ++p;
+        if (p >= n || body[p] != '(')
+            continue;
+        const std::string name = body.substr(b, i - b);
+        if (!isControlKeyword(name))
+            names.push_back(name);
+    }
+    std::sort(names.begin(), names.end());
+    names.erase(std::unique(names.begin(), names.end()), names.end());
+    return names;
+}
+
+} // namespace moatlint::cxx

@@ -1,0 +1,164 @@
+/**
+ * @file
+ * Comment/string-aware C++ tokenizer and light declaration scanner.
+ *
+ * The second layer of moatlint: where lint.cc's rules are textual
+ * (masked-substring scans), the keylint pass needs real structure --
+ * which struct has which fields, where each function's body begins and
+ * ends, across header/impl pairs. This scanner provides exactly that
+ * much and no more: a masking pass that blanks comments and/or string
+ * bodies while preserving every offset and newline, a token stream,
+ * and a declaration walk that enumerates struct/class fields (nested
+ * structs included, with qualified names like "ResultStore::Config")
+ * and function definitions/declarations with their body spans.
+ *
+ * It is deliberately not a C++ parser: templates are skipped, bodies
+ * are treated as opaque spans, overload sets collapse to names, and
+ * macros are only recognized by the ALL_CAPS-before-'(' convention
+ * (GUARDED_BY(mu_) on a field must not eat the field). That is enough
+ * for key-coverage reasoning on the repo's config structs, runs in
+ * milliseconds, and keeps moatlint toolchain-free.
+ */
+
+#ifndef MOATLINT_CXX_SCAN_HH
+#define MOATLINT_CXX_SCAN_HH
+
+#include <cstddef>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace moatlint::cxx
+{
+
+/** Character spans (begin, end offsets) in a file's raw text. */
+using Spans = std::vector<std::pair<size_t, size_t>>;
+
+/** What maskSource() blanks (newlines always survive). */
+enum MaskFlags : unsigned
+{
+    kMaskLineComments = 1u << 0,
+    kMaskBlockComments = 1u << 1,
+    kMaskStrings = 1u << 2, // string/char literal bodies (quotes kept)
+    kMaskComments = kMaskLineComments | kMaskBlockComments,
+};
+
+/**
+ * Copy of @p src with the selected regions replaced by spaces,
+ * newlines preserved, so offsets and line numbers stay valid in every
+ * variant. The comment/string state machine always runs in full (a
+ * quote inside a comment never opens a string, and vice versa);
+ * @p flags only selects what gets blanked. When @p string_spans is
+ * non-null it receives the extent of every string literal that is
+ * real code (not inside a comment).
+ */
+std::string maskSource(const std::string &src, unsigned flags,
+                       Spans *string_spans = nullptr);
+
+/** Offsets where each 1-based line starts. */
+std::vector<size_t> lineStartsOf(const std::string &text);
+
+/** 1-based line of @p offset given lineStartsOf() @p starts. */
+int lineOf(const std::vector<size_t> &starts, size_t offset);
+
+/** One lexical token (offsets into the scanned text). */
+struct Token
+{
+    enum Kind
+    {
+        kIdent,
+        kNumber,
+        kString,
+        kChar,
+        kPunct
+    };
+    Kind kind = kPunct;
+    size_t begin = 0;
+    size_t end = 0; // one past the last character
+    std::string text;
+};
+
+/**
+ * Token stream of @p code, which must already have comments masked
+ * (scanDecls() feeds it the comments+strings-masked variant). "::" and
+ * "->" are single punctuation tokens; every other operator is one
+ * character per token.
+ */
+std::vector<Token> tokenize(const std::string &code);
+
+/** One data member of a struct/class. */
+struct FieldDecl
+{
+    std::string name;
+    /** Last type-ish identifier before the name ("CoAttackScenario"
+     *  for `CoAttackScenario attack{};`); "" when indeterminate. */
+    std::string type;
+    /** Offset of the name token in the scanned text. */
+    size_t offset = 0;
+};
+
+/** One struct/class with a body. */
+struct StructDecl
+{
+    std::string name;
+    /** Name qualified by enclosing structs ("ResultStore::Config");
+     *  namespaces are not folded in. */
+    std::string qualified;
+    /** Offset of the `struct`/`class` keyword. */
+    size_t head = 0;
+    /** Body span: offset of '{' to one past '}'. */
+    size_t body_begin = 0;
+    size_t body_end = 0;
+    std::vector<FieldDecl> fields;
+};
+
+/** One function definition or declaration. */
+struct FunctionDecl
+{
+    /** Unqualified name. */
+    std::string name;
+    /** As written: "foldKey" for a free/inline member definition in
+     *  its class, "ResultStore::foldKey" for an out-of-class one. */
+    std::string qualified;
+    /** Offset of the (first) name token. */
+    size_t head = 0;
+    /** Body span (offset of '{' to one past '}'); 0,0 when not
+     *  defined here. */
+    size_t body_begin = 0;
+    size_t body_end = 0;
+    bool defined = false;
+};
+
+/** Everything the declaration walk found in one file. */
+struct FileDecls
+{
+    std::vector<StructDecl> structs;
+    std::vector<FunctionDecl> functions;
+};
+
+/** Scan @p code (comments AND strings masked) for declarations. */
+FileDecls scanDecls(const std::string &code);
+
+/**
+ * Offsets of qualified-or-plain references to identifier @p name in
+ * @p code: the preceding character may be ':' but not an identifier
+ * character, '.', or '>' (member accesses are excluded).
+ */
+std::vector<size_t> identRefs(const std::string &code,
+                              const std::string &name);
+
+/** Offsets of member references `.name` / `->name` in @p code. */
+std::vector<size_t> memberRefs(const std::string &code,
+                               const std::string &name);
+
+/**
+ * Names called in @p body (identifier directly followed by '(' after
+ * optional spaces), qualified calls included by their last component,
+ * member calls (`x.f()`) and control keywords excluded. Sorted,
+ * deduplicated.
+ */
+std::vector<std::string> calledNames(const std::string &body);
+
+} // namespace moatlint::cxx
+
+#endif // MOATLINT_CXX_SCAN_HH

@@ -1,5 +1,8 @@
 #include "moatlint/lint.hh"
 
+#include "moatlint/cxx_scan.hh"
+#include "moatlint/keylint.hh"
+
 #include <algorithm>
 #include <cctype>
 #include <filesystem>
@@ -18,153 +21,21 @@ namespace
 
 // ------------------------------------------------------------ masking
 
-/** Character spans (begin, end offsets) in a file's raw text. */
-using Spans = std::vector<std::pair<size_t, size_t>>;
+// The comment/string state machine and line arithmetic moved to
+// cxx_scan (shared with the keylint semantic pass); the textual rules
+// keep their historical two-variant view of a file.
+using cxx::lineOf;
+using cxx::lineStartsOf;
+using cxx::Spans;
 
-/**
- * Replace comments -- and, when @p mask_strings, string/char literal
- * bodies -- with spaces, preserving newlines so offsets and line
- * numbers stay valid. When @p string_spans is non-null it receives the
- * extent of every string literal that is real code (not inside a
- * comment), which the jsonl-stability rule scans for format strings.
- */
 std::string
 maskSource(const std::string &src, bool mask_strings,
            Spans *string_spans = nullptr)
 {
-    std::string out = src;
-    enum
-    {
-        kCode,
-        kLineComment,
-        kBlockComment,
-        kString,
-        kChar,
-        kRawString
-    } state = kCode;
-    std::string raw_end; // ")delim\"" terminator of a raw string
-    size_t span_begin = 0;
-
-    auto blank = [&](size_t i) {
-        if (out[i] != '\n')
-            out[i] = ' ';
-    };
-
-    for (size_t i = 0; i < src.size(); ++i) {
-        const char c = src[i];
-        const char next = i + 1 < src.size() ? src[i + 1] : '\0';
-        switch (state) {
-        case kCode:
-            if (c == '/' && next == '/') {
-                state = kLineComment;
-                out[i] = out[i + 1] = ' ';
-                ++i;
-            } else if (c == '/' && next == '*') {
-                state = kBlockComment;
-                out[i] = out[i + 1] = ' ';
-                ++i;
-            } else if (c == '"') {
-                if (i > 0 && src[i - 1] == 'R') {
-                    // Raw string: R"delim( ... )delim"
-                    std::string delim;
-                    size_t p = i + 1;
-                    while (p < src.size() && src[p] != '(' &&
-                           src[p] != '\n' && delim.size() < 16)
-                        delim += src[p++];
-                    if (p < src.size() && src[p] == '(') {
-                        state = kRawString;
-                        raw_end = ")" + delim + "\"";
-                        span_begin = i;
-                        break;
-                    }
-                }
-                state = kString;
-                span_begin = i;
-            } else if (c == '\'') {
-                // Digit separators (0x1'000) are not char literals.
-                const char prev = i > 0 ? src[i - 1] : '\0';
-                const bool separator =
-                    std::isalnum(static_cast<unsigned char>(prev)) &&
-                    std::isalnum(static_cast<unsigned char>(next));
-                if (!separator)
-                    state = kChar;
-            }
-            break;
-        case kLineComment:
-            if (c == '\n')
-                state = kCode;
-            else
-                blank(i);
-            break;
-        case kBlockComment:
-            if (c == '*' && next == '/') {
-                out[i] = out[i + 1] = ' ';
-                ++i;
-                state = kCode;
-            } else {
-                blank(i);
-            }
-            break;
-        case kString:
-            if (c == '\\' && next != '\0') {
-                if (mask_strings) {
-                    blank(i);
-                    blank(i + 1);
-                }
-                ++i;
-            } else if (c == '"') {
-                state = kCode;
-                if (string_spans)
-                    string_spans->push_back({span_begin, i + 1});
-            } else if (mask_strings) {
-                blank(i);
-            }
-            break;
-        case kChar:
-            if (c == '\\' && next != '\0') {
-                if (mask_strings) {
-                    blank(i);
-                    blank(i + 1);
-                }
-                ++i;
-            } else if (c == '\'') {
-                state = kCode;
-            } else if (mask_strings) {
-                blank(i);
-            }
-            break;
-        case kRawString:
-            if (src.compare(i, raw_end.size(), raw_end) == 0) {
-                i += raw_end.size() - 1;
-                state = kCode;
-                if (string_spans)
-                    string_spans->push_back({span_begin, i + 1});
-            } else if (mask_strings) {
-                blank(i);
-            }
-            break;
-        }
-    }
-    return out;
-}
-
-std::vector<size_t>
-lineStartsOf(const std::string &text)
-{
-    std::vector<size_t> starts{0};
-    for (size_t i = 0; i < text.size(); ++i) {
-        if (text[i] == '\n')
-            starts.push_back(i + 1);
-    }
-    return starts;
-}
-
-int
-lineOf(const std::vector<size_t> &starts, size_t offset)
-{
-    const auto it =
-        std::upper_bound(starts.begin(), starts.end(), offset);
-    return static_cast<int>(it - starts.begin());
+    const unsigned flags =
+        mask_strings ? cxx::kMaskComments | cxx::kMaskStrings
+                     : cxx::kMaskComments;
+    return cxx::maskSource(src, flags, string_spans);
 }
 
 // ------------------------------------------------------- suppressions
@@ -186,11 +57,28 @@ allowRe()
     return re;
 }
 
+/** A moatlint directive of any kind (allow, key-source, ...). */
+const std::regex &
+directiveRe()
+{
+    static const std::regex re(R"(//\s*moatlint:)");
+    return re;
+}
+
+/**
+ * Parse suppressions from @p text, which must be the raw source with
+ * block comments and string bodies masked (line comments kept): an
+ * allow() example inside a doc block or a fixture string literal is
+ * not a suppression. Lines carrying a moatlint: directive that is
+ * neither an allow() nor a key annotation (keylint validates those)
+ * are reported through @p bad_directives.
+ */
 std::vector<Suppression>
-parseSuppressions(const std::string &raw)
+parseSuppressions(const std::string &text,
+                  std::vector<int> *bad_directives)
 {
     std::vector<Suppression> sups;
-    std::istringstream is(raw);
+    std::istringstream is(text);
     std::string line;
     std::vector<bool> comment_lines; // whole-line comments, 1-based
     int n = 0;
@@ -199,9 +87,16 @@ parseSuppressions(const std::string &raw)
         const size_t first = line.find_first_not_of(" \t");
         comment_lines.push_back(first != std::string::npos &&
                                 line.compare(first, 2, "//") == 0);
-        std::smatch m;
-        if (!std::regex_search(line, m, allowRe()))
+        if (line.find("moatlint:") == std::string::npos)
             continue;
+        std::smatch m;
+        if (!std::regex_search(line, m, allowRe())) {
+            if (bad_directives &&
+                std::regex_search(line, directiveRe()) &&
+                !keyDirectiveLine(line))
+                bad_directives->push_back(n);
+            continue;
+        }
         Suppression s;
         s.line = n;
         s.rule = m[1];
@@ -347,6 +242,7 @@ struct ParsedFile
     Spans string_spans;    // literal extents within raw/with_strings
     std::vector<size_t> lines;
     std::vector<Suppression> sups;
+    std::vector<int> bad_directives; // unknown moatlint: lines
 };
 
 ParsedFile
@@ -358,7 +254,9 @@ parseFile(const std::string &path, const std::string &content)
     f.code = maskSource(content, true, &f.string_spans);
     f.with_strings = maskSource(content, false);
     f.lines = lineStartsOf(content);
-    f.sups = parseSuppressions(content);
+    const std::string sup_view = cxx::maskSource(
+        content, cxx::kMaskBlockComments | cxx::kMaskStrings);
+    f.sups = parseSuppressions(sup_view, &f.bad_directives);
     return f;
 }
 
@@ -735,35 +633,90 @@ lintParsed(const ParsedFile &f, const std::vector<std::string> &extra)
 }
 
 /**
- * Mark findings covered by a valid suppression and append
- * bad-suppression findings for malformed allow() comments.
+ * One suppression pass over the complete finding set (textual +
+ * cross-file + keylint), in three phases: (1) valid allow() comments
+ * cover matching findings; (2) malformed allow() comments, unknown
+ * directives, and -- the stale-suppression audit -- valid allow()
+ * comments whose target line no longer triggers their rule all become
+ * bad-suppression findings; (3) allow(bad-suppression) covers the
+ * phase-2 findings on its target line (so a deliberately kept
+ * suppression can document itself). allow(bad-suppression) is never
+ * itself reported stale: its target legitimately stops firing when
+ * the underlying comment gets fixed.
  */
 void
-applySuppressions(const ParsedFile &f, std::vector<Finding> &findings)
+applySuppressionsAll(const std::vector<ParsedFile> &files,
+                     std::vector<Finding> &findings)
 {
+    std::map<std::string, const ParsedFile *> by_path;
+    for (const auto &f : files)
+        by_path[f.path] = &f;
+    std::set<const Suppression *> used;
+
     for (auto &fi : findings) {
-        if (fi.file != f.path)
+        const auto it = by_path.find(fi.file);
+        if (it == by_path.end())
             continue;
-        for (const auto &s : f.sups) {
-            if (s.valid && s.rule == fi.rule && s.target == fi.line) {
-                fi.suppressed = true;
-                fi.justification = s.justification;
-                break;
-            }
+        for (const auto &s : it->second->sups) {
+            if (!s.valid || s.rule != fi.rule || s.target != fi.line)
+                continue;
+            fi.suppressed = true;
+            fi.justification = s.justification;
+            used.insert(&s);
+            break;
         }
     }
-    for (const auto &s : f.sups) {
-        if (s.valid)
-            continue;
-        const std::string why =
-            !ruleKnown(s.rule)
-                ? "names unknown rule '" + s.rule + "'"
-                : "is missing its justification (write \"// moatlint: "
-                  "allow(" +
-                      s.rule + "): <why this is safe>\")";
-        findings.push_back({f.path, s.line, "bad-suppression",
-                            "suppression comment " + why, false, ""});
+
+    std::vector<Finding> extra;
+    for (const auto &f : files) {
+        for (const auto &s : f.sups) {
+            if (!s.valid) {
+                const std::string why =
+                    !ruleKnown(s.rule)
+                        ? "names unknown rule '" + s.rule + "'"
+                        : "is missing its justification (write \"// "
+                          "moatlint: allow(" +
+                              s.rule + "): <why this is safe>\")";
+                extra.push_back({f.path, s.line, "bad-suppression",
+                                 "suppression comment " + why, false,
+                                 ""});
+                continue;
+            }
+            if (s.rule == "bad-suppression")
+                continue;
+            if (!used.count(&s))
+                extra.push_back(
+                    {f.path, s.line, "bad-suppression",
+                     "stale suppression: allow(" + s.rule +
+                         ") covers line " + std::to_string(s.target) +
+                         ", which no longer triggers " + s.rule +
+                         "; delete the comment (left in place it "
+                         "would mask a future regression)",
+                     false, ""});
+        }
+        for (const int line : f.bad_directives)
+            extra.push_back(
+                {f.path, line, "bad-suppression",
+                 "unknown moatlint directive (known: allow(<rule>): "
+                 "<why>, key-source(<keyFn>), key-exempt(<keyFn>): "
+                 "<why>)",
+                 false, ""});
     }
+
+    for (auto &fi : extra) {
+        const auto it = by_path.find(fi.file);
+        if (it == by_path.end())
+            continue;
+        for (const auto &s : it->second->sups) {
+            if (!s.valid || s.rule != "bad-suppression" ||
+                s.target != fi.line)
+                continue;
+            fi.suppressed = true;
+            fi.justification = s.justification;
+            break;
+        }
+    }
+    findings.insert(findings.end(), extra.begin(), extra.end());
 }
 
 // --------------------------------------------------- cross-file rules
@@ -865,8 +818,16 @@ rules()
                             "only (byte-stable goldens)"},
         {"magic-geometry", "raw Table-3 geometry literals outside the "
                            "device tables; derive from DeviceModel"},
-        {"bad-suppression", "allow() comment naming an unknown rule or "
-                            "missing its justification"},
+        {"key-coverage", "every field of a key-source struct must be "
+                         "reachable in its key function's fold"},
+        {"key-exempt-leak", "key-exempt fields must be absent from the "
+                            "fold (over-keying kills cache hits)"},
+        {"key-source-drift", "key annotations out of sync with the "
+                             "code (missing key fn, bypassed nested "
+                             "key-source, misplaced annotation)"},
+        {"bad-suppression", "moatlint comment naming an unknown rule "
+                            "or directive, missing its justification, "
+                            "or stale (target no longer fires)"},
     };
     return kRules;
 }
@@ -881,19 +842,33 @@ ruleKnown(const std::string &name)
     return false;
 }
 
+const char *
+passOf(const std::string &rule)
+{
+    return (rule == "key-coverage" || rule == "key-exempt-leak" ||
+            rule == "key-source-drift")
+               ? "semantic"
+               : "textual";
+}
+
 std::vector<Finding>
 lintSource(const std::string &path, const std::string &content,
            const std::vector<std::string> &extra_unordered)
 {
     const ParsedFile f = parseFile(path, content);
     std::vector<Finding> findings = lintParsed(f, extra_unordered);
-    applySuppressions(f, findings);
+    // Single-snippet keylint: a key fn declared here but defined in
+    // the unseen .cc is not drift (tree_mode=false).
+    const std::vector<SourceFile> one{{path, content}};
+    const std::vector<Finding> key = keylintFiles(one, false);
+    findings.insert(findings.end(), key.begin(), key.end());
+    applySuppressionsAll({f}, findings);
     sortFindings(findings);
     return findings;
 }
 
-std::vector<Finding>
-lintTree(const std::string &root)
+std::vector<SourceFile>
+readSourceTree(const std::string &root)
 {
     namespace fs = std::filesystem;
     const fs::path root_path(root);
@@ -915,7 +890,7 @@ lintTree(const std::string &root)
     // holds itself to the determinism bar it enforces.
     std::sort(paths.begin(), paths.end());
 
-    std::vector<ParsedFile> files;
+    std::vector<SourceFile> files;
     files.reserve(paths.size());
     for (const auto &p : paths) {
         std::ifstream is(p, std::ios::binary);
@@ -925,8 +900,18 @@ lintTree(const std::string &root)
         std::string display = rel.generic_string();
         if (display.empty() || display.compare(0, 2, "..") == 0)
             display = p.generic_string();
-        files.push_back(parseFile(display, buf.str()));
+        files.push_back({display, buf.str()});
     }
+    return files;
+}
+
+std::vector<Finding>
+lintFiles(const std::vector<SourceFile> &srcs)
+{
+    std::vector<ParsedFile> files;
+    files.reserve(srcs.size());
+    for (const auto &s : srcs)
+        files.push_back(parseFile(s.path, s.content));
 
     // Unordered-container members declared in a header are often
     // iterated in the paired .cc; feed each .cc its header's decls.
@@ -949,26 +934,23 @@ lintTree(const std::string &root)
             if (it != header_decls.end())
                 extra = it->second;
         }
-        std::vector<Finding> fs_ = lintParsed(f, extra);
-        applySuppressions(f, fs_);
+        const std::vector<Finding> fs_ = lintParsed(f, extra);
         findings.insert(findings.end(), fs_.begin(), fs_.end());
     }
 
-    std::vector<Finding> tree;
-    ruleSealedDispatch(files, tree);
-    for (const auto &f : files)
-        applySuppressions(f, tree);
-    // applySuppressions re-reports each file's bad allow() comments;
-    // keep only the per-file copies already in `findings`.
-    tree.erase(std::remove_if(tree.begin(), tree.end(),
-                              [](const Finding &fi) {
-                                  return fi.rule == "bad-suppression";
-                              }),
-               tree.end());
-    findings.insert(findings.end(), tree.begin(), tree.end());
+    ruleSealedDispatch(files, findings);
+    const std::vector<Finding> key = keylintFiles(srcs, true);
+    findings.insert(findings.end(), key.begin(), key.end());
 
+    applySuppressionsAll(files, findings);
     sortFindings(findings);
     return findings;
+}
+
+std::vector<Finding>
+lintTree(const std::string &root)
+{
+    return lintFiles(readSourceTree(root));
 }
 
 void
@@ -1038,6 +1020,7 @@ reportJson(const std::vector<Finding> &findings)
         out += "{\"file\":\"" + jsonEscape(f.file) + "\"";
         out += ",\"line\":" + std::to_string(f.line);
         out += ",\"rule\":\"" + jsonEscape(f.rule) + "\"";
+        out += ",\"pass\":\"" + std::string(passOf(f.rule)) + "\"";
         out += ",\"message\":\"" + jsonEscape(f.message) + "\"";
         out += std::string(",\"suppressed\":") +
                (f.suppressed ? "true" : "false");
@@ -1048,6 +1031,53 @@ reportJson(const std::vector<Finding> &findings)
     out += ",\"unsuppressed\":" +
            std::to_string(unsuppressedCount(sorted));
     out += "}";
+    return out;
+}
+
+std::string
+reportSarif(const std::vector<Finding> &findings)
+{
+    std::vector<Finding> sorted = findings;
+    sortFindings(sorted);
+    std::string out =
+        "{\"$schema\":"
+        "\"https://json.schemastore.org/sarif-2.1.0.json\","
+        "\"version\":\"2.1.0\",\"runs\":[{\"tool\":{\"driver\":{"
+        "\"name\":\"moatlint\",\"rules\":[";
+    bool first = true;
+    for (const auto &r : rules()) {
+        if (!first)
+            out += ",";
+        first = false;
+        out += "{\"id\":\"" + jsonEscape(r.name) + "\"";
+        out += ",\"shortDescription\":{\"text\":\"" +
+               jsonEscape(r.summary) + "\"}";
+        out += ",\"properties\":{\"pass\":\"" +
+               std::string(passOf(r.name)) + "\"}}";
+    }
+    out += "]}},\"results\":[";
+    first = true;
+    for (const auto &f : sorted) {
+        if (!first)
+            out += ",";
+        first = false;
+        out += "{\"ruleId\":\"" + jsonEscape(f.rule) + "\"";
+        out += std::string(",\"level\":\"") +
+               (f.suppressed ? "note" : "error") + "\"";
+        out += ",\"message\":{\"text\":\"" + jsonEscape(f.message) +
+               "\"}";
+        out += ",\"locations\":[{\"physicalLocation\":{"
+               "\"artifactLocation\":{\"uri\":\"" +
+               jsonEscape(f.file) +
+               "\"},\"region\":{\"startLine\":" +
+               std::to_string(f.line) + "}}}]";
+        if (f.suppressed)
+            out += ",\"suppressions\":[{\"kind\":\"inSource\","
+                   "\"justification\":\"" +
+                   jsonEscape(f.justification) + "\"}]";
+        out += "}";
+    }
+    out += "]}]}";
     return out;
 }
 

@@ -37,8 +37,18 @@
  *                    tables (dram/device.*, dram/timing.hh); geometry
  *                    derives from the DeviceModel single source of
  *                    truth.
- *   bad-suppression  a moatlint suppression comment naming an unknown
- *                    rule or missing its justification.
+ *   key-coverage     a field of a `// moatlint: key-source(fn)` struct
+ *                    is not reachable in fn's fold closure (keylint.hh
+ *                    -- the semantic layer on tools/moatlint/cxx_scan).
+ *   key-exempt-leak  a `// moatlint: key-exempt(fn)` field appears in
+ *                    fn's fold body (over-keying kills cache hits).
+ *   key-source-drift a key annotation and the code disagree (missing
+ *                    key-fn definition, annotation not on a
+ *                    struct/field, nested key-source bypassed).
+ *   bad-suppression  a moatlint comment naming an unknown rule or
+ *                    directive, missing its justification, or -- the
+ *                    stale-suppression audit -- a well-formed allow()
+ *                    whose target line no longer triggers the rule.
  *
  * Findings carry file/line diagnostics. A finding is suppressed -- but
  * still reported, with its justification -- by an inline comment on
@@ -51,11 +61,15 @@
  * an unknown rule) surface as bad-suppression findings and do not
  * suppress anything.
  *
- * The engine is deliberately textual (comment/string-aware token
- * scanning, not a full parser): it runs in milliseconds with no
- * toolchain dependency, and the rules target idioms that are textually
- * recognizable. tests/test_moatlint.cc pins each rule's behaviour with
- * fixture snippets and asserts the real tree is clean.
+ * The engine has two layers, both toolchain-free and running in
+ * milliseconds: the determinism rules above are textual
+ * (comment/string-aware token scanning), while the key-* rules are
+ * semantic -- they ride on the cxx_scan.hh tokenizer/declaration
+ * scanner and reason about struct fields and function-body reach
+ * across header/impl pairs (see keylint.hh). reportJson() labels each
+ * finding with its `pass` ("textual" or "semantic");
+ * tests/test_moatlint.cc pins each rule's behaviour with fixture
+ * snippets and asserts the real tree is clean.
  */
 
 #ifndef MOATLINT_LINT_HH
@@ -97,6 +111,38 @@ const std::vector<RuleInfo> &rules();
 /** Whether @p name names a known rule. */
 bool ruleKnown(const std::string &name);
 
+/** Which engine layer emits @p rule: "semantic" for the key-* rules
+ *  (cxx_scan-based), "textual" for everything else. Stable -- the
+ *  --json report's `pass` field and the SARIF rule properties use it
+ *  verbatim. */
+const char *passOf(const std::string &rule);
+
+/** One file of a linted tree, by display path and contents. */
+struct SourceFile
+{
+    /** Path as reported in findings (e.g. "src/sim/perf.cc"). */
+    std::string path;
+    std::string content;
+};
+
+/**
+ * The .cc/.hh/.cpp/.hpp/.h files under @p root (recursively), sorted
+ * by path, with display paths relative to @p root's parent directory
+ * (linting <repo>/src yields "src/..." paths).
+ */
+std::vector<SourceFile> readSourceTree(const std::string &root);
+
+/**
+ * Lint a whole tree given in memory: per-file textual rules, the
+ * cross-file rules (sealed-dispatch), the keylint pass, then one
+ * suppression application across everything -- which is also where
+ * the stale-suppression audit runs (a valid allow() that matched no
+ * finding becomes a bad-suppression). lintTree() is
+ * lintFiles(readSourceTree(root)); mutateCheck() feeds it mutated
+ * copies.
+ */
+std::vector<Finding> lintFiles(const std::vector<SourceFile> &files);
+
 /**
  * Lint one file's contents. @p path scopes path-dependent rules
  * (pointer-order, mitigator-final, jsonl-stability) and labels the
@@ -125,10 +171,20 @@ std::size_t unsuppressedCount(const std::vector<Finding> &findings);
 
 /**
  * Machine-readable report: one JSON object with the rule list, every
- * finding (sorted; suppressed ones included with their justification),
- * and summary counts. Byte-stable for identical findings.
+ * finding (sorted; suppressed ones included with their justification
+ * and each labelled with its `pass`), and summary counts. Byte-stable
+ * for identical findings.
  */
 std::string reportJson(const std::vector<Finding> &findings);
+
+/**
+ * SARIF 2.1.0 report (one run, driver "moatlint") for code-scanning
+ * upload: every rule in the driver's rule list, every finding as a
+ * result with physical location; suppressed findings carry an
+ * inSource suppression so they do not open alerts. Byte-stable for
+ * identical findings.
+ */
+std::string reportSarif(const std::vector<Finding> &findings);
 
 } // namespace moatlint
 
