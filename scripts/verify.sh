@@ -127,4 +127,57 @@ wait "$SERVE_PID"
   --subchannels 2 --jobs 8 --jsonl "$BUILD_DIR/perf_direct.jsonl" \
   > /dev/null
 diff "$BUILD_DIR/perf_direct.jsonl" "$BUILD_DIR/perf_serve.jsonl"
+
+# Chaos smoke: the same sweep served by a daemon under an armed fault
+# plan (a fifth of the cell computes throw, a twentieth of the reply
+# sends drop) must still converge -- via seeded client retries -- to
+# bytes identical to the clean direct run. The shared result store is
+# what makes this cheap: every cell that ever finished is served from
+# cache on the next attempt, so retries only replay the failures.
+echo "chaos smoke: faulted daemon + client retries vs direct run"
+CHAOS_SOCK="$BUILD_DIR/moatsim_chaos_smoke.sock"
+CHAOS_STORE="$BUILD_DIR/chaos_store"
+rm -f "$CHAOS_SOCK" "$BUILD_DIR/perf_chaos.jsonl"
+rm -rf "$CHAOS_STORE"
+"$BUILD_DIR/moatsim" serve --socket "$CHAOS_SOCK" \
+  --result-store "$CHAOS_STORE" \
+  --faults "sweep.compute@0.2:5,serve.send@0.05:6" \
+  2> "$BUILD_DIR/chaos_smoke.err" &
+CHAOS_PID=$!
+while [ ! -S "$CHAOS_SOCK" ]; do
+  kill -0 "$CHAOS_PID" 2>/dev/null || {
+    echo "FATAL: chaos daemon died before listening:" >&2
+    cat "$BUILD_DIR/chaos_smoke.err" >&2
+    exit 1
+  }
+  sleep 0.05
+done
+"$BUILD_DIR/moatsim" client --socket "$CHAOS_SOCK" --workload all \
+  --fraction 0.015625 --subchannels 2 --jobs 8 --retries 40 \
+  --jsonl "$BUILD_DIR/perf_chaos.jsonl"
+# The shutdown ack itself may be dropped by the armed send fault; the
+# daemon still stops, so tolerate a failed bye.
+"$BUILD_DIR/moatsim" client --socket "$CHAOS_SOCK" --shutdown || true
+wait "$CHAOS_PID" || true
+diff "$BUILD_DIR/perf_direct.jsonl" "$BUILD_DIR/perf_chaos.jsonl"
+
+# fsck smoke: corrupt the chaos run's shards on purpose (a torn tail
+# and a garbage line), then prove `moatsim store fsck` reports every
+# injected corruption (non-zero exit), --repair quarantines and
+# compacts, and a re-scan comes back clean.
+echo "fsck smoke: deliberate shard damage, report, repair, re-scan"
+CHAOS_SHARD=$(ls "$CHAOS_STORE"/shard-*.jsonl | head -n 1)
+head -c -10 "$CHAOS_SHARD" > "$CHAOS_SHARD.hurt"
+printf '\nnot a shard record\n' >> "$CHAOS_SHARD.hurt"
+mv "$CHAOS_SHARD.hurt" "$CHAOS_SHARD"
+if "$BUILD_DIR/moatsim" store fsck --dir "$CHAOS_STORE"; then
+  echo "FATAL: fsck missed the injected corruption" >&2
+  exit 1
+fi
+"$BUILD_DIR/moatsim" store fsck --dir "$CHAOS_STORE" --repair
+"$BUILD_DIR/moatsim" store fsck --dir "$CHAOS_STORE"
+test -s "$CHAOS_STORE/quarantine.jsonl" || {
+  echo "FATAL: repair quarantined nothing" >&2
+  exit 1
+}
 echo "determinism smoke passed"

@@ -1,0 +1,128 @@
+/**
+ * @file
+ * Deterministic fault injection for the serving stack.
+ *
+ * Robustness code is only trustworthy when its failure paths run, so
+ * every I/O boundary in moatsim carries a *named fault site* -- a
+ * single call that, when a fault plan is armed, deterministically
+ * fails some fraction of the operations passing through it. A plan is
+ * the grammar shared by the MOATSIM_FAULTS environment variable and
+ * the CLI --faults flag:
+ *
+ *   site@rate[:seed][,site@rate[:seed]...]
+ *
+ * e.g. "serve.send@0.1:7,sweep.compute@0.25" -- fail ~10% of server
+ * socket writes (seed 7) and ~25% of cell computations (default seed).
+ * A trailing "*" in a site name matches every site with that prefix
+ * ("serve.*@0.5"). Rates are probabilities in [0, 1]; unknown sites
+ * are rejected when the plan is parsed, so a typo cannot silently arm
+ * nothing.
+ *
+ * Determinism: firing decisions come from a per-spec counter hashed
+ * with the spec's seed (common/hash.hh) -- never from wall clock or a
+ * shared RNG -- so the n-th evaluation of a site fires or not as a
+ * pure function of (site, seed, n). Two runs that evaluate a site in
+ * the same order inject the same faults; this is what makes the chaos
+ * smoke in verify.sh reproducible and lets tests assert exact fired
+ * sequences. The counters are process-global (guarded by an internal
+ * mutex, so evaluation is thread-safe and TSan-clean), which means a
+ * multi-threaded run's *assignment* of faults to operations follows
+ * the evaluation interleaving -- convergence tests therefore assert
+ * on outcomes (byte-identical results), not on which operation failed.
+ *
+ * Disarmed cost: armed() is one relaxed atomic load and every
+ * shouldFail()/failPoint() checks it first, so an unarmed process
+ * pays nothing measurable on its hot paths.
+ *
+ * Registering a new site (required for new I/O paths; see
+ * CONTRIBUTING.md): add the name to kKnownSites in fault.cc, call
+ * shouldFail()/failPoint() at the boundary, and extend the catalog
+ * table in README.md "Failure model".
+ */
+
+#ifndef MOATSIM_COMMON_FAULT_HH
+#define MOATSIM_COMMON_FAULT_HH
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace moatsim::fault
+{
+
+/** The exception failPoint() throws when a site fires. */
+class InjectedFault : public std::runtime_error
+{
+  public:
+    explicit InjectedFault(const std::string &site);
+
+    /** The site that fired. */
+    const std::string &site() const { return site_; }
+
+  private:
+    std::string site_;
+};
+
+/** One parsed site@rate[:seed] spec. */
+struct SiteSpec
+{
+    /** Exact site name, or a "prefix.*" wildcard. */
+    std::string site;
+    /** Firing probability in [0, 1]. */
+    double rate = 0.0;
+    /** Decision-sequence seed (default 1). */
+    uint64_t seed = 1;
+};
+
+/** A full fault plan (every spec evaluates independently). */
+struct Plan
+{
+    std::vector<SiteSpec> specs;
+};
+
+/** Evaluation counters of one armed spec. */
+struct SiteStats
+{
+    std::string site;
+    uint64_t evaluations = 0;
+    uint64_t fired = 0;
+};
+
+/** Parse @p text into @p plan; false with @p err set on malformed
+ *  grammar, an unknown site, or a rate outside [0, 1]. */
+bool tryParsePlan(const std::string &text, Plan *plan, std::string *err);
+
+/** Arm @p plan, replacing any armed plan and resetting counters. */
+void arm(const Plan &plan);
+
+/** Arm the plan @p text denotes; fatal() when it does not parse. */
+void arm(const std::string &text);
+
+/** Arm from MOATSIM_FAULTS when set (CLI startup hook); fatal() on a
+ *  malformed plan -- a typo must not silently run faultless. */
+void armFromEnv();
+
+/** Drop the armed plan; every site goes quiet. Idempotent. */
+void disarm();
+
+/** Whether any plan is armed (one relaxed atomic load). */
+bool armed();
+
+/** Evaluate @p site: true when an armed spec covering it fires this
+ *  evaluation. Counts one evaluation per covering spec. Disarmed or
+ *  uncovered sites never fire and count nothing. */
+bool shouldFail(const char *site);
+
+/** As shouldFail(), but throws InjectedFault when the site fires. */
+void failPoint(const char *site);
+
+/** Counters of every armed spec, in plan order. */
+std::vector<SiteStats> stats();
+
+/** The fixed catalog of registered site names. */
+const std::vector<std::string> &knownSites();
+
+} // namespace moatsim::fault
+
+#endif // MOATSIM_COMMON_FAULT_HH

@@ -57,6 +57,25 @@ hashDouble(double d)
     return hashMix(std::bit_cast<uint64_t>(d));
 }
 
+/**
+ * CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320) over the bytes
+ * of @p s. Unlike the FNV hashes above, this is a burst-error
+ * detection code: the result-store shard records frame themselves
+ * with it so a torn or bit-flipped line is detected no matter which
+ * field the damage lands in.
+ */
+constexpr uint32_t
+crc32(std::string_view s)
+{
+    uint32_t c = 0xffffffffU;
+    for (const char ch : s) {
+        c ^= static_cast<unsigned char>(ch);
+        for (int bit = 0; bit < 8; ++bit)
+            c = (c >> 1) ^ (0xedb88320U & (0U - (c & 1U)));
+    }
+    return c ^ 0xffffffffU;
+}
+
 } // namespace moatsim
 
 #endif // MOATSIM_COMMON_HASH_HH

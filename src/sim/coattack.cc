@@ -1,8 +1,10 @@
 #include "sim/coattack.hh"
 
 #include <algorithm>
+#include <exception>
 #include <utility>
 
+#include "common/fault.hh"
 #include "common/hash.hh"
 #include "common/logging.hh"
 #include "common/thread_pool.hh"
@@ -175,21 +177,35 @@ CoAttackEngine::baseline(const CoAttackCell &cell)
         }
     }
     if (compute) {
-        CoAttackScenario none;
-        none.pattern = "none";
-        const auto benign =
-            config_.traceStore->get(cell.workload, config_.tracegen);
-        const SystemResult res = runCoSystem(
-            config_.tracegen, config_.core, cell.workload, cell.mitigator,
-            cell.level, resolveAttack(none, config_.tracegen), nullptr,
-            benign.get());
-        auto base = std::make_shared<Baseline>();
-        base->coreFinish = res.coreFinish;
-        base->totalActs = res.totalActs;
-        base->alerts = res.alerts;
-        base->refs = res.refs;
-        for (const auto &u : res.perSubchannel)
-            base->rfms += u.rfms;
+        std::shared_ptr<Baseline> base;
+        try {
+            CoAttackScenario none;
+            none.pattern = "none";
+            const auto benign =
+                config_.traceStore->get(cell.workload, config_.tracegen);
+            const SystemResult res = runCoSystem(
+                config_.tracegen, config_.core, cell.workload,
+                cell.mitigator, cell.level,
+                resolveAttack(none, config_.tracegen), nullptr,
+                benign.get());
+            base = std::make_shared<Baseline>();
+            base->coreFinish = res.coreFinish;
+            base->totalActs = res.totalActs;
+            base->alerts = res.alerts;
+            base->refs = res.refs;
+            for (const auto &u : res.perSubchannel)
+                base->rfms += u.rfms;
+        } catch (...) {
+            // A failed baseline run is never cached: drop the entry so
+            // the next touch recomputes, and propagate the exception
+            // to every waiter blocked on the shared future.
+            {
+                MutexLock lock(mu_);
+                baselines_.erase(key);
+            }
+            promise.set_exception(std::current_exception());
+            throw;
+        }
         promise.set_value(std::move(base));
     }
     return future.get();
@@ -213,6 +229,9 @@ CoAttackEngine::runCell(const CoAttackCell &cell)
 CoAttackResult
 CoAttackEngine::computeCell(const CoAttackCell &cell)
 {
+    // Same chaos boundary as SweepEngine::computeCell: upstream of the
+    // result store, so injected failures are never cached.
+    fault::failPoint("sweep.compute");
     const auto base = baseline(cell);
 
     CoAttackResult out;
@@ -293,24 +312,33 @@ CoAttackEngine::run(const std::vector<CoAttackCell> &cells,
                     const CellSink &sink)
 {
     std::vector<CoAttackResult> results(cells.size());
-    if (jobs_ <= 1 || cells.size() <= 1) {
-        for (size_t i = 0; i < cells.size(); ++i) {
+    // ThreadPool jobs must not throw (see SweepEngine::run): capture
+    // per-cell failures, keep the rest of the sweep running, rethrow
+    // the lowest failed index afterwards.
+    std::vector<std::exception_ptr> errors(cells.size());
+    const auto runOne = [&](size_t i) noexcept {
+        try {
             results[i] = runCell(cells[i]);
             if (sink)
                 sink(i, results[i]);
+        } catch (...) {
+            errors[i] = std::current_exception();
         }
-        return results;
+    };
+    if (jobs_ <= 1 || cells.size() <= 1) {
+        for (size_t i = 0; i < cells.size(); ++i)
+            runOne(i);
+    } else {
+        ThreadPool pool(
+            std::min(jobs_, static_cast<unsigned>(cells.size())));
+        for (size_t i = 0; i < cells.size(); ++i)
+            pool.submit([&runOne, i] { runOne(i); });
+        pool.wait();
     }
-
-    ThreadPool pool(std::min(jobs_, static_cast<unsigned>(cells.size())));
-    for (size_t i = 0; i < cells.size(); ++i) {
-        pool.submit([this, &cells, &results, &sink, i] {
-            results[i] = runCell(cells[i]);
-            if (sink)
-                sink(i, results[i]);
-        });
+    for (const auto &error : errors) {
+        if (error)
+            std::rethrow_exception(error);
     }
-    pool.wait();
     return results;
 }
 

@@ -106,8 +106,23 @@ BaselineCache::getImpl(uint64_t key, const std::function<Finish()> &replay)
             future = it->second;
         }
     }
-    if (compute)
-        promise.set_value(std::make_shared<const Finish>(replay()));
+    if (compute) {
+        std::shared_ptr<const Finish> value;
+        try {
+            value = std::make_shared<const Finish>(replay());
+        } catch (...) {
+            // A failed replay is never cached: drop the entry so the
+            // next touch recomputes, and propagate the exception to
+            // every waiter blocked on the shared future.
+            {
+                MutexLock lock(mu_);
+                entries_.erase(key);
+            }
+            promise.set_exception(std::current_exception());
+            throw;
+        }
+        promise.set_value(value);
+    }
     return future.get();
 }
 

@@ -6,8 +6,11 @@
 #include <filesystem>
 #include <fstream>
 #include <utility>
+#include <vector>
 
+#include "common/fault.hh"
 #include "common/hash.hh"
+#include "common/logging.hh"
 #include "sim/result_io.hh"
 
 namespace moatsim::sim
@@ -25,6 +28,14 @@ hex16(uint64_t v)
 {
     char buf[32];
     std::snprintf(buf, sizeof buf, "%016" PRIx64, v);
+    return buf;
+}
+
+std::string
+hex8(uint32_t v)
+{
+    char buf[16];
+    std::snprintf(buf, sizeof buf, "%08" PRIx32, v);
     return buf;
 }
 
@@ -48,6 +59,169 @@ parseHex16(const std::string &s, uint64_t *out)
     return true;
 }
 
+std::string
+shardFileOf(const std::string &dir, uint64_t shard)
+{
+    char buf[8];
+    std::snprintf(buf, sizeof buf, "%02x", static_cast<unsigned>(shard));
+    return dir + "/shard-" + buf + ".jsonl";
+}
+
+std::string
+quarantineFileOf(const std::string &dir)
+{
+    return dir + "/quarantine.jsonl";
+}
+
+/**
+ * One shard record, framed for tear detection: the FNV sum covers the
+ * payload (the original framing, still accepted alone for records
+ * written before the CRC existed) and the CRC-32 covers the key text,
+ * the sum text, and the payload -- so damage to *any* field, not just
+ * the payload, fails the frame.
+ */
+std::string
+recordLineOf(uint64_t folded, const std::string &payload)
+{
+    const std::string key_text = hex16(folded);
+    const std::string sum_text = hex16(stableHash64(payload));
+    const uint32_t crc = crc32(key_text + sum_text + payload);
+    return "{\"kind\":\"result\",\"key\":\"" + key_text +
+           "\",\"sum\":\"" + sum_text +
+           "\",\"payload\":" + jsonQuote(payload) + ",\"crc\":\"" +
+           hex8(crc) + "\"}";
+}
+
+/**
+ * Decode and frame-check one shard line. Every record must decode,
+ * carry the expected kind, and checksum-match its payload; a record
+ * with a crc field must additionally CRC-match across key + sum +
+ * payload. Anything else (truncated tail line, flipped byte, foreign
+ * file) is corrupt -- a miss, never an error.
+ */
+bool
+tryParseRecord(const std::string &line, uint64_t *key,
+               std::string *payload)
+{
+    std::string kind;
+    std::string key_text;
+    std::string sum_text;
+    uint64_t sum = 0;
+    if (!tryJsonField(line, "kind", &kind) || kind != "result" ||
+        !tryJsonField(line, "key", &key_text) ||
+        !tryJsonField(line, "sum", &sum_text) ||
+        !tryJsonField(line, "payload", payload) ||
+        !parseHex16(key_text, key) || !parseHex16(sum_text, &sum) ||
+        stableHash64(*payload) != sum)
+        return false;
+    std::string crc_text;
+    if (tryJsonField(line, "crc", &crc_text))
+        return crc_text.size() == 8 &&
+               crc_text == hex8(crc32(key_text + sum_text + *payload));
+    // Only records written before the CRC existed may rest on the sum
+    // alone; a crc token that is present but unextractable is a torn
+    // tail, not a legacy record.
+    return line.find("\"crc\"") == std::string::npos;
+}
+
+/** Everything one pass over a shard file found. */
+struct ShardScan
+{
+    /** Intact records in file order, deduped latest-wins. */
+    std::vector<std::pair<uint64_t, std::string>> records;
+    /** Raw damaged lines, in file order. */
+    std::vector<std::string> corrupt_lines;
+    /** Same-key re-appends folded into an earlier slot. */
+    uint64_t duplicates = 0;
+    /** Whether the file existed at all. */
+    bool present = false;
+};
+
+/** Scan @p path record by record. @p inject_read_faults evaluates the
+ *  result-store.read site per record (the live load path; fsck scans
+ *  what is actually on disk). */
+ShardScan
+scanShard(const std::string &path, bool inject_read_faults)
+{
+    ShardScan scan;
+    std::ifstream is(path);
+    if (!is)
+        return scan; // fresh store: shards appear on first compute
+    scan.present = true;
+    std::unordered_map<uint64_t, size_t> slot_of;
+    std::string line;
+    while (std::getline(is, line)) {
+        if (line.empty())
+            continue;
+        uint64_t key = 0;
+        std::string payload;
+        const bool injected =
+            inject_read_faults && fault::shouldFail("result-store.read");
+        if (injected || !tryParseRecord(line, &key, &payload)) {
+            scan.corrupt_lines.push_back(line);
+            continue;
+        }
+        // Later records win (a re-append after a partial write), but
+        // payloads of equal keys are equal bytes anyway.
+        const auto it = slot_of.find(key);
+        if (it != slot_of.end()) {
+            scan.records[it->second].second = std::move(payload);
+            ++scan.duplicates;
+        } else {
+            slot_of.emplace(key, scan.records.size());
+            scan.records.emplace_back(key, std::move(payload));
+        }
+    }
+    return scan;
+}
+
+/** Move @p lines to the directory's quarantine file (append-only, raw
+ *  bytes); false on I/O failure. */
+bool
+appendQuarantine(const std::string &dir,
+                 const std::vector<std::string> &lines)
+{
+    if (lines.empty())
+        return true;
+    std::ofstream os(quarantineFileOf(dir), std::ios::app);
+    if (!os)
+        return false;
+    for (const auto &line : lines)
+        os << line << "\n";
+    os.flush();
+    return static_cast<bool>(os);
+}
+
+/** Atomically replace @p path with @p records, re-framed with the
+ *  CRC: write a sibling tmp file, then rename over the original. On
+ *  any failure the original file is left untouched. */
+bool
+rewriteShard(const std::string &path,
+             const std::vector<std::pair<uint64_t, std::string>> &records)
+{
+    const std::string tmp = path + ".tmp";
+    {
+        std::ofstream os(tmp, std::ios::trunc);
+        if (!os)
+            return false;
+        for (const auto &[key, payload] : records)
+            os << recordLineOf(key, payload) << "\n";
+        os.flush();
+        if (!os) {
+            std::error_code ec;
+            std::filesystem::remove(tmp, ec);
+            return false;
+        }
+    }
+    std::error_code ec;
+    std::filesystem::rename(tmp, path, ec);
+    if (ec) {
+        std::filesystem::remove(tmp, ec);
+        return false;
+    }
+    return true;
+}
+
 } // namespace
 
 ResultStore::ResultStore() : ResultStore(envConfig())
@@ -58,7 +232,8 @@ ResultStore::ResultStore(const Config &config) : config_(config)
 {
     if (config_.enabled && !config_.dir.empty()) {
         // Best-effort: an unwritable directory degrades the store to
-        // in-memory (appends fail silently, loads see no shards).
+        // in-memory (appends warn once and count, loads see no
+        // shards).
         std::error_code ec;
         std::filesystem::create_directories(config_.dir, ec);
         loadShards();
@@ -76,10 +251,7 @@ ResultStore::foldKey(uint64_t key) const
 std::string
 ResultStore::shardPathOf(uint64_t folded) const
 {
-    char buf[8];
-    std::snprintf(buf, sizeof buf, "%02x",
-                  static_cast<unsigned>(folded % kShards));
-    return config_.dir + "/shard-" + buf + ".jsonl";
+    return shardFileOf(config_.dir, folded % kShards);
 }
 
 void
@@ -87,38 +259,9 @@ ResultStore::loadShards()
 {
     MutexLock lock(mu_);
     for (uint64_t shard = 0; shard < kShards; ++shard) {
-        char buf[8];
-        std::snprintf(buf, sizeof buf, "%02x",
-                      static_cast<unsigned>(shard));
-        std::ifstream is(config_.dir + "/shard-" + buf + ".jsonl");
-        if (!is)
-            continue; // fresh store: shards appear on first compute
-        std::string line;
-        while (std::getline(is, line)) {
-            if (line.empty())
-                continue;
-            // Every record must decode, carry the expected kind, and
-            // checksum-match its payload; anything else (truncated
-            // tail line, flipped byte, foreign file) is counted and
-            // skipped -- a corrupt record is a miss, never an error.
-            std::string kind;
-            std::string key_text;
-            std::string sum_text;
-            std::string payload;
-            uint64_t key = 0;
-            uint64_t sum = 0;
-            if (!tryJsonField(line, "kind", &kind) || kind != "result" ||
-                !tryJsonField(line, "key", &key_text) ||
-                !tryJsonField(line, "sum", &sum_text) ||
-                !tryJsonField(line, "payload", &payload) ||
-                !parseHex16(key_text, &key) ||
-                !parseHex16(sum_text, &sum) ||
-                stableHash64(payload) != sum) {
-                ++corrupt_;
-                continue;
-            }
-            // Later records win (a re-append after a partial write),
-            // but payloads of equal keys are equal bytes anyway.
+        const std::string path = shardFileOf(config_.dir, shard);
+        ShardScan scan = scanShard(path, /*inject_read_faults=*/true);
+        for (auto &[key, payload] : scan.records) {
             std::promise<std::shared_ptr<const std::string>> promise;
             Entry e;
             e.future = promise.get_future().share();
@@ -126,8 +269,22 @@ ResultStore::loadShards()
             promise.set_value(
                 std::make_shared<const std::string>(std::move(payload)));
             entries_[key] = std::move(e);
-            ++loaded_;
         }
+        loaded_ += scan.records.size() + scan.duplicates;
+        corrupt_ += scan.corrupt_lines.size();
+        if (scan.corrupt_lines.empty())
+            continue;
+        // Self-heal: a damaged record is quarantined and counted,
+        // never silently dropped -- and the shard is compacted
+        // (atomic tmp + rename) so the next load starts clean. The
+        // damaged cells simply recompute and re-append.
+        warn("result store: " +
+             std::to_string(scan.corrupt_lines.size()) +
+             " corrupt record(s) in " + path + "; quarantining");
+        if (appendQuarantine(config_.dir, scan.corrupt_lines))
+            quarantined_ += scan.corrupt_lines.size();
+        if (rewriteShard(path, scan.records))
+            ++compactions_;
     }
 }
 
@@ -135,12 +292,57 @@ void
 ResultStore::appendRecord(uint64_t folded, const std::string &payload)
 {
     MutexLock lock(io_mu_);
-    std::ofstream os(shardPathOf(folded), std::ios::app);
-    if (!os)
-        return; // best-effort: the in-memory entry still serves
-    os << "{\"kind\":\"result\",\"key\":\"" << hex16(folded)
-       << "\",\"sum\":\"" << hex16(stableHash64(payload))
-       << "\",\"payload\":" << jsonQuote(payload) << "}\n";
+    bool failed = fault::shouldFail("result-store.append");
+    if (!failed) {
+        std::ofstream os(shardPathOf(folded), std::ios::app);
+        if (os) {
+            os << recordLineOf(folded, payload) << "\n";
+            os.flush();
+        }
+        failed = !os;
+    }
+    if (!failed)
+        return;
+    // Best-effort persistence: the in-memory entry still serves, so
+    // an unwritable shard costs recomputes in *future* processes,
+    // never correctness now. Warn once per shard, count every miss.
+    ++append_failures_;
+    const uint32_t shard_bit = 1U << (folded % kShards);
+    if ((warned_shards_ & shard_bit) == 0) {
+        warned_shards_ |= shard_bit;
+        warn("result store: cannot append to " + shardPathOf(folded) +
+             "; serving this shard from memory only");
+    }
+}
+
+ResultStore::FsckReport
+ResultStore::fsck(const std::string &dir, bool repair)
+{
+    FsckReport report;
+    for (uint64_t shard = 0; shard < kShards; ++shard) {
+        const std::string path = shardFileOf(dir, shard);
+        ShardScan scan = scanShard(path, /*inject_read_faults=*/false);
+        if (!scan.present)
+            continue;
+        ++report.shards;
+        report.valid += scan.records.size();
+        report.corrupt += scan.corrupt_lines.size();
+        report.duplicates += scan.duplicates;
+        if (!repair ||
+            (scan.corrupt_lines.empty() && scan.duplicates == 0))
+            continue;
+        if (!appendQuarantine(dir, scan.corrupt_lines)) {
+            warn("fsck: cannot quarantine " +
+                 std::to_string(scan.corrupt_lines.size()) +
+                 " record(s) from " + path + "; shard left as is");
+            continue;
+        }
+        if (rewriteShard(path, scan.records))
+            ++report.repaired;
+        else
+            warn("fsck: cannot rewrite " + path + "; shard left as is");
+    }
+    return report;
 }
 
 ResultStore::Config
@@ -211,7 +413,21 @@ ResultStore::getOrCompute(uint64_t key,
     if (run) {
         // Only the winning first-toucher computes, outside every store
         // lock; everyone else blocks on the shared future.
-        auto value = std::make_shared<const std::string>(compute());
+        std::shared_ptr<const std::string> value;
+        try {
+            value = std::make_shared<const std::string>(compute());
+        } catch (...) {
+            // A failed compute is never cached: drop the entry so the
+            // next touch recomputes, and propagate the exception to
+            // every waiter blocked on the shared future.
+            {
+                MutexLock lock(mu_);
+                entries_.erase(folded);
+                --in_flight_;
+            }
+            promise.set_exception(std::current_exception());
+            throw;
+        }
         promise.set_value(value);
         {
             MutexLock lock(mu_);
@@ -230,15 +446,23 @@ ResultStore::getOrCompute(uint64_t key,
 ResultStore::Stats
 ResultStore::stats() const
 {
-    MutexLock lock(mu_);
     Stats s;
-    s.hits = hits_;
-    s.misses = misses_;
-    s.computes = computes_;
-    s.loaded = loaded_;
-    s.corrupt = corrupt_;
-    s.entries = entries_.size();
-    s.inFlight = in_flight_;
+    {
+        MutexLock lock(mu_);
+        s.hits = hits_;
+        s.misses = misses_;
+        s.computes = computes_;
+        s.loaded = loaded_;
+        s.corrupt = corrupt_;
+        s.quarantined = quarantined_;
+        s.compactions = compactions_;
+        s.entries = entries_.size();
+        s.inFlight = in_flight_;
+    }
+    {
+        MutexLock lock(io_mu_);
+        s.appendFailures = append_failures_;
+    }
     return s;
 }
 

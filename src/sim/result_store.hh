@@ -19,11 +19,25 @@
  * would have produced (the determinism suite proves it). The in-memory
  * front uses the single-flight future idiom (concurrent first-touchers
  * of one key block on one computation -- this is what dedupes in-flight
- * cells across `moatsim serve` clients); the on-disk back is a
- * directory of append-only JSONL shards, each record carrying the key,
- * a payload checksum, and the payload. Corrupted, truncated, or
- * checksum-mismatching records are counted and treated as misses, never
- * as errors.
+ * cells across `moatsim serve` clients); a compute that throws
+ * propagates to every waiter and is never cached, so a retry
+ * recomputes. The on-disk back is a directory of append-only JSONL
+ * shards, each record framed with the key, an FNV payload checksum,
+ * and a CRC-32 over all three fields (older records without the CRC
+ * still parse by their checksum alone).
+ *
+ * Crash safety: a torn, truncated, or bit-flipped record is *counted
+ * and quarantined*, never silently skipped and never an error -- the
+ * load moves the damaged raw lines to `quarantine.jsonl` in the shard
+ * directory and compacts the shard atomically (tmp + rename), so the
+ * next load is clean and the damaged cells simply recompute.
+ * `moatsim store fsck` runs the same scan/repair offline (fsck()).
+ * Append failures degrade the store to in-memory for that shard and
+ * are warned once and counted; the health counters (append failures,
+ * quarantined records, compactions) ride the Stats snapshot and the
+ * serve `stats` reply. All of these failure paths are exercised under
+ * the deterministic fault sites `result-store.append` and
+ * `result-store.read` (common/fault.hh).
  *
  * Invalidation is explicit: the store folds Config::epoch into every
  * key, so a code change that alters what results mean (new fields, new
@@ -96,8 +110,14 @@ class ResultStore
         uint64_t computes = 0;
         /** Entries loaded from the shard files at construction. */
         uint64_t loaded = 0;
-        /** Shard records skipped as corrupt/truncated/bad-checksum. */
+        /** Shard records found corrupt/truncated/bad-checksum. */
         uint64_t corrupt = 0;
+        /** Damaged raw lines moved to quarantine.jsonl. */
+        uint64_t quarantined = 0;
+        /** Shard files compacted (rewritten atomically) at load. */
+        uint64_t compactions = 0;
+        /** Shard appends that failed (store degraded to in-memory). */
+        uint64_t appendFailures = 0;
         /** Entries currently resident (in-flight included). */
         size_t entries = 0;
         /** Computations currently in flight. */
@@ -113,6 +133,24 @@ class ResultStore
         }
     };
 
+    /** What a shard-directory scan found (`moatsim store fsck`). */
+    struct FsckReport
+    {
+        /** Shard files present and scanned. */
+        uint64_t shards = 0;
+        /** Records that parse and checksum. */
+        uint64_t valid = 0;
+        /** Damaged records (quarantined in repair mode). */
+        uint64_t corrupt = 0;
+        /** Same-key re-appends (latest wins; dropped by repair). */
+        uint64_t duplicates = 0;
+        /** Shard files rewritten (repair mode only). */
+        uint64_t repaired = 0;
+
+        /** Whether every record on disk is intact. */
+        bool clean() const { return corrupt == 0; }
+    };
+
     /** Store configured from the environment (envConfig()). */
     ResultStore();
 
@@ -123,8 +161,10 @@ class ResultStore
      * The payload of @p key; computed by @p compute on first touch,
      * shared afterwards. Concurrent first-touchers of one key block on
      * the single computation (the computing thread runs @p compute
-     * outside every store lock). Thread-safe. The epoch is folded in
-     * here -- callers pass the raw cell key.
+     * outside every store lock). A @p compute that throws propagates
+     * the exception to the caller and every waiter, and the entry is
+     * dropped -- failures are never cached. Thread-safe. The epoch is
+     * folded in here -- callers pass the raw cell key.
      */
     std::shared_ptr<const std::string>
     getOrCompute(uint64_t key,
@@ -136,7 +176,17 @@ class ResultStore
 
     const Config &config() const { return config_; }
 
-    Stats stats() const EXCLUDES(mu_);
+    Stats stats() const EXCLUDES(mu_, io_mu_);
+
+    /**
+     * Scan the shard files of @p dir: every record must decode and
+     * match its checksums. With @p repair, damaged raw lines move to
+     * `quarantine.jsonl` and each affected shard is compacted in place
+     * (atomic tmp + rename, latest record per key wins, records
+     * re-framed with the CRC). Standalone -- does not construct a
+     * store or consult the epoch.
+     */
+    static FsckReport fsck(const std::string &dir, bool repair);
 
     /**
      * Config from the environment: MOATSIM_RESULT_STORE unset or "0"
@@ -163,7 +213,8 @@ class ResultStore
     /** Fold the schema epoch into a raw cell key. */
     uint64_t foldKey(uint64_t key) const;
 
-    /** Read every shard of config_.dir into entries_ (ctor only). */
+    /** Read every shard of config_.dir into entries_, quarantining
+     *  and compacting damaged shards (ctor only). */
     void loadShards();
 
     /** Append one resolved record to its shard file. */
@@ -182,9 +233,14 @@ class ResultStore
     uint64_t computes_ GUARDED_BY(mu_) = 0;
     uint64_t loaded_ GUARDED_BY(mu_) = 0;
     uint64_t corrupt_ GUARDED_BY(mu_) = 0;
+    uint64_t quarantined_ GUARDED_BY(mu_) = 0;
+    uint64_t compactions_ GUARDED_BY(mu_) = 0;
     size_t in_flight_ GUARDED_BY(mu_) = 0;
     /** Serializes shard appends (never held together with mu_). */
-    Mutex io_mu_;
+    mutable Mutex io_mu_;
+    uint64_t append_failures_ GUARDED_BY(io_mu_) = 0;
+    /** Shards already warned about failing appends (bit per shard). */
+    uint32_t warned_shards_ GUARDED_BY(io_mu_) = 0;
 };
 
 } // namespace moatsim::sim

@@ -5,9 +5,12 @@
 #include <unistd.h>
 
 #include <cerrno>
+#include <chrono>
 #include <cstdio>
 #include <cstring>
 
+#include "common/fault.hh"
+#include "common/hash.hh"
 #include "common/logging.hh"
 #include "sim/result_io.hh"
 
@@ -54,10 +57,22 @@ writeLine(int fd, const std::string &line)
     return sendAll(fd, line + "\n");
 }
 
-std::string
-errorLine(const std::string &message)
+/** A server->client protocol line; the serve.send fault site fails it
+ *  like a broken pipe would (the client-side sends stay clean -- the
+ *  site models the daemon's I/O, not the peer's). */
+bool
+serverWriteLine(int fd, const std::string &line)
 {
-    return "{\"kind\":\"error\",\"message\":" + jsonQuote(message) + "}";
+    if (fault::shouldFail("serve.send"))
+        return false;
+    return writeLine(fd, line);
+}
+
+std::string
+errorLine(const std::string &message, bool retryable)
+{
+    return "{\"kind\":\"error\",\"message\":" + jsonQuote(message) +
+           (retryable ? ",\"retryable\":true}" : "}");
 }
 
 std::string
@@ -102,6 +117,18 @@ parseIndex(const std::string &text, size_t *out)
 }
 
 } // namespace
+
+bool
+transientAcceptError(int err)
+{
+    // Resource-exhaustion bursts and aborted handshakes: the listener
+    // is still good, so ending the loop would turn a load spike into
+    // an outage. Everything else (EBADF, EINVAL after shutdown, ...)
+    // means the listening socket itself is gone.
+    return err == EMFILE || err == ENFILE || err == ECONNABORTED ||
+           err == ENOBUFS || err == ENOMEM || err == EAGAIN ||
+           err == EWOULDBLOCK;
+}
 
 Server::Server(const ServeConfig &config) : config_(config)
 {
@@ -153,15 +180,46 @@ Server::start()
 void
 Server::serveForever()
 {
+    unsigned backoff_step = 0;
     while (true) {
-        const int fd = ::accept(listen_fd_, nullptr, nullptr);
+        // The serve.accept fault models one transient accept()
+        // failure (an EMFILE burst); the pending connection is left
+        // queued and picked up after the backoff.
+        const bool injected = fault::shouldFail("serve.accept");
+        const int fd =
+            injected ? -1 : ::accept(listen_fd_, nullptr, nullptr);
         if (fd < 0) {
-            if (errno == EINTR)
+            const int err = injected ? EMFILE : errno;
+            if (err == EINTR)
                 continue;
-            // stop() shut the listening socket down (or it broke);
-            // either way the accept loop is over.
+            bool stop_now = false;
+            {
+                MutexLock lock(mu_);
+                stop_now = stopping_;
+            }
+            if (stop_now)
+                break;
+            if (transientAcceptError(err)) {
+                // Self-healing: count it, back off (bounded,
+                // deterministic -- a fixed sleep, not a clock read),
+                // and keep listening. Only stop() or a fatal listener
+                // error may end the accept loop.
+                {
+                    MutexLock lock(mu_);
+                    ++accept_retries_;
+                }
+                std::this_thread::sleep_for(std::chrono::milliseconds(
+                    1ULL << backoff_step));
+                if (backoff_step < 5)
+                    ++backoff_step;
+                continue;
+            }
+            // The listening socket itself is broken; the loop is over.
+            warn("serve: accept failed fatally (errno " +
+                 std::to_string(err) + "); stopping");
             break;
         }
+        backoff_step = 0;
         MutexLock lock(mu_);
         if (stopping_) {
             ::close(fd);
@@ -188,10 +246,11 @@ Server::stop()
         if (stopping_)
             return;
         stopping_ = true;
-        // Unblock every connection read; queued response bytes still
-        // drain to the peers.
+        // Half-close: unblock every connection read without severing
+        // the write side, so in-flight replies drain to their peers
+        // (each bounded by config_.drainCells -- see runOnConnection).
         for (const int fd : conn_fds_)
-            ::shutdown(fd, SHUT_RDWR);
+            ::shutdown(fd, SHUT_RD);
         cv_.notifyAll();
     }
     if (listen_fd_ >= 0)
@@ -205,6 +264,11 @@ Server::handleConnection(int fd)
     char chunk[4096];
     bool open = true;
     while (open) {
+        // The serve.recv fault models a failed request read: the
+        // connection drops (the client reconnects and retries) but
+        // the daemon keeps serving.
+        if (fault::shouldFail("serve.recv"))
+            break;
         const ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
         if (n <= 0) {
             if (n < 0 && errno == EINTR)
@@ -230,26 +294,20 @@ Server::handleLine(int fd, const std::string &line)
 {
     std::string kind;
     std::string err;
-    if (!tryJsonField(line, "kind", &kind, &err)) {
-        writeLine(fd, errorLine(err));
-        return true;
-    }
-    if (kind == "stats") {
-        writeLine(fd, statsLine());
-        return true;
-    }
+    if (!tryJsonField(line, "kind", &kind, &err))
+        return serverWriteLine(fd, errorLine(err, false));
+    if (kind == "stats")
+        return serverWriteLine(fd, statsLine());
     if (kind == "shutdown") {
-        writeLine(fd, "{\"kind\":\"bye\"}");
+        serverWriteLine(fd, "{\"kind\":\"bye\"}");
         stop();
         return false;
     }
     if (kind == "perf" || kind == "coattack") {
         RunRequest req;
-        if (!tryRunRequestOfJsonLine(line, &req, &err)) {
-            writeLine(fd, errorLine(err));
-            return true;
-        }
-        runOnConnection(fd, req);
+        if (!tryRunRequestOfJsonLine(line, &req, &err))
+            return serverWriteLine(fd, errorLine(err, false));
+        const bool keep = runOnConnection(fd, req);
         bool last = false;
         {
             MutexLock lock(mu_);
@@ -259,19 +317,20 @@ Server::handleLine(int fd, const std::string &line)
         }
         if (last)
             stop();
-        return true;
+        return keep;
     }
-    writeLine(fd, errorLine("unknown request kind \"" + kind + "\""));
-    return true;
+    return serverWriteLine(
+        fd, errorLine("unknown request kind \"" + kind + "\"", false));
 }
 
-void
+bool
 Server::runOnConnection(int fd, const RunRequest &req)
 {
     std::string err;
     if (!validateRunRequest(req, &err)) {
-        writeLine(fd, errorLine(err));
-        return;
+        // Rejections are not retryable: the same bytes cannot pass
+        // validation on a re-send.
+        return serverWriteLine(fd, errorLine(err, false));
     }
     const double cost = estimatedCost(req);
     admit(cost);
@@ -281,32 +340,75 @@ Server::runOnConnection(int fd, const RunRequest &req)
     // the request's jobs field).
     Experiment exp(experimentConfigOf(req), stores_);
     size_t cells = 0;
+    bool io_ok = true;
+    uint64_t drained_after_stop = 0;
+    std::string failure;
     {
         // Cells stream from worker threads; serialize the socket.
+        // Once a send fails, stop writing but let the sweep finish:
+        // every completed cell still lands in the shared stores, so
+        // the client's retry recomputes nothing.
         Mutex write_mu;
         const auto emit = [&](size_t index,
                               const std::string &payload) {
             MutexLock lock(write_mu);
             ++cells;
-            writeLine(fd, cellLine(index, payload));
+            if (!io_ok)
+                return;
+            if (config_.drainCells > 0) {
+                bool stopping = false;
+                {
+                    MutexLock state_lock(mu_);
+                    stopping = stopping_;
+                }
+                // Shutdown drain budget: after stop(), this reply may
+                // stream at most drainCells more cells before the
+                // socket is severed (bounded shutdown, no clock).
+                if (stopping &&
+                    ++drained_after_stop > config_.drainCells) {
+                    ::shutdown(fd, SHUT_RDWR);
+                    io_ok = false;
+                    return;
+                }
+            }
+            if (!serverWriteLine(fd, cellLine(index, payload)))
+                io_ok = false;
         };
-        if (req.kind == "perf") {
-            exp.run([&](size_t index, const PerfResult &r) {
-                emit(index, toJsonLine(r));
-            });
-        } else {
-            exp.runCoAttack(coAttackScenarioOf(req),
-                            [&](size_t index, const CoAttackResult &r) {
-                                emit(index, toJsonLine(r));
-                            });
+        try {
+            if (req.kind == "perf") {
+                exp.run([&](size_t index, const PerfResult &r) {
+                    emit(index, toJsonLine(r));
+                });
+            } else {
+                exp.runCoAttack(
+                    coAttackScenarioOf(req),
+                    [&](size_t index, const CoAttackResult &r) {
+                        emit(index, toJsonLine(r));
+                    });
+            }
+        } catch (const std::exception &e) {
+            // A failed cell compute fails this request, not the
+            // daemon: tag it retryable -- the stores cached every
+            // cell that did finish, so a re-send converges.
+            release(cost);
+            {
+                MutexLock lock(mu_);
+                ++compute_failures_;
+            }
+            return serverWriteLine(
+                fd, errorLine(std::string("cell compute failed: ") +
+                                  e.what(),
+                              true));
         }
     }
 
     release(cost);
+    if (!io_ok)
+        return false; // close: the truncated stream is the retry cue
     // The request's content-address closes the reply: clients can
     // correlate identical sweeps across sessions without re-deriving
     // the key themselves.
-    writeLine(fd, doneLine(cells, cost, requestKey(req)));
+    return serverWriteLine(fd, doneLine(cells, cost, requestKey(req)));
 }
 
 void
@@ -335,10 +437,14 @@ Server::statsLine()
     const ResultStore::Stats rs = stores_.results->stats();
     const workload::TraceStore::Stats ts = stores_.traces->stats();
     uint64_t active = 0;
+    uint64_t accept_retries = 0;
+    uint64_t compute_failures = 0;
     double admitted = 0.0;
     {
         MutexLock lock(mu_);
         active = active_requests_;
+        accept_retries = accept_retries_;
+        compute_failures = compute_failures_;
         admitted = admitted_cost_;
     }
     return "{\"kind\":\"stats\",\"entries\":" +
@@ -348,10 +454,15 @@ Server::statsLine()
            ",\"computes\":" + std::to_string(rs.computes) +
            ",\"loaded\":" + std::to_string(rs.loaded) +
            ",\"corrupt\":" + std::to_string(rs.corrupt) +
+           ",\"quarantined\":" + std::to_string(rs.quarantined) +
+           ",\"compactions\":" + std::to_string(rs.compactions) +
+           ",\"append_failures\":" + std::to_string(rs.appendFailures) +
            ",\"in_flight\":" + std::to_string(rs.inFlight) +
            ",\"trace_hits\":" + std::to_string(ts.hits) +
            ",\"trace_misses\":" + std::to_string(ts.misses) +
            ",\"active\":" + std::to_string(active) +
+           ",\"accept_retries\":" + std::to_string(accept_retries) +
+           ",\"compute_failures\":" + std::to_string(compute_failures) +
            ",\"admitted_cost\":" + jsonDouble(admitted) + "}";
 }
 
@@ -394,6 +505,7 @@ foldReplyLine(const std::string &line, ServeReply *reply,
     std::string err;
     if (!tryJsonField(line, "kind", &kind, &err)) {
         reply->error = "malformed reply: " + err;
+        reply->retryable = true;
         *finished = true;
         return;
     }
@@ -405,6 +517,7 @@ foldReplyLine(const std::string &line, ServeReply *reply,
             !tryJsonField(line, "payload", &payload, &err) ||
             !parseIndex(indexText, &index)) {
             reply->error = "malformed cell line: " + line;
+            reply->retryable = true;
             *finished = true;
             return;
         }
@@ -418,6 +531,12 @@ foldReplyLine(const std::string &line, ServeReply *reply,
         if (!tryJsonField(line, "message", &message, nullptr))
             message = line;
         reply->error = message;
+        // The server tags transient failures; a bare token "true"
+        // comes back verbatim from the flat-JSON field scan.
+        std::string retry_text;
+        reply->retryable =
+            tryJsonField(line, "retryable", &retry_text, nullptr) &&
+            retry_text == "true";
         *finished = true;
         return;
     }
@@ -434,11 +553,16 @@ serveRequestLine(const std::string &socketPath, const std::string &line)
 {
     ServeReply reply;
     const int fd = connectTo(socketPath, &reply.error);
-    if (fd < 0)
+    if (fd < 0) {
+        // The daemon may be restarting or the listen queue full;
+        // reconnecting is exactly what a retry does.
+        reply.retryable = true;
         return reply;
+    }
     if (!sendAll(fd, line + "\n")) {
         reply.error = "cannot send request (errno " +
                       std::to_string(errno) + ")";
+        reply.retryable = true;
         ::close(fd);
         return reply;
     }
@@ -451,7 +575,12 @@ serveRequestLine(const std::string &socketPath, const std::string &line)
         if (n <= 0) {
             if (n < 0 && errno == EINTR)
                 continue;
+            // A truncated stream (the server's send failed, or it
+            // severed the socket at the drain budget): every cell
+            // already received is in the store server-side, so a
+            // retry is cheap.
             reply.error = "connection closed before the reply finished";
+            reply.retryable = true;
             break;
         }
         buf.append(chunk, static_cast<size_t>(n));
@@ -471,6 +600,33 @@ ServeReply
 serveRequest(const std::string &socketPath, const RunRequest &req)
 {
     return serveRequestLine(socketPath, toJsonLine(req));
+}
+
+uint64_t
+retryBackoffMs(uint64_t seed, unsigned attempt)
+{
+    // Seeded jitter (1..8 ms) doubled per attempt, capped: pure
+    // function of (seed, attempt), so a chaos run's pacing is as
+    // reproducible as its fault plan.
+    const uint64_t jitter =
+        hashCombine(hashMix(seed), attempt) % 8 + 1;
+    const uint64_t ms = jitter << (attempt < 5 ? attempt : 5);
+    return ms < 250 ? ms : 250;
+}
+
+ServeReply
+serveRequestWithRetries(const std::string &socketPath,
+                        const RunRequest &req, const RetryPolicy &policy)
+{
+    ServeReply reply;
+    for (unsigned attempt = 0;; ++attempt) {
+        reply = serveRequest(socketPath, req);
+        reply.attempts = attempt + 1;
+        if (reply.ok || !reply.retryable || attempt >= policy.retries)
+            return reply;
+        std::this_thread::sleep_for(std::chrono::milliseconds(
+            retryBackoffMs(policy.seed, attempt)));
+    }
 }
 
 } // namespace moatsim::sim

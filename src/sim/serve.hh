@@ -24,9 +24,29 @@
  *                               the request finished
  *     {"kind":"stats",...}      the counters (stats request)
  *     {"kind":"bye"}            shutdown acknowledged
- *     {"kind":"error","message":"..."}
- *                               the request was rejected; the
- *                               connection stays usable
+ *     {"kind":"error","message":"...","retryable":true}
+ *                               the request failed; the connection
+ *                               stays usable. "retryable":true tags
+ *                               transient failures (a cell compute
+ *                               that threw) where re-sending the same
+ *                               request converges -- the result store
+ *                               makes already-finished cells free.
+ *                               Rejections (validation, protocol)
+ *                               carry no retryable tag: re-sending
+ *                               the same bytes cannot succeed.
+ *
+ * Failure containment: the daemon outlives its requests. A failed
+ * cell compute (exception or injected fault -- common/fault.hh sites
+ * `sweep.compute`, `serve.send`, `serve.recv`, `serve.accept`) fails
+ * that one request with a retryable error line; transient accept()
+ * errors (EMFILE/ENFILE/ECONNABORTED -- transientAcceptError()) back
+ * off boundedly and keep listening, and only stop() or a fatal
+ * listener error ends the accept loop. When a reply send fails the
+ * connection is closed (the client sees a truncated stream, which is
+ * retryable); the request's compute keeps running so its cells still
+ * land in the shared stores. Graceful shutdown: stop() half-closes
+ * connections (reads only), letting in-flight replies drain -- each
+ * bounded by ServeConfig::drainCells -- before the sockets go away.
  *
  * Every connection gets its own thread, but all of them share one
  * ExperimentStores -- one TraceStore, one ResultStore, one
@@ -41,7 +61,8 @@
  *
  * The server uses no wall-clock anywhere (the determinism lint bans
  * clocks in src/): every wait is a blocking read, accept, or
- * condition wait, and shutdown works by shutting the sockets down,
+ * condition wait -- the accept/retry backoffs are fixed sleeps, never
+ * time reads -- and shutdown works by shutting the sockets down,
  * which unblocks all of them.
  */
 
@@ -81,7 +102,15 @@ struct ServeConfig
      *  shutdown request or stop(). Tests use this to bound a serve
      *  loop without any clock. */
     uint64_t maxRequests = 0;
+    /** After stop(), each in-flight request may stream at most this
+     *  many more cells before its socket is severed; 0 = drain fully.
+     *  Bounds shutdown latency without any clock. */
+    uint64_t drainCells = 0;
 };
+
+/** Whether an accept() errno is transient resource exhaustion worth
+ *  backing off and retrying (vs a fatal listener error). */
+bool transientAcceptError(int err);
 
 /** The `moatsim serve` daemon core (socket loop + shared stores). */
 class Server
@@ -102,11 +131,13 @@ class Server
      * Accept connections and serve requests until a shutdown request
      * arrives, stop() is called, or maxRequests run requests have
      * completed; joins every connection thread before returning.
+     * Transient accept() failures back off and continue.
      */
     void serveForever() EXCLUDES(mu_);
 
     /** Request shutdown from any thread: stops the accept loop and
-     *  unblocks every connection read. Idempotent. */
+     *  unblocks every connection read; in-flight replies drain
+     *  (bounded by config().drainCells). Idempotent. */
     void stop() EXCLUDES(mu_);
 
     const ServeConfig &config() const { return config_; }
@@ -128,7 +159,9 @@ class Server
     void handleConnection(int fd) EXCLUDES(mu_);
     /** Serve one request line; false = close the connection. */
     bool handleLine(int fd, const std::string &line) EXCLUDES(mu_);
-    void runOnConnection(int fd, const RunRequest &req) EXCLUDES(mu_);
+    /** Run one request; false = the reply could not be delivered and
+     *  the connection must close (the client retries on the EOF). */
+    bool runOnConnection(int fd, const RunRequest &req) EXCLUDES(mu_);
     /** Block until @p cost fits under the admission budget. */
     void admit(double cost) EXCLUDES(mu_);
     void release(double cost) EXCLUDES(mu_);
@@ -147,6 +180,10 @@ class Server
     double admitted_cost_ GUARDED_BY(mu_) = 0.0;
     uint64_t active_requests_ GUARDED_BY(mu_) = 0;
     uint64_t served_requests_ GUARDED_BY(mu_) = 0;
+    /** Transient accept() failures survived (health counter). */
+    uint64_t accept_retries_ GUARDED_BY(mu_) = 0;
+    /** Requests failed by a throwing cell compute (health counter). */
+    uint64_t compute_failures_ GUARDED_BY(mu_) = 0;
     std::vector<int> conn_fds_ GUARDED_BY(mu_);
     std::vector<std::thread> threads_ GUARDED_BY(mu_);
 };
@@ -156,6 +193,13 @@ struct ServeReply
 {
     /** Whether a done line arrived (false: see error). */
     bool ok = false;
+    /** Whether the failure is worth re-sending the same request:
+     *  server errors tagged "retryable":true, plus every local
+     *  transport failure (connect refused, send failed, connection
+     *  closed before the terminal line). */
+    bool retryable = false;
+    /** Attempts consumed (serveRequestWithRetries(); 1 elsewhere). */
+    unsigned attempts = 1;
     /** The server's error message, or the local connect/IO failure. */
     std::string error;
     /** Cell payload JSONL, reordered into request (index) order --
@@ -173,6 +217,31 @@ ServeReply serveRequest(const std::string &socketPath,
  *  errors; also how `moatsim client` forwards stats/shutdown). */
 ServeReply serveRequestLine(const std::string &socketPath,
                             const std::string &line);
+
+/** Client retry policy: how many times to re-send after a retryable
+ *  failure, and the seed of the deterministic backoff sequence. */
+struct RetryPolicy
+{
+    /** Re-sends after the first attempt (0 = single shot). */
+    unsigned retries = 0;
+    /** Backoff sequence seed (retryBackoffMs()). */
+    uint64_t seed = 1;
+};
+
+/** The backoff before re-send @p attempt (0-based): a deterministic,
+ *  seeded, exponentially growing jitter in milliseconds -- a pure
+ *  function of (seed, attempt), no clock and no shared RNG, so two
+ *  identically seeded clients pace identically. */
+uint64_t retryBackoffMs(uint64_t seed, unsigned attempt);
+
+/** As serveRequest(), re-sending on retryable failures (reconnecting
+ *  each time) until it succeeds, a failure is not retryable, or the
+ *  policy's retries are exhausted. Converges byte-identically to a
+ *  clean run: the result store serves every already-finished cell,
+ *  so a retry recomputes only what actually failed. */
+ServeReply serveRequestWithRetries(const std::string &socketPath,
+                                   const RunRequest &req,
+                                   const RetryPolicy &policy);
 
 } // namespace moatsim::sim
 

@@ -1,8 +1,10 @@
 #include "sim/sweep.hh"
 
 #include <algorithm>
+#include <exception>
 #include <utility>
 
+#include "common/fault.hh"
 #include "common/thread_pool.hh"
 #include "sim/result_io.hh"
 
@@ -49,6 +51,10 @@ SweepEngine::runCell(const SweepCell &cell)
 PerfResult
 SweepEngine::computeCell(const SweepCell &cell)
 {
+    // The chaos suite fails whole cells here, upstream of the result
+    // store, so an injected failure is never cached and a retried
+    // request recomputes only the cells that failed.
+    fault::failPoint("sweep.compute");
     // One store fetch serves the cell and (on first touch of this
     // workload) its baseline: each distinct trace of a matrix is
     // generated exactly once. With the store disabled, the baseline
@@ -79,26 +85,35 @@ std::vector<PerfResult>
 SweepEngine::run(const std::vector<SweepCell> &cells, const CellSink &sink)
 {
     std::vector<PerfResult> results(cells.size());
-    if (jobs_ <= 1 || cells.size() <= 1) {
-        for (size_t i = 0; i < cells.size(); ++i) {
+    // ThreadPool jobs must not throw, so every cell captures its own
+    // failure; the sweep keeps running the remaining cells (their
+    // results still land in the store) and rethrows the lowest failed
+    // index afterwards -- which error surfaces is schedule-independent.
+    std::vector<std::exception_ptr> errors(cells.size());
+    const auto runOne = [&](size_t i) noexcept {
+        try {
             results[i] = runCell(cells[i]);
             if (sink)
                 sink(i, results[i]);
+        } catch (...) {
+            errors[i] = std::current_exception();
         }
-        return results;
+    };
+    if (jobs_ <= 1 || cells.size() <= 1) {
+        for (size_t i = 0; i < cells.size(); ++i)
+            runOne(i);
+    } else {
+        // No point spinning up more workers than there are cells.
+        ThreadPool pool(
+            std::min(jobs_, static_cast<unsigned>(cells.size())));
+        for (size_t i = 0; i < cells.size(); ++i)
+            pool.submit([&runOne, i] { runOne(i); });
+        pool.wait();
     }
-
-    // No point spinning up more workers than there are cells.
-    ThreadPool pool(
-        std::min(jobs_, static_cast<unsigned>(cells.size())));
-    for (size_t i = 0; i < cells.size(); ++i) {
-        pool.submit([this, &cells, &results, &sink, i] {
-            results[i] = runCell(cells[i]);
-            if (sink)
-                sink(i, results[i]);
-        });
+    for (const auto &error : errors) {
+        if (error)
+            std::rethrow_exception(error);
     }
-    pool.wait();
     return results;
 }
 

@@ -10,6 +10,12 @@
  * naming any registered design (see `moatsim list-mitigators`), e.g.
  * `--mitigator moat:ath=128,eth=64` or `--mitigator panopticon`.
  *
+ * Every command also accepts `--faults site@rate[:seed],...` (or the
+ * MOATSIM_FAULTS environment variable) arming deterministic fault
+ * injection at the named I/O sites (common/fault.hh; catalog in
+ * README.md "Failure model") -- the chaos knob behind the serve/client
+ * convergence smoke.
+ *
  *   moatsim bound   [--ath N] [--level 1|2|4]        Appendix-A bound
  *   moatsim ratchet [--mitigator S] [--ath N] [--level 1|2|4] [--pool N]
  *   moatsim jailbreak [--mitigator S] [--queue N] [--threshold N]
@@ -62,7 +68,7 @@
  *                   the same design, and the ALERT/RFM activity with
  *                   the attack-free counts alongside
  *   moatsim serve   --socket PATH [--max-cost C] [--max-requests N]
- *                   [--result-store 0|1|DIR]
+ *                   [--drain-cells N] [--result-store 0|1|DIR]
  *                   sweep-as-a-service daemon: listens on an AF_UNIX
  *                   socket for line-oriented JSON run requests (the
  *                   same flags' JSON form; see sim/serve.hh for the
@@ -71,14 +77,29 @@
  *                   concurrent requests for the same cells compute
  *                   each cell once; --max-cost bounds the estimated
  *                   cost of concurrently running requests;
- *                   --max-requests N exits after N run requests
+ *                   --max-requests N exits after N run requests;
+ *                   --drain-cells N bounds how many more cells each
+ *                   in-flight reply may stream after a shutdown
+ *                   begins (0 = drain fully)
  *   moatsim client  --socket PATH [--kind perf|coattack] [--stats]
- *                   [--shutdown] [--jsonl FILE] [perf/coattack flags]
+ *                   [--shutdown] [--retries N] [--retry-seed S]
+ *                   [--jsonl FILE] [perf/coattack flags]
  *                   thin client: sends one request to a serve daemon
  *                   and prints the per-cell result JSONL in request
  *                   order (byte-identical to the direct CLI's --jsonl
  *                   output); --stats prints the daemon's store and
- *                   admission counters; --shutdown stops the daemon
+ *                   admission counters; --shutdown stops the daemon;
+ *                   --retries N re-sends on retryable failures with a
+ *                   deterministic seeded backoff, converging
+ *                   byte-identically (the daemon's result store makes
+ *                   replayed cells free)
+ *   moatsim store fsck --dir DIR [--repair]
+ *                   scan a persistent result-store shard directory:
+ *                   every record must decode and match its checksums;
+ *                   --repair quarantines damaged records
+ *                   (quarantine.jsonl) and compacts the shards
+ *                   atomically. Exit 1 = damage found without
+ *                   --repair.
  *   moatsim replay  --trace FILE [--mitigator S] [--ath N] [--eth N]
  *                   [--subchannels N] [--postpone]
  *                   traces carrying a sub-channel column replay on a
@@ -105,6 +126,7 @@
 #include "attacks/ratchet.hh"
 #include "attacks/tsa.hh"
 #include "common/args.hh"
+#include "common/fault.hh"
 #include "common/logging.hh"
 #include "common/stats.hh"
 #include "common/table.hh"
@@ -370,12 +392,15 @@ printResultStoreStats(const sim::ResultStore &store)
     const auto st = store.stats();
     std::fprintf(stderr,
                  "result store: hits=%llu misses=%llu computes=%llu "
-                 "loaded=%llu corrupt=%llu entries=%zu\n",
+                 "loaded=%llu corrupt=%llu quarantined=%llu "
+                 "append_failures=%llu entries=%zu\n",
                  static_cast<unsigned long long>(st.hits),
                  static_cast<unsigned long long>(st.misses),
                  static_cast<unsigned long long>(st.computes),
                  static_cast<unsigned long long>(st.loaded),
                  static_cast<unsigned long long>(st.corrupt),
+                 static_cast<unsigned long long>(st.quarantined),
+                 static_cast<unsigned long long>(st.appendFailures),
                  st.entries);
 }
 
@@ -529,6 +554,7 @@ cmdServe(const Args &args)
         fatal("serve requires --socket PATH");
     sc.maxCost = args.getDouble("max-cost", 0.0);
     sc.maxRequests = args.getInt("max-requests", 0);
+    sc.drainCells = args.getInt("drain-cells", 0);
     sc.resultStore = resultStoreArg(args);
 
     sim::Server server(sc);
@@ -560,9 +586,24 @@ cmdClient(const Args &args)
     sim::RunRequest req =
         sim::runRequestOfArgs(args.get("kind", "perf"), args);
     req.device = deviceArg(args);
-    const auto reply = sim::serveRequest(socket, req);
+    // --retries re-sends on retryable failures (daemon restarting,
+    // injected faults, truncated reply streams) with a deterministic
+    // seeded backoff; the daemon's result store makes every retry
+    // recompute only the cells that actually failed, so the final
+    // output is byte-identical to a clean run.
+    sim::RetryPolicy policy;
+    policy.retries = args.getUint32("retries", 0);
+    policy.seed = args.getInt("retry-seed", 1);
+    const auto reply = sim::serveRequestWithRetries(socket, req, policy);
     if (!reply.ok)
-        fatal("client: " + reply.error);
+        fatal("client: " + reply.error +
+              (reply.attempts > 1
+                   ? " (after " + std::to_string(reply.attempts) +
+                         " attempts)"
+                   : ""));
+    if (reply.attempts > 1)
+        std::fprintf(stderr, "client: converged after %u attempts\n",
+                     reply.attempts);
 
     // The cells come back in request order, so this stream is
     // byte-identical to what the direct CLI's --jsonl would append.
@@ -578,6 +619,35 @@ cmdClient(const Args &args)
             std::printf("%s\n", cell.c_str());
     }
     std::fprintf(stderr, "client: %s\n", reply.done.c_str());
+    return 0;
+}
+
+int
+cmdStoreFsck(const Args &args)
+{
+    const std::string dir = args.get("dir", "");
+    if (dir.empty())
+        fatal("store fsck requires --dir DIR (the shard directory)");
+    const bool repair = args.getBool("repair", false);
+    const auto report = sim::ResultStore::fsck(dir, repair);
+    std::printf("fsck %s: shards=%llu valid=%llu corrupt=%llu "
+                "duplicates=%llu repaired=%llu\n",
+                dir.c_str(),
+                static_cast<unsigned long long>(report.shards),
+                static_cast<unsigned long long>(report.valid),
+                static_cast<unsigned long long>(report.corrupt),
+                static_cast<unsigned long long>(report.duplicates),
+                static_cast<unsigned long long>(report.repaired));
+    if (report.corrupt > 0) {
+        if (!repair) {
+            std::printf("store is damaged; re-run with --repair to "
+                        "quarantine and compact\n");
+            return 1;
+        }
+        std::printf("damaged records moved to %s/quarantine.jsonl; "
+                    "the affected cells will recompute\n",
+                    dir.c_str());
+    }
     return 0;
 }
 
@@ -722,7 +792,7 @@ usage()
         stderr,
         "usage: moatsim <command> [--flag [value] ...]\n"
         "commands: bound ratchet jailbreak feinting postponement tsa\n"
-        "          attack coattack perf serve client replay\n"
+        "          attack coattack perf serve client store replay\n"
         "          list-mitigators list-devices list-workloads\n"
         "perf, coattack, and attack accept --jobs N (parallel sweep /\n"
         "trials; 0 = hardware concurrency, results bit-identical at\n"
@@ -739,6 +809,12 @@ usage()
         "whole result cells -- DIR persists them, so a warm re-run\n"
         "recomputes nothing and is byte-identical; serve runs the\n"
         "sweep daemon on --socket PATH and client talks to it\n"
+        "(--retries N re-sends on retryable failures with a seeded\n"
+        "deterministic backoff); store fsck --dir DIR [--repair]\n"
+        "scans the result-store shards and quarantines damage; every\n"
+        "command accepts --faults site@rate[:seed],... (or\n"
+        "MOATSIM_FAULTS) to arm deterministic fault injection -- see\n"
+        "README.md \"Failure model\" for the site catalog;\n"
         "every experiment accepts --mitigator name[:k=v,...]; run\n"
         "'moatsim list-mitigators' for the registered designs and see\n"
         "the file header of src/tools/moatsim_cli.cc for all flags\n");
@@ -754,7 +830,27 @@ main(int argc, char **argv)
         return 1;
     }
     const std::string cmd = argv[1];
+    // Chaos knob, armed before any store or daemon is built:
+    // MOATSIM_FAULTS first, then --faults overriding it.
+    fault::armFromEnv();
+    if (cmd == "store") {
+        // Subcommand grammar: `moatsim store fsck --flags`; the flag
+        // parse starts after the subcommand token.
+        if (argc < 3) {
+            usage();
+            return 1;
+        }
+        const std::string sub = argv[2];
+        const Args sargs(argc, argv, 3);
+        if (sargs.has("faults"))
+            fault::arm(sargs.get("faults", ""));
+        if (sub == "fsck")
+            return cmdStoreFsck(sargs);
+        fatal("unknown store subcommand '" + sub + "' (try fsck)");
+    }
     const Args args(argc, argv, 2);
+    if (args.has("faults"))
+        fault::arm(args.get("faults", ""));
     if (cmd == "bound")
         return cmdBound(args);
     if (cmd == "ratchet")

@@ -3,6 +3,7 @@
 #include <cstdlib>
 #include <utility>
 
+#include "common/fault.hh"
 #include "common/hash.hh"
 
 namespace moatsim::workload
@@ -62,6 +63,7 @@ std::shared_ptr<const TraceSet>
 TraceStore::get(const WorkloadSpec &spec, const TraceGenConfig &config)
 {
     if (!config_.enabled) {
+        fault::failPoint("trace-store.generate");
         auto set =
             std::make_shared<const TraceSet>(generateTraces(spec, config));
         MutexLock lock(mu_);
@@ -92,8 +94,22 @@ TraceStore::get(const WorkloadSpec &spec, const TraceGenConfig &config)
     }
 
     if (compute) {
-        auto set =
-            std::make_shared<const TraceSet>(generateTraces(spec, config));
+        std::shared_ptr<const TraceSet> set;
+        try {
+            fault::failPoint("trace-store.generate");
+            set = std::make_shared<const TraceSet>(
+                generateTraces(spec, config));
+        } catch (...) {
+            // A failed generation is never cached: drop the entry so
+            // the next touch regenerates, and propagate the exception
+            // to every waiter blocked on the shared future.
+            {
+                MutexLock lock(mu_);
+                entries_.erase(k);
+            }
+            promise.set_exception(std::current_exception());
+            throw;
+        }
         promise.set_value(set);
         MutexLock lock(mu_);
         auto it = entries_.find(k);

@@ -3,18 +3,25 @@
  * The sim::ResultStore contract: content-addressed whole-cell caching
  * with single-flight first touch, byte-identical warm re-runs at any
  * jobs count (with zero recomputation and zero trace generation),
- * explicit epoch-bump invalidation, and corrupt/truncated shard
- * records degrading to misses instead of bad results.
+ * explicit epoch-bump invalidation, corrupt/truncated shard records
+ * degrading to misses instead of bad results, crash recovery
+ * (quarantine + atomic compaction, byte-identical warm re-runs over
+ * damaged shards), the fsck scan/repair pass, fault-injected append
+ * failures degrading to memory-only service, and single-flight
+ * computes that throw propagating without being cached.
  */
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
 #include <filesystem>
 #include <fstream>
+#include <stdexcept>
 #include <thread>
 #include <vector>
 
+#include "common/fault.hh"
 #include "mitigation/registry.hh"
 #include "sim/experiment.hh"
 #include "sim/perf.hh"
@@ -230,6 +237,230 @@ TEST(ResultStore, CorruptAndTruncatedRecordsDegradeToMisses)
     });
     EXPECT_EQ(*a, "payload-one");
     EXPECT_EQ(computes.load(), 1) << "damaged record = miss, recompute";
+}
+
+/** The non-empty shard files under @p dir, sorted by path. */
+std::vector<fs::path>
+shardFiles(const std::string &dir)
+{
+    std::vector<fs::path> files;
+    for (const auto &entry : fs::directory_iterator(dir)) {
+        if (entry.path().filename().string().rfind("shard-", 0) == 0)
+            files.push_back(entry.path());
+    }
+    std::sort(files.begin(), files.end());
+    return files;
+}
+
+std::string
+readAll(const fs::path &path)
+{
+    std::ifstream is(path);
+    std::string text;
+    std::getline(is, text, '\0');
+    return text;
+}
+
+size_t
+lineCount(const fs::path &path)
+{
+    std::ifstream is(path);
+    size_t lines = 0;
+    std::string line;
+    while (std::getline(is, line))
+        ++lines;
+    return lines;
+}
+
+TEST(ResultStore, CrashRecoveryIsByteIdenticalAndSelfHealing)
+{
+    const std::string dir = freshDir("moatsim_rs_crash");
+    ExperimentConfig ec = smallConfig();
+    ec.resultStore = persistentConfig(dir);
+    const std::string clean = runSuite(ec, 1, nullptr, nullptr);
+
+    // Simulate a crash mid-append plus on-disk rot: truncate one
+    // record mid-line (a torn write) and flip a payload byte in
+    // another (bit rot) -- in different shards when possible.
+    const auto files = shardFiles(dir);
+    ASSERT_GE(files.size(), 1u);
+    uint64_t damaged = 0;
+    {
+        const fs::path &victim = files.front();
+        std::string text = readAll(victim);
+        ASSERT_GT(text.size(), 10u);
+        text.resize(text.size() - 10); // tear the record's tail off
+        std::ofstream os(victim, std::ios::trunc);
+        os << text;
+        ++damaged;
+    }
+    if (files.size() > 1) {
+        const fs::path &victim = files.back();
+        std::string text = readAll(victim);
+        const size_t payload_at = text.find("\"payload\":");
+        ASSERT_NE(payload_at, std::string::npos);
+        text[payload_at + 12] ^= 0x20; // flip one payload byte
+        std::ofstream os(victim, std::ios::trunc);
+        os << text;
+        ++damaged;
+    }
+
+    // A warm run over the damaged store recomputes exactly the
+    // damaged cells and reproduces the clean bytes; the load pass
+    // quarantines and compacts.
+    ResultStore::Stats warm;
+    const std::string again = runSuite(ec, 1, &warm, nullptr);
+    EXPECT_EQ(again, clean) << "recovery must be byte-identical";
+    EXPECT_EQ(warm.corrupt, damaged);
+    EXPECT_EQ(warm.quarantined, damaged);
+    EXPECT_EQ(warm.compactions, damaged) << "one rewrite per hurt shard";
+    EXPECT_EQ(warm.computes, damaged) << "only damaged cells recompute";
+    EXPECT_EQ(lineCount(fs::path(dir) / "quarantine.jsonl"), damaged);
+
+    // The heal is durable: a third run loads everything cleanly.
+    ResultStore::Stats healed;
+    const std::string third = runSuite(ec, 1, &healed, nullptr);
+    EXPECT_EQ(third, clean);
+    EXPECT_EQ(healed.corrupt, 0u);
+    EXPECT_EQ(healed.computes, 0u);
+}
+
+TEST(ResultStore, FsckReportsAndRepairsEveryInjectedCorruption)
+{
+    const std::string dir = freshDir("moatsim_rs_fsck");
+    {
+        ResultStore store(persistentConfig(dir));
+        store.getOrCompute(1, [] { return std::string("payload-one"); });
+        store.getOrCompute(2, [] { return std::string("payload-two"); });
+    }
+    const auto files = shardFiles(dir);
+    ASSERT_GE(files.size(), 1u);
+
+    // A clean store fscks clean.
+    const auto before = ResultStore::fsck(dir, /*repair=*/false);
+    EXPECT_TRUE(before.clean());
+    EXPECT_EQ(before.shards, files.size());
+    EXPECT_EQ(before.valid, 2u);
+
+    // Inject one torn tail and one garbage line.
+    {
+        const fs::path &victim = files.front();
+        std::string text = readAll(victim);
+        text.resize(text.size() - 10);
+        text += "\n{\"kind\":\"result\" and then the disk gave up\n";
+        std::ofstream os(victim, std::ios::trunc);
+        os << text;
+    }
+
+    // Report mode sees the damage and changes nothing on disk.
+    const auto report = ResultStore::fsck(dir, /*repair=*/false);
+    EXPECT_FALSE(report.clean());
+    EXPECT_EQ(report.corrupt, 2u);
+    EXPECT_EQ(report.repaired, 0u);
+    EXPECT_FALSE(fs::exists(fs::path(dir) / "quarantine.jsonl"));
+
+    // Repair quarantines the damage and rewrites the shard; a second
+    // fsck is clean and ignores the quarantine file itself.
+    const auto repair = ResultStore::fsck(dir, /*repair=*/true);
+    EXPECT_EQ(repair.corrupt, 2u);
+    EXPECT_EQ(repair.repaired, 1u);
+    EXPECT_EQ(lineCount(fs::path(dir) / "quarantine.jsonl"), 2u);
+    const auto after = ResultStore::fsck(dir, /*repair=*/false);
+    EXPECT_TRUE(after.clean());
+    EXPECT_EQ(after.corrupt, 0u);
+
+    // The surviving records still serve.
+    ResultStore store(persistentConfig(dir));
+    EXPECT_GE(store.stats().loaded, 1u);
+}
+
+TEST(ResultStore, InjectedAppendFailureDegradesToMemoryOnly)
+{
+    const std::string dir = freshDir("moatsim_rs_appendfault");
+    fault::arm("result-store.append@1");
+    {
+        ResultStore store(persistentConfig(dir));
+        const auto a =
+            store.getOrCompute(1, [] { return std::string("payload"); });
+        EXPECT_EQ(*a, "payload") << "the value still serves";
+        const auto b =
+            store.getOrCompute(1, [] { return std::string("payload"); });
+        EXPECT_EQ(a.get(), b.get()) << "memory entry intact";
+        EXPECT_EQ(store.stats().appendFailures, 1u);
+    }
+    fault::disarm();
+    EXPECT_TRUE(shardFiles(dir).empty()) << "nothing persisted";
+
+    // With the fault gone the same store persists again.
+    std::atomic<int> computes{0};
+    {
+        ResultStore store(persistentConfig(dir));
+        store.getOrCompute(1, [&computes] {
+            ++computes;
+            return std::string("payload");
+        });
+    }
+    EXPECT_EQ(computes.load(), 1) << "the lost append costs a recompute";
+    ResultStore store(persistentConfig(dir));
+    EXPECT_EQ(store.stats().loaded, 1u);
+    EXPECT_EQ(store.stats().appendFailures, 0u);
+}
+
+TEST(ResultStore, ThrowingComputeIsNeverCachedAndWakesWaiters)
+{
+    ResultStore store(memoryConfig());
+    std::atomic<int> computes{0};
+    EXPECT_THROW(store.getOrCompute(7,
+                                    [&computes]() -> std::string {
+                                        ++computes;
+                                        throw std::runtime_error("boom");
+                                    }),
+                 std::runtime_error);
+    EXPECT_EQ(store.stats().entries, 0u) << "failure not cached";
+    EXPECT_EQ(store.stats().inFlight, 0u);
+
+    // The next touch recomputes and succeeds.
+    const auto a = store.getOrCompute(7, [&computes] {
+        ++computes;
+        return std::string("ok");
+    });
+    EXPECT_EQ(*a, "ok");
+    EXPECT_EQ(computes.load(), 2);
+
+    // Waiters blocked on the in-flight future see the exception too.
+    std::atomic<bool> entered{false};
+    std::atomic<int> waiter_throws{0};
+    std::thread loser([&] {
+        while (!entered.load())
+            std::this_thread::yield();
+        try {
+            store.getOrCompute(8, [] { return std::string("never"); });
+        } catch (const std::runtime_error &) {
+            ++waiter_throws;
+        }
+    });
+    try {
+        store.getOrCompute(8, [&]() -> std::string {
+            entered = true;
+            // Give the loser a chance to join the in-flight entry;
+            // the yield loop makes this overwhelmingly likely, and
+            // either interleaving keeps the assertions below valid.
+            for (int i = 0; i < 1000; ++i)
+                std::this_thread::yield();
+            throw std::runtime_error("boom");
+        });
+    } catch (const std::runtime_error &) {
+    }
+    loser.join();
+    // The loser either shared the failed flight (and saw its
+    // exception, leaving no entry) or arrived after the erase and
+    // computed "never" fresh -- but a failure is never cached.
+    const auto b =
+        store.getOrCompute(8, [] { return std::string("fresh"); });
+    if (waiter_throws.load() == 1)
+        EXPECT_EQ(*b, "fresh") << "the failed flight left no entry";
+    else
+        EXPECT_EQ(*b, "never") << "the loser recomputed on its own";
 }
 
 TEST(ResultStore, PerfCellKeySeparatesEveryAxis)

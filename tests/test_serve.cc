@@ -4,18 +4,25 @@
  * byte-identical to a direct in-process run, concurrent clients
  * asking for the same cells compute each distinct cell exactly once
  * (the shared ResultStore's single-flight), malformed or invalid
- * requests get protocol errors without killing the daemon, and the
- * admission budget never starves a lone oversize request.
+ * requests get protocol errors without killing the daemon, the
+ * admission budget never starves a lone oversize request, and the
+ * self-healing loop: injected compute faults fail one request with a
+ * retryable error while the daemon keeps serving, transient accept
+ * errors are survived and counted, the deterministic retry backoff is
+ * a pure function of (seed, attempt), and a chaos run under an armed
+ * fault plan converges byte-identically to a clean run.
  */
 
 #include <gtest/gtest.h>
 
+#include <cerrno>
 #include <cstdio>
 #include <filesystem>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "common/fault.hh"
 #include "sim/experiment.hh"
 #include "sim/result_io.hh"
 #include "sim/run_request.hh"
@@ -237,6 +244,134 @@ TEST(Serve, OversizeRequestIsStillAdmittedAndMaxRequestsStops)
     ASSERT_TRUE(reply.ok) << reply.error;
     ASSERT_EQ(reply.cells.size(), 1u);
     loop.join(); // maxRequests reached; no shutdown request needed
+}
+
+// ------------------------------------------------------- self-healing
+
+TEST(Serve, TransientAcceptErrnosAreClassified)
+{
+    EXPECT_TRUE(transientAcceptError(EMFILE));
+    EXPECT_TRUE(transientAcceptError(ENFILE));
+    EXPECT_TRUE(transientAcceptError(ECONNABORTED));
+    EXPECT_TRUE(transientAcceptError(ENOBUFS));
+    EXPECT_TRUE(transientAcceptError(ENOMEM));
+    EXPECT_FALSE(transientAcceptError(EBADF)) << "fatal listener error";
+    EXPECT_FALSE(transientAcceptError(EINVAL));
+}
+
+TEST(Serve, RetryBackoffIsSeededDeterministicAndBounded)
+{
+    for (unsigned attempt = 0; attempt < 12; ++attempt) {
+        const uint64_t ms = retryBackoffMs(7, attempt);
+        EXPECT_EQ(ms, retryBackoffMs(7, attempt)) << "pure function";
+        EXPECT_GT(ms, 0u);
+        EXPECT_LE(ms, 250u) << "capped";
+    }
+    // Different seeds pace differently somewhere in the sequence.
+    bool differs = false;
+    for (unsigned attempt = 0; attempt < 12; ++attempt)
+        differs |= retryBackoffMs(7, attempt) != retryBackoffMs(8, attempt);
+    EXPECT_TRUE(differs);
+}
+
+TEST(Serve, InjectedComputeFaultFailsRetryablyAndDaemonSurvives)
+{
+    const std::string socket = socketPathOf("moatsim_serve_fault.sock");
+    Server server(smallServeConfig(socket));
+    server.start();
+    std::thread loop([&server] { server.serveForever(); });
+
+    fault::arm("sweep.compute@1");
+    const ServeReply hurt = serveRequest(socket, smallRequest());
+    fault::disarm();
+    EXPECT_FALSE(hurt.ok);
+    EXPECT_TRUE(hurt.retryable) << hurt.error;
+    EXPECT_NE(hurt.error.find("cell compute failed"), std::string::npos)
+        << hurt.error;
+    EXPECT_NE(hurt.error.find("sweep.compute"), std::string::npos)
+        << hurt.error;
+
+    // The daemon outlived the fault: the same request now succeeds,
+    // and the stats line counts the compute failure.
+    const ServeReply fine = serveRequest(socket, smallRequest());
+    ASSERT_TRUE(fine.ok) << fine.error;
+    ASSERT_EQ(fine.cells.size(), 1u);
+    const auto stats = serveRequestLine(socket, "{\"kind\":\"stats\"}");
+    ASSERT_TRUE(stats.ok) << stats.error;
+    EXPECT_NE(stats.done.find("\"compute_failures\":1"),
+              std::string::npos)
+        << stats.done;
+
+    const auto bye = serveRequestLine(socket, "{\"kind\":\"shutdown\"}");
+    EXPECT_TRUE(bye.ok) << bye.error;
+    loop.join();
+}
+
+TEST(Serve, InjectedAcceptFaultsBackOffAndKeepServing)
+{
+    const std::string socket = socketPathOf("moatsim_serve_accept.sock");
+    Server server(smallServeConfig(socket));
+    server.start();
+    fault::arm("serve.accept@0.5:2");
+    std::thread loop([&server] { server.serveForever(); });
+
+    // Every request lands despite the accept loop stumbling: a faulted
+    // accept leaves the pending connection queued, backs off, and
+    // retries, so clients only see added latency.
+    for (int i = 0; i < 3; ++i) {
+        const ServeReply reply = serveRequest(socket, smallRequest());
+        ASSERT_TRUE(reply.ok) << "request " << i << ": " << reply.error;
+    }
+    fault::disarm();
+
+    const auto stats = serveRequestLine(socket, "{\"kind\":\"stats\"}");
+    ASSERT_TRUE(stats.ok) << stats.error;
+    const size_t at = stats.done.find("\"accept_retries\":");
+    ASSERT_NE(at, std::string::npos) << stats.done;
+    EXPECT_NE(stats.done.find("\"accept_retries\":0"), at)
+        << "the survived retries must be counted: " << stats.done;
+
+    const auto bye = serveRequestLine(socket, "{\"kind\":\"shutdown\"}");
+    EXPECT_TRUE(bye.ok) << bye.error;
+    loop.join();
+}
+
+TEST(Serve, ChaosRunConvergesByteIdenticallyToACleanRun)
+{
+    // The clean reference, computed before any fault is armed.
+    const RunRequest req = smallRequest();
+    ExperimentConfig ec = experimentConfigOf(req);
+    ec.resultStore = ResultStore::Config{};
+    Experiment direct(ec);
+    const auto results = direct.run();
+    ASSERT_EQ(results.size(), 1u);
+    const std::string clean = toJsonLine(results[0]);
+
+    const std::string socket = socketPathOf("moatsim_serve_chaos.sock");
+    Server server(smallServeConfig(socket));
+    server.start();
+    std::thread loop([&server] { server.serveForever(); });
+
+    // Chaos: half the cell computes throw and some server sends are
+    // dropped, yet seeded client retries converge -- the shared store
+    // caches every cell that ever finished, so each attempt only
+    // recomputes what actually failed.
+    fault::arm("sweep.compute@0.5:3,serve.send@0.1:4");
+    RetryPolicy policy;
+    policy.retries = 25;
+    policy.seed = 7;
+    const ServeReply reply = serveRequestWithRetries(socket, req, policy);
+    fault::disarm();
+
+    ASSERT_TRUE(reply.ok)
+        << "after " << reply.attempts << " attempts: " << reply.error;
+    EXPECT_GT(reply.attempts, 1u) << "the chaos plan must actually bite";
+    ASSERT_EQ(reply.cells.size(), 1u);
+    EXPECT_EQ(reply.cells[0], clean) << "chaos converges to clean bytes";
+
+    const auto bye = serveRequestLine(socket, "{\"kind\":\"shutdown\"}");
+    EXPECT_TRUE(bye.ok) << bye.error;
+    loop.join();
 }
 
 } // namespace

@@ -11,6 +11,7 @@
 
 #include <atomic>
 
+#include "common/fault.hh"
 #include "common/thread_pool.hh"
 #include "sim/result_io.hh"
 #include "sim/sweep.hh"
@@ -81,6 +82,26 @@ TEST(TraceStore, SharedHandoutPerKey)
     const auto d = store.get(spec, tg2);
     EXPECT_NE(a.get(), d.get());
     EXPECT_EQ(store.stats().misses, 3u);
+}
+
+TEST(TraceStore, InjectedGenerateFaultIsNeverCached)
+{
+    TraceStore store(enabledConfig());
+    const auto tg = smallTracegen();
+    const auto &spec = findWorkload("roms");
+
+    // A faulted generation throws out of get() and leaves no poisoned
+    // entry behind: the next get regenerates cleanly and the content
+    // matches an undisturbed store's.
+    fault::arm("trace-store.generate@1");
+    EXPECT_THROW(store.get(spec, tg), fault::InjectedFault);
+    fault::disarm();
+    EXPECT_EQ(store.stats().entries, 0u) << "failure not cached";
+
+    const auto healed = store.get(spec, tg);
+    ASSERT_NE(healed, nullptr);
+    TraceStore pristine(enabledConfig());
+    expectSameTraces(*healed, *pristine.get(spec, tg));
 }
 
 TEST(TraceStore, FlattenedSetMatchesGenerator)
